@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper figure at the scale selected by
+the ``REPRO_SCALE`` environment variable (default ``bench``; set
+``REPRO_SCALE=paper`` for publication-grade windows, ``smoke`` for a
+fast sanity pass), prints the figure's data table, and asserts the
+qualitative shape the paper reports.
+
+Benchmarks run exactly once (``pedantic`` with one round): a figure is
+a deterministic simulation sweep, so repeated timing rounds would only
+waste hours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scales import scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env(default="bench")
+
+
+@pytest.fixture
+def run_figure(benchmark, scale):
+    """Run a figure spec once under pytest-benchmark and print it."""
+
+    def runner(spec):
+        result = benchmark.pedantic(
+            spec.run, args=(scale,), rounds=1, iterations=1)
+        print()
+        print(result.as_table())
+        print(f"paper claim: {spec.paper_claim}")
+        return result
+
+    return runner

@@ -1,0 +1,38 @@
+"""Ablation: the hysteresis tolerance δ of the 50% rule.
+
+The paper settled on δ = 0.025 ("a 5% overall tolerance window ...
+to obtain added stability").  This ablation sweeps δ from 0 (no
+hysteresis) to 0.2 (a wide dead zone) on the base case and checks the
+paper's setting sits on the flat, good part of the curve.
+"""
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.reporting import format_results_table
+from repro.experiments.runner import run_simulation
+from repro.experiments.studies import base_params
+
+DELTAS = (0.0, 0.025, 0.05, 0.1, 0.2)
+
+
+def test_abl_hysteresis(benchmark, scale):
+    def run():
+        params = base_params(scale)
+        return {delta: run_simulation(params,
+                                      HalfAndHalfController(delta=delta))
+                for delta in DELTAS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_results_table(
+        list(results.values()),
+        title="Ablation: hysteresis tolerance δ"))
+
+    best = max(r.page_throughput.mean for r in results.values())
+    paper_setting = results[0.025].page_throughput.mean
+
+    # The paper's δ is on the plateau ...
+    assert paper_setting > 0.9 * best
+
+    # ... and a very wide dead zone dampens the controller: it admits
+    # less eagerly, visible as a lower maintained MPL than δ = 0.025.
+    assert results[0.2].avg_mpl <= results[0.025].avg_mpl * 1.05

@@ -1,0 +1,39 @@
+"""Ablation: does the *maturity* notion matter?
+
+The Half-and-Half conditions deliberately count only mature
+transactions, "for safety": a newly admitted transaction looks like a
+running one long before it exerts any lock pressure.  This ablation
+removes maturity (the BlockedFractionController applies the same 50%
+rule to raw running/blocked counts) and measures the damage on the
+thrashing-prone base case.
+"""
+
+from repro.control.blocked_fraction import BlockedFractionController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.reporting import format_results_table
+from repro.experiments.runner import run_simulation
+from repro.experiments.studies import base_params
+
+
+def test_abl_maturity(benchmark, scale):
+    def run():
+        params = base_params(scale)   # 200 terminals: heavy pressure
+        with_maturity = run_simulation(params, HalfAndHalfController())
+        without = run_simulation(params, BlockedFractionController())
+        return with_maturity, without
+
+    with_maturity, without = benchmark.pedantic(run, rounds=1,
+                                                iterations=1)
+    print()
+    print(format_results_table(
+        [with_maturity, without],
+        title="Ablation: 50% rule with vs without maturity"))
+
+    # Without maturity the controller floods the system: admissions
+    # inflate the 'running' numerator immediately, so it keeps admitting
+    # into overload and the maintained MPL balloons.
+    assert without.avg_mpl > 1.5 * with_maturity.avg_mpl
+
+    # The maturity-based controller delivers clearly higher throughput.
+    assert with_maturity.page_throughput.mean > \
+        1.1 * without.page_throughput.mean

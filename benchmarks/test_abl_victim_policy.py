@@ -1,0 +1,47 @@
+"""Ablation: victim selection order for overload correction.
+
+The paper picks victims youngest-first (least invested work) and only
+among blocked transactions that block others (so each abort frees
+someone).  This ablation compares youngest vs oldest vs random victim
+order and the any-blocked relaxation on a high-contention configuration
+where load-control aborts actually fire.
+"""
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.reporting import format_results_table
+from repro.experiments.runner import run_simulation
+from repro.experiments.studies import base_params
+
+
+def test_abl_victim_policy(benchmark, scale):
+    def run():
+        # 24-page transactions: serious contention, frequent overload.
+        params = base_params(scale, tran_size=24)
+        variants = [
+            HalfAndHalfController(victim_policy="youngest"),
+            HalfAndHalfController(victim_policy="oldest"),
+            HalfAndHalfController(victim_policy="random"),
+            HalfAndHalfController(require_blocking_victims=False),
+        ]
+        return [run_simulation(params, v) for v in variants]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_results_table(
+        results, title="Ablation: overload victim selection"))
+
+    youngest, oldest, _random, _any = results
+
+    # Youngest-first wastes the least invested work: committed work per
+    # abort should not be worse than oldest-first by much.  (Retained
+    # timestamps also make oldest-first starvation-prone.)
+    assert youngest.page_throughput.mean > \
+        0.85 * max(r.page_throughput.mean for r in results)
+
+    # Oldest-first discards the most invested work, visible as a higher
+    # wasted-page rate per load-control abort (guard against div-zero on
+    # quiet runs).
+    if oldest.aborts and youngest.aborts:
+        waste_young = youngest.wasted_page_rate
+        waste_old = oldest.wasted_page_rate
+        assert waste_old > 0.5 * waste_young   # sanity: both measurable

@@ -1,0 +1,56 @@
+"""Extension: the adaptive-controller design space.
+
+Three adaptive feedback controllers on the thrashing base case, all
+sharing the admit/abort loop structure and differing only in the signal
+they watch:
+
+* **Half-and-Half** — the paper: head-count of mature running vs mature
+  blocked transactions (needs lock-count estimates for maturity);
+* **blocked fraction** — head-count without maturity (the ablation);
+* **conflict ratio** — locks held by all vs by running transactions
+  (Moenkeberg & Weikum's signal; no estimates needed at all).
+
+In this model the maturity-filtered head count wins: lock-weighted
+signals under-react early in a flood (fresh transactions hold no locks
+yet, exactly the observation that motivated the maturity notion).
+"""
+
+from repro.control.blocked_fraction import BlockedFractionController
+from repro.control.conflict_ratio import ConflictRatioController
+from repro.control.no_control import NoControlController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.reporting import format_results_table
+from repro.experiments.runner import run_simulation
+from repro.experiments.studies import base_params
+
+
+def test_ext_adaptive_controllers(benchmark, scale):
+    def run():
+        params = base_params(scale)
+        return {
+            "none": run_simulation(params, NoControlController()),
+            "hh": run_simulation(params, HalfAndHalfController()),
+            "blocked": run_simulation(params,
+                                      BlockedFractionController()),
+            "conflict": run_simulation(params,
+                                       ConflictRatioController()),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_results_table(
+        list(results.values()),
+        title="Adaptive controllers on the base case (200 terminals)"))
+
+    raw = results["none"].page_throughput.mean
+    hh = results["hh"].page_throughput.mean
+    blocked = results["blocked"].page_throughput.mean
+    conflict = results["conflict"].page_throughput.mean
+
+    # Every adaptive signal beats doing nothing.
+    assert hh > 1.2 * raw
+    assert conflict > raw
+    assert blocked > 0.9 * raw
+
+    # The paper's maturity-filtered signal wins in this model.
+    assert hh >= 0.95 * max(blocked, conflict)

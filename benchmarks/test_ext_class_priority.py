@@ -1,0 +1,53 @@
+"""Extension (paper §5): class-discriminating admission.
+
+The paper's future-work list asks whether Half-and-Half could
+"discriminate between transaction classes in order to provide still
+better performance for multi-class workloads".  This experiment runs
+the two-class mix with FIFO admission and with a ClassPriorityPolicy
+favouring the small-update OLTP class, and measures the per-class
+shift.
+"""
+
+from repro.control.class_priority import ClassPriorityPolicy
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.runner import run_simulation
+from repro.experiments.studies import base_params
+from repro.workload.mixed import MixedWorkload, paper_mixed_classes
+
+
+def _factory(streams, params):
+    return MixedWorkload(streams, params.db_size, paper_mixed_classes())
+
+
+def test_ext_class_priority(benchmark, scale):
+    def run():
+        params = base_params(scale)
+        fifo = run_simulation(params, HalfAndHalfController(),
+                              workload_factory=_factory)
+        favoured = run_simulation(
+            params, HalfAndHalfController(), workload_factory=_factory,
+            admission_order=ClassPriorityPolicy({"small-update": 1}))
+        return fifo, favoured
+
+    fifo, favoured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Class-priority admission (favouring small-update):")
+    for label, r in (("FIFO", fifo), ("priority", favoured)):
+        for cls in ("small-update", "large-readonly"):
+            s = r.per_class.get(cls)
+            if s is None:
+                continue
+            print(f"  {label:<9} {cls:<16} commits={s.commits:<6} "
+                  f"avg response={s.avg_response_time:.2f}s")
+
+    # Favouring the OLTP class shifts commits toward it ...
+    assert favoured.per_class["small-update"].commits > \
+        fifo.per_class["small-update"].commits
+    # ... at the expense of the reporting class.
+    assert favoured.per_class["large-readonly"].commits <= \
+        fifo.per_class["large-readonly"].commits
+    # Overall throughput stays in the same ballpark (load control still
+    # governs how many run; priority only reorders who).
+    assert favoured.page_throughput.mean > \
+        0.6 * fifo.page_throughput.mean

@@ -1,0 +1,52 @@
+"""Extension (paper §5): load control for a distributed DBMS.
+
+Runs the four-site cluster at heavy load with and without per-site
+Half-and-Half controllers, at two locality levels.  The qualitative
+expectations: the uncontrolled cluster thrashes just like the
+centralized system; independent per-site controllers restore peak
+throughput; and lower locality (more remote work, more cross-site lock
+holds) makes everything slower but does not break the control loop.
+"""
+
+from repro.distributed import (
+    DistributedParameters,
+    make_half_and_half_sites,
+    make_no_control_sites,
+    run_distributed_simulation,
+)
+
+
+def test_ext_distributed(benchmark, scale):
+    def run():
+        out = {}
+        for locality in (0.9, 0.5):
+            params = DistributedParameters(
+                num_sites=4, num_terms=200, locality=locality,
+                warmup_time=scale.warmup_time,
+                num_batches=scale.num_batches,
+                batch_time=scale.batch_time)
+            out[(locality, "raw")] = run_distributed_simulation(
+                params, make_no_control_sites(4))
+            out[(locality, "hh")] = run_distributed_simulation(
+                params, make_half_and_half_sites(4))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Distributed cluster (4 sites), page throughput:")
+    for (locality, control), r in results.items():
+        print(f"  locality={locality:.0%} {control:<4} "
+              f"thr={r.page_throughput.mean:7.1f}  "
+              f"mpl={r.avg_mpl:6.1f}  aborts={r.aborts}")
+
+    for locality in (0.9, 0.5):
+        raw = results[(locality, "raw")]
+        hh = results[(locality, "hh")]
+        # Per-site control defeats cluster-wide thrashing.
+        assert hh.page_throughput.mean > 1.5 * raw.page_throughput.mean
+        assert hh.avg_mpl < raw.avg_mpl
+
+    # More remote work cannot make the cluster faster.
+    assert results[(0.5, "hh")].page_throughput.mean < \
+        1.1 * results[(0.9, "hh")].page_throughput.mean

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 1 — 2PL thrashing vs the no-CC reference."""
+
+from repro.experiments.figures.fig01_thrashing import FIGURE
+
+
+def test_fig01(run_figure):
+    result = run_figure(FIGURE)
+    with_2pl = result.get("2PL (no load control)")
+    without_cc = result.get("no concurrency control")
+
+    # 2PL rises to an interior peak, then collapses.
+    peak = max(with_2pl)
+    peak_idx = with_2pl.index(peak)
+    assert 0 < peak_idx < len(with_2pl) - 1
+    assert with_2pl[-1] < 0.80 * peak
+
+    # The no-CC curve saturates without collapsing.
+    assert without_cc[-1] > 0.85 * max(without_cc)
+    assert without_cc[0] < max(without_cc)
+
+    # At maximum load, no-CC clearly dominates thrashing 2PL.
+    assert without_cc[-1] > 1.3 * with_2pl[-1]

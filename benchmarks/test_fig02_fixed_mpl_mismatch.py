@@ -1,0 +1,17 @@
+"""Benchmark: Figure 2 — fixed MPL 35 across two workloads."""
+
+from repro.experiments.figures.fig02_fixed_mpl_mismatch import FIGURE
+
+
+def test_fig02(run_figure):
+    result = run_figure(FIGURE)
+    base = result.get("base workload (size 8)")
+    large = result.get("4x larger transactions (size 32)")
+
+    # MPL 35 keeps the base workload near its peak under heavy load.
+    assert base[-1] > 0.80 * max(base)
+
+    # For 4x-larger transactions the same MPL is deep in thrashing:
+    # far below the base curve and far below its own light-load level.
+    assert large[-1] < 0.6 * base[-1]
+    assert max(large) < max(base)

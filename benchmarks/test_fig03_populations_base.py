@@ -1,0 +1,24 @@
+"""Benchmark: Figure 3 — state populations cross near the peak."""
+
+from repro.experiments.figures.fig03_populations_base import (
+    FIGURE,
+    crossover_point,
+)
+
+
+def test_fig03(run_figure):
+    result = run_figure(FIGURE)
+    state1 = result.get("State 1 (mature & running)")
+    others = result.get("States 2-4 (others)")
+
+    # State 1 rises then falls; the others grow monotonically at the end.
+    peak_idx = state1.index(max(state1))
+    assert 0 < peak_idx < len(state1) - 1
+    assert others[-1] > others[0]
+
+    # The curves cross, near the throughput peak (the 50% rule's origin).
+    cross = crossover_point(result)
+    assert cross is not None
+    thruput = result.extras["page_throughput"]
+    peak_x = result.x_values[thruput.index(max(thruput))]
+    assert 0.4 * peak_x <= cross <= 2.5 * peak_x

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 4 — populations for 4x-larger transactions."""
+
+from repro.experiments.figures.fig03_populations_base import crossover_point
+from repro.experiments.figures.fig04_populations_large import FIGURE
+
+
+def test_fig04(run_figure):
+    result = run_figure(FIGURE)
+    state1 = result.get("State 1 (mature & running)")
+    others = result.get("States 2-4 (others)")
+
+    # With 32-page transactions contention bites much earlier: the
+    # crossover happens at a small number of terminals.
+    cross = crossover_point(result)
+    assert cross is not None
+    assert cross <= 50
+
+    # Still the same qualitative shape.
+    assert max(state1) > state1[-1]
+    assert others[-1] > others[0]
+    # Close to (but per the paper not necessarily exactly at) the peak.
+    thruput = result.extras["page_throughput"]
+    peak_x = result.x_values[thruput.index(max(thruput))]
+    assert cross <= 4 * max(peak_x, result.x_values[0])

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 7 — Half-and-Half holds the base case at peak."""
+
+from repro.experiments.figures.fig07_base_case import FIGURE
+
+
+def test_fig07(run_figure):
+    result = run_figure(FIGURE)
+    hh = result.get("Half-and-Half")
+    raw = result.get("2PL (no load control)")
+
+    # Identical at light load (nothing to control).
+    assert abs(hh[0] - raw[0]) / raw[0] < 0.15
+
+    # Raw 2PL collapses; Half-and-Half stays at peak.
+    assert raw[-1] < 0.80 * max(raw)
+    assert hh[-1] > 0.85 * max(hh)
+    assert hh[-1] > 1.3 * raw[-1]
+
+    # H&H throughput at saturation is close to the best the raw curve
+    # ever achieved (the paper: "keeps the system operating at its peak
+    # performance level").
+    assert hh[-1] > 0.85 * max(raw)

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 8 — throughput across transaction sizes."""
+
+from repro.experiments.figures.fig08_txn_size_thruput import FIGURE
+
+
+def test_fig08(run_figure):
+    result = run_figure(FIGURE)
+    hh = result.get("Half-and-Half")
+    optimal = result.get("Optimal MPL")
+    mpl35 = result.get("MPL 35")
+    mpl20 = result.get("MPL 20")
+
+    # Half-and-Half stays near the optimal-MPL line across the range
+    # (the paper: within a few percent; we allow simulation noise).
+    for h, o in zip(hh, optimal):
+        assert h > 0.72 * o
+
+    # Each fixed MPL falls well short of optimal somewhere in the range.
+    assert min(m / o for m, o in zip(mpl35, optimal)) < 0.80
+    assert min(m / o for m, o in zip(mpl20, optimal)) < 0.85
+
+    # Throughput decreases with transaction size for the optimal policy.
+    assert optimal[0] > optimal[-1]

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 10 — the MPL Half-and-Half maintains."""
+
+from repro.experiments.figures.fig10_txn_size_mpl import FIGURE
+
+
+def test_fig10(run_figure):
+    result = run_figure(FIGURE)
+    hh_mpl = result.get("Half-and-Half (avg MPL)")
+    optimal = result.get("Optimal MPL")
+
+    # Both decrease as transactions grow.
+    assert hh_mpl[0] > hh_mpl[-1]
+    assert optimal[0] >= optimal[-1]
+
+    # The controller tracks the optimal level (the paper: it "tends to
+    # be a bit too liberal", i.e. sits at or somewhat above optimal; at
+    # the large end the optimum is a handful, so allow ±1-2 of noise).
+    assert hh_mpl[-1] >= optimal[-1] - 2.0
+    # The overshoot is bounded: not an order of magnitude.
+    for h, o in zip(hh_mpl, optimal):
+        assert h < 6.0 * o + 5.0

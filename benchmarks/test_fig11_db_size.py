@@ -1,0 +1,21 @@
+"""Benchmark: Figure 11 — throughput across database sizes."""
+
+from repro.experiments.figures.fig11_db_size import FIGURE
+
+
+def test_fig11(run_figure):
+    result = run_figure(FIGURE)
+    hh = result.get("Half-and-Half")
+    optimal = result.get("Optimal MPL")
+    mpl35 = result.get("MPL 35")
+
+    # Half-and-Half close to optimal at every database size.
+    for h, o in zip(hh, optimal):
+        assert h > 0.72 * o
+
+    # The smallest database is the most contended: fixed MPL 35 admits
+    # too many transactions there and loses against the optimal MPL.
+    assert mpl35[0] < 0.92 * optimal[0]
+
+    # Larger databases mean less contention and more achievable work.
+    assert optimal[-1] > optimal[0]

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 12 — the two-class mixed workload."""
+
+from repro.experiments.figures.fig12_mixed import FIGURE
+
+
+def test_fig12(run_figure):
+    result = run_figure(FIGURE)
+    fixed = result.get("2PL fixed MPL")
+    hh_level = result.get("Half-and-Half (self-selected MPL)")[0]
+
+    # The fixed-MPL curve has the base-case shape: rise, peak, thrash.
+    peak = max(fixed)
+    assert fixed.index(peak) not in (0, len(fixed) - 1) or \
+        fixed[-1] < peak   # peak interior, or at least a falling tail
+    assert fixed[-1] < 0.80 * peak
+
+    # Half-and-Half lands close to the best fixed MPL.
+    assert hh_level > 0.80 * peak

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 13 — mixed workload with degree-2 readers."""
+
+from repro.experiments.figures.fig12_mixed import FIGURE as FIG12
+from repro.experiments.figures.fig13_mixed_degree2 import FIGURE
+from repro.experiments.scales import scale_from_env
+
+
+def test_fig13(run_figure):
+    result = run_figure(FIGURE)
+    fixed = result.get("2PL fixed MPL")
+    hh_level = result.get("Half-and-Half (self-selected MPL)")[0]
+
+    # Thrashing still occurs at the highest MPL settings.
+    peak = max(fixed)
+    assert fixed[-1] < 0.85 * peak
+
+    # Half-and-Half operates near the optimal point.
+    assert hh_level > 0.80 * peak
+
+    # Degree-2 readers reduce contention: the peak is at least as high
+    # as with serializable readers (paper: "a higher maximum page
+    # throughput").  FIG12's study is cached, so this is cheap.
+    fig12 = FIG12.run(scale_from_env(default="bench"))
+    assert peak >= 0.95 * max(fig12.get("2PL fixed MPL"))

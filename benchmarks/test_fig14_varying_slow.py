@@ -1,0 +1,20 @@
+"""Benchmark: Figure 14 — slowly varying workload."""
+
+from repro.experiments.figures.fig14_varying_slow import FIGURE
+
+
+def test_fig14(run_figure):
+    result = run_figure(FIGURE)
+    fixed = result.get("2PL fixed MPL")
+    hh_level = result.get("Half-and-Half (adaptive)")[0]
+    best_fixed = max(fixed)
+
+    # The paper: Half-and-Half actually outperforms the best fixed MPL
+    # on slow variation.  Short measurement windows sample few phases,
+    # so we assert it is at least competitive with the best fixed level
+    # and clearly better than the bulk of them.
+    assert hh_level > 0.85 * best_fixed
+    assert hh_level > sorted(fixed)[len(fixed) // 2]   # beats the median
+
+    # Extreme fixed MPLs are bad for a workload that alternates sizes.
+    assert min(fixed) < 0.75 * best_fixed

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 16 — Tay's rule vs Half-and-Half vs optimal."""
+
+from repro.experiments.figures.fig16_tay_thruput import FIGURE
+
+
+def test_fig16(run_figure):
+    result = run_figure(FIGURE)
+    hh = result.get("Half-and-Half")
+    tay = result.get("Tay's rule")
+    optimal = result.get("Optimal MPL")
+    sizes = result.x_values
+
+    # For small/medium transactions (<= 24 pages) all three comparable.
+    for size, t, o in zip(sizes, tay, optimal):
+        if size <= 24:
+            assert t > 0.75 * o
+
+    # At the large end Tay's rule is overly conservative; Half-and-Half
+    # tracks the optimal line at least as well.
+    assert hh[-1] >= 0.95 * tay[-1]
+    assert hh[-1] > 0.72 * optimal[-1]

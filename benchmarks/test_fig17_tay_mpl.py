@@ -1,0 +1,22 @@
+"""Benchmark: Figure 17 — the MPLs behind Figure 16."""
+
+from repro.experiments.figures.fig17_tay_mpl import FIGURE
+
+
+def test_fig17(run_figure):
+    result = run_figure(FIGURE)
+    hh_mpl = result.get("Half-and-Half (avg MPL)")
+    tay_mpl = result.get("Tay's rule MPL")
+    optimal = result.get("Optimal MPL")
+
+    # The paper's headline numbers at size 72: optimal ~3, Tay = 1,
+    # Half-and-Half ~5 (overshooting).
+    assert tay_mpl[-1] == 1
+    assert optimal[-1] >= tay_mpl[-1]
+    assert hh_mpl[-1] > tay_mpl[-1]
+
+    # Tay's MPL falls monotonically with transaction size.
+    assert tay_mpl == sorted(tay_mpl, reverse=True)
+
+    # At the small end both Tay and H&H are liberal (>= optimal-ish).
+    assert tay_mpl[0] >= optimal[0] * 0.8

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 18 — bounded wait queues, throughput."""
+
+from repro.experiments.figures.fig18_bounded_wait import FIGURE
+
+
+def test_fig18(run_figure):
+    result = run_figure(FIGURE)
+    plain = result.get("plain 2PL")
+    limit1 = result.get("wait limit 1")
+    limit2 = result.get("wait limit 2")
+    hh = result.get("Half-and-Half")
+
+    # Limit 1 performs worse than plain 2PL once resource contention is
+    # modelled (abort-induced thrashing) — certainly no better.
+    assert limit1[-1] < 1.05 * plain[-1]
+    assert max(limit1) < 1.05 * max(plain)
+
+    # Limit 2 behaves much like plain 2PL (queues longer than 2 are
+    # rare anyway).
+    assert abs(limit2[-1] - plain[-1]) < 0.35 * max(plain[-1], 1.0)
+
+    # Neither approaches Half-and-Half at high load.
+    assert hh[-1] > 1.2 * limit1[-1]
+    assert hh[-1] > 1.2 * limit2[-1]

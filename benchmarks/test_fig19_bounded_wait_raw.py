@@ -1,0 +1,27 @@
+"""Benchmark: Figure 19 — bounded wait queues, raw page rate."""
+
+from repro.experiments.figures.fig18_bounded_wait import bounded_wait_study
+from repro.experiments.figures.fig19_bounded_wait_raw import FIGURE
+from repro.experiments.scales import scale_from_env
+from repro.experiments.studies import terminal_sweep_points
+
+
+def test_fig19(run_figure):
+    result = run_figure(FIGURE)
+    limit1_raw = result.get("wait limit 1")
+    hh_raw = result.get("Half-and-Half")
+
+    # Limit 1 keeps the hardware busy at high load...
+    assert limit1_raw[-1] > 0.7 * max(hh_raw)
+
+    # ...but a large share of those pages belongs to transactions that
+    # are later aborted: wasted work (the throughput gap of Figure 18).
+    scale = scale_from_env(default="bench")
+    study = bounded_wait_study(scale)   # cached from the fig18 bench
+    last = terminal_sweep_points(scale)[-1]
+    r1 = study["wait limit 1"][last]
+    wasted_fraction = (r1.wasted_page_rate / r1.raw_page_rate.mean)
+    assert wasted_fraction > 0.25
+
+    plain = study["plain 2PL"][last]
+    assert r1.wasted_page_rate > plain.wasted_page_rate

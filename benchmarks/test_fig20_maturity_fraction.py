@@ -1,0 +1,16 @@
+"""Benchmark: Figure 20 — maturity-fraction sensitivity."""
+
+from repro.experiments.figures.fig20_maturity_fraction import FIGURE
+
+
+def test_fig20(run_figure):
+    result = run_figure(FIGURE)
+    thruput = result.get("Half-and-Half")
+
+    # The paper: "the algorithm is not particularly sensitive to this
+    # parameter" — throughput varies little from 10% to 50%.
+    low, high = min(thruput), max(thruput)
+    assert low > 0.80 * high
+
+    # Every setting still avoids thrashing (stays near the base peak).
+    assert all(t > 0.6 * high for t in thruput)

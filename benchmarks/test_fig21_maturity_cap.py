@@ -1,0 +1,44 @@
+"""Benchmark: Figure 21 — the capped maturity definition."""
+
+from repro.experiments.figures.fig21_maturity_cap import FIGURE
+
+
+def test_fig21(run_figure):
+    result = run_figure(FIGURE)
+    basic = result.get("basic (25%, no cap)")
+    optimal = result.get("Optimal MPL")
+    cap_series = {name: ys for name, ys in result.series.items()
+                  if name.startswith("cap X=")}
+    assert cap_series, "expected at least one capped variant"
+
+    largest_cap_value = max(int(n.split("=")[1]) for n in cap_series)
+    largest_cap = cap_series[f"cap X={largest_cap_value}"]
+
+    # The paper: the capped definition "works almost as well as the
+    # basic algorithm until X becomes less than about 15% of the
+    # average transaction size".  A size-s transaction makes about
+    # s·1.25 lock requests (reads + upgrades), so the claim applies
+    # only where X >= 0.15 · s · 1.25.
+    for size, capped, base in zip(result.x_values, largest_cap, basic):
+        if largest_cap_value >= 0.15 * size * 1.25:
+            assert capped > 0.75 * base, (
+                f"cap {largest_cap_value} at size {size}: "
+                f"{capped} vs basic {base}")
+
+    # Below the 15% threshold the paper predicts degradation, and it
+    # can be severe (a 2-lock cap matures 72-page transactions almost
+    # immediately, so the controller floods the system).  Check the
+    # threshold effect itself: at the largest transaction size, a
+    # too-small cap does no better than the largest cap.
+    smallest_cap_value = min(int(n.split("=")[1]) for n in cap_series)
+    if smallest_cap_value != largest_cap_value:
+        smallest_cap = cap_series[f"cap X={smallest_cap_value}"]
+        assert smallest_cap[-1] <= 1.1 * largest_cap[-1]
+
+    # Within each variant's valid region it stays a real controller.
+    for name, ys in cap_series.items():
+        cap = int(name.split("=")[1])
+        for size, capped, o in zip(result.x_values, ys, optimal):
+            if cap >= 0.15 * size * 1.25:
+                assert capped > 0.55 * o, (
+                    f"{name} at size {size}: {capped} vs optimal {o}")

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 22 — base case with a 100-page buffer pool."""
+
+from repro.experiments.figures.fig22_buffer_small import FIGURE
+
+
+def test_fig22(run_figure):
+    result = run_figure(FIGURE)
+    hh = result.get("Half-and-Half")
+    raw = result.get("2PL (no load control)")
+
+    # Same qualitative picture as Figure 7: raw 2PL thrashes,
+    # Half-and-Half holds the peak.
+    assert raw[-1] < 0.85 * max(raw)
+    assert hh[-1] > 0.80 * max(hh)
+    assert hh[-1] > 1.2 * raw[-1]
+
+    # A 10% buffer raises the effective disk ceiling from ~143 to
+    # ~159 pages/s; the buffered peak should approach it (and clearly
+    # beat the bufferless H&H plateau of ~125).
+    assert max(hh) > 135.0

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the substrates (real wall-clock timing).
+
+Unlike the figure benchmarks (which run once and check shapes), these
+use pytest-benchmark's timing machinery for what it is good at: keeping
+the hot paths of the event kernel, lock table, and full simulator from
+silently regressing.
+"""
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.dbms.config import SimulationParameters
+from repro.experiments.runner import run_simulation
+from repro.lockmgr.lock_table import LockTable
+from repro.lockmgr.modes import LockMode
+from repro.sim.engine import Simulator
+
+
+def test_micro_event_kernel(benchmark):
+    """Schedule-and-fire throughput of the event calendar."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    fired = benchmark(run)
+    assert fired == 20_000
+
+
+def test_micro_lock_table_grant_release(benchmark):
+    """Uncontended request/release cycles through the lock table."""
+
+    class T:
+        pass
+
+    def run():
+        table = LockTable()
+        txns = [T() for _ in range(8)]
+        for round_no in range(2_000):
+            for i, txn in enumerate(txns):
+                table.request(txn, (round_no * 8 + i) % 512, LockMode.S)
+            for txn in txns:
+                table.release_all(txn)
+        return table.requests
+
+    requests = benchmark(run)
+    assert requests == 2_000 * 8
+
+
+def test_micro_lock_table_contended(benchmark):
+    """Conflicting X requests: queueing, blocking, grant cascades."""
+
+    class T:
+        pass
+
+    def run():
+        table = LockTable()
+        granted = 0
+        for _ in range(500):
+            txns = [T() for _ in range(6)]
+            for txn in txns:
+                table.request(txn, 0, LockMode.X)   # one page, all fight
+            # Release in order; each release grants the next waiter.
+            for txn in txns:
+                if not table.is_waiting(txn):
+                    granted += len(table.release_all(txn))
+        return granted
+
+    benchmark(run)
+
+
+def test_micro_end_to_end_simulation(benchmark):
+    """A complete short base-case run (the figure benches' unit cost)."""
+
+    def run():
+        params = SimulationParameters(num_terms=100, warmup_time=5.0,
+                                      num_batches=2, batch_time=10.0)
+        return run_simulation(params, HalfAndHalfController())
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.commits > 0

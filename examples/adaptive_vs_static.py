@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Adaptive vs static admission control on a drifting workload.
+
+Models the paper's Section 4.4 scenario: a system whose transaction mix
+changes over time (think mid-morning OLTP vs overnight batch reports).
+A fixed MPL tuned for one phase loses in the other; the Half-and-Half
+controller retunes itself and — on slowly varying workloads — beats
+*every* fixed setting.
+
+Run:  python examples/adaptive_vs_static.py
+"""
+
+from repro import (
+    FixedMPLController,
+    HalfAndHalfController,
+    SimulationParameters,
+    run_simulation,
+)
+from repro.workload.time_varying import TimeVaryingWorkload
+
+
+def varying_workload(streams, params):
+    """Alternate bursts of large transactions with small-transaction
+    phases (long-run mean size 8, like the base case)."""
+    return TimeVaryingWorkload(streams, params.db_size,
+                               phase1_lengths=(300, 600, 900),
+                               write_prob=params.write_prob)
+
+
+def main() -> None:
+    params = SimulationParameters(
+        num_terms=200, warmup_time=30.0,
+        num_batches=4, batch_time=60.0)
+
+    print("Workload: transaction size alternates between a random phase")
+    print("(mean 4-72 pages) and a compensating 4-page phase; long-run")
+    print("mean is 8 pages.  200 terminals, base-case hardware.\n")
+
+    rows = []
+    for mpl in (5, 10, 20, 35, 60, 120):
+        r = run_simulation(params, FixedMPLController(mpl),
+                           workload_factory=varying_workload)
+        rows.append((f"fixed MPL {mpl}", r))
+
+    hh = run_simulation(params, HalfAndHalfController(),
+                        workload_factory=varying_workload)
+    rows.append(("Half-and-Half", hh))
+
+    best_fixed = max(rows[:-1], key=lambda kv: kv[1].page_throughput.mean)
+
+    print(f"{'controller':<16} {'thruput':>9} {'avg MPL':>8} {'aborts':>7}")
+    print("-" * 44)
+    for name, r in rows:
+        marker = ""
+        if name == best_fixed[0]:
+            marker = "  <- best fixed"
+        if name == "Half-and-Half":
+            marker = "  <- adaptive"
+        print(f"{name:<16} {r.page_throughput.mean:>9.1f} "
+              f"{r.avg_mpl:>8.1f} {r.aborts:>7}{marker}")
+
+    edge = (hh.page_throughput.mean
+            / best_fixed[1].page_throughput.mean - 1.0) * 100.0
+    print(f"\nHalf-and-Half vs the best fixed MPL: {edge:+.1f}%")
+    print("No single static level suits both phases; the adaptive")
+    print("controller tracks the phase currently in effect.")
+
+
+if __name__ == "__main__":
+    main()

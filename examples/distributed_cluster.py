@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Per-site load control on a distributed DBMS cluster.
+
+The paper's Section 5 leaves distributed load control as future work,
+warning that "load control deadlocks must be carefully prevented".
+This example runs the multi-site extension: a four-site cluster with a
+range-partitioned database, transactions homed round-robin across
+sites, and remote page accesses over a 1 ms network.  Each site runs
+its own Half-and-Half controller over the transactions homed there —
+and because admission happens only at the home site, admission waits
+can never form cycles.
+
+Run:  python examples/distributed_cluster.py
+"""
+
+from repro.distributed import (
+    DistributedParameters,
+    make_half_and_half_sites,
+    make_no_control_sites,
+    run_distributed_simulation,
+)
+
+
+def main() -> None:
+    sites = 4
+    print(f"Cluster: {sites} sites x (1 CPU + 5 disks), 1000-page DB")
+    print("range-partitioned, 200 terminals, 1 ms messages.\n")
+
+    print(f"{'locality':>9} {'control':<16} {'thruput':>8} "
+          f"{'avg MPL':>8} {'aborts':>7} {'resp(s)':>8}")
+    print("-" * 62)
+    for locality in (0.9, 0.5):
+        params = DistributedParameters(
+            num_sites=sites, num_terms=200, locality=locality,
+            warmup_time=20.0, num_batches=4, batch_time=25.0)
+        raw = run_distributed_simulation(params,
+                                         make_no_control_sites(sites))
+        hh = run_distributed_simulation(params,
+                                        make_half_and_half_sites(sites))
+        for label, r in (("no control", raw), ("per-site H&H", hh)):
+            print(f"{locality:>9.0%} {label:<16} "
+                  f"{r.page_throughput.mean:>8.1f} {r.avg_mpl:>8.1f} "
+                  f"{r.aborts:>7} {r.avg_response_time:>8.2f}")
+        gain = hh.page_throughput.mean / raw.page_throughput.mean
+        print(f"{'':>9} -> per-site Half-and-Half delivers "
+              f"{gain:.1f}x the throughput\n")
+
+    print("Lock thrashing is not a single-site artifact: with the")
+    print("database spread over four sites the uncontrolled cluster")
+    print("still collapses, and four independent Half-and-Half")
+    print("controllers — each seeing only its own site's transactions —")
+    print("recover the cluster's peak without any global coordination.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Mixed OLTP + reporting workload, with and without degree-2 reads.
+
+The paper's Section 4.4 scenario: most terminals run small update
+transactions (point updates), a minority run large read-only reports.
+Commercial systems often run such reports at degree 2 (cursor
+stability) to cut lock contention; this example quantifies that choice
+and shows Half-and-Half handling both variants.
+
+Run:  python examples/mixed_oltp_reporting.py
+"""
+
+from repro import (
+    HalfAndHalfController,
+    NoControlController,
+    SimulationParameters,
+    run_simulation,
+)
+from repro.workload.mixed import MixedWorkload, paper_mixed_classes
+
+
+def factory(degree2):
+    def make(streams, params):
+        return MixedWorkload(streams, params.db_size,
+                             paper_mixed_classes(
+                                 degree_two_readers=degree2))
+    return make
+
+
+def main() -> None:
+    params = SimulationParameters(
+        num_terms=200, warmup_time=30.0,
+        num_batches=5, batch_time=40.0)
+
+    print("Mix: 160 terminals x 4-page update txns (every page written)")
+    print("   +  40 terminals x 24-page read-only reports\n")
+
+    print(f"{'configuration':<42} {'thruput':>8} {'avg MPL':>8} "
+          f"{'aborts':>7}")
+    print("-" * 70)
+    for degree2 in (False, True):
+        label = "degree-2 reports" if degree2 else "serializable reports"
+        raw = run_simulation(params, NoControlController(),
+                             workload_factory=factory(degree2))
+        hh = run_simulation(params, HalfAndHalfController(),
+                            workload_factory=factory(degree2))
+        print(f"{label + ', raw 2PL':<42} "
+              f"{raw.page_throughput.mean:>8.1f} {raw.avg_mpl:>8.1f} "
+              f"{raw.aborts:>7}")
+        print(f"{label + ', Half-and-Half':<42} "
+              f"{hh.page_throughput.mean:>8.1f} {hh.avg_mpl:>8.1f} "
+              f"{hh.aborts:>7}")
+
+    print()
+    print("Degree-2 reports release each read lock before the next read,")
+    print("so they behave like strings of tiny transactions: less")
+    print("contention, higher peak — but thrashing still occurs without")
+    print("load control, and Half-and-Half still finds the right MPL.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Load-control policy shootout under heavy contention.
+
+Puts every policy the paper discusses on the same stressful workload
+(200 terminals, base-case data contention) and compares:
+
+* raw 2PL (no control)          — the thrashing baseline;
+* a well-tuned fixed MPL (35)   — optimal, but only for this workload;
+* a mistuned fixed MPL (100)    — what happens when the tuning is stale;
+* Tay's rule of thumb           — analytic MPL from workload knowledge;
+* bounded wait queues (limit 1) — the [Balt82] scheme;
+* Half-and-Half                 — the paper's adaptive controller.
+
+Run:  python examples/policy_shootout.py
+"""
+
+from repro import (
+    BoundedWaitPolicy,
+    FixedMPLController,
+    HalfAndHalfController,
+    NoControlController,
+    SimulationParameters,
+    TayRuleController,
+    run_simulation,
+)
+
+
+def main() -> None:
+    params = SimulationParameters(
+        num_terms=200, warmup_time=30.0,
+        num_batches=5, batch_time=40.0)
+
+    runs = [
+        ("raw 2PL", lambda: run_simulation(
+            params, NoControlController())),
+        ("fixed MPL 35 (tuned)", lambda: run_simulation(
+            params, FixedMPLController(35))),
+        ("fixed MPL 100 (stale)", lambda: run_simulation(
+            params, FixedMPLController(100))),
+        ("Tay's rule", lambda: run_simulation(
+            params, TayRuleController.from_params(params))),
+        ("bounded wait (K=1)", lambda: run_simulation(
+            params, NoControlController(),
+            wait_policy=BoundedWaitPolicy(limit=1))),
+        ("Half-and-Half", lambda: run_simulation(
+            params, HalfAndHalfController())),
+    ]
+
+    print(f"{'policy':<24} {'thruput':>8} {'raw':>8} {'wasted':>7} "
+          f"{'avg MPL':>8} {'aborts':>7}")
+    print("-" * 68)
+    results = []
+    for name, fn in runs:
+        r = fn()
+        results.append((name, r))
+        print(f"{name:<24} {r.page_throughput.mean:>8.1f} "
+              f"{r.raw_page_rate.mean:>8.1f} "
+              f"{r.wasted_page_rate:>7.1f} "
+              f"{r.avg_mpl:>8.1f} {r.aborts:>7}")
+
+    print()
+    winner = max(results, key=lambda kv: kv[1].page_throughput.mean)
+    print(f"Winner: {winner[0]} "
+          f"({winner[1].page_throughput.mean:.1f} pages/s)")
+    print("'wasted' is raw minus committed page rate — work done for")
+    print("transactions that were later aborted.  Note how the bounded-")
+    print("wait scheme keeps the disks busy but wastes much of it, and")
+    print("how the stale fixed MPL sits deep in thrashing territory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""repro — reproduction of "Load Control for Locking: The 'Half-and-Half'
+Approach" (Carey, Krishnamurthi & Livny, 1990).
+
+The package implements the paper's complete simulation study:
+
+* a discrete-event simulation of a centralized DBMS (CPU pool, disk
+  array, 2PL lock manager with deadlock detection, deferred updates);
+* the Half-and-Half adaptive load controller and every baseline the
+  paper compares against (fixed MPL, Tay's rule of thumb, bounded wait
+  queues, no control);
+* workload generators (homogeneous, multi-class, time-varying) and an
+  optional LRU buffer manager;
+* batch-means measurement of page throughput and raw page rate;
+* an experiment harness that regenerates every figure in the paper.
+
+Quickstart::
+
+    from repro import (SimulationParameters, HalfAndHalfController,
+                       run_simulation)
+
+    params = SimulationParameters(num_terms=100, num_batches=5,
+                                  batch_time=50.0)
+    results = run_simulation(params, HalfAndHalfController())
+    print(results.summary_line())
+"""
+
+from repro.control import (
+    BlockedFractionController,
+    BufferAwareAdmission,
+    ClassPriorityPolicy,
+    CompositeController,
+    ConflictRatioController,
+    FixedMPLController,
+    HalfAndHalfController,
+    LoadController,
+    NoControlController,
+    TayRuleController,
+)
+from repro.core import MaturityRule, Region, classify_region
+from repro.dbms import DBMSSystem, SimulationParameters, Transaction
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    LockManagerError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.experiments.runner import run_simulation
+from repro.lockmgr import (
+    BoundedWaitPolicy,
+    DeadlockStrategy,
+    LockMode,
+    LockProtocol,
+    LockTable,
+    NoWaitPolicy,
+    UnboundedWaitPolicy,
+)
+from repro.metrics import (
+    BatchStatistics,
+    SimulationResults,
+    TraceEvent,
+    TraceEventType,
+    Tracer,
+)
+from repro.workload import (
+    HomogeneousWorkload,
+    HotspotWorkload,
+    MixedWorkload,
+    TimeVaryingWorkload,
+    TransactionClass,
+    paper_mixed_classes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferAwareAdmission",
+    "BlockedFractionController",
+    "ClassPriorityPolicy",
+    "CompositeController",
+    "ConflictRatioController",
+    "FixedMPLController",
+    "HalfAndHalfController",
+    "LoadController",
+    "NoControlController",
+    "TayRuleController",
+    "MaturityRule",
+    "Region",
+    "classify_region",
+    "DBMSSystem",
+    "SimulationParameters",
+    "Transaction",
+    "ConfigurationError",
+    "ExperimentError",
+    "LockManagerError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    "run_simulation",
+    "BoundedWaitPolicy",
+    "NoWaitPolicy",
+    "LockMode",
+    "LockProtocol",
+    "LockTable",
+    "UnboundedWaitPolicy",
+    "BatchStatistics",
+    "SimulationResults",
+    "TraceEvent",
+    "TraceEventType",
+    "Tracer",
+    "HomogeneousWorkload",
+    "HotspotWorkload",
+    "MixedWorkload",
+    "TimeVaryingWorkload",
+    "TransactionClass",
+    "paper_mixed_classes",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Analytic companions to the simulation: resource bounds and the
+contention approximations behind Tay's rule of thumb."""
+
+from repro.analysis.bounds import (
+    cpu_bound_page_rate,
+    disk_bound_page_rate,
+    resource_ceiling,
+)
+from repro.analysis.contention import (
+    blocking_probability,
+    conflict_ratio,
+    deadlock_probability,
+    max_safe_mpl,
+    predicts_thrashing,
+)
+
+__all__ = [
+    "cpu_bound_page_rate",
+    "disk_bound_page_rate",
+    "resource_ceiling",
+    "blocking_probability",
+    "conflict_ratio",
+    "deadlock_probability",
+    "max_safe_mpl",
+    "predicts_thrashing",
+]

@@ -1,0 +1,83 @@
+"""First-order data-contention approximations (after [Tay85], [Gray79]).
+
+These closed-form estimates treat lock requests as uniform draws over an
+effective database of ``D_e`` granules and are accurate only at low
+contention — precisely the regime in which Tay's rule of thumb is
+derived.  They are companions to (not substitutes for) the simulator:
+the tests check the simulator against them at low contention, and the
+capacity-planning example uses them for quick what-if arithmetic.
+
+Notation: ``k`` = locks per transaction, ``N`` = multiprogramming level,
+``D_e`` = effective database size (see
+:func:`repro.control.tay.effective_db_size`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["conflict_ratio", "blocking_probability",
+           "deadlock_probability", "predicts_thrashing", "max_safe_mpl"]
+
+# Tay's empirical thrashing threshold on k²N/Dₑ.
+THRASHING_THRESHOLD = 1.5
+
+
+def _check(k: float, n: float, d_eff: float) -> None:
+    if k <= 0 or n <= 0 or d_eff <= 0:
+        raise ConfigurationError(
+            f"k, N and D_e must be positive (got {k}, {n}, {d_eff})")
+
+
+def conflict_ratio(k: float, n: float, d_eff: float) -> float:
+    """Tay's contention measure ``k²·N / Dₑ``.
+
+    Interpretable as (locks a transaction requests) × (locks held by the
+    other transactions) / (granules): roughly the expected number of
+    conflicts a transaction suffers during its lifetime.
+    """
+    _check(k, n, d_eff)
+    return (k * k * n) / d_eff
+
+
+def blocking_probability(k: float, n: float, d_eff: float) -> float:
+    """Probability that a single lock request blocks.
+
+    The other ``N−1`` transactions hold about ``k/2`` locks each on
+    average (they are halfway through), so a fresh request collides with
+    probability ≈ ``k(N−1) / (2·Dₑ)``.  Clamped to [0, 1].
+    """
+    _check(k, n, d_eff)
+    return min(1.0, k * (n - 1) / (2.0 * d_eff))
+
+
+def deadlock_probability(k: float, n: float, d_eff: float) -> float:
+    """Probability that a transaction deadlocks during its lifetime.
+
+    Gray's classic waits-squared estimate: a transaction waits
+    ``≈ k²(N−1)/(2Dₑ)`` times (k requests × per-request block chance),
+    and a deadlock is two transactions waiting for each other, giving
+    ``P(deadlock) ≈ k⁴(N−1) / (4·Dₑ²)``.  Clamped to [0, 1].
+    """
+    _check(k, n, d_eff)
+    return min(1.0, (k ** 4) * (n - 1) / (4.0 * d_eff ** 2))
+
+
+def predicts_thrashing(k: float, n: float, d_eff: float) -> bool:
+    """True if Tay's rule of thumb predicts thrashing at this load."""
+    return conflict_ratio(k, n, d_eff) >= THRASHING_THRESHOLD
+
+
+def max_safe_mpl(k: float, d_eff: float) -> int:
+    """Largest N with ``k²N/Dₑ < 1.5`` (at least 1).
+
+    This is the analytic core of
+    :class:`repro.control.tay.TayRuleController`.
+    """
+    if k <= 0 or d_eff <= 0:
+        raise ConfigurationError("k and D_e must be positive")
+    if math.isinf(d_eff):
+        return 10 ** 9
+    return max(1, int(THRASHING_THRESHOLD * d_eff / (k * k)))

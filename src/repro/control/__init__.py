@@ -1,0 +1,31 @@
+"""Load controllers: the interface and the baseline policies.
+
+The Half-and-Half controller itself lives in :mod:`repro.core` (it is the
+paper's contribution); it is re-exported here for convenience so callers
+can import every controller from one place.
+"""
+
+from repro.control.base import LoadController
+from repro.control.blocked_fraction import BlockedFractionController
+from repro.control.class_priority import ClassPriorityPolicy
+from repro.control.composite import BufferAwareAdmission, CompositeController
+from repro.control.conflict_ratio import ConflictRatioController
+from repro.control.fixed_mpl import FixedMPLController
+from repro.control.no_control import NoControlController
+from repro.control.tay import TayRuleController, effective_db_size, tay_mpl
+from repro.core.half_and_half import HalfAndHalfController
+
+__all__ = [
+    "LoadController",
+    "BlockedFractionController",
+    "ClassPriorityPolicy",
+    "BufferAwareAdmission",
+    "CompositeController",
+    "ConflictRatioController",
+    "FixedMPLController",
+    "NoControlController",
+    "TayRuleController",
+    "effective_db_size",
+    "tay_mpl",
+    "HalfAndHalfController",
+]

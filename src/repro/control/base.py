@@ -1,0 +1,82 @@
+"""Load-controller interface.
+
+A load controller owns the transaction admission decision and may abort
+active transactions as a corrective action.  The DBMS system invokes the
+hooks below at the state transitions the paper identifies as decision
+points (arrival, lock request, commit), plus bookkeeping hooks.
+
+Controllers interact with the system through a narrow surface:
+
+* ``system.tracker`` — :class:`repro.core.state_tracker.StateTracker`
+  population counts;
+* ``system.try_admit_one()`` — admit the head of the external ready
+  queue, returning False if the queue is empty;
+* ``system.abort_transaction(txn, reason)`` — abort an active
+  transaction (it is re-queued at the back of the ready queue);
+* ``system.lock_table`` — for victim eligibility checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+    from repro.dbms.system import DBMSSystem
+
+__all__ = ["LoadController"]
+
+
+class LoadController:
+    """Base class: admits everything, reacts to nothing."""
+
+    def __init__(self) -> None:
+        self.system: "DBMSSystem" = None  # type: ignore[assignment]
+
+    def attach(self, system: "DBMSSystem") -> None:
+        """Bind to the system before the simulation starts."""
+        self.system = system
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    # ------------------------------------------------------------------
+    # Decision hooks
+    # ------------------------------------------------------------------
+
+    def want_admit(self, txn: "Transaction") -> bool:
+        """Admit this arriving (or restarting) transaction right now?
+
+        Returning False parks it in the external ready queue; it then only
+        enters when the controller later calls ``system.try_admit_one()``.
+        """
+        return True
+
+    def on_admit(self, txn: "Transaction") -> None:
+        """A transaction just became active."""
+
+    def on_lock_granted(self, txn: "Transaction") -> None:
+        """A lock request by ``txn`` was granted (immediately or after a
+        wait).  The Half-and-Half algorithm admits from the ready queue
+        here while the system is Underloaded."""
+
+    def on_block(self, txn: "Transaction") -> None:
+        """A lock request by ``txn`` blocked (and survived deadlock
+        resolution).  The Half-and-Half algorithm aborts victims here
+        while the system is Overloaded."""
+
+    def on_unblock(self, txn: "Transaction") -> None:
+        """A previously blocked transaction was granted its lock."""
+
+    def on_commit(self, txn: "Transaction") -> None:
+        """``txn`` committed (it has already left the active set)."""
+
+    def on_abort(self, txn: "Transaction", reason: str) -> None:
+        """``txn`` was aborted (it has already left the active set)."""
+
+    def on_removed(self, txn: "Transaction") -> None:
+        """``txn`` left the active set for any reason (after commit or
+        abort hooks).  Controllers that maintain a fixed MPL top up the
+        system here."""

@@ -1,0 +1,95 @@
+"""Blocked-fraction load control: Half-and-Half without maturity.
+
+An ablation baseline isolating the value of the paper's *maturity*
+notion.  This controller applies the same three-region feedback loop as
+Half-and-Half but classifies transactions only as running or blocked —
+a newly admitted transaction counts as "running" immediately, instead
+of being held out of both conditions until it has completed 25% of its
+lock requests.
+
+The predictable failure mode (and the reason the paper introduces
+maturity) is over-admission: each admitted transaction inflates the
+running count *before* it has made a single lock request, so the
+controller sees a healthy-looking system exactly when it is flooding
+it.  The ``benchmarks/test_abl_maturity.py`` ablation quantifies this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+from repro.control.base import LoadController
+from repro.core.regions import DEFAULT_DELTA, Region
+from repro.errors import ConfigurationError
+from repro.metrics.collector import AbortReason
+
+__all__ = ["BlockedFractionController"]
+
+
+class BlockedFractionController(LoadController):
+    """The 50% rule applied to raw running/blocked counts."""
+
+    def __init__(self, delta: float = DEFAULT_DELTA):
+        super().__init__()
+        if delta < 0.0 or delta >= 0.5:
+            raise ConfigurationError(
+                f"delta must be in [0, 0.5), got {delta}")
+        self.delta = delta
+        self._admit_next_arrival = False
+        self.load_control_aborts = 0
+
+    @property
+    def name(self) -> str:
+        return f"BlockedFraction(δ={self.delta})"
+
+    def region(self) -> Region:
+        tracker = self.system.tracker
+        n_active = tracker.n_active
+        if n_active <= 0:
+            return Region.UNDERLOADED
+        threshold = 0.5 + self.delta
+        if tracker.n_running / n_active > threshold:
+            return Region.UNDERLOADED
+        if tracker.n_blocked / n_active > threshold:
+            return Region.OVERLOADED
+        return Region.COMFORTABLE
+
+    # ------------------------------------------------------------------
+    # Hooks (deliberately identical in structure to Half-and-Half)
+    # ------------------------------------------------------------------
+
+    def want_admit(self, txn: "Transaction") -> bool:
+        if self._admit_next_arrival:
+            self._admit_next_arrival = False
+            return True
+        return self.region() is Region.UNDERLOADED
+
+    def on_lock_granted(self, txn: "Transaction") -> None:
+        while self.region() is Region.UNDERLOADED:
+            if not self.system.try_admit_one():
+                break
+
+    def on_block(self, txn: "Transaction") -> None:
+        while self.region() is Region.OVERLOADED:
+            victim = self._choose_victim()
+            if victim is None:
+                break
+            self.load_control_aborts += 1
+            self.system.abort_transaction(victim, AbortReason.LOAD_CONTROL)
+
+    def on_commit(self, txn: "Transaction") -> None:
+        if not self.system.try_admit_one():
+            self._admit_next_arrival = True
+
+    def _choose_victim(self) -> Optional["Transaction"]:
+        lock_table = self.system.lock_table
+        candidates: List["Transaction"] = [
+            t for t in self.system.tracker.blocked_transactions()
+            if lock_table.is_blocking_others(t)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda t: (t.timestamp, t.txn_id))

@@ -1,0 +1,53 @@
+"""Class-priority admission ordering (paper Section 5, future work).
+
+"The Half-and-Half algorithm shows no favoritism for one transaction
+class over another ... as it admits waiting transactions in their order
+of arrival.  It might be interesting to consider extending the algorithm
+to somehow discriminate between transaction classes."
+
+:class:`ClassPriorityPolicy` implements that extension as an *admission
+order*: whenever any load controller decides "admit one from the ready
+queue", the transaction with the highest class priority is chosen
+(FIFO within a class).  The policy composes with any controller — the
+controller decides *when* and *how many* to admit, the policy decides
+*which*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+__all__ = ["ClassPriorityPolicy"]
+
+
+class ClassPriorityPolicy:
+    """Orders ready-queue admission by per-class priority.
+
+    Args:
+        priorities: class name → priority; larger means admitted first.
+        default_priority: priority of classes not listed.
+
+    Instances are callables suitable for the ``admission_order``
+    parameter of :class:`repro.dbms.system.DBMSSystem`: they return a
+    sort key where *smaller is admitted sooner*.
+    """
+
+    def __init__(self, priorities: Mapping[str, int],
+                 default_priority: int = 0):
+        self.priorities = dict(priorities)
+        self.default_priority = default_priority
+
+    def __call__(self, txn: "Transaction") -> Tuple[int, ...]:
+        priority = self.priorities.get(txn.class_name,
+                                       self.default_priority)
+        return (-priority,)
+
+    @property
+    def name(self) -> str:
+        order = sorted(self.priorities.items(),
+                       key=lambda kv: -kv[1])
+        inner = " > ".join(name for name, _p in order)
+        return f"ClassPriority({inner})"

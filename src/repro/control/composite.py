@@ -1,0 +1,129 @@
+"""Composite load control (paper Section 5, future work).
+
+"We conjecture that successful integration simply means asking each
+component for its opinion of the current workload, and ceasing to admit
+transactions when any of the components says 'enough.'"
+
+:class:`CompositeController` implements that conjecture: a transaction is
+admitted only when *every* child controller agrees; all event hooks fan
+out to every child.  :class:`BufferAwareAdmission` is a simple buffer-
+manager admission component in the spirit of [Chou85, Sacc86]: it refuses
+admissions once the summed readsets of active transactions would exceed a
+working-set fraction of the buffer pool.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+from typing import List, Sequence
+
+from repro.control.base import LoadController
+from repro.errors import ConfigurationError
+
+__all__ = ["CompositeController", "BufferAwareAdmission"]
+
+
+class CompositeController(LoadController):
+    """Admit only when all children say admit; fan out every hook."""
+
+    def __init__(self, children: Sequence[LoadController]):
+        super().__init__()
+        if not children:
+            raise ConfigurationError(
+                "composite controller needs at least one child")
+        self.children: List[LoadController] = list(children)
+
+    @property
+    def name(self) -> str:
+        return "Composite(" + " + ".join(c.name for c in self.children) + ")"
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        for child in self.children:
+            child.attach(system)
+
+    def want_admit(self, txn: "Transaction") -> bool:
+        # Ask every child even after a refusal so that children tracking
+        # pre-authorisation state (Half-and-Half's admit-next flag) are
+        # not consulted inconsistently: a child's flag should only be
+        # consumed when the admission actually happens.  We therefore ask
+        # in order and stop at the first refusal.
+        for child in self.children:
+            if not child.want_admit(txn):
+                return False
+        return True
+
+    def on_admit(self, txn: "Transaction") -> None:
+        for child in self.children:
+            child.on_admit(txn)
+
+    def on_lock_granted(self, txn: "Transaction") -> None:
+        for child in self.children:
+            child.on_lock_granted(txn)
+
+    def on_block(self, txn: "Transaction") -> None:
+        for child in self.children:
+            child.on_block(txn)
+
+    def on_unblock(self, txn: "Transaction") -> None:
+        for child in self.children:
+            child.on_unblock(txn)
+
+    def on_commit(self, txn: "Transaction") -> None:
+        for child in self.children:
+            child.on_commit(txn)
+
+    def on_abort(self, txn: "Transaction", reason: str) -> None:
+        for child in self.children:
+            child.on_abort(txn, reason)
+
+    def on_removed(self, txn: "Transaction") -> None:
+        for child in self.children:
+            child.on_removed(txn)
+
+
+class BufferAwareAdmission(LoadController):
+    """Refuse admission once active working sets would overflow the pool.
+
+    A deliberately simple stand-in for the buffer-reservation schemes of
+    [Chou85, Sacc86]: the sum of active transactions' readset sizes (their
+    working sets under the paper's access model) must stay within
+    ``capacity_fraction`` of the buffer pool.
+    """
+
+    def __init__(self, buf_size: int, capacity_fraction: float = 1.0):
+        super().__init__()
+        if buf_size < 1:
+            raise ConfigurationError("buf_size must be positive")
+        if not 0.0 < capacity_fraction <= 1.0:
+            raise ConfigurationError(
+                "capacity_fraction must be in (0, 1]")
+        self.buf_size = buf_size
+        self.capacity_fraction = capacity_fraction
+
+    @property
+    def name(self) -> str:
+        return f"BufferAware(pool={self.buf_size})"
+
+    def _active_working_set(self) -> int:
+        return sum(t.num_reads
+                   for t in self.system.tracker.active_transactions())
+
+    def want_admit(self, txn: "Transaction") -> bool:
+        budget = self.buf_size * self.capacity_fraction
+        return self._active_working_set() + txn.num_reads <= budget
+
+    def on_removed(self, txn: "Transaction") -> None:
+        budget = self.buf_size * self.capacity_fraction
+        while True:
+            head = self.system.ready_queue.peek()
+            if head is None:
+                break
+            if self._active_working_set() + head.num_reads > budget:
+                break
+            if not self.system.try_admit_one():
+                break

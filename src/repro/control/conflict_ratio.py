@@ -1,0 +1,129 @@
+"""Conflict-ratio load control (after Moenkeberg & Weikum).
+
+The best-known successor to the Half-and-Half approach drives admission
+from the *conflict ratio*: the number of locks held by all transactions
+divided by the number of locks held by non-blocked transactions.  A
+ratio of 1 means nobody is blocked; Moenkeberg & Weikum's measurements
+placed the onset of thrashing near a critical ratio of ≈ 1.3,
+independent of the workload.
+
+This implementation follows the same three-way feedback structure as
+Half-and-Half so the two are directly comparable:
+
+* admit (on arrival / lock grant / commit) while the conflict ratio is
+  below the critical value;
+* cancel admissions above it;
+* abort blocked, blocking, youngest-first victims while the ratio
+  exceeds the critical value by the hysteresis margin.
+
+Compared to the 50% rule, the conflict ratio weights each transaction
+by its *locks held* rather than counting heads, and needs no maturity
+notion or lock-count estimates — its own answer to the estimation
+concerns of the paper's Section 4.6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+from repro.control.base import LoadController
+from repro.errors import ConfigurationError
+from repro.metrics.collector import AbortReason
+
+__all__ = ["ConflictRatioController"]
+
+# Moenkeberg & Weikum's empirically workload-independent critical value.
+DEFAULT_CRITICAL_RATIO = 1.3
+
+
+class ConflictRatioController(LoadController):
+    """Admission control driven by the lock conflict ratio."""
+
+    def __init__(self, critical_ratio: float = DEFAULT_CRITICAL_RATIO,
+                 abort_margin: float = 0.1):
+        super().__init__()
+        if critical_ratio <= 1.0:
+            raise ConfigurationError(
+                f"critical_ratio must exceed 1.0, got {critical_ratio}")
+        if abort_margin < 0.0:
+            raise ConfigurationError(
+                f"abort_margin must be non-negative, got {abort_margin}")
+        self.critical_ratio = critical_ratio
+        self.abort_margin = abort_margin
+        self._admit_next_arrival = False
+        self.load_control_aborts = 0
+
+    @property
+    def name(self) -> str:
+        return f"ConflictRatio(crit={self.critical_ratio})"
+
+    # ------------------------------------------------------------------
+
+    def conflict_ratio(self) -> float:
+        """Locks held by all transactions / locks held by running ones.
+
+        1.0 when nothing is blocked (or nothing holds locks); infinity
+        when every lock-holding transaction is blocked.
+        """
+        lock_table = self.system.lock_table
+        total = 0
+        running = 0
+        for txn in self.system.tracker.active_transactions():
+            held = lock_table.num_held(txn)
+            total += held
+            if not txn.is_blocked:
+                running += held
+        if total == 0:
+            return 1.0
+        if running == 0:
+            return math.inf
+        return total / running
+
+    def _below_critical(self) -> bool:
+        return self.conflict_ratio() < self.critical_ratio
+
+    def _above_abort_level(self) -> bool:
+        return self.conflict_ratio() > (self.critical_ratio
+                                        + self.abort_margin)
+
+    # ------------------------------------------------------------------
+    # Hooks (mirrors the Half-and-Half structure)
+    # ------------------------------------------------------------------
+
+    def want_admit(self, txn: "Transaction") -> bool:
+        if self._admit_next_arrival:
+            self._admit_next_arrival = False
+            return True
+        return self._below_critical()
+
+    def on_lock_granted(self, txn: "Transaction") -> None:
+        while self._below_critical():
+            if not self.system.try_admit_one():
+                break
+
+    def on_block(self, txn: "Transaction") -> None:
+        while self._above_abort_level():
+            victim = self._choose_victim()
+            if victim is None:
+                break
+            self.load_control_aborts += 1
+            self.system.abort_transaction(victim, AbortReason.LOAD_CONTROL)
+
+    def on_commit(self, txn: "Transaction") -> None:
+        if self._below_critical():
+            if not self.system.try_admit_one():
+                self._admit_next_arrival = True
+
+    def _choose_victim(self) -> Optional["Transaction"]:
+        lock_table = self.system.lock_table
+        candidates: List["Transaction"] = [
+            t for t in self.system.tracker.blocked_transactions()
+            if lock_table.is_blocking_others(t)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda t: (t.timestamp, t.txn_id))

@@ -1,0 +1,42 @@
+"""Fixed multiprogramming-level control.
+
+The classic static approach the paper argues against: admit transactions
+whenever fewer than ``mpl`` are active, park the rest in the ready queue.
+Optimal for exactly one workload; Figures 8–11 show how it loses when the
+workload moves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+from repro.control.base import LoadController
+from repro.errors import ConfigurationError
+
+__all__ = ["FixedMPLController"]
+
+
+class FixedMPLController(LoadController):
+    """Admit while the number of active transactions is below ``mpl``."""
+
+    def __init__(self, mpl: int):
+        super().__init__()
+        if mpl < 1:
+            raise ConfigurationError(f"mpl must be >= 1, got {mpl}")
+        self.mpl = mpl
+
+    @property
+    def name(self) -> str:
+        return f"FixedMPL({self.mpl})"
+
+    def want_admit(self, txn: "Transaction") -> bool:
+        return self.system.tracker.n_active < self.mpl
+
+    def on_removed(self, txn: "Transaction") -> None:
+        # Top the system back up to the limit from the ready queue.
+        while (self.system.tracker.n_active < self.mpl
+               and self.system.try_admit_one()):
+            pass

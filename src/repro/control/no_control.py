@@ -1,0 +1,34 @@
+"""No load control: every transaction is admitted immediately.
+
+This is raw 2PL as in the paper's Figure 1 — the configuration that
+exhibits thrashing.  The effective multiprogramming level equals the
+number of terminals with transactions outstanding.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+from repro.control.base import LoadController
+
+__all__ = ["NoControlController"]
+
+
+class NoControlController(LoadController):
+    """Unlimited admission (the thrashing baseline)."""
+
+    @property
+    def name(self) -> str:
+        return "NoControl"
+
+    def want_admit(self, txn: "Transaction") -> bool:
+        return True
+
+    def on_removed(self, txn: "Transaction") -> None:
+        # Nothing should ever be parked, but drain defensively in case a
+        # composite wrapper queued something while we were a child.
+        while self.system.try_admit_one():
+            pass

@@ -1,0 +1,68 @@
+"""Tay's rule-of-thumb load control (paper Section 4.5, Figures 16–17).
+
+Tay [Tay85] observed that 2PL avoids thrashing while ``k²·N / Dₑ < 1.5``,
+where ``k`` is the number of pages locked per transaction, ``N`` the
+multiprogramming level, and ``Dₑ`` the *effective* database size.  With
+write probability ``w`` and shared/exclusive page locks,
+
+    Dₑ = D / (1 − (1 − w)²).
+
+Solving for N gives a static MPL: ``N = max(1, ⌊1.5·Dₑ / k²⌋)``.  Unlike
+Half-and-Half, this requires a-priori knowledge of the average transaction
+size, the write probability, and the (effective) database size — the
+paper's main criticism of the approach.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.dbms.config import SimulationParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["tay_mpl", "TayRuleController"]
+
+_THRASHING_CONSTANT = 1.5
+
+
+def effective_db_size(db_size: int, write_prob: float) -> float:
+    """Tay's effective database size ``D / (1 − (1−w)²)``.
+
+    A pure-read workload (w = 0) never conflicts under S locks, so the
+    effective size is infinite.
+    """
+    denom = 1.0 - (1.0 - write_prob) ** 2
+    if denom <= 0.0:
+        return math.inf
+    return db_size / denom
+
+
+def tay_mpl(db_size: int, tran_size: float, write_prob: float,
+            max_mpl: int = 10 ** 9) -> int:
+    """The fixed MPL dictated by Tay's rule of thumb (at least 1)."""
+    if tran_size <= 0:
+        raise ConfigurationError("tran_size must be positive")
+    d_eff = effective_db_size(db_size, write_prob)
+    if math.isinf(d_eff):
+        return max_mpl
+    limit = _THRASHING_CONSTANT * d_eff / (tran_size ** 2)
+    return max(1, min(max_mpl, int(limit)))
+
+
+class TayRuleController(FixedMPLController):
+    """Fixed-MPL controller whose limit comes from Tay's formula."""
+
+    def __init__(self, db_size: int, tran_size: float, write_prob: float,
+                 max_mpl: int = 10 ** 9):
+        super().__init__(tay_mpl(db_size, tran_size, write_prob, max_mpl))
+
+    @classmethod
+    def from_params(cls, params: SimulationParameters) -> "TayRuleController":
+        """Build from simulation parameters, capping at the terminal count."""
+        return cls(params.db_size, params.tran_size, params.write_prob,
+                   max_mpl=params.num_terms)
+
+    @property
+    def name(self) -> str:
+        return f"TayRule(mpl={self.mpl})"

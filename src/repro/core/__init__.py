@@ -1,0 +1,15 @@
+"""The paper's primary contribution: Half-and-Half load control."""
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.core.maturity import MaturityRule
+from repro.core.regions import DEFAULT_DELTA, Region, classify_region
+from repro.core.state_tracker import StateTracker
+
+__all__ = [
+    "HalfAndHalfController",
+    "MaturityRule",
+    "DEFAULT_DELTA",
+    "Region",
+    "classify_region",
+    "StateTracker",
+]

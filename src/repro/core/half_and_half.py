@@ -1,0 +1,154 @@
+"""The Half-and-Half load-control algorithm (paper Section 2).
+
+The controller is invoked whenever a transaction arrives, makes a lock
+request, or commits, and responds to the region classification of
+:func:`repro.core.regions.classify_region`:
+
+* **Arrival** — admit if the system is Underloaded or a previous commit
+  pre-authorised the next arrival; otherwise park in the ready queue.
+* **Lock request granted** — while Underloaded, admit transactions from
+  the external ready queue until the region is left or the queue empties.
+* **Lock request blocked** — while Overloaded, abort blocked transactions
+  (youngest first, and only those that are in turn blocking others) until
+  the region is left.
+* **Commit** — unconditionally admit a replacement if one is waiting;
+  otherwise record a decision to admit the next arrival.
+
+The algorithm assumes no knowledge of the system or workload beyond each
+transaction's (rough) estimate of its number of lock requests, used only
+for the maturity classification.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+from typing import List, Optional
+
+from repro.control.base import LoadController
+from repro.core.regions import DEFAULT_DELTA, Region, classify_region
+from repro.errors import ConfigurationError
+from repro.metrics.collector import AbortReason
+
+__all__ = ["HalfAndHalfController"]
+
+
+_VICTIM_POLICIES = ("youngest", "oldest", "random")
+
+
+class HalfAndHalfController(LoadController):
+    """Adaptive MPL control via the 50% rule with hysteresis δ.
+
+    The paper's algorithm corresponds to the defaults.  The extra knobs
+    exist for the ablation study in ``benchmarks/test_abl_*``:
+
+    Args:
+        delta: hysteresis tolerance of the 50% rule (paper: 0.025).
+        victim_policy: how overload victims are ordered — ``"youngest"``
+            (the paper's rule), ``"oldest"``, or ``"random"``.
+        require_blocking_victims: if True (paper), only blocked
+            transactions that in turn block others are eligible victims.
+    """
+
+    def __init__(self, delta: float = DEFAULT_DELTA,
+                 victim_policy: str = "youngest",
+                 require_blocking_victims: bool = True):
+        super().__init__()
+        if delta < 0.0 or delta >= 0.5:
+            raise ConfigurationError(
+                f"delta must be in [0, 0.5), got {delta}")
+        if victim_policy not in _VICTIM_POLICIES:
+            raise ConfigurationError(
+                f"victim_policy must be one of {_VICTIM_POLICIES}, "
+                f"got {victim_policy!r}")
+        self.delta = delta
+        self.victim_policy = victim_policy
+        self.require_blocking_victims = require_blocking_victims
+        self._admit_next_arrival = False
+        # Statistics.
+        self.load_control_aborts = 0
+        self.admissions_on_grant = 0
+
+    @property
+    def name(self) -> str:
+        suffix = ""
+        if self.victim_policy != "youngest":
+            suffix += f", victims={self.victim_policy}"
+        if not self.require_blocking_victims:
+            suffix += ", any-blocked"
+        return f"Half-and-Half(δ={self.delta}{suffix})"
+
+    # ------------------------------------------------------------------
+
+    def region(self) -> Region:
+        """The current operating region of the system."""
+        tracker = self.system.tracker
+        return classify_region(tracker.n_active, tracker.n_state1,
+                               tracker.n_state3, self.delta)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def want_admit(self, txn: "Transaction") -> bool:
+        if self._admit_next_arrival:
+            self._admit_next_arrival = False
+            return True
+        return self.region() is Region.UNDERLOADED
+
+    def on_lock_granted(self, txn: "Transaction") -> None:
+        # "New transactions will be admitted from the external ready queue
+        # until either the system leaves the Underloaded region or the
+        # ready queue is exhausted."
+        while self.region() is Region.UNDERLOADED:
+            if not self.system.try_admit_one():
+                break
+            self.admissions_on_grant += 1
+
+    def on_block(self, txn: "Transaction") -> None:
+        # "Blocked transactions will be aborted until the system leaves
+        # this region of operation."
+        while self.region() is Region.OVERLOADED:
+            victim = self._choose_victim()
+            if victim is None:
+                break
+            self.load_control_aborts += 1
+            self.system.abort_transaction(victim, AbortReason.LOAD_CONTROL)
+
+    def on_commit(self, txn: "Transaction") -> None:
+        # "When a transaction commits, a new transaction is
+        # (unconditionally) admitted to replace it if one is available.
+        # Otherwise the algorithm decides to admit the next transaction
+        # that arrives and records this decision."
+        if not self.system.try_admit_one():
+            self._admit_next_arrival = True
+
+    # ------------------------------------------------------------------
+
+    def _choose_victim(self) -> Optional["Transaction"]:
+        """Youngest blocked transaction that is in turn blocking others.
+
+        "Victims are chosen in increasing order of age, so the youngest
+        blocked transaction will be the first victim selected; also, only
+        blocked transactions that are in turn blocking other transactions
+        are considered as potential victims (since aborting these
+        transactions will enable others to run)."
+        """
+        lock_table = self.system.lock_table
+        candidates: List["Transaction"] = [
+            txn for txn in self.system.tracker.blocked_transactions()
+            if (not self.require_blocking_victims
+                or lock_table.is_blocking_others(txn))
+        ]
+        if not candidates:
+            return None
+        if self.victim_policy == "oldest":
+            return min(candidates, key=lambda t: (t.timestamp, t.txn_id))
+        if self.victim_policy == "random":
+            rng = self.system.streams.stream("victim_choice")
+            return rng.choice(
+                sorted(candidates, key=lambda t: t.txn_id))
+        return max(candidates, key=lambda t: (t.timestamp, t.txn_id))

@@ -1,0 +1,54 @@
+"""Transaction maturity rules (paper Section 2 and Figures 20–21).
+
+"An active transaction is said to be *mature* after it has completed 25%
+of its estimated number of lock requests."  The fraction is a parameter
+(Figure 20 varies it from 10% to 50%), and Figure 21 studies a modified
+definition: "25% of a transaction's locks or else X locks, whichever is
+fewer".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MaturityRule"]
+
+
+@dataclass(frozen=True)
+class MaturityRule:
+    """Computes the lock-count threshold at which a transaction matures.
+
+    Attributes:
+        fraction: fraction of the *estimated* lock requests that must be
+            completed (paper default 0.25).
+        cap_locks: optional absolute cap — the Figure 21 variant
+            ``min(fraction · estimate, cap_locks)``.  ``None`` disables it.
+    """
+
+    fraction: float = 0.25
+    cap_locks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"maturity fraction must be in (0, 1], got {self.fraction}")
+        if self.cap_locks is not None and self.cap_locks < 1:
+            raise ConfigurationError(
+                f"maturity cap must be >= 1 locks, got {self.cap_locks}")
+
+    def threshold(self, estimated_locks: int) -> int:
+        """Completed lock requests needed for maturity (always ≥ 1)."""
+        t = math.ceil(self.fraction * max(1, estimated_locks))
+        if self.cap_locks is not None:
+            t = min(t, self.cap_locks)
+        return max(1, t)
+
+    def describe(self) -> str:
+        if self.cap_locks is None:
+            return f"{self.fraction:.0%} of estimated locks"
+        return (f"min({self.fraction:.0%} of estimated locks, "
+                f"{self.cap_locks} locks)")

@@ -1,0 +1,47 @@
+"""Operating-region classification: the 50% rule (paper Section 2).
+
+The DBMS state space is divided into three mutually exclusive regions:
+
+* **Underloaded** — ``#State1 / #active > 0.5 + δ``: more than about half
+  the active transactions are mature and running, so conditions are
+  favourable for admitting more.
+* **Overloaded**  — ``#State3 / #active > 0.5 + δ``: more than about half
+  are mature but blocked, so transactions should be aborted to reduce
+  data contention.
+* **Comfortable** — neither; no load-control action is warranted.
+
+δ is a small tolerance providing hysteresis; the paper found δ = 0.025
+(a 5% overall window across the two conditions) to work well.
+
+An empty system is classified Underloaded: with nothing active, admitting
+is always the right move.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Region", "DEFAULT_DELTA", "classify_region"]
+
+DEFAULT_DELTA = 0.025
+
+
+class Region(enum.Enum):
+    """The three mutually exclusive operating regions."""
+
+    UNDERLOADED = "underloaded"
+    COMFORTABLE = "comfortable"
+    OVERLOADED = "overloaded"
+
+
+def classify_region(n_active: int, n_state1: int, n_state3: int,
+                    delta: float = DEFAULT_DELTA) -> Region:
+    """Apply the 50% rule to the current populations."""
+    if n_active <= 0:
+        return Region.UNDERLOADED
+    threshold = 0.5 + delta
+    if n_state1 / n_active > threshold:
+        return Region.UNDERLOADED
+    if n_state3 / n_active > threshold:
+        return Region.OVERLOADED
+    return Region.COMFORTABLE

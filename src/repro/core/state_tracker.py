@@ -1,0 +1,144 @@
+"""Active-transaction state tracking (paper Table 1).
+
+Every *active* (admitted) transaction is classified along two axes:
+
+============  =========  ========
+State         Running    Mature
+============  =========  ========
+State 1       Yes        Yes
+State 2       Yes        No
+State 3       No         Yes
+State 4       No         No
+============  =========  ========
+
+The tracker maintains the four population counts incrementally — the
+Half-and-Half controller reads them on every decision, and the metrics
+collector receives every change for time-weighted averaging (Figures 3–4
+plot exactly these populations).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Set
+
+from repro.metrics.collector import Collector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+__all__ = ["StateTracker"]
+
+
+class StateTracker:
+    """Incremental population counts over the active-transaction set."""
+
+    def __init__(self, collector: Optional[Collector] = None):
+        self._active: Set["Transaction"] = set()
+        self.n_state1 = 0   # running, mature
+        self.n_state2 = 0   # running, immature
+        self.n_state3 = 0   # blocked, mature
+        self.n_state4 = 0   # blocked, immature
+        self._collector = collector
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_active(self) -> int:
+        """Number of admitted (active) transactions."""
+        return len(self._active)
+
+    @property
+    def n_running(self) -> int:
+        return self.n_state1 + self.n_state2
+
+    @property
+    def n_blocked(self) -> int:
+        return self.n_state3 + self.n_state4
+
+    def is_active(self, txn: "Transaction") -> bool:
+        return txn in self._active
+
+    def active_transactions(self) -> Iterator["Transaction"]:
+        """Iterate over the active set (no particular order)."""
+        return iter(self._active)
+
+    def blocked_transactions(self) -> Iterator["Transaction"]:
+        """Iterate over currently blocked active transactions."""
+        return (t for t in self._active if t.is_blocked)
+
+    def state_of(self, txn: "Transaction") -> int:
+        """Table 1 state number (1–4) of an active transaction."""
+        if txn.is_blocked:
+            return 3 if txn.is_mature else 4
+        return 1 if txn.is_mature else 2
+
+    # ------------------------------------------------------------------
+    # Mutations (all called by the DBMS system with the current time)
+    # ------------------------------------------------------------------
+
+    def add(self, txn: "Transaction", now: float) -> None:
+        """Admit a transaction (enters running & immature by definition)."""
+        assert txn not in self._active, f"{txn!r} already active"
+        txn.is_blocked = False
+        txn.is_mature = False
+        self._active.add(txn)
+        self.n_state2 += 1
+        self._publish(now)
+
+    def remove(self, txn: "Transaction", now: float) -> None:
+        """Remove a transaction from the active set (commit or abort)."""
+        assert txn in self._active, f"{txn!r} not active"
+        self._active.remove(txn)
+        self._bucket_delta(txn, -1)
+        self._publish(now)
+
+    def set_blocked(self, txn: "Transaction", blocked: bool,
+                    now: float) -> None:
+        """Flip the running/blocked axis."""
+        assert txn in self._active, f"{txn!r} not active"
+        if txn.is_blocked == blocked:
+            return
+        self._bucket_delta(txn, -1)
+        txn.is_blocked = blocked
+        self._bucket_delta(txn, +1)
+        self._publish(now)
+
+    def set_mature(self, txn: "Transaction", now: float) -> None:
+        """Mark a transaction mature (irreversible within an attempt)."""
+        assert txn in self._active, f"{txn!r} not active"
+        if txn.is_mature:
+            return
+        self._bucket_delta(txn, -1)
+        txn.is_mature = True
+        self._bucket_delta(txn, +1)
+        self._publish(now)
+
+    # ------------------------------------------------------------------
+
+    def _bucket_delta(self, txn: "Transaction", delta: int) -> None:
+        if txn.is_blocked:
+            if txn.is_mature:
+                self.n_state3 += delta
+            else:
+                self.n_state4 += delta
+        else:
+            if txn.is_mature:
+                self.n_state1 += delta
+            else:
+                self.n_state2 += delta
+
+    def _publish(self, now: float) -> None:
+        if self._collector is not None:
+            self._collector.set_populations(
+                now, self.n_active, self.n_state1, self.n_state2,
+                self.n_state3, self.n_state4)
+
+    def check_invariants(self) -> None:
+        """Verify counters against a from-scratch recomputation."""
+        counts = [0, 0, 0, 0]
+        for txn in self._active:
+            counts[self.state_of(txn) - 1] += 1
+        assert counts == [self.n_state1, self.n_state2,
+                          self.n_state3, self.n_state4], (
+            f"tracker counters {[self.n_state1, self.n_state2, self.n_state3, self.n_state4]} "
+            f"disagree with recomputation {counts}")

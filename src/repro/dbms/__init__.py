@@ -1,0 +1,17 @@
+"""The logical DBMS model: configuration, transactions, queues, system."""
+
+from repro.dbms.buffer import LRUBuffer, NullBuffer
+from repro.dbms.config import SimulationParameters
+from repro.dbms.ready_queue import ReadyQueue
+from repro.dbms.system import DBMSSystem
+from repro.dbms.transaction import Transaction, TxnPhase
+
+__all__ = [
+    "LRUBuffer",
+    "NullBuffer",
+    "SimulationParameters",
+    "ReadyQueue",
+    "DBMSSystem",
+    "Transaction",
+    "TxnPhase",
+]

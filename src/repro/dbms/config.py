@@ -1,0 +1,157 @@
+"""Simulation parameters (the paper's Tables 1 and 2).
+
+:class:`SimulationParameters` bundles the workload, hardware, and
+statistics-collection knobs.  Defaults are exactly the paper's Table 2 base
+case: a 1000-page database, 8-page transactions (uniform on 4–12 pages),
+write probability 0.25, 200 terminals with zero think time, 35 ms page I/O
+and 5 ms page CPU on 1 CPU and 5 disks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SimulationParameters"]
+
+
+@dataclass
+class SimulationParameters:
+    """All knobs of the simulation model.
+
+    Workload parameters (paper Table 2):
+
+    Attributes:
+        db_size: number of pages in the database.
+        tran_size: mean transaction readset size; actual sizes are uniform
+            over ``tran_size ± tran_size/2``.
+        write_prob: probability that a page read is also written.
+        num_terms: number of terminals submitting transactions.
+        think_time: mean terminal think time (seconds); the paper uses 0
+            throughout to keep the closed system under pressure.
+        page_io: disk service time to read or write one page (seconds).
+        page_cpu: CPU service time to process one page (seconds).
+        num_cpus: CPU servers in the shared pool.
+        num_disks: independent disks the database is declustered over.
+
+    Modelling options:
+
+    Attributes:
+        buf_size: LRU buffer-pool pages; ``None`` disables buffering (the
+            paper's default — every read causes an I/O).
+        cc_cpu: explicit CPU cost per concurrency-control request.  The
+            paper folds locking cost into ``page_cpu``, so this defaults
+            to 0; it is kept as a knob for sensitivity work.
+        lock_upgrades: if True (paper footnote 1), written pages are first
+            S-locked at read time and upgraded to X afterwards; if False,
+            they are X-locked immediately at read time.
+        locking_enabled: if False, concurrency control is bypassed
+            entirely — no locks, no blocking, no deadlocks.  This is the
+            "absence of a concurrency control mechanism" reference curve
+            of the paper's Figure 1 (resource contention only).
+        estimate_error: multiplier applied to a transaction's true lock
+            count to form the *estimated* lock count it reports to the
+            load controller (1.0 = perfect estimates).
+        restart_delay: pause between a transaction's abort and its
+            re-arrival at the ready queue.  The paper sends aborted
+            transactions to the back of the ready queue without naming a
+            delay; a strictly zero delay lets an abort-restart-abort loop
+            spin forever within one simulated instant under policies that
+            abort at request time (bounded wait queues), so some pacing is
+            implicit in any runnable model.  ``None`` (default) uses one
+            page service time (``page_io + page_cpu``).
+
+    Statistics (Section 4.1):
+
+    Attributes:
+        seed: master random seed.
+        warmup_time: simulated seconds discarded before measurement.
+        num_batches: batches for the batch-means method (paper: 20).
+        batch_time: simulated seconds per batch.
+    """
+
+    # Workload / hardware (Table 2 base case).
+    db_size: int = 1000
+    tran_size: int = 8
+    write_prob: float = 0.25
+    num_terms: int = 200
+    think_time: float = 0.0
+    page_io: float = 0.035
+    page_cpu: float = 0.005
+    num_cpus: int = 1
+    num_disks: int = 5
+
+    # Modelling options.
+    buf_size: Optional[int] = None
+    cc_cpu: float = 0.0
+    lock_upgrades: bool = True
+    locking_enabled: bool = True
+    estimate_error: float = 1.0
+    restart_delay: Optional[float] = None
+
+    # Statistics collection.
+    seed: int = 42
+    warmup_time: float = 30.0
+    num_batches: int = 20
+    batch_time: float = 60.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.db_size < 1:
+            raise ConfigurationError("db_size must be positive")
+        if self.tran_size < 1:
+            raise ConfigurationError("tran_size must be positive")
+        max_readset = self.tran_size + self.tran_size // 2
+        if max_readset > self.db_size:
+            raise ConfigurationError(
+                f"largest readset ({max_readset} pages) exceeds the "
+                f"database size ({self.db_size} pages)")
+        if not 0.0 <= self.write_prob <= 1.0:
+            raise ConfigurationError("write_prob must be in [0, 1]")
+        if self.num_terms < 1:
+            raise ConfigurationError("num_terms must be positive")
+        if self.think_time < 0.0:
+            raise ConfigurationError("think_time must be non-negative")
+        if self.page_io < 0.0 or self.page_cpu < 0.0:
+            raise ConfigurationError("service times must be non-negative")
+        if self.num_cpus < 1 or self.num_disks < 1:
+            raise ConfigurationError("need at least one CPU and one disk")
+        if self.buf_size is not None and self.buf_size < 1:
+            raise ConfigurationError("buf_size must be positive or None")
+        if self.cc_cpu < 0.0:
+            raise ConfigurationError("cc_cpu must be non-negative")
+        if self.estimate_error <= 0.0:
+            raise ConfigurationError("estimate_error must be positive")
+        if self.restart_delay is not None and self.restart_delay < 0.0:
+            raise ConfigurationError("restart_delay must be non-negative")
+        if self.warmup_time < 0.0 or self.batch_time <= 0.0:
+            raise ConfigurationError("invalid measurement window")
+        if self.num_batches < 1:
+            raise ConfigurationError("num_batches must be positive")
+
+    def replace(self, **changes) -> "SimulationParameters":
+        """Return a copy with the given fields changed (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def effective_restart_delay(self) -> float:
+        """The restart pause in effect: explicit, or one page time."""
+        if self.restart_delay is not None:
+            return self.restart_delay
+        return self.page_io + self.page_cpu
+
+    @property
+    def measurement_time(self) -> float:
+        """Total measured simulation time after warmup."""
+        return self.num_batches * self.batch_time
+
+    @property
+    def total_time(self) -> float:
+        """Warmup plus measurement time."""
+        return self.warmup_time + self.measurement_time

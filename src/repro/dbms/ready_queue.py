@@ -1,0 +1,75 @@
+"""The external ready queue.
+
+Transactions that the load controller declines to admit wait here, in FIFO
+order ("it admits waiting transactions in their order of arrival", §5).
+Aborted transactions re-enter at the *back* of the queue (§3) but keep
+their original timestamps, so queue position and age are distinct notions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.dbms.transaction import Transaction, TxnPhase
+
+__all__ = ["ReadyQueue"]
+
+
+class ReadyQueue:
+    """FIFO queue of transactions awaiting admission."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[Transaction] = deque()
+        # Statistics.
+        self.total_enqueued = 0
+        self.max_length = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._queue)
+
+    def push(self, txn: Transaction) -> None:
+        """Append a transaction to the back of the queue."""
+        txn.phase = TxnPhase.READY
+        self._queue.append(txn)
+        self.total_enqueued += 1
+        if len(self._queue) > self.max_length:
+            self.max_length = len(self._queue)
+
+    def pop(self) -> Optional[Transaction]:
+        """Remove and return the head transaction, or None if empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Transaction]:
+        """Return the head transaction without removing it."""
+        return self._queue[0] if self._queue else None
+
+    def pop_best(self, key) -> Optional[Transaction]:
+        """Remove and return the transaction minimizing ``key(txn)``.
+
+        Ties resolve in favour of the transaction closest to the head,
+        so FIFO order is preserved within equal-key groups.  Used by
+        class-priority admission (the paper's Section 5 extension);
+        linear in the queue length.
+        """
+        if not self._queue:
+            return None
+        best_index = 0
+        best_key = key(self._queue[0])
+        for i, txn in enumerate(self._queue):
+            if i == 0:
+                continue
+            k = key(txn)
+            if k < best_key:
+                best_index, best_key = i, k
+        txn = self._queue[best_index]
+        del self._queue[best_index]
+        return txn

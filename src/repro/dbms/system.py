@@ -1,0 +1,491 @@
+"""The DBMS system: the paper's logical model (Figure 5) wired onto the
+physical model (Figure 6).
+
+Transaction flow, exactly as Section 3 describes it:
+
+1. A terminal generates a transaction (think time, 0 by default) and it
+   *arrives*.  The load controller decides to admit it or park it in the
+   external ready queue.
+2. An active transaction alternates lock requests with page processing:
+   request an S lock on the next readset page, read it (``page_io`` on a
+   uniformly chosen disk unless the buffer hits, then ``page_cpu``), and —
+   if the page is in the writeset — upgrade the lock to X and spend
+   ``page_cpu`` for the write request (the data write itself is deferred).
+3. A blocked request parks the transaction in the blocked queue; deadlock
+   detection runs at block time and aborts the youngest cycle member.
+4. After the last page, deferred updates flush each dirty page
+   (``page_io`` per page), then all locks are released together and the
+   transaction commits; its terminal immediately (zero think time)
+   submits a new one.
+5. An aborted transaction keeps its timestamp and its page reference
+   string, goes to the *back* of the external ready queue, and re-executes
+   from scratch once re-admitted.
+
+Reentrancy discipline: lock-table state, tracker populations, and
+controller hooks are updated *synchronously*, so the Half-and-Half
+controller always sees consistent counts; only the start of an admitted
+transaction is deferred through a zero-delay event (to bound recursion
+when a controller admits a long run of queued transactions).
+
+Invariant relied on throughout: only *blocked* transactions are ever
+aborted (deadlock victims, load-control victims, and bounded-wait-policy
+rejects are all waiting at the moment of abort), so a transaction that is
+holding a CPU or disk or has a pending continuation event is never torn
+down mid-flight.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Union
+
+from repro.core.maturity import MaturityRule
+from repro.core.state_tracker import StateTracker
+from repro.dbms.buffer import LRUBuffer, NullBuffer
+from repro.dbms.config import SimulationParameters
+from repro.dbms.ready_queue import ReadyQueue
+from repro.dbms.transaction import Transaction, TxnPhase
+from repro.errors import SimulationError
+from repro.lockmgr.deadlock import resolve_deadlocks
+from repro.lockmgr.lock_table import Grant, LockTable, RequestOutcome
+from repro.lockmgr.prevention import (
+    DeadlockStrategy,
+    wait_die_should_die,
+    wound_wait_victims,
+)
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.wait_policy import UnboundedWaitPolicy, WaitPolicy
+from repro.metrics.collector import AbortReason, Collector
+from repro.metrics.trace import TraceEventType, Tracer
+from repro.sim.engine import Simulator
+from repro.sim.resources import CpuPool, DiskArray, Priority
+from repro.sim.rng import RandomStreams
+from repro.workload.base import WorkloadGenerator
+from repro.workload.homogeneous import HomogeneousWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.control.base import LoadController
+
+__all__ = ["DBMSSystem"]
+
+
+class DBMSSystem:
+    """A complete simulated DBMS instance for one run."""
+
+    def __init__(self,
+                 params: SimulationParameters,
+                 controller: "LoadController",
+                 workload: Optional[WorkloadGenerator] = None,
+                 wait_policy: Optional[WaitPolicy] = None,
+                 maturity_rule: Optional[MaturityRule] = None,
+                 collector: Optional[Collector] = None,
+                 sim: Optional[Simulator] = None,
+                 streams: Optional[RandomStreams] = None,
+                 tracer: Optional[Tracer] = None,
+                 admission_order=None,
+                 deadlock_strategy: DeadlockStrategy =
+                 DeadlockStrategy.DETECTION):
+        self.params = params
+        self.sim = sim if sim is not None else Simulator()
+        self.streams = (streams if streams is not None
+                        else RandomStreams(params.seed))
+        self.collector = collector if collector is not None else Collector()
+        self.tracer = tracer
+        # Optional key function ordering ready-queue admissions
+        # (e.g. ClassPriorityPolicy); None = strict FIFO.
+        self.admission_order = admission_order
+        self.deadlock_strategy = deadlock_strategy
+        self.tracker = StateTracker(self.collector)
+        self.lock_table = LockTable()
+        self.wait_policy = (wait_policy if wait_policy is not None
+                            else UnboundedWaitPolicy())
+        self.maturity_rule = (maturity_rule if maturity_rule is not None
+                              else MaturityRule())
+        self.cpu = CpuPool(self.sim, params.num_cpus)
+        self.disks = DiskArray(self.sim, params.num_disks)
+        self.buffer: Union[LRUBuffer, NullBuffer]
+        if params.buf_size is not None:
+            self.buffer = LRUBuffer(params.buf_size)
+        else:
+            self.buffer = NullBuffer()
+        self.ready_queue = ReadyQueue()
+        self.workload = (workload if workload is not None
+                         else HomogeneousWorkload(self.streams, params))
+        self.controller = controller
+        controller.attach(self)
+        self._disk_rng = self.streams.stream("disk_choice")
+        self._next_txn_id = 0
+        self._started = False
+        # Statistics the controller/runner may want.
+        self.total_generated = 0
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first arrival from every terminal."""
+        if self._started:
+            raise SimulationError("DBMSSystem.start() called twice")
+        self._started = True
+        for terminal_id in range(self.params.num_terms):
+            self.sim.schedule(self._think_delay(),
+                              self._terminal_submits, terminal_id)
+
+    def _think_delay(self) -> float:
+        return self.streams.exponential("think_time",
+                                        self.params.think_time)
+
+    # ------------------------------------------------------------------
+    # Arrivals and admission
+    # ------------------------------------------------------------------
+
+    def _terminal_submits(self, terminal_id: int) -> None:
+        txn = self.workload.make_transaction(
+            self._next_txn_id, terminal_id, self.sim.now)
+        self._next_txn_id += 1
+        self.total_generated += 1
+        self._prepare_estimates(txn)
+        self._arrival(txn)
+
+    def _prepare_estimates(self, txn: Transaction) -> None:
+        """Set the lock-count estimate the transaction reports.
+
+        With upgrades each written page costs an extra lock request; with
+        immediate X locking only the readset requests exist.  The
+        configured ``estimate_error`` multiplier models inaccurate
+        estimates (Section 4.6 argues the algorithm tolerates them).
+        """
+        if self.params.lock_upgrades:
+            actual = txn.num_reads + txn.num_writes
+        else:
+            actual = txn.num_reads
+        txn.estimated_locks = max(
+            1, round(actual * self.params.estimate_error))
+        txn.maturity_threshold = self.maturity_rule.threshold(
+            txn.estimated_locks)
+
+    def _arrival(self, txn: Transaction) -> None:
+        if self.tracer is not None:
+            kind = (TraceEventType.RESTART if txn.restarts
+                    else TraceEventType.ARRIVAL)
+            self.tracer.record(self.sim.now, kind, txn.txn_id,
+                               detail=f"attempt {txn.restarts + 1}")
+        if self.controller.want_admit(txn):
+            self._admit(txn)
+        else:
+            self.ready_queue.push(txn)
+            self.collector.set_ready_queue_length(
+                self.sim.now, len(self.ready_queue))
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, TraceEventType.QUEUE,
+                                   txn.txn_id,
+                                   detail=f"depth {len(self.ready_queue)}")
+
+    def try_admit_one(self) -> bool:
+        """Admit one transaction from the ready queue.
+
+        Controllers call this when they decide to admit; the choice of
+        *which* queued transaction enters is FIFO unless an
+        ``admission_order`` policy is installed.
+        """
+        if self.admission_order is not None:
+            txn = self.ready_queue.pop_best(self.admission_order)
+        else:
+            txn = self.ready_queue.pop()
+        if txn is None:
+            return False
+        self.collector.set_ready_queue_length(
+            self.sim.now, len(self.ready_queue))
+        self._admit(txn)
+        return True
+
+    def _admit(self, txn: Transaction) -> None:
+        txn.phase = TxnPhase.EXECUTING
+        txn.admitted_at = self.sim.now
+        self.tracker.add(txn, self.sim.now)
+        self.collector.on_admission()
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, TraceEventType.ADMIT,
+                               txn.txn_id)
+        self.controller.on_admit(txn)
+        # Start through a zero-delay event: a controller may admit many
+        # queued transactions in one hook, and starting them synchronously
+        # would nest the whole execution machinery per admission.
+        self.sim.schedule(0.0, self._next_operation, txn)
+
+    # ------------------------------------------------------------------
+    # Execution state machine
+    # ------------------------------------------------------------------
+
+    def _next_operation(self, txn: Transaction) -> None:
+        if txn.finished_reading():
+            txn.pending_updates = [p for p in txn.readset
+                                   if p in txn.writeset]
+            if txn.pending_updates:
+                txn.phase = TxnPhase.UPDATING
+                self._next_deferred_write(txn)
+            else:
+                self._commit(txn)
+            return
+        page = txn.current_page()
+        if not self.params.locking_enabled:
+            # Figure 1 reference mode: no concurrency control at all.
+            self._start_page_read(txn)
+            return
+        immediate_x = (not self.params.lock_upgrades
+                       and page in txn.writeset)
+        mode = LockMode.X if immediate_x else LockMode.S
+        self._request_lock(txn, page, mode, upgrade_purpose=False)
+
+    def _request_lock(self, txn: Transaction, page: int, mode: LockMode,
+                      upgrade_purpose: bool) -> None:
+        if self.params.cc_cpu > 0.0:
+            self.cpu.request(self.params.cc_cpu, self._do_request_lock,
+                             txn, page, mode, upgrade_purpose,
+                             priority=Priority.CC)
+        else:
+            self._do_request_lock(txn, page, mode, upgrade_purpose)
+
+    def _do_request_lock(self, txn: Transaction, page: int, mode: LockMode,
+                         upgrade_purpose: bool) -> None:
+        if txn.wounded:
+            # Wound-wait: a deferred wound takes effect at the next
+            # scheduling checkpoint, which is here.
+            self.abort_transaction(txn, AbortReason.WOUND_WAIT)
+            return
+        outcome = self.lock_table.request(txn, page, mode)
+        if outcome is RequestOutcome.GRANTED:
+            self._lock_granted(txn, upgrade_purpose)
+            return
+        # The request blocked.  First the wait policy (bounded wait
+        # queues abort the requester outright) ...
+        if not self.wait_policy.allow_wait(self.lock_table, txn,
+                                           page, mode):
+            grants = self.lock_table.cancel_wait(txn)
+            self._process_grants(grants)
+            self.abort_transaction(txn, AbortReason.WAIT_POLICY)
+            return
+        # ... then the configured deadlock handling.
+        if self.deadlock_strategy is DeadlockStrategy.WAIT_DIE:
+            if wait_die_should_die(self.lock_table, txn, self._age_key):
+                grants = self.lock_table.cancel_wait(txn)
+                self._process_grants(grants)
+                self.abort_transaction(txn, AbortReason.WAIT_DIE)
+                return
+        elif self.deadlock_strategy is DeadlockStrategy.WOUND_WAIT:
+            for victim in wound_wait_victims(self.lock_table, txn,
+                                             self._age_key):
+                self._wound(victim)
+        else:
+            # The paper's scheme: detection at block time, youngest
+            # victim.  Ties on timestamp (all initial arrivals share
+            # t=0 under zero think time) break on txn_id so victim
+            # choice is deterministic.
+            resolve_deadlocks(self.lock_table, txn,
+                              timestamp=self._age_key,
+                              abort=self._abort_deadlock_victim)
+        if not self.lock_table.is_waiting(txn):
+            # Either granted by a victim's releases (the grant cascade
+            # already resumed it) or chosen as the victim itself (it is
+            # back in the ready queue).  Nothing more to do here.
+            return
+        self.tracker.set_blocked(txn, True, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, TraceEventType.BLOCK,
+                               txn.txn_id,
+                               detail=f"page {page}")
+        self.controller.on_block(txn)
+
+    def _abort_deadlock_victim(self, victim: Transaction) -> None:
+        self.abort_transaction(victim, AbortReason.DEADLOCK)
+
+    @staticmethod
+    def _age_key(txn: Transaction):
+        # Smaller = older; retained timestamps prevent starvation, and
+        # txn_id breaks the t=0 ties of the initial arrivals.
+        return (txn.timestamp, txn.txn_id)
+
+    def _wound(self, victim: Transaction) -> None:
+        """Wound-wait: abort a younger blocker, now or at its next
+        checkpoint.  Transactions already flushing deferred updates are
+        spared — they hold all their locks and are about to commit, so
+        aborting them would only discard finished work."""
+        if victim.phase is TxnPhase.UPDATING or victim.wounded:
+            return
+        if self.lock_table.is_waiting(victim):
+            self.abort_transaction(victim, AbortReason.WOUND_WAIT)
+        else:
+            victim.wounded = True
+
+    def _lock_granted(self, txn: Transaction, was_upgrade: bool) -> None:
+        if txn.is_blocked:
+            self.tracker.set_blocked(txn, False, self.sim.now)
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, TraceEventType.UNBLOCK,
+                                   txn.txn_id)
+            self.controller.on_unblock(txn)
+        txn.locks_completed += 1
+        if (not txn.is_mature
+                and txn.locks_completed >= txn.maturity_threshold):
+            self.tracker.set_mature(txn, self.sim.now)
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, TraceEventType.MATURE,
+                                   txn.txn_id,
+                                   detail=f"{txn.locks_completed} locks")
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, TraceEventType.LOCK_GRANT,
+                               txn.txn_id)
+        self.controller.on_lock_granted(txn)
+        if was_upgrade:
+            self._start_write_cpu(txn)
+        else:
+            self._start_page_read(txn)
+
+    def _process_grants(self, grants: Iterable[Grant]) -> None:
+        for grant in grants:
+            self._lock_granted(grant.txn, grant.was_upgrade)
+
+    # ------------------------------------------------------------------
+    # Page processing
+    # ------------------------------------------------------------------
+
+    def _start_page_read(self, txn: Transaction) -> None:
+        page = txn.current_page()
+        if self.buffer.access_read(page):
+            self.cpu.request(self.params.page_cpu,
+                             self._page_read_done, txn)
+        else:
+            disk = self.disks.choose_disk(self._disk_rng)
+            self.disks.access(disk, self.params.page_io,
+                              self._page_io_done, txn)
+
+    def _page_io_done(self, txn: Transaction) -> None:
+        self.cpu.request(self.params.page_cpu, self._page_read_done, txn)
+
+    def _page_read_done(self, txn: Transaction) -> None:
+        txn.attempt_reads += 1
+        self.collector.on_page_read()
+        if txn.wounded:
+            self.abort_transaction(txn, AbortReason.WOUND_WAIT)
+            return
+        page = txn.current_page()
+        if not self.params.locking_enabled:
+            if page in txn.writeset:
+                self._start_write_cpu(txn)
+            else:
+                txn.step_index += 1
+                self._next_operation(txn)
+            return
+        if page in txn.writeset:
+            if self.params.lock_upgrades:
+                self._request_lock(txn, page, LockMode.X,
+                                   upgrade_purpose=True)
+            else:
+                self._start_write_cpu(txn)
+            return
+        if txn.lock_protocol.releases_read_locks_early():
+            grants = self.lock_table.release(txn, page)
+            self._process_grants(grants)
+        txn.step_index += 1
+        self._next_operation(txn)
+
+    def _start_write_cpu(self, txn: Transaction) -> None:
+        self.cpu.request(self.params.page_cpu, self._write_cpu_done, txn)
+
+    def _write_cpu_done(self, txn: Transaction) -> None:
+        if txn.wounded:
+            self.abort_transaction(txn, AbortReason.WOUND_WAIT)
+            return
+        txn.step_index += 1
+        self._next_operation(txn)
+
+    # ------------------------------------------------------------------
+    # Deferred updates and commit
+    # ------------------------------------------------------------------
+
+    def _next_deferred_write(self, txn: Transaction) -> None:
+        if not txn.pending_updates:
+            self._commit(txn)
+            return
+        page = txn.pending_updates.pop()
+        self.buffer.access_write(page)
+        disk = self.disks.choose_disk(self._disk_rng)
+        self.disks.access(disk, self.params.page_io,
+                          self._deferred_write_done, txn)
+
+    def _deferred_write_done(self, txn: Transaction) -> None:
+        txn.attempt_writes += 1
+        self.collector.on_page_written()
+        self._next_deferred_write(txn)
+
+    def _commit(self, txn: Transaction) -> None:
+        terminal_id = txn.terminal_id
+        self.tracker.remove(txn, self.sim.now)
+        txn.phase = TxnPhase.COMMITTED
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, TraceEventType.COMMIT,
+                               txn.txn_id,
+                               detail=f"{txn.restarts} restarts")
+        self.collector.on_commit(
+            pages=txn.attempt_reads + txn.attempt_writes,
+            response_time=self.sim.now - txn.timestamp,
+            restarts=txn.restarts, class_name=txn.class_name)
+        # "Locks are all released together at end-of-transaction (after
+        # the deferred updates have been performed)."
+        grants = self.lock_table.release_all(txn)
+        self._process_grants(grants)
+        self.controller.on_commit(txn)
+        self.controller.on_removed(txn)
+        # The terminal thinks, then submits its next transaction.
+        self.sim.schedule(self._think_delay(),
+                          self._terminal_submits, terminal_id)
+
+    # ------------------------------------------------------------------
+    # Aborts
+    # ------------------------------------------------------------------
+
+    def abort_transaction(self, txn: Transaction, reason: str) -> None:
+        """Abort an active transaction and re-queue it for restart.
+
+        Safe only for transactions that are currently *blocked* (or, for
+        the wait-policy path, whose pending request was just cancelled):
+        they hold no resource and have no pending continuation event.
+        """
+        if not self.tracker.is_active(txn):
+            raise SimulationError(
+                f"cannot abort {txn!r}: not an active transaction")
+        self.tracker.remove(txn, self.sim.now)
+        txn.phase = TxnPhase.ABORTED
+        self.collector.on_abort(reason, class_name=txn.class_name)
+        if self.tracer is not None:
+            self.tracer.record_abort(self.sim.now, txn.txn_id, reason)
+        grants = self.lock_table.release_all(txn)
+        self.controller.on_abort(txn, reason)
+        # Back of the external ready queue, original timestamp retained.
+        # The re-arrival is paced by the restart delay: with a strictly
+        # zero delay, a policy that aborts at request time (bounded wait
+        # queues) would retry against unchanged lock state in the same
+        # simulated instant, forever.
+        txn.reset_for_restart()
+        self.sim.schedule(self.params.effective_restart_delay,
+                          self._arrival, txn)
+        self._process_grants(grants)
+        self.controller.on_removed(txn)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def blocked_transactions(self) -> List[Transaction]:
+        """Currently blocked active transactions (for controllers/tests)."""
+        return list(self.tracker.blocked_transactions())
+
+    def check_invariants(self) -> None:
+        """Cross-check lock table and tracker consistency (tests only)."""
+        self.lock_table.check_invariants()
+        self.tracker.check_invariants()
+        for txn in self.tracker.active_transactions():
+            waiting = self.lock_table.is_waiting(txn)
+            assert waiting == txn.is_blocked, (
+                f"{txn!r}: blocked flag {txn.is_blocked} but "
+                f"lock-table waiting {waiting}")

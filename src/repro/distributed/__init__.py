@@ -1,0 +1,38 @@
+"""Distributed DBMS load control (paper Section 5, future work).
+
+"We have considered only the case of a single, centralized DBMS.  The
+question of how to add load control to a distributed DBMS with
+decentralized control seems to be an interesting one, as load control
+deadlocks must be carefully prevented."
+
+This subpackage explores that question with a multi-site extension of
+the paper's model: the database is range-partitioned across sites, each
+site owns a CPU pool, a disk array, and a lock table, transactions
+originate at a home site and access remote pages over a constant-delay
+network, and each site runs its *own* Half-and-Half controller over the
+transactions homed there.  See :mod:`repro.distributed.system` for the
+modelling decisions and :mod:`repro.distributed.controllers` for how
+admission stays deadlock-free.
+"""
+
+from repro.distributed.config import DistributedParameters
+from repro.distributed.partition import RangePartition
+from repro.distributed.workload import DistributedWorkload
+from repro.distributed.controllers import (
+    PerSiteControllerSet,
+    make_half_and_half_sites,
+    make_no_control_sites,
+)
+from repro.distributed.system import DistributedSystem
+from repro.distributed.runner import run_distributed_simulation
+
+__all__ = [
+    "DistributedParameters",
+    "RangePartition",
+    "DistributedWorkload",
+    "PerSiteControllerSet",
+    "make_half_and_half_sites",
+    "make_no_control_sites",
+    "DistributedSystem",
+    "run_distributed_simulation",
+]

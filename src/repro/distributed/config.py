@@ -1,0 +1,59 @@
+"""Parameters for the distributed extension.
+
+Extends the single-site :class:`SimulationParameters` with the
+multi-site knobs.  Per-site hardware equals the paper's base
+configuration (each site gets ``num_cpus`` CPUs and ``num_disks``
+disks), so a ``num_sites = 1`` run degenerates to the centralized
+model plus zero network delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.config import SimulationParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["DistributedParameters"]
+
+
+@dataclass
+class DistributedParameters(SimulationParameters):
+    """Multi-site model parameters.
+
+    Attributes:
+        num_sites: number of sites; the database is range-partitioned
+            evenly across them and terminals are assigned round-robin.
+        msg_delay: one-way network message latency (seconds).  The
+            network is modelled as pure delay (no queueing) — adequate
+            for LAN-scale latencies that are small next to ``page_io``.
+        locality: probability that a page access falls in the home
+            site's partition; the rest are uniform over remote
+            partitions.  ``1/num_sites``-like values mimic the paper's
+            uniform access; higher values model partition-aware apps.
+        two_phase_commit: if True, a distributed transaction pays one
+            extra round trip (prepare phase) before its remote locks are
+            released at commit.
+    """
+
+    num_sites: int = 4
+    msg_delay: float = 0.001
+    locality: float = 0.5
+    two_phase_commit: bool = True
+
+    def validate(self) -> None:
+        super().validate()
+        if self.num_sites < 1:
+            raise ConfigurationError("num_sites must be >= 1")
+        if self.msg_delay < 0.0:
+            raise ConfigurationError("msg_delay must be non-negative")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ConfigurationError("locality must be in [0, 1]")
+        if self.db_size < self.num_sites:
+            raise ConfigurationError(
+                "need at least one page per site")
+
+    @property
+    def pages_per_site(self) -> int:
+        """Partition size (the last site absorbs the remainder)."""
+        return self.db_size // self.num_sites

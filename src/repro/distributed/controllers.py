@@ -1,0 +1,78 @@
+"""Per-site load control and the load-control-deadlock question.
+
+Section 5 of the paper warns that distributed load control must prevent
+*load control deadlocks*: if executing a transaction required admission
+capacity at several sites simultaneously, two sites could each hold
+half of what two transactions need and refuse to yield — an admission
+analogue of a lock deadlock.
+
+The scheme implemented here avoids the problem structurally:
+
+* admission happens **only at the home site** — a transaction waits in
+  exactly one external ready queue, never in two;
+* remote page operations are never admission-controlled — once a
+  transaction is active, its remote lock requests and I/Os proceed
+  subject only to ordinary lock and resource queueing.
+
+Because no transaction ever holds one site's admission slot while
+waiting for another's, the admission-wait graph has out-degree zero and
+can't form cycles.  The price is that a site cannot shed load caused by
+*remote* transactions hammering its partition through admission refusal
+alone — its controller can, however, still abort blocked local
+transactions, and lock-level corrective action remains global.
+
+Each site runs an ordinary single-site controller
+(:class:`repro.core.half_and_half.HalfAndHalfController` by default)
+over the transactions homed at it; :class:`PerSiteControllerSet` owns
+the per-site instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.control.base import LoadController
+from repro.control.no_control import NoControlController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.errors import ConfigurationError
+
+__all__ = ["PerSiteControllerSet", "make_half_and_half_sites",
+           "make_no_control_sites"]
+
+ControllerFactory = Callable[[], LoadController]
+
+
+class PerSiteControllerSet:
+    """One independent load controller per site."""
+
+    def __init__(self, controllers: Sequence[LoadController]):
+        if not controllers:
+            raise ConfigurationError("need at least one site controller")
+        self.controllers: List[LoadController] = list(controllers)
+
+    def __len__(self) -> int:
+        return len(self.controllers)
+
+    def for_site(self, site: int) -> LoadController:
+        return self.controllers[site]
+
+    @property
+    def name(self) -> str:
+        names = {c.name for c in self.controllers}
+        if len(names) == 1:
+            return f"PerSite({names.pop()} x{len(self.controllers)})"
+        return "PerSite(" + ", ".join(c.name
+                                      for c in self.controllers) + ")"
+
+
+def make_half_and_half_sites(num_sites: int,
+                             **kwargs) -> PerSiteControllerSet:
+    """A Half-and-Half controller per site (kwargs passed through)."""
+    return PerSiteControllerSet(
+        [HalfAndHalfController(**kwargs) for _ in range(num_sites)])
+
+
+def make_no_control_sites(num_sites: int) -> PerSiteControllerSet:
+    """Unlimited admission at every site (the thrashing baseline)."""
+    return PerSiteControllerSet(
+        [NoControlController() for _ in range(num_sites)])

@@ -1,0 +1,51 @@
+"""Range partitioning of pages across sites."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RangePartition"]
+
+
+class RangePartition:
+    """Contiguous, near-even page ranges; the last site takes the slack.
+
+    With 10 pages over 3 sites the ranges are [0,3), [3,6), [6,10).
+    """
+
+    def __init__(self, db_size: int, num_sites: int):
+        if num_sites < 1:
+            raise ConfigurationError("num_sites must be >= 1")
+        if db_size < num_sites:
+            raise ConfigurationError(
+                f"{db_size} pages cannot cover {num_sites} sites")
+        self.db_size = db_size
+        self.num_sites = num_sites
+        self._chunk = db_size // num_sites
+
+    def site_of(self, page: int) -> int:
+        """The site owning ``page``."""
+        if not 0 <= page < self.db_size:
+            raise ConfigurationError(
+                f"page {page} outside [0, {self.db_size})")
+        return min(page // self._chunk, self.num_sites - 1)
+
+    def range_of(self, site: int) -> Tuple[int, int]:
+        """Half-open page range ``[lo, hi)`` owned by ``site``."""
+        if not 0 <= site < self.num_sites:
+            raise ConfigurationError(
+                f"site {site} outside [0, {self.num_sites})")
+        lo = site * self._chunk
+        hi = (site + 1) * self._chunk if site < self.num_sites - 1 \
+            else self.db_size
+        return lo, hi
+
+    def pages_at(self, site: int) -> int:
+        """Number of pages owned by ``site``."""
+        lo, hi = self.range_of(site)
+        return hi - lo
+
+    def sites(self) -> List[int]:
+        return list(range(self.num_sites))

@@ -1,0 +1,60 @@
+"""Runner for distributed simulations (mirrors the single-site runner)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.maturity import MaturityRule
+from repro.distributed.config import DistributedParameters
+from repro.distributed.controllers import PerSiteControllerSet
+from repro.distributed.system import DistributedSystem
+from repro.lockmgr.prevention import DeadlockStrategy
+from repro.metrics.collector import Collector
+from repro.metrics.results import SimulationResults, build_results
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = ["run_distributed_simulation"]
+
+
+def run_distributed_simulation(
+        params: DistributedParameters,
+        controllers: PerSiteControllerSet,
+        maturity_rule: Optional[MaturityRule] = None,
+        deadlock_strategy: DeadlockStrategy = DeadlockStrategy.DETECTION,
+        admission_order=None) -> SimulationResults:
+    """Run one multi-site simulation and return batch-means results."""
+    sim = Simulator()
+    streams = RandomStreams(params.seed)
+    collector = Collector()
+    system = DistributedSystem(
+        params=params, controllers=controllers,
+        maturity_rule=maturity_rule, collector=collector,
+        sim=sim, streams=streams, deadlock_strategy=deadlock_strategy,
+        admission_order=admission_order)
+    system.start()
+
+    sim.run(until=params.warmup_time)
+    snapshots = [collector.snapshot(sim.now)]
+    aborts_at_start = collector.aborts
+    reasons_at_start = dict(collector.aborts_by_reason)
+    for batch in range(1, params.num_batches + 1):
+        sim.run(until=params.warmup_time + batch * params.batch_time)
+        snapshots.append(collector.snapshot(sim.now))
+
+    window_reasons = {
+        reason: count - reasons_at_start.get(reason, 0)
+        for reason, count in collector.aborts_by_reason.items()
+    }
+    return build_results(
+        snapshots=snapshots,
+        controller_name=controllers.name,
+        workload_name=system.workload.name,
+        commits=collector.commits,
+        aborts=collector.aborts - aborts_at_start,
+        aborts_by_reason=window_reasons,
+        response_time_sum=collector.response_time_sum,
+        restarts_of_committed=collector.restarts_of_committed,
+        max_mpl=collector.active.max_value,
+        per_class=collector.per_class,
+    )

@@ -1,0 +1,571 @@
+"""The distributed DBMS model: multiple sites, one simulation.
+
+Model summary (extensions of the paper's Section 3 model; each choice
+is documented where it is implemented):
+
+* The database is range-partitioned across ``num_sites`` sites; every
+  site owns a CPU pool, a disk array, and a lock table for its pages.
+* A transaction is *homed* at its terminal's site.  It executes
+  sequentially: for each page, a lock request at the owning site (a
+  remote request pays ``msg_delay`` each way), then ``page_io`` +
+  ``page_cpu`` at the owning site's resources.
+* Locks are held at their owning sites until after deferred updates
+  (strict 2PL, distributed).  A distributed commit optionally pays a
+  prepare round trip (``two_phase_commit``); remote lock releases
+  arrive one ``msg_delay`` after the commit point.
+* Deadlock handling is global: detection walks the union waits-for
+  graph of all sites (an oracle detector — the message cost of a real
+  distributed detector like path-pushing is *not* modelled), or the
+  timestamp prevention schemes can be used, which need no global view
+  by construction.
+* Load control: per-site controllers over home populations; admission
+  happens only at the home site, which makes admission-wait cycles
+  ("load control deadlocks", Section 5) impossible — see
+  :mod:`repro.distributed.controllers`.
+
+Simplifications versus a production distributed DBMS, all noted here:
+the network is pure delay (no bandwidth or queueing), abort/release
+messages for aborts are instantaneous, and the 2PC vote collection is
+collapsed into a single round-trip delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.maturity import MaturityRule
+from repro.core.state_tracker import StateTracker
+from repro.dbms.ready_queue import ReadyQueue
+from repro.dbms.transaction import Transaction, TxnPhase
+from repro.distributed.config import DistributedParameters
+from repro.distributed.controllers import PerSiteControllerSet
+from repro.distributed.partition import RangePartition
+from repro.distributed.workload import DistributedWorkload
+from repro.errors import ConfigurationError, SimulationError
+from repro.lockmgr.deadlock import resolve_deadlocks
+from repro.lockmgr.lock_table import LockTable, RequestOutcome
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.prevention import (
+    DeadlockStrategy,
+    wait_die_should_die,
+    wound_wait_victims,
+)
+from repro.metrics.collector import AbortReason, Collector
+from repro.sim.engine import Simulator
+from repro.sim.resources import CpuPool, DiskArray
+from repro.sim.rng import RandomStreams
+
+__all__ = ["DistributedSystem"]
+
+
+class _Site:
+    """One site's hardware and lock manager."""
+
+    __slots__ = ("site_id", "cpu", "disks", "lock_table")
+
+    def __init__(self, site_id: int, sim: Simulator,
+                 params: DistributedParameters):
+        self.site_id = site_id
+        self.cpu = CpuPool(sim, params.num_cpus)
+        self.disks = DiskArray(sim, params.num_disks)
+        self.lock_table = LockTable()
+
+
+class _GlobalLockView:
+    """Union view over all site lock tables.
+
+    A transaction waits for at most one lock at one site, so every
+    query routes to the site recorded in the system's waiting map (or
+    scans all sites for holder-side questions).
+    """
+
+    def __init__(self, system: "DistributedSystem"):
+        self._system = system
+
+    def is_waiting(self, txn: Transaction) -> bool:
+        return txn in self._system.waiting_site
+
+    def blocking_order(self, txn: Transaction) -> List[Transaction]:
+        site = self._system.waiting_site.get(txn)
+        if site is None:
+            return []
+        return self._system.sites[site].lock_table.blocking_order(txn)
+
+    def blocking_set(self, txn: Transaction):
+        site = self._system.waiting_site.get(txn)
+        if site is None:
+            return set()
+        return self._system.sites[site].lock_table.blocking_set(txn)
+
+    def is_blocking_others(self, txn: Transaction) -> bool:
+        return any(site.lock_table.is_blocking_others(txn)
+                   for site in self._system.sites)
+
+    def num_held(self, txn: Transaction) -> int:
+        return sum(site.lock_table.num_held(txn)
+                   for site in self._system.sites)
+
+
+class _SiteView:
+    """The controller-facing facade of one site.
+
+    Exposes exactly the surface :class:`repro.control.base.
+    LoadController` uses, so unmodified single-site controllers govern
+    each site's home population.
+    """
+
+    def __init__(self, system: "DistributedSystem", site_id: int):
+        self._system = system
+        self.site_id = site_id
+        self.tracker = StateTracker()           # home population only
+        self.ready_queue = ReadyQueue()
+        self.lock_table = system.global_locks   # global victim queries
+        self.streams = system.streams
+
+    def try_admit_one(self) -> bool:
+        if self._system.admission_order is not None:
+            txn = self.ready_queue.pop_best(self._system.admission_order)
+        else:
+            txn = self.ready_queue.pop()
+        if txn is None:
+            return False
+        self._system.collector.set_ready_queue_length(
+            self._system.sim.now,
+            sum(len(v.ready_queue) for v in self._system.site_views))
+        self._system._admit(txn)
+        return True
+
+    def abort_transaction(self, txn: Transaction, reason: str) -> None:
+        self._system.abort_transaction(txn, reason)
+
+
+class DistributedSystem:
+    """A complete multi-site simulated DBMS instance for one run."""
+
+    def __init__(self,
+                 params: DistributedParameters,
+                 controllers: PerSiteControllerSet,
+                 workload: Optional[DistributedWorkload] = None,
+                 maturity_rule: Optional[MaturityRule] = None,
+                 collector: Optional[Collector] = None,
+                 sim: Optional[Simulator] = None,
+                 streams: Optional[RandomStreams] = None,
+                 deadlock_strategy: DeadlockStrategy =
+                 DeadlockStrategy.DETECTION,
+                 admission_order=None):
+        if len(controllers) != params.num_sites:
+            raise ConfigurationError(
+                f"{len(controllers)} controllers for "
+                f"{params.num_sites} sites")
+        self.params = params
+        self.sim = sim if sim is not None else Simulator()
+        self.streams = (streams if streams is not None
+                        else RandomStreams(params.seed))
+        self.collector = collector if collector is not None else Collector()
+        self.partition = RangePartition(params.db_size, params.num_sites)
+        self.sites = [_Site(i, self.sim, params)
+                      for i in range(params.num_sites)]
+        self.global_locks = _GlobalLockView(self)
+        # Global tracker feeds the collector; per-site trackers feed the
+        # per-site controllers.  Both are updated in lockstep.
+        self.tracker = StateTracker(self.collector)
+        self.maturity_rule = (maturity_rule if maturity_rule is not None
+                              else MaturityRule())
+        self.deadlock_strategy = deadlock_strategy
+        self.admission_order = admission_order
+        self.workload = (workload if workload is not None
+                         else DistributedWorkload(self.streams, params,
+                                                  self.partition))
+        self.controllers = controllers
+        self.site_views = [_SiteView(self, i)
+                           for i in range(params.num_sites)]
+        for view, controller in zip(self.site_views,
+                                    controllers.controllers):
+            controller.attach(view)
+        # txn -> site where its lock request is waiting.
+        self.waiting_site: Dict[Transaction, int] = {}
+        self._home: Dict[Transaction, int] = {}
+        self._disk_rng = self.streams.stream("disk_choice")
+        self._next_txn_id = 0
+        self._started = False
+        self.total_generated = 0
+        self.remote_accesses = 0
+        self.local_accesses = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def home_of(self, txn: Transaction) -> int:
+        return self._home[txn]
+
+    def _controller_of(self, txn: Transaction):
+        return self.controllers.for_site(self._home[txn])
+
+    def _view_of(self, txn: Transaction) -> _SiteView:
+        return self.site_views[self._home[txn]]
+
+    @staticmethod
+    def _age_key(txn: Transaction):
+        return (txn.timestamp, txn.txn_id)
+
+    # ------------------------------------------------------------------
+    # Startup and arrivals
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise SimulationError("DistributedSystem.start() called twice")
+        self._started = True
+        for terminal_id in range(self.params.num_terms):
+            delay = self.streams.exponential("think_time",
+                                             self.params.think_time)
+            self.sim.schedule(delay, self._terminal_submits, terminal_id)
+
+    def _terminal_submits(self, terminal_id: int) -> None:
+        txn = self.workload.make_transaction(
+            self._next_txn_id, terminal_id, self.sim.now)
+        self._next_txn_id += 1
+        self.total_generated += 1
+        txn.estimated_locks = max(
+            1, round(txn.total_lock_requests()
+                     * self.params.estimate_error))
+        txn.maturity_threshold = self.maturity_rule.threshold(
+            txn.estimated_locks)
+        self._home[txn] = self.workload.home_site_of_terminal(terminal_id)
+        self._arrival(txn)
+
+    def _arrival(self, txn: Transaction) -> None:
+        view = self._view_of(txn)
+        if self._controller_of(txn).want_admit(txn):
+            self._admit(txn)
+        else:
+            view.ready_queue.push(txn)
+            self.collector.set_ready_queue_length(
+                self.sim.now, sum(len(v.ready_queue)
+                                  for v in self.site_views))
+
+    def _admit(self, txn: Transaction) -> None:
+        txn.phase = TxnPhase.EXECUTING
+        txn.admitted_at = self.sim.now
+        self._track_add(txn)
+        self.collector.on_admission()
+        self._controller_of(txn).on_admit(txn)
+        self.sim.schedule(0.0, self._next_operation, txn)
+
+    # ------------------------------------------------------------------
+    # Dual tracker bookkeeping
+    # ------------------------------------------------------------------
+
+    def _track_add(self, txn: Transaction) -> None:
+        self.tracker.add(txn, self.sim.now)
+        # add() resets the flags; the second add must not re-reset state
+        # between the calls, so mirror manually.
+        view = self._view_of(txn)
+        view.tracker._active.add(txn)
+        view.tracker.n_state2 += 1
+
+    def _track_remove(self, txn: Transaction) -> None:
+        view = self._view_of(txn)
+        view.tracker.remove(txn, self.sim.now)
+        self.tracker.remove(txn, self.sim.now)
+
+    def _track_blocked(self, txn: Transaction, blocked: bool) -> None:
+        if txn.is_blocked == blocked:
+            return
+        view = self._view_of(txn)
+        # Order matters: the global tracker flips the flag; the site
+        # tracker adjusts its buckets around the same flag, so flip via
+        # the site tracker first (it checks the current flag).
+        view.tracker.set_blocked(txn, blocked, self.sim.now)
+        txn.is_blocked = not blocked      # restore for the global pass
+        self.tracker.set_blocked(txn, blocked, self.sim.now)
+
+    def _track_mature(self, txn: Transaction) -> None:
+        if txn.is_mature:
+            return
+        view = self._view_of(txn)
+        view.tracker.set_mature(txn, self.sim.now)
+        txn.is_mature = False             # restore for the global pass
+        self.tracker.set_mature(txn, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Execution state machine
+    # ------------------------------------------------------------------
+
+    def _next_operation(self, txn: Transaction) -> None:
+        if txn.wounded:
+            self.abort_transaction(txn, AbortReason.WOUND_WAIT)
+            return
+        if txn.finished_reading():
+            txn.pending_updates = [p for p in txn.readset
+                                   if p in txn.writeset]
+            txn.phase = TxnPhase.UPDATING
+            self._next_deferred_write(txn)
+            return
+        page = txn.current_page()
+        owner = self.partition.site_of(page)
+        delay = 0.0
+        if owner != self._home[txn]:
+            delay = self.params.msg_delay
+            self.remote_accesses += 1
+        else:
+            self.local_accesses += 1
+        if delay > 0.0:
+            self.sim.schedule(delay, self._request_lock_at, txn, page,
+                              owner, False)
+        else:
+            self._request_lock_at(txn, page, owner, False)
+
+    def _request_lock_at(self, txn: Transaction, page: int, owner: int,
+                         upgrade: bool) -> None:
+        if txn.wounded:
+            self.abort_transaction(txn, AbortReason.WOUND_WAIT)
+            return
+        table = self.sites[owner].lock_table
+        mode = LockMode.X if upgrade else LockMode.S
+        if not self.params.locking_enabled:
+            self._lock_granted_at(txn, owner, upgrade)
+            return
+        outcome = table.request(txn, page, mode)
+        if outcome is RequestOutcome.GRANTED:
+            self._lock_granted_at(txn, owner, upgrade)
+            return
+        self.waiting_site[txn] = owner
+        if self.deadlock_strategy is DeadlockStrategy.WAIT_DIE:
+            if wait_die_should_die(self.global_locks, txn, self._age_key):
+                self._cancel_wait(txn)
+                self.abort_transaction(txn, AbortReason.WAIT_DIE)
+                return
+        elif self.deadlock_strategy is DeadlockStrategy.WOUND_WAIT:
+            for victim in wound_wait_victims(self.global_locks, txn,
+                                             self._age_key):
+                self._wound(victim)
+        else:
+            resolve_deadlocks(self.global_locks, txn,
+                              timestamp=self._age_key,
+                              abort=lambda v: self.abort_transaction(
+                                  v, AbortReason.DEADLOCK))
+        if txn not in self.waiting_site:
+            return        # granted via a victim's release, or aborted
+        self._track_blocked(txn, True)
+        self._controller_of(txn).on_block(txn)
+
+    def _wound(self, victim: Transaction) -> None:
+        if victim.phase is TxnPhase.UPDATING or victim.wounded:
+            return
+        if victim in self.waiting_site:
+            self.abort_transaction(victim, AbortReason.WOUND_WAIT)
+        else:
+            victim.wounded = True
+
+    def _cancel_wait(self, txn: Transaction) -> None:
+        site = self.waiting_site.pop(txn, None)
+        if site is not None:
+            grants = self.sites[site].lock_table.cancel_wait(txn)
+            self._process_grants(site, grants)
+
+    def _process_grants(self, site: int, grants) -> None:
+        for grant in grants:
+            self.waiting_site.pop(grant.txn, None)
+            self._lock_granted_at(grant.txn, site, grant.was_upgrade)
+
+    def _lock_granted_at(self, txn: Transaction, owner: int,
+                         was_upgrade: bool) -> None:
+        if txn.is_blocked:
+            self._track_blocked(txn, False)
+            self._controller_of(txn).on_unblock(txn)
+        txn.locks_completed += 1
+        if (not txn.is_mature
+                and txn.locks_completed >= txn.maturity_threshold):
+            self._track_mature(txn)
+        self._controller_of(txn).on_lock_granted(txn)
+        if was_upgrade:
+            self.sites[owner].cpu.request(
+                self.params.page_cpu, self._write_cpu_done, txn)
+        else:
+            self._start_page_read(txn, owner)
+
+    def _start_page_read(self, txn: Transaction, owner: int) -> None:
+        site = self.sites[owner]
+        disk = site.disks.choose_disk(self._disk_rng)
+        site.disks.access(disk, self.params.page_io,
+                          self._page_io_done, txn, owner)
+
+    def _page_io_done(self, txn: Transaction, owner: int) -> None:
+        self.sites[owner].cpu.request(self.params.page_cpu,
+                                      self._page_read_done, txn, owner)
+
+    def _page_read_done(self, txn: Transaction, owner: int) -> None:
+        txn.attempt_reads += 1
+        self.collector.on_page_read()
+        if txn.wounded:
+            self.abort_transaction(txn, AbortReason.WOUND_WAIT)
+            return
+        page = txn.current_page()
+        if page in txn.writeset:
+            if self.params.locking_enabled:
+                self._request_lock_at(txn, page, owner, True)
+            else:
+                self.sites[owner].cpu.request(
+                    self.params.page_cpu, self._write_cpu_done, txn)
+            return
+        txn.step_index += 1
+        # The reply travels back to the home site before the next
+        # operation is issued from there.
+        reply_delay = (self.params.msg_delay
+                       if owner != self._home[txn] else 0.0)
+        if reply_delay > 0.0:
+            self.sim.schedule(reply_delay, self._next_operation, txn)
+        else:
+            self._next_operation(txn)
+
+    def _write_cpu_done(self, txn: Transaction) -> None:
+        if txn.wounded:
+            self.abort_transaction(txn, AbortReason.WOUND_WAIT)
+            return
+        txn.step_index += 1
+        owner = self.partition.site_of(txn.readset[txn.step_index - 1])
+        reply_delay = (self.params.msg_delay
+                       if owner != self._home[txn] else 0.0)
+        if reply_delay > 0.0:
+            self.sim.schedule(reply_delay, self._next_operation, txn)
+        else:
+            self._next_operation(txn)
+
+    # ------------------------------------------------------------------
+    # Deferred updates and distributed commit
+    # ------------------------------------------------------------------
+
+    def _next_deferred_write(self, txn: Transaction) -> None:
+        if not txn.pending_updates:
+            self._prepare_commit(txn)
+            return
+        page = txn.pending_updates.pop()
+        owner = self.partition.site_of(page)
+        delay = (self.params.msg_delay
+                 if owner != self._home[txn] else 0.0)
+        if delay > 0.0:
+            self.sim.schedule(delay, self._deferred_write_at, txn, owner)
+        else:
+            self._deferred_write_at(txn, owner)
+
+    def _deferred_write_at(self, txn: Transaction, owner: int) -> None:
+        site = self.sites[owner]
+        disk = site.disks.choose_disk(self._disk_rng)
+        site.disks.access(disk, self.params.page_io,
+                          self._deferred_write_done, txn)
+
+    def _deferred_write_done(self, txn: Transaction) -> None:
+        txn.attempt_writes += 1
+        self.collector.on_page_written()
+        self._next_deferred_write(txn)
+
+    def _touched_sites(self, txn: Transaction) -> List[int]:
+        sites = []
+        for site in self.sites:
+            if site.lock_table.held_pages(txn):
+                sites.append(site.site_id)
+        return sites
+
+    def _prepare_commit(self, txn: Transaction) -> None:
+        touched = self._touched_sites(txn)
+        home = self._home[txn]
+        remote = [s for s in touched if s != home]
+        if remote and self.params.two_phase_commit:
+            # Prepare round: one round trip to the farthest participant
+            # (messages travel in parallel).
+            self.sim.schedule(2.0 * self.params.msg_delay,
+                              self._commit, txn, touched)
+        else:
+            self._commit(txn, touched)
+
+    def _commit(self, txn: Transaction, touched: List[int]) -> None:
+        home = self._home[txn]
+        self._track_remove(txn)
+        txn.phase = TxnPhase.COMMITTED
+        self.collector.on_commit(
+            pages=txn.attempt_reads + txn.attempt_writes,
+            response_time=self.sim.now - txn.timestamp,
+            restarts=txn.restarts, class_name=txn.class_name)
+        for site_id in touched:
+            if site_id == home:
+                self._release_at(txn, site_id)
+            else:
+                # The commit decision travels to the participant.
+                self.sim.schedule(self.params.msg_delay,
+                                  self._release_at, txn, site_id)
+        controller = self.controllers.for_site(home)
+        controller.on_commit(txn)
+        controller.on_removed(txn)
+        self._home.pop(txn, None)
+        delay = self.streams.exponential("think_time",
+                                         self.params.think_time)
+        self.sim.schedule(delay, self._terminal_submits, txn.terminal_id)
+
+    def _release_at(self, txn: Transaction, site_id: int) -> None:
+        grants = self.sites[site_id].lock_table.release_all(txn)
+        self._process_grants(site_id, grants)
+
+    # ------------------------------------------------------------------
+    # Aborts
+    # ------------------------------------------------------------------
+
+    def abort_transaction(self, txn: Transaction, reason: str) -> None:
+        if not self.tracker.is_active(txn):
+            raise SimulationError(
+                f"cannot abort {txn!r}: not an active transaction")
+        home = self._home[txn]
+        self._track_remove(txn)
+        txn.phase = TxnPhase.ABORTED
+        self.collector.on_abort(reason, class_name=txn.class_name)
+        self._cancel_wait(txn)
+        for site in self.sites:
+            if site.lock_table.held_pages(txn):
+                grants = site.lock_table.release_all(txn)
+                self._process_grants(site.site_id, grants)
+        controller = self.controllers.for_site(home)
+        controller.on_abort(txn, reason)
+        txn.reset_for_restart()
+        self.sim.schedule(self.params.effective_restart_delay,
+                          self._arrival, txn)
+        controller.on_removed(txn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def remote_fraction(self) -> float:
+        total = self.remote_accesses + self.local_accesses
+        return self.remote_accesses / total if total else 0.0
+
+    def site_stats(self) -> List[dict]:
+        """Per-site utilization and lock-manager statistics."""
+        elapsed = self.sim.now
+        stats = []
+        for site, view in zip(self.sites, self.site_views):
+            stats.append({
+                "site": site.site_id,
+                "cpu_utilization": site.cpu.utilization(elapsed),
+                "disk_utilization": site.disks.utilization(elapsed),
+                "lock_requests": site.lock_table.requests,
+                "lock_blocks": site.lock_table.blocks,
+                "home_active": view.tracker.n_active,
+                "home_ready": len(view.ready_queue),
+            })
+        return stats
+
+    def check_invariants(self) -> None:
+        for site in self.sites:
+            site.lock_table.check_invariants()
+        self.tracker.check_invariants()
+        for view in self.site_views:
+            view.tracker.check_invariants()
+        # Site trackers partition the global active set.
+        total = sum(v.tracker.n_active for v in self.site_views)
+        assert total == self.tracker.n_active
+        for txn in self.tracker.active_transactions():
+            waiting = txn in self.waiting_site
+            assert waiting == txn.is_blocked, (
+                f"{txn!r}: blocked flag {txn.is_blocked}, "
+                f"waiting map {waiting}")

@@ -1,0 +1,88 @@
+"""Workload generation for the distributed model.
+
+Terminals are assigned to sites round-robin; each transaction draws its
+readset with a configurable *locality*: each page falls inside the home
+partition with probability ``locality`` and uniformly over the remote
+partitions otherwise.  Pages are distinct within a transaction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.dbms.transaction import Transaction
+from repro.distributed.config import DistributedParameters
+from repro.distributed.partition import RangePartition
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomStreams
+from repro.workload.base import WorkloadGenerator, sample_readset_size
+
+__all__ = ["DistributedWorkload"]
+
+
+class DistributedWorkload(WorkloadGenerator):
+    """Locality-controlled page selection over a partitioned database."""
+
+    def __init__(self, streams: RandomStreams,
+                 params: DistributedParameters,
+                 partition: RangePartition):
+        super().__init__(streams)
+        self.params = params
+        self.partition = partition
+
+    @property
+    def name(self) -> str:
+        return (f"Distributed(sites={self.partition.num_sites}, "
+                f"locality={self.params.locality:.0%}, "
+                f"size={self.params.tran_size})")
+
+    def home_site_of_terminal(self, terminal_id: int) -> int:
+        """Round-robin terminal-to-site assignment."""
+        return terminal_id % self.partition.num_sites
+
+    def _draw_pages(self, home: int, count: int) -> List[int]:
+        params, partition = self.params, self.partition
+        rng = self.streams.stream("dist_page_choice")
+        lo, hi = partition.range_of(home)
+        home_pages = hi - lo
+        remote_pages = params.db_size - home_pages
+        if count > params.db_size:
+            raise WorkloadError(
+                f"readset of {count} exceeds database of "
+                f"{params.db_size} pages")
+        chosen: Set[int] = set()
+        guard = 0
+        while len(chosen) < count:
+            guard += 1
+            if guard > 50 * count + 200:
+                # Degenerate region exhausted (e.g. tiny home partition
+                # with locality 1.0): fall back to uniform fill.
+                remaining = [p for p in range(params.db_size)
+                             if p not in chosen]
+                fill = rng.sample(remaining, count - len(chosen))
+                chosen.update(fill)
+                break
+            local = rng.random() < params.locality
+            if local or remote_pages == 0:
+                page = lo + rng.randrange(home_pages)
+            else:
+                offset = rng.randrange(remote_pages)
+                page = offset if offset < lo else offset + home_pages
+            chosen.add(page)
+        ordered = list(chosen)
+        rng.shuffle(ordered)
+        return ordered
+
+    def make_transaction(self, txn_id: int, terminal_id: int,
+                         now: float) -> Transaction:
+        params = self.params
+        home = self.home_site_of_terminal(terminal_id)
+        size = sample_readset_size(self.streams, params.tran_size)
+        readset = self._draw_pages(home, size)
+        writeset = {page for page in readset
+                    if self.streams.bernoulli("write_choice",
+                                              params.write_prob)}
+        return Transaction(txn_id=txn_id, terminal_id=terminal_id,
+                           timestamp=now, readset=readset,
+                           writeset=writeset,
+                           class_name=f"site{home}")

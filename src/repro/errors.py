@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses distinguish the layer
+that failed: simulation kernel, lock manager, configuration, or experiment
+harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event simulation kernel on misuse.
+
+    Examples: scheduling an event in the past, running a simulator whose
+    clock has been corrupted, or double-cancelling an event.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when simulation parameters are inconsistent or out of range."""
+
+
+class LockManagerError(ReproError):
+    """Base class for lock-manager protocol violations."""
+
+
+class LockProtocolError(LockManagerError):
+    """Raised when a transaction violates the locking protocol.
+
+    Examples: releasing a lock it does not hold, requesting a lock while
+    already waiting for another one, or downgrading an exclusive lock.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator is asked for an impossible mix.
+
+    Example: a transaction readset larger than the database.
+    """
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness (unknown figure id, bad sweep)."""

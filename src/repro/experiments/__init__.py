@@ -1,0 +1,5 @@
+"""Experiment harness: runner, sweeps, figure reproductions, reporting."""
+
+from repro.experiments.runner import run_simulation
+
+__all__ = ["run_simulation"]

@@ -1,0 +1,101 @@
+"""Command-line interface: ``repro-experiment``.
+
+Usage::
+
+    repro-experiment list
+    repro-experiment run fig07 [--scale smoke|bench|paper]
+    repro-experiment run all   [--scale bench]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.figures import all_figures, get_figure
+from repro.experiments.reporting import format_figure, format_figure_list
+from repro.experiments.scales import get_scale
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=("Reproduce figures from 'Load Control for Locking: "
+                     "The Half-and-Half Approach' (Carey, Krishnamurthi "
+                     "& Livny, 1990)."))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible figures")
+
+    run_p = sub.add_parser("run", help="run one figure (or 'all')")
+    run_p.add_argument("figure", help="figure id, e.g. fig07, or 'all'")
+    run_p.add_argument("--scale", default="bench",
+                       choices=["smoke", "bench", "paper"],
+                       help="measurement scale (default: bench)")
+    run_p.add_argument("--csv", metavar="PATH", default=None,
+                       help="also write the figure data as CSV")
+    run_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the figure data as JSON")
+
+    report_p = sub.add_parser(
+        "report", help="run every figure and write EXPERIMENTS.md")
+    report_p.add_argument("--scale", default="bench",
+                          choices=["smoke", "bench", "paper"])
+    report_p.add_argument("--out", default="EXPERIMENTS.md",
+                          help="output path (default: EXPERIMENTS.md)")
+    return parser
+
+
+def _run_one(figure_id: str, scale_name: str,
+             csv_path=None, json_path=None) -> None:
+    spec = get_figure(figure_id)
+    scale = get_scale(scale_name)
+    print(f"running {spec.figure_id} at scale '{scale.name}' ...",
+          file=sys.stderr)
+    start = time.time()
+    result = spec.run(scale)
+    elapsed = time.time() - start
+    print(format_figure(result))
+    print(f"paper claim: {spec.paper_claim}")
+    print(f"[{elapsed:.1f}s]", file=sys.stderr)
+    if csv_path:
+        from repro.experiments.export import figure_to_csv
+        figure_to_csv(result, csv_path)
+        print(f"wrote {csv_path}", file=sys.stderr)
+    if json_path:
+        from repro.experiments.export import figure_to_json
+        figure_to_json(result, json_path)
+        print(f"wrote {json_path}", file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            print(format_figure_list(all_figures()))
+        elif args.command == "run":
+            if args.figure == "all":
+                for spec in all_figures():
+                    _run_one(spec.figure_id, args.scale)
+                    print()
+            else:
+                _run_one(args.figure, args.scale,
+                         csv_path=args.csv, json_path=args.json)
+        elif args.command == "report":
+            from repro.experiments.report import generate_report
+            path = generate_report(get_scale(args.scale), args.out)
+            print(f"wrote {path}", file=sys.stderr)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

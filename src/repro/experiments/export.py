@@ -1,0 +1,94 @@
+"""Export figure results and run results to CSV / JSON.
+
+The CLI and EXPERIMENTS.md generation use these to persist figure data
+so that paper-scale runs (hours) don't have to be repeated to re-render
+a table.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.figures.base import FigureResult
+from repro.metrics.results import SimulationResults
+
+__all__ = ["figure_to_csv", "figure_to_json", "figure_from_json",
+           "results_to_dict"]
+
+PathLike = Union[str, Path]
+
+
+def figure_to_csv(result: FigureResult, path: PathLike) -> None:
+    """Write a figure's x column and series as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([result.x_label] + list(result.series))
+        for i, x in enumerate(result.x_values):
+            row = [x]
+            for name in result.series:
+                value = result.series[name][i]
+                row.append("" if value is None else value)
+            writer.writerow(row)
+
+
+def figure_to_json(result: FigureResult, path: PathLike) -> None:
+    """Serialize a figure result (without extras) to JSON."""
+    payload = {
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "x_values": result.x_values,
+        "series": result.series,
+        "notes": result.notes,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def figure_from_json(path: PathLike) -> FigureResult:
+    """Load a figure result previously written by :func:`figure_to_json`."""
+    payload = json.loads(Path(path).read_text())
+    return FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        y_label=payload["y_label"],
+        x_values=payload["x_values"],
+        series=payload["series"],
+        notes=payload.get("notes", ""),
+    )
+
+
+def results_to_dict(results: SimulationResults) -> dict:
+    """Flatten one run's results to JSON-serializable primitives."""
+    return {
+        "controller": results.controller_name,
+        "workload": results.workload_name,
+        "page_throughput": results.page_throughput.mean,
+        "page_throughput_ci": results.page_throughput.half_width,
+        "raw_page_rate": results.raw_page_rate.mean,
+        "transaction_throughput": results.transaction_throughput.mean,
+        "avg_mpl": results.avg_mpl,
+        "max_mpl": results.max_mpl,
+        "avg_state1": results.avg_state1,
+        "avg_state2": results.avg_state2,
+        "avg_state3": results.avg_state3,
+        "avg_state4": results.avg_state4,
+        "avg_ready_queue": results.avg_ready_queue,
+        "commits": results.commits,
+        "aborts": results.aborts,
+        "aborts_by_reason": dict(results.aborts_by_reason),
+        "avg_response_time": results.avg_response_time,
+        "avg_restarts_per_commit": results.avg_restarts_per_commit,
+        "measurement_time": results.measurement_time,
+        "per_class": {
+            name: {"commits": s.commits, "pages": s.pages,
+                   "aborts": s.aborts,
+                   "avg_response_time": s.avg_response_time}
+            for name, s in results.per_class.items()
+        },
+    }

@@ -1,0 +1,87 @@
+"""Registry of reproduced paper figures.
+
+Each ``figNN_*`` module reproduces one figure of the paper's evaluation;
+``ext_*`` modules reconstruct experiments the paper describes but does
+not plot.  Use :func:`get_figure` / :func:`all_figures` to access them
+programmatically, or the ``repro-experiment`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import (
+    ext_distributed,
+    ext_write_prob,
+    fig01_thrashing,
+    fig02_fixed_mpl_mismatch,
+    fig03_populations_base,
+    fig04_populations_large,
+    fig07_base_case,
+    fig08_txn_size_thruput,
+    fig09_txn_size_raw,
+    fig10_txn_size_mpl,
+    fig11_db_size,
+    fig12_mixed,
+    fig13_mixed_degree2,
+    fig14_varying_slow,
+    fig15_varying_fast,
+    fig16_tay_thruput,
+    fig17_tay_mpl,
+    fig18_bounded_wait,
+    fig19_bounded_wait_raw,
+    fig20_maturity_fraction,
+    fig21_maturity_cap,
+    fig22_buffer_small,
+    fig23_buffer_full,
+)
+from repro.experiments.figures.base import FigureResult, FigureSpec
+
+__all__ = ["FigureResult", "FigureSpec", "REGISTRY", "get_figure",
+           "all_figures"]
+
+_MODULES = [
+    fig01_thrashing,
+    fig02_fixed_mpl_mismatch,
+    fig03_populations_base,
+    fig04_populations_large,
+    fig07_base_case,
+    fig08_txn_size_thruput,
+    fig09_txn_size_raw,
+    fig10_txn_size_mpl,
+    fig11_db_size,
+    fig12_mixed,
+    fig13_mixed_degree2,
+    fig14_varying_slow,
+    fig15_varying_fast,
+    fig16_tay_thruput,
+    fig17_tay_mpl,
+    fig18_bounded_wait,
+    fig19_bounded_wait_raw,
+    fig20_maturity_fraction,
+    fig21_maturity_cap,
+    fig22_buffer_small,
+    fig23_buffer_full,
+    ext_write_prob,
+    ext_distributed,
+]
+
+REGISTRY: Dict[str, FigureSpec] = {
+    module.FIGURE.figure_id: module.FIGURE for module in _MODULES
+}
+
+
+def get_figure(figure_id: str) -> FigureSpec:
+    """Look up a figure by id (e.g. ``"fig07"``)."""
+    try:
+        return REGISTRY[figure_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown figure {figure_id!r}; "
+            f"known: {', '.join(sorted(REGISTRY))}") from None
+
+
+def all_figures() -> List[FigureSpec]:
+    """Every registered figure, in paper order."""
+    return [module.FIGURE for module in _MODULES]

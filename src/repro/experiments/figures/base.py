@@ -1,0 +1,87 @@
+"""Figure-experiment framework.
+
+Every paper figure is reproduced by a module exposing a module-level
+``FIGURE`` — a :class:`FigureSpec` naming the experiment and binding a
+``run(scale) -> FigureResult`` function.  Results are plain data: an
+x-axis plus named series, renderable as an aligned text table (the same
+rows/series the paper plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.scales import Scale
+
+__all__ = ["FigureResult", "FigureSpec"]
+
+
+@dataclass
+class FigureResult:
+    """The data behind one reproduced figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: List[float]
+    series: Dict[str, List[Optional[float]]]
+    notes: str = ""
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, ys in self.series.items():
+            if len(ys) != len(self.x_values):
+                raise ExperimentError(
+                    f"{self.figure_id}: series {name!r} has "
+                    f"{len(ys)} points for {len(self.x_values)} x values")
+
+    def get(self, series_name: str) -> List[Optional[float]]:
+        """One series' y values, in x order."""
+        try:
+            return self.series[series_name]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.figure_id}: no series {series_name!r}; "
+                f"have {sorted(self.series)}") from None
+
+    def as_table(self) -> str:
+        """Render as an aligned text table (x column + one per series)."""
+        headers = [self.x_label] + list(self.series)
+        rows: List[List[str]] = []
+        for i, x in enumerate(self.x_values):
+            row = [_fmt(x)]
+            for name in self.series:
+                row.append(_fmt(self.series[name][i]))
+            rows.append(row)
+        widths = [max(len(h), *(len(r[c]) for r in rows)) if rows else len(h)
+                  for c, h in enumerate(headers)]
+        lines = [f"{self.figure_id}: {self.title}   [{self.y_label}]"]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return f"{value:g}" if isinstance(value, float) else str(value)
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Metadata and entry point for one reproduced figure."""
+
+    figure_id: str            # e.g. "fig07"
+    title: str
+    paper_claim: str          # the qualitative shape the paper reports
+    run: Callable[[Scale], FigureResult]
+    tags: Sequence[str] = ()

@@ -1,0 +1,69 @@
+"""Write-probability sweep (Section 4.3, figure omitted in the paper).
+
+"We also performed a series of simulations that varied the write
+probability ...  the Half-and-Half algorithm performed well over the
+entire range, while each fixed MPL was only optimal or near-optimal for
+a subset of the range."  The paper omits the figure; we reconstruct it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import REFERENCE_MPLS, base_params
+from repro.experiments.sweeps import default_mpl_candidates, find_optimal_mpl
+
+__all__ = ["FIGURE", "run", "write_prob_points"]
+
+
+def write_prob_points(scale: Scale) -> List[float]:
+    fine = [0.0, 0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0]
+    coarse = [0.0, 0.25, 1.0]
+    return scale.pick(fine, coarse)
+
+
+def run(scale: Scale) -> FigureResult:
+    probs = write_prob_points(scale)
+    series: Dict[str, List[float]] = {
+        "Half-and-Half": [], "Optimal MPL": []}
+    for mpl in REFERENCE_MPLS:
+        series[f"MPL {mpl}"] = []
+    optimal_mpls: Dict[float, int] = {}
+    for w in probs:
+        params = base_params(scale, write_prob=w)
+        series["Half-and-Half"].append(
+            run_simulation(params, HalfAndHalfController())
+            .page_throughput.mean)
+        candidates = default_mpl_candidates(params.num_terms,
+                                            dense=scale.dense)
+        best, by_mpl = find_optimal_mpl(params, candidates)
+        optimal_mpls[w] = best
+        series["Optimal MPL"].append(by_mpl[best].page_throughput.mean)
+        for mpl in REFERENCE_MPLS:
+            series[f"MPL {mpl}"].append(
+                run_simulation(params, FixedMPLController(mpl))
+                .page_throughput.mean)
+    return FigureResult(
+        figure_id="ext_write_prob",
+        title="Page Throughput vs write probability (200 terminals)",
+        x_label="write probability",
+        y_label="pages/second",
+        x_values=probs,
+        series=series,
+        extras={"optimal_mpl": optimal_mpls},
+    )
+
+
+FIGURE = FigureSpec(
+    figure_id="ext_write_prob",
+    title="Write-probability sweep (omitted figure, Section 4.3)",
+    paper_claim=("Half-and-Half good across the whole range; each fixed "
+                 "MPL only near-optimal on part of it"),
+    run=run,
+    tags=("extension", "write-prob"),
+)

@@ -1,0 +1,52 @@
+"""Figure 1: DBMS thrashing under 2PL (base case).
+
+Page throughput versus the number of terminals for raw 2PL with no load
+control, against the "no concurrency control" reference curve.  The
+paper's claim: without CC, performance rises then levels off at resource
+saturation; with 2PL it rises, peaks (around 35 terminals), then drops
+due to lock thrashing.
+"""
+
+from __future__ import annotations
+
+from repro.control.no_control import NoControlController
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import base_params, terminal_sweep_points
+
+__all__ = ["FIGURE", "run"]
+
+
+def run(scale: Scale) -> FigureResult:
+    points = terminal_sweep_points(scale)
+    with_2pl = []
+    without_cc = []
+    for terms in points:
+        params = base_params(scale, num_terms=terms)
+        with_2pl.append(
+            run_simulation(params, NoControlController())
+            .page_throughput.mean)
+        without_cc.append(
+            run_simulation(params.replace(locking_enabled=False),
+                           NoControlController())
+            .page_throughput.mean)
+    return FigureResult(
+        figure_id="fig01",
+        title="Page Throughput (2PL thrashing, base case)",
+        x_label="terminals",
+        y_label="pages/second",
+        x_values=[float(t) for t in points],
+        series={"2PL (no load control)": with_2pl,
+                "no concurrency control": without_cc},
+    )
+
+
+FIGURE = FigureSpec(
+    figure_id="fig01",
+    title="2PL thrashing vs no-CC reference (base case)",
+    paper_claim=("no-CC throughput rises then levels off; 2PL rises, "
+                 "peaks, then falls as terminals increase"),
+    run=run,
+    tags=("introduction", "thrashing"),
+)

@@ -1,0 +1,56 @@
+"""Figure 2: a fixed MPL is only optimal for its own workload.
+
+The optimal multiprogramming level for the base workload (35) is applied
+both to the base workload and to a workload with 4×-larger transactions.
+The paper's claim: MPL 35 preserves peak performance for the base case
+but performs terribly for the 32-page workload — "a more adaptive
+solution is required".
+"""
+
+from __future__ import annotations
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import base_params, terminal_sweep_points
+
+__all__ = ["FIGURE", "run"]
+
+BASE_OPTIMAL_MPL = 35
+
+
+def run(scale: Scale) -> FigureResult:
+    points = terminal_sweep_points(scale)
+    base_curve = []
+    large_curve = []
+    for terms in points:
+        base = base_params(scale, num_terms=terms)
+        base_curve.append(
+            run_simulation(base, FixedMPLController(BASE_OPTIMAL_MPL))
+            .page_throughput.mean)
+        large = base_params(scale, num_terms=terms, tran_size=32)
+        large_curve.append(
+            run_simulation(large, FixedMPLController(BASE_OPTIMAL_MPL))
+            .page_throughput.mean)
+    return FigureResult(
+        figure_id="fig02",
+        title=f"Page Throughput with fixed MPL {BASE_OPTIMAL_MPL}",
+        x_label="terminals",
+        y_label="pages/second",
+        x_values=[float(t) for t in points],
+        series={"base workload (size 8)": base_curve,
+                "4x larger transactions (size 32)": large_curve},
+        notes=("MPL 35 is near-optimal for the base workload but causes "
+               "thrashing for 32-page transactions."),
+    )
+
+
+FIGURE = FigureSpec(
+    figure_id="fig02",
+    title="Fixed MPL 35 on base vs 4x-larger transactions",
+    paper_claim=("the fixed MPL that is optimal for the base workload "
+                 "performs badly once transactions are 4x larger"),
+    run=run,
+    tags=("introduction", "fixed-mpl"),
+)

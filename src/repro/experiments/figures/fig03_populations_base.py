@@ -1,0 +1,71 @@
+"""Figure 3: transaction-state populations vs terminals (base case).
+
+Plots the time-average number of State 1 transactions (mature & running)
+and of "other" transactions (States 2–4) as the number of terminals
+grows, for raw 2PL with no load control.  The paper's key empirical
+observation — the origin of the 50% rule — is that the two curves cross
+at approximately the number of terminals where page throughput peaks
+(35 for the base case).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.control.no_control import NoControlController
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import base_params, terminal_sweep_points
+
+__all__ = ["FIGURE", "run", "population_sweep", "crossover_point"]
+
+
+def population_sweep(scale: Scale, tran_size: int,
+                     figure_id: str) -> FigureResult:
+    """Shared implementation for Figures 3 and 4."""
+    points = terminal_sweep_points(scale)
+    state1: List[float] = []
+    others: List[float] = []
+    throughput: List[float] = []
+    for terms in points:
+        params = base_params(scale, num_terms=terms, tran_size=tran_size)
+        result = run_simulation(params, NoControlController())
+        state1.append(result.avg_state1)
+        others.append(result.avg_others)
+        throughput.append(result.page_throughput.mean)
+    return FigureResult(
+        figure_id=figure_id,
+        title=(f"Transaction-state populations "
+               f"(tran_size={tran_size}, no load control)"),
+        x_label="terminals",
+        y_label="avg transactions",
+        x_values=[float(t) for t in points],
+        series={"State 1 (mature & running)": state1,
+                "States 2-4 (others)": others},
+        extras={"page_throughput": throughput},
+    )
+
+
+def crossover_point(result: FigureResult) -> Optional[float]:
+    """First x where the States-2–4 curve overtakes the State-1 curve."""
+    state1 = result.get("State 1 (mature & running)")
+    others = result.get("States 2-4 (others)")
+    for x, s1, rest in zip(result.x_values, state1, others):
+        if rest is not None and s1 is not None and rest >= s1:
+            return x
+    return None
+
+
+def run(scale: Scale) -> FigureResult:
+    return population_sweep(scale, tran_size=8, figure_id="fig03")
+
+
+FIGURE = FigureSpec(
+    figure_id="fig03",
+    title="State populations vs terminals (base case)",
+    paper_claim=("the State-1 and States-2-4 population curves cross "
+                 "near the throughput peak (~35 terminals)"),
+    run=run,
+    tags=("half-and-half", "populations"),
+)

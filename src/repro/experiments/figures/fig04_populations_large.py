@@ -1,0 +1,29 @@
+"""Figure 4: transaction-state populations, 4×-larger transactions.
+
+The same pair of population curves as Figure 3 but for the 32-page
+workload of Figure 2.  The paper notes the crossover and the maximum
+performance point "don't coincide exactly in this case, [but] they are
+still quite close."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.figures.fig03_populations_base import population_sweep
+from repro.experiments.scales import Scale
+
+__all__ = ["FIGURE", "run"]
+
+
+def run(scale: Scale) -> FigureResult:
+    return population_sweep(scale, tran_size=32, figure_id="fig04")
+
+
+FIGURE = FigureSpec(
+    figure_id="fig04",
+    title="State populations vs terminals (32-page transactions)",
+    paper_claim=("the population crossover is close to (though not "
+                 "exactly at) the throughput peak for larger transactions"),
+    run=run,
+    tags=("half-and-half", "populations"),
+)

@@ -1,0 +1,59 @@
+"""Figure 7: the Half-and-Half algorithm on the base case.
+
+Page throughput versus terminals for Half-and-Half load control against
+raw 2PL.  The paper's claim: "The algorithm successfully keeps the system
+operating at its peak performance level once the number of terminals
+exceeds the point where 2PL reaches its maximum page throughput."
+"""
+
+from __future__ import annotations
+
+from repro.control.no_control import NoControlController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import base_params, terminal_sweep_points
+
+__all__ = ["FIGURE", "run", "control_sweep"]
+
+
+def control_sweep(scale: Scale, figure_id: str,
+                  **param_overrides) -> FigureResult:
+    """Shared H&H-vs-raw-2PL terminal sweep (Figures 7, 22, 23)."""
+    points = terminal_sweep_points(scale)
+    hh_curve = []
+    raw_curve = []
+    hh_mpl = []
+    for terms in points:
+        params = base_params(scale, num_terms=terms, **param_overrides)
+        hh = run_simulation(params, HalfAndHalfController())
+        hh_curve.append(hh.page_throughput.mean)
+        hh_mpl.append(hh.avg_mpl)
+        raw_curve.append(
+            run_simulation(params, NoControlController())
+            .page_throughput.mean)
+    return FigureResult(
+        figure_id=figure_id,
+        title="Page Throughput: Half-and-Half vs raw 2PL",
+        x_label="terminals",
+        y_label="pages/second",
+        x_values=[float(t) for t in points],
+        series={"Half-and-Half": hh_curve,
+                "2PL (no load control)": raw_curve},
+        extras={"hh_avg_mpl": hh_mpl},
+    )
+
+
+def run(scale: Scale) -> FigureResult:
+    return control_sweep(scale, figure_id="fig07")
+
+
+FIGURE = FigureSpec(
+    figure_id="fig07",
+    title="Half-and-Half holds the base case at peak throughput",
+    paper_claim=("Half-and-Half stays at peak throughput as terminals "
+                 "grow while raw 2PL thrashes"),
+    run=run,
+    tags=("half-and-half", "base-case"),
+)

@@ -1,0 +1,72 @@
+"""Figure 11: page throughput versus database size.
+
+Database size varied with other parameters at the base case (hot spots
+can be modelled as a reduced effective database size, so small databases
+stand in for high contention).  Curves: Half-and-Half, the searched
+optimal MPL, and fixed MPLs 35 and 20.  The paper's claim: Half-and-Half
+is close to optimal everywhere; the fixed MPLs over-admit for small
+databases (contention) and under-admit for large ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import REFERENCE_MPLS, base_params
+from repro.experiments.sweeps import default_mpl_candidates, find_optimal_mpl
+
+__all__ = ["FIGURE", "run", "db_size_points"]
+
+
+def db_size_points(scale: Scale) -> List[int]:
+    fine = [250, 500, 1000, 2000, 4000, 8000]
+    coarse = [250, 1000, 4000]
+    return scale.pick(fine, coarse)
+
+
+def run(scale: Scale) -> FigureResult:
+    sizes = db_size_points(scale)
+    series: Dict[str, List[float]] = {
+        "Half-and-Half": [], "Optimal MPL": []}
+    for mpl in REFERENCE_MPLS:
+        series[f"MPL {mpl}"] = []
+    optimal_mpls: Dict[int, int] = {}
+    for db in sizes:
+        params = base_params(scale, db_size=db)
+        series["Half-and-Half"].append(
+            run_simulation(params, HalfAndHalfController())
+            .page_throughput.mean)
+        candidates = default_mpl_candidates(params.num_terms,
+                                            dense=scale.dense)
+        best, by_mpl = find_optimal_mpl(params, candidates)
+        optimal_mpls[db] = best
+        series["Optimal MPL"].append(by_mpl[best].page_throughput.mean)
+        for mpl in REFERENCE_MPLS:
+            series[f"MPL {mpl}"].append(
+                run_simulation(params, FixedMPLController(mpl))
+                .page_throughput.mean)
+    return FigureResult(
+        figure_id="fig11",
+        title="Page Throughput vs database size (200 terminals)",
+        x_label="database size (pages)",
+        y_label="pages/second",
+        x_values=[float(s) for s in sizes],
+        series=series,
+        extras={"optimal_mpl": optimal_mpls},
+    )
+
+
+FIGURE = FigureSpec(
+    figure_id="fig11",
+    title="Throughput across database sizes",
+    paper_claim=("Half-and-Half close to optimal at every database size; "
+                 "fixed MPLs lose at the small (contention) and large "
+                 "(under-admission) ends"),
+    run=run,
+    tags=("half-and-half", "db-size"),
+)

@@ -1,0 +1,89 @@
+"""Figure 12: two-class mixed workload.
+
+160 terminals submit small update transactions (4 pages, every page
+written), 40 terminals submit large read-only transactions (24 pages);
+average readset 8 pages, as in the base case.  Page throughput is swept
+over fixed MPLs, with the Half-and-Half result shown at the MPL it
+selected by itself.  The paper's claim: the curve's shape resembles the
+base case and Half-and-Half lands very close to the optimal MPL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.dbms.config import SimulationParameters
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import base_params
+from repro.experiments.sweeps import sweep_fixed_mpl
+from repro.sim.rng import RandomStreams
+from repro.workload.mixed import MixedWorkload, paper_mixed_classes
+
+__all__ = ["FIGURE", "run", "mixed_workload_sweep", "mpl_sweep_points"]
+
+
+def mpl_sweep_points(scale: Scale) -> List[int]:
+    fine = [5, 10, 15, 20, 25, 30, 35, 40, 50, 60, 75, 100, 150, 200]
+    coarse = [5, 15, 30, 50, 100, 200]
+    return scale.pick(fine, coarse)
+
+
+_SWEEP_CACHE = {}
+
+
+def mixed_workload_sweep(scale: Scale, figure_id: str,
+                         degree_two_readers: bool) -> FigureResult:
+    """Shared implementation for Figures 12 and 13 (cached per scale)."""
+    cache_key = (scale.name, degree_two_readers, figure_id)
+    cached = _SWEEP_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    def factory(streams: RandomStreams, params: SimulationParameters):
+        return MixedWorkload(
+            streams, params.db_size,
+            paper_mixed_classes(degree_two_readers=degree_two_readers))
+
+    params = base_params(scale)
+    mpls = mpl_sweep_points(scale)
+    fixed = sweep_fixed_mpl(params, mpls, workload_factory=factory)
+    hh = run_simulation(params, HalfAndHalfController(),
+                        workload_factory=factory)
+    protocol = "degree-2 readers" if degree_two_readers else "2PL readers"
+    result = FigureResult(
+        figure_id=figure_id,
+        title=f"Page Throughput, mixed workload ({protocol})",
+        x_label="multiprogramming level",
+        y_label="pages/second",
+        x_values=[float(m) for m in mpls],
+        series={
+            "2PL fixed MPL": [
+                fixed[m].page_throughput.mean for m in mpls],
+            "Half-and-Half (self-selected MPL)": [
+                hh.page_throughput.mean] * len(mpls),
+        },
+        extras={"hh_result": hh, "hh_avg_mpl": hh.avg_mpl},
+        notes=(f"Half-and-Half achieved {hh.page_throughput.mean:.1f} "
+               f"pages/s at a self-selected average MPL of "
+               f"{hh.avg_mpl:.1f}."),
+    )
+    _SWEEP_CACHE[cache_key] = result
+    return result
+
+
+def run(scale: Scale) -> FigureResult:
+    return mixed_workload_sweep(scale, figure_id="fig12",
+                                degree_two_readers=False)
+
+
+FIGURE = FigureSpec(
+    figure_id="fig12",
+    title="Mixed workload (small updates + large read-only)",
+    paper_claim=("the MPL-throughput curve resembles the base case and "
+                 "Half-and-Half performs very close to the optimal MPL"),
+    run=run,
+    tags=("mixed-workload",),
+)

@@ -1,0 +1,32 @@
+"""Figure 13: mixed workload with degree-2 locking for the readers.
+
+The Figure 12 experiment repeated with the large read-only transactions
+running the degree-2 lock protocol (lock each page, release before the
+next read).  The paper's claim: the no-load-control curve is less sharp
+and peaks higher — the readers behave like strings of tiny transactions
+— but thrashing still occurs at high MPLs, and Half-and-Half again
+operates near the optimum.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.figures.fig12_mixed import mixed_workload_sweep
+from repro.experiments.scales import Scale
+
+__all__ = ["FIGURE", "run"]
+
+
+def run(scale: Scale) -> FigureResult:
+    return mixed_workload_sweep(scale, figure_id="fig13",
+                                degree_two_readers=True)
+
+
+FIGURE = FigureSpec(
+    figure_id="fig13",
+    title="Mixed workload with degree-2 read-only transactions",
+    paper_claim=("flatter, higher-peaked curve; thrashing persists at "
+                 "high MPL; Half-and-Half stays near the optimum"),
+    run=run,
+    tags=("mixed-workload", "degree-2"),
+)

@@ -1,0 +1,94 @@
+"""Figure 14: slowly time-varying workload.
+
+Transaction sizes alternate between a random phase (mean size uniform on
+[4, 72], lasting N1 ∈ {1000..5000} transactions) and a compensating
+4-page phase, keeping the long-run mean at 8 pages.  Page throughput is
+swept over fixed MPLs and compared to Half-and-Half.  The paper's claim:
+Half-and-Half *outperforms the best possible fixed MPL*, because no
+static level suits both phases while the adaptive controller retunes
+itself each phase.
+
+Note on scale: each paper phase spans hundreds of simulated seconds, so
+this experiment uses a longer measurement window than the other figures
+(the scale's batch time is tripled) to sample several phases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.dbms.config import SimulationParameters
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import base_params
+from repro.experiments.sweeps import sweep_fixed_mpl
+from repro.sim.rng import RandomStreams
+from repro.workload.time_varying import (
+    FAST_PHASE_LENGTHS,
+    SLOW_PHASE_LENGTHS,
+    TimeVaryingWorkload,
+)
+
+__all__ = ["FIGURE", "run", "time_varying_sweep"]
+
+
+def _mpl_points(scale: Scale) -> List[int]:
+    fine = [3, 5, 8, 12, 16, 20, 25, 30, 35, 45, 60, 90, 140, 200]
+    coarse = [3, 8, 16, 30, 60, 140]
+    return scale.pick(fine, coarse)
+
+
+def time_varying_sweep(scale: Scale, figure_id: str,
+                       phase_lengths: Sequence[int],
+                       variation: str) -> FigureResult:
+    """Shared implementation for Figures 14 and 15."""
+
+    def factory(streams: RandomStreams, params: SimulationParameters):
+        return TimeVaryingWorkload(streams, params.db_size,
+                                   phase1_lengths=phase_lengths,
+                                   write_prob=params.write_prob)
+
+    # Longer window: phases span many simulated seconds each.
+    params = base_params(scale).replace(
+        batch_time=scale.batch_time * 3.0)
+    mpls = _mpl_points(scale)
+    fixed = sweep_fixed_mpl(params, mpls, workload_factory=factory)
+    hh = run_simulation(params, HalfAndHalfController(),
+                        workload_factory=factory)
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Page Throughput, {variation} workload variation",
+        x_label="multiprogramming level",
+        y_label="pages/second",
+        x_values=[float(m) for m in mpls],
+        series={
+            "2PL fixed MPL": [
+                fixed[m].page_throughput.mean for m in mpls],
+            "Half-and-Half (adaptive)": [
+                hh.page_throughput.mean] * len(mpls),
+        },
+        extras={"hh_result": hh, "hh_avg_mpl": hh.avg_mpl},
+        notes=(f"Half-and-Half: {hh.page_throughput.mean:.1f} pages/s, "
+               f"self-selected average MPL {hh.avg_mpl:.1f}."),
+    )
+
+
+def run(scale: Scale) -> FigureResult:
+    return time_varying_sweep(scale, figure_id="fig14",
+                              phase_lengths=SLOW_PHASE_LENGTHS,
+                              variation="slow")
+
+
+FIGURE = FigureSpec(
+    figure_id="fig14",
+    title="Slowly varying transaction sizes",
+    paper_claim=("Half-and-Half outperforms every fixed MPL on the "
+                 "slowly varying workload"),
+    run=run,
+    tags=("time-varying",),
+)
+
+# Re-exported for fig15.
+_ = FAST_PHASE_LENGTHS

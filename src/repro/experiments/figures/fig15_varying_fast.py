@@ -1,0 +1,32 @@
+"""Figure 15: rapidly time-varying workload.
+
+As Figure 14 but with phase lengths N1 ∈ {200..1000} transactions.  The
+paper's claim: with faster variation the workload approaches a
+multi-class mixture, so Half-and-Half's advantage over the best fixed
+MPL shrinks back to roughly the two-class result.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.figures.fig14_varying_slow import time_varying_sweep
+from repro.experiments.scales import Scale
+from repro.workload.time_varying import FAST_PHASE_LENGTHS
+
+__all__ = ["FIGURE", "run"]
+
+
+def run(scale: Scale) -> FigureResult:
+    return time_varying_sweep(scale, figure_id="fig15",
+                              phase_lengths=FAST_PHASE_LENGTHS,
+                              variation="fast")
+
+
+FIGURE = FigureSpec(
+    figure_id="fig15",
+    title="Rapidly varying transaction sizes",
+    paper_claim=("with fast variation Half-and-Half is near (not "
+                 "necessarily above) the best fixed MPL"),
+    run=run,
+    tags=("time-varying",),
+)

@@ -1,0 +1,49 @@
+"""Figure 16: page throughput under Tay's rule of thumb.
+
+The transaction-size sweep of Figure 8 with a third contender: a fixed
+MPL computed from Tay's ``k²N/Dₑ < 1.5`` rule.  The paper's claim: all
+three (Tay, Half-and-Half, optimal) are comparable for sizes ≤ 24, but
+Tay's rule is overly conservative at the large end where Half-and-Half
+stays closer to the optimal line.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.scales import Scale
+from repro.experiments.studies import txn_size_study
+
+__all__ = ["FIGURE", "run"]
+
+
+def run(scale: Scale) -> FigureResult:
+    study = txn_size_study(scale)
+    return FigureResult(
+        figure_id="fig16",
+        title="Page Throughput: Tay's rule vs Half-and-Half vs optimal",
+        x_label="mean transaction size (pages)",
+        y_label="pages/second",
+        x_values=[float(s) for s in study.sizes],
+        series={
+            "Half-and-Half": [
+                study.half_and_half[s].page_throughput.mean
+                for s in study.sizes],
+            "Tay's rule": [
+                study.tay[s].page_throughput.mean for s in study.sizes],
+            "Optimal MPL": [
+                study.optimal[s].page_throughput.mean
+                for s in study.sizes],
+        },
+        extras={"tay_mpl": dict(study.tay_mpl),
+                "optimal_mpl": dict(study.optimal_mpl)},
+    )
+
+
+FIGURE = FigureSpec(
+    figure_id="fig16",
+    title="Tay's rule of thumb: throughput comparison",
+    paper_claim=("comparable for sizes <= 24; Tay conservative at large "
+                 "sizes where Half-and-Half is closer to optimal"),
+    run=run,
+    tags=("tay", "txn-size"),
+)

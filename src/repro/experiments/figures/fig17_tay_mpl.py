@@ -1,0 +1,44 @@
+"""Figure 17: the MPL chosen by Tay's rule vs optimal vs Half-and-Half.
+
+The paper's claim: at size 72 the optimal MPL is about 3, Tay's rule
+yields 1 (too conservative), and Half-and-Half over-admits to roughly 5;
+at the small end both Tay and Half-and-Half are slightly liberal with
+negligible cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.scales import Scale
+from repro.experiments.studies import txn_size_study
+
+__all__ = ["FIGURE", "run"]
+
+
+def run(scale: Scale) -> FigureResult:
+    study = txn_size_study(scale)
+    return FigureResult(
+        figure_id="fig17",
+        title="MPL maintained: Tay's rule vs optimal vs Half-and-Half",
+        x_label="mean transaction size (pages)",
+        y_label="multiprogramming level",
+        x_values=[float(s) for s in study.sizes],
+        series={
+            "Half-and-Half (avg MPL)": [
+                study.half_and_half[s].avg_mpl for s in study.sizes],
+            "Tay's rule MPL": [
+                float(study.tay_mpl[s]) for s in study.sizes],
+            "Optimal MPL": [
+                float(study.optimal_mpl[s]) for s in study.sizes],
+        },
+    )
+
+
+FIGURE = FigureSpec(
+    figure_id="fig17",
+    title="Tay's rule of thumb: MPL comparison",
+    paper_claim=("Tay's MPL falls below optimal at large sizes; "
+                 "Half-and-Half overshoots it"),
+    run=run,
+    tags=("tay", "txn-size", "mpl"),
+)

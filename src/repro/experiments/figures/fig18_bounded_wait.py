@@ -1,0 +1,79 @@
+"""Figure 18: bounded wait queues [Balt82] — page throughput.
+
+The base-case terminal sweep run under the bounded-wait-queue policy
+(generalized to "K or fewer compatible groups of waiters") with limits 1
+and 2, against plain 2PL and Half-and-Half.  The paper's claim: limit 1
+performs *worse* than no limit at all (abort-induced thrashing once
+resource contention is modelled); limit 2 is barely different from plain
+2PL; neither approaches Half-and-Half.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.control.no_control import NoControlController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import base_params, terminal_sweep_points
+from repro.lockmgr.wait_policy import BoundedWaitPolicy
+from repro.metrics.results import SimulationResults
+
+__all__ = ["FIGURE", "run", "bounded_wait_study"]
+
+_CACHE: Dict[str, Dict[str, Dict[int, SimulationResults]]] = {}
+
+
+def bounded_wait_study(scale: Scale) -> Dict[str, Dict[int,
+                                                       SimulationResults]]:
+    """Run (or fetch) the bounded-wait sweep shared by Figures 18–19."""
+    cached = _CACHE.get(scale.name)
+    if cached is not None:
+        return cached
+    points = terminal_sweep_points(scale)
+    study: Dict[str, Dict[int, SimulationResults]] = {
+        "plain 2PL": {}, "wait limit 1": {}, "wait limit 2": {},
+        "Half-and-Half": {}}
+    for terms in points:
+        params = base_params(scale, num_terms=terms)
+        study["plain 2PL"][terms] = run_simulation(
+            params, NoControlController())
+        study["wait limit 1"][terms] = run_simulation(
+            params, NoControlController(),
+            wait_policy=BoundedWaitPolicy(limit=1))
+        study["wait limit 2"][terms] = run_simulation(
+            params, NoControlController(),
+            wait_policy=BoundedWaitPolicy(limit=2))
+        study["Half-and-Half"][terms] = run_simulation(
+            params, HalfAndHalfController())
+    _CACHE[scale.name] = study
+    return study
+
+
+def run(scale: Scale) -> FigureResult:
+    study = bounded_wait_study(scale)
+    points = terminal_sweep_points(scale)
+    series: Dict[str, List[float]] = {
+        name: [study[name][t].page_throughput.mean for t in points]
+        for name in study
+    }
+    return FigureResult(
+        figure_id="fig18",
+        title="Page Throughput: bounded wait queues vs Half-and-Half",
+        x_label="terminals",
+        y_label="pages/second",
+        x_values=[float(t) for t in points],
+        series=series,
+    )
+
+
+FIGURE = FigureSpec(
+    figure_id="fig18",
+    title="Bounded wait queues: throughput",
+    paper_claim=("wait limit 1 is worse than plain 2PL, limit 2 barely "
+                 "better; neither matches Half-and-Half at high load"),
+    run=run,
+    tags=("bounded-wait", "baselines"),
+)

@@ -1,0 +1,58 @@
+"""Figure 20: sensitivity to the maturity fraction.
+
+The base case run under Half-and-Half with the maturity definition
+varied from 10% to 50% of a transaction's (estimated) lock requests.
+The paper's claim: "the algorithm is not particularly sensitive to this
+parameter", so it tolerates significant estimation errors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.core.maturity import MaturityRule
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.studies import base_params
+
+__all__ = ["FIGURE", "run", "fraction_points"]
+
+
+def fraction_points(scale: Scale) -> List[float]:
+    fine = [0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50]
+    coarse = [0.10, 0.25, 0.50]
+    return scale.pick(fine, coarse)
+
+
+def run(scale: Scale) -> FigureResult:
+    fractions = fraction_points(scale)
+    params = base_params(scale)
+    thruput = []
+    avg_mpl = []
+    for fraction in fractions:
+        result = run_simulation(
+            params, HalfAndHalfController(),
+            maturity_rule=MaturityRule(fraction=fraction))
+        thruput.append(result.page_throughput.mean)
+        avg_mpl.append(result.avg_mpl)
+    return FigureResult(
+        figure_id="fig20",
+        title="Page Throughput vs maturity fraction (base case, H&H)",
+        x_label="maturity fraction",
+        y_label="pages/second",
+        x_values=fractions,
+        series={"Half-and-Half": thruput},
+        extras={"avg_mpl": avg_mpl},
+    )
+
+
+FIGURE = FigureSpec(
+    figure_id="fig20",
+    title="Maturity-fraction sensitivity",
+    paper_claim=("throughput is insensitive to the maturity fraction "
+                 "between 10% and 50%"),
+    run=run,
+    tags=("sensitivity", "maturity"),
+)

@@ -1,0 +1,33 @@
+"""Figure 22: base case with a 100-page LRU buffer pool.
+
+The Figure 7 sweep rerun with ``buf_size = 100`` (10% of the database).
+The paper's claim: throughput rises (fewer I/Os) but the picture is
+otherwise identical — Half-and-Half remains effective.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.figures.fig07_base_case import control_sweep
+from repro.experiments.scales import Scale
+
+__all__ = ["FIGURE", "run", "BUFFER_PAGES"]
+
+BUFFER_PAGES = 100
+
+
+def run(scale: Scale) -> FigureResult:
+    result = control_sweep(scale, figure_id="fig22",
+                           buf_size=BUFFER_PAGES)
+    result.title += f" (LRU buffer, {BUFFER_PAGES} pages)"
+    return result
+
+
+FIGURE = FigureSpec(
+    figure_id="fig22",
+    title="Base case with a 100-page buffer pool",
+    paper_claim=("higher absolute throughput, otherwise identical: "
+                 "Half-and-Half still prevents thrashing"),
+    run=run,
+    tags=("buffer", "sensitivity"),
+)

@@ -1,0 +1,35 @@
+"""Figure 23: base case with a database-sized (1000-page) buffer pool.
+
+With the whole database buffered the system becomes CPU-bound.  The
+paper's claim: throughput is higher still and Half-and-Half remains
+effective, though its tendency to over-admit costs slightly more here
+because a single saturated resource (the CPU) needs only a few
+transactions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.figures.fig07_base_case import control_sweep
+from repro.experiments.scales import Scale
+
+__all__ = ["FIGURE", "run", "BUFFER_PAGES"]
+
+BUFFER_PAGES = 1000
+
+
+def run(scale: Scale) -> FigureResult:
+    result = control_sweep(scale, figure_id="fig23",
+                           buf_size=BUFFER_PAGES)
+    result.title += f" (LRU buffer, {BUFFER_PAGES} pages = whole DB)"
+    return result
+
+
+FIGURE = FigureSpec(
+    figure_id="fig23",
+    title="Base case with the whole database buffered (CPU-bound)",
+    paper_claim=("highest throughput; Half-and-Half still works, with a "
+                 "small over-admission penalty at many terminals"),
+    run=run,
+    tags=("buffer", "sensitivity"),
+)

@@ -1,0 +1,85 @@
+"""Generate EXPERIMENTS.md: paper-vs-measured for every figure.
+
+Runs every registered figure at the requested scale and renders a
+markdown report with, per figure, the paper's qualitative claim, the
+measured data table, and an automatic verdict computed from the same
+shape checks the benchmark suite asserts (re-implemented here in a
+summarized form: the bench suite remains the source of truth).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+from repro.experiments.figures import all_figures
+from repro.experiments.figures.base import FigureResult, FigureSpec
+from repro.experiments.scales import Scale
+
+__all__ = ["generate_report"]
+
+_HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Reproduction of every evaluation figure from Carey, Krishnamurthi &
+Livny, *Load Control for Locking: The 'Half-and-Half' Approach* (1990).
+
+* Scale: **{scale}** (warmup {warmup:.0f}s, {batches} batches x
+  {batch:.0f}s{dense}).
+* Absolute pages/second are not expected to match the paper (different
+  simulator internals, same model); *shapes* — peaks, crossovers,
+  who-wins orderings — are the reproduction target and are asserted
+  mechanically by ``pytest benchmarks/``.
+* Regenerate this file: ``repro-experiment report --scale {scale}``.
+
+"""
+
+
+def _verdict(result: FigureResult) -> str:
+    """A light-weight measured-shape summary for the report."""
+    lines: List[str] = []
+    for name, ys in result.series.items():
+        values = [y for y in ys if y is not None]
+        if not values:
+            continue
+        peak = max(values)
+        peak_x = result.x_values[ys.index(peak)]
+        lines.append(
+            f"  * `{name}`: peak {peak:.1f} at {result.x_label} "
+            f"{peak_x:g}, final {values[-1]:.1f}")
+    return "\n".join(lines)
+
+
+def generate_report(scale: Scale, out_path: str = "EXPERIMENTS.md",
+                    echo=print) -> Path:
+    """Run all figures at ``scale`` and write the markdown report."""
+    parts: List[str] = [_HEADER.format(
+        scale=scale.name, warmup=scale.warmup_time,
+        batches=scale.num_batches, batch=scale.batch_time,
+        dense=", dense sweep grids" if scale.dense else "")]
+    specs: List[FigureSpec] = all_figures()
+    total_start = time.time()
+    for spec in specs:
+        echo(f"running {spec.figure_id} ...", file=sys.stderr)
+        start = time.time()
+        result = spec.run(scale)
+        elapsed = time.time() - start
+        parts.append(f"## {spec.figure_id}: {spec.title}\n")
+        parts.append(f"**Paper claim.** {spec.paper_claim}.\n")
+        parts.append("**Measured.**\n")
+        parts.append("```")
+        parts.append(result.as_table())
+        parts.append("```")
+        verdict = _verdict(result)
+        if verdict:
+            parts.append("\nSeries summary:\n")
+            parts.append(verdict)
+        parts.append(f"\n_({elapsed:.0f}s at scale {scale.name})_\n")
+    parts.append(
+        f"\n---\nTotal generation time: "
+        f"{time.time() - total_start:.0f}s.\n")
+    path = Path(out_path)
+    path.write_text("\n".join(parts))
+    return path

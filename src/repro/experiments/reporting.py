@@ -1,0 +1,55 @@
+"""Human-readable reporting for simulation results and figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.figures.base import FigureResult
+from repro.metrics.results import SimulationResults
+
+__all__ = ["format_results_table", "format_figure", "format_figure_list"]
+
+
+def format_results_table(results: Sequence[SimulationResults],
+                         title: str = "") -> str:
+    """Aligned table of result rows (one line per run)."""
+    headers = ["controller", "thruput", "ci±", "raw", "avg mpl",
+               "commits", "aborts", "resp(s)"]
+    rows: List[List[str]] = []
+    for r in results:
+        rows.append([
+            r.controller_name,
+            f"{r.page_throughput.mean:.2f}",
+            f"{r.page_throughput.half_width:.2f}",
+            f"{r.raw_page_rate.mean:.2f}",
+            f"{r.avg_mpl:.1f}",
+            str(r.commits),
+            str(r.aborts),
+            f"{r.avg_response_time:.2f}",
+        ])
+    widths = [max(len(h), *(len(row[i]) for row in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) if i == 0 else h.rjust(w)
+                           for i, (h, w) in enumerate(zip(headers, widths))))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) if i == 0 else v.rjust(w)
+                               for i, (v, w) in enumerate(zip(row, widths))))
+    return "\n".join(lines)
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render one figure's data table."""
+    return result.as_table()
+
+
+def format_figure_list(specs: Iterable) -> str:
+    """One line per registered figure: id, title, paper claim."""
+    lines = []
+    for spec in specs:
+        lines.append(f"{spec.figure_id:<16} {spec.title}")
+        lines.append(f"{'':<16}   claim: {spec.paper_claim}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Simulation runner: warmup, batch-means measurement, result assembly.
+
+:func:`run_simulation` is the single entry point every experiment,
+example, and benchmark uses.  It builds a fresh system, runs the warmup
+period, then snapshots the collector at every batch boundary and reduces
+the snapshots to a :class:`SimulationResults`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.control.base import LoadController
+from repro.core.maturity import MaturityRule
+from repro.dbms.config import SimulationParameters
+from repro.dbms.system import DBMSSystem
+from repro.lockmgr.wait_policy import WaitPolicy
+from repro.metrics.collector import Collector
+from repro.metrics.results import SimulationResults, build_results
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.base import WorkloadGenerator
+
+__all__ = ["run_simulation", "WorkloadFactory", "ControllerFactory"]
+
+# A workload factory receives the run's random streams and parameters and
+# returns a fresh generator (generators are stateful, so each run needs
+# its own instance).
+WorkloadFactory = Callable[[RandomStreams, SimulationParameters],
+                           WorkloadGenerator]
+ControllerFactory = Callable[[], LoadController]
+
+
+def run_simulation(params: SimulationParameters,
+                   controller: LoadController,
+                   workload_factory: Optional[WorkloadFactory] = None,
+                   wait_policy: Optional[WaitPolicy] = None,
+                   maturity_rule: Optional[MaturityRule] = None,
+                   tracer=None,
+                   admission_order=None,
+                   deadlock_strategy=None,
+                   ) -> SimulationResults:
+    """Run one complete simulation and return its measured results.
+
+    Args:
+        params: all model parameters, including the measurement window.
+        controller: a *fresh* load-controller instance (controllers hold
+            per-run state and must not be reused across runs).
+        workload_factory: optional; defaults to the homogeneous workload
+            described by ``params``.
+        wait_policy: optional lock-wait policy (default: unbounded 2PL).
+        maturity_rule: maturity definition for state tracking (default:
+            the paper's 25% rule).
+        tracer: optional :class:`repro.metrics.trace.Tracer` recording
+            per-transaction lifecycle events.
+
+    Returns:
+        A :class:`SimulationResults` with batch-means statistics over the
+        post-warmup window.
+    """
+    sim = Simulator()
+    streams = RandomStreams(params.seed)
+    collector = Collector()
+    workload = (workload_factory(streams, params)
+                if workload_factory is not None else None)
+    system = DBMSSystem(params=params, controller=controller,
+                        workload=workload, wait_policy=wait_policy,
+                        maturity_rule=maturity_rule,
+                        collector=collector, sim=sim, streams=streams,
+                        tracer=tracer, admission_order=admission_order,
+                        **({"deadlock_strategy": deadlock_strategy}
+                           if deadlock_strategy is not None else {}))
+    system.start()
+
+    sim.run(until=params.warmup_time)
+    snapshots = [collector.snapshot(sim.now)]
+    aborts_at_start = collector.aborts
+    reasons_at_start = dict(collector.aborts_by_reason)
+    for batch in range(1, params.num_batches + 1):
+        sim.run(until=params.warmup_time + batch * params.batch_time)
+        snapshots.append(collector.snapshot(sim.now))
+
+    window_reasons = {
+        reason: count - reasons_at_start.get(reason, 0)
+        for reason, count in collector.aborts_by_reason.items()
+    }
+    return build_results(
+        snapshots=snapshots,
+        controller_name=system.controller.name,
+        workload_name=system.workload.name,
+        commits=collector.commits,
+        aborts=collector.aborts - aborts_at_start,
+        aborts_by_reason=window_reasons,
+        response_time_sum=collector.response_time_sum,
+        restarts_of_committed=collector.restarts_of_committed,
+        max_mpl=collector.active.max_value,
+        per_class=collector.per_class,
+    )

@@ -1,0 +1,77 @@
+"""Experiment scales: how long and how finely to run each figure.
+
+The paper ran 20 large batches per point; reproducing every figure at
+that fidelity takes hours in pure Python.  Each figure therefore accepts
+a :class:`Scale`:
+
+* ``SMOKE``  — seconds per figure; used by the integration tests.
+* ``BENCH``  — a few minutes per figure; the default for the benchmark
+  suite.  Shapes are stable at this scale.
+* ``PAPER``  — the paper's measurement windows (20 × large batches) and
+  fine sweep grids; use for publication-grade numbers.
+
+Figures pick their sweep grids via :attr:`Scale.dense`: the PAPER scale
+gets the full grid, the others a coarse subset.  The active scale for the
+benchmark suite can be chosen with the ``REPRO_SCALE`` environment
+variable (``smoke`` / ``bench`` / ``paper``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Sequence, TypeVar
+
+from repro.dbms.config import SimulationParameters
+from repro.errors import ExperimentError
+
+__all__ = ["Scale", "SMOKE", "BENCH", "PAPER", "get_scale",
+           "scale_from_env"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Measurement-window and sweep-density settings for experiments."""
+
+    name: str
+    warmup_time: float
+    batch_time: float
+    num_batches: int
+    dense: bool           # use fine sweep grids?
+
+    def apply(self, params: SimulationParameters) -> SimulationParameters:
+        """Return ``params`` with this scale's measurement window."""
+        return params.replace(warmup_time=self.warmup_time,
+                              batch_time=self.batch_time,
+                              num_batches=self.num_batches)
+
+    def pick(self, fine: Sequence[T], coarse: Sequence[T]) -> List[T]:
+        """Choose the fine or coarse sweep grid for this scale."""
+        return list(fine if self.dense else coarse)
+
+
+SMOKE = Scale(name="smoke", warmup_time=10.0, batch_time=10.0,
+              num_batches=4, dense=False)
+BENCH = Scale(name="bench", warmup_time=30.0, batch_time=30.0,
+              num_batches=6, dense=False)
+PAPER = Scale(name="paper", warmup_time=120.0, batch_time=120.0,
+              num_batches=20, dense=True)
+
+_SCALES = {s.name: s for s in (SMOKE, BENCH, PAPER)}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a scale by name."""
+    try:
+        return _SCALES[name.lower()]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None
+
+
+def scale_from_env(default: str = "bench") -> Scale:
+    """The scale selected by the ``REPRO_SCALE`` environment variable."""
+    return get_scale(os.environ.get("REPRO_SCALE", default))

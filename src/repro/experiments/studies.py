@@ -1,0 +1,111 @@
+"""Shared multi-figure studies, cached per scale.
+
+Several paper figures are different views of one underlying sweep
+(Figures 8–10 and 16–17 all come from the transaction-size study).  The
+studies here run the sweep once per scale and memoize it so figure
+modules and benchmarks don't repeat hours of simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.control.tay import TayRuleController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.dbms.config import SimulationParameters
+from repro.experiments.runner import run_simulation
+from repro.experiments.scales import Scale
+from repro.experiments.sweeps import default_mpl_candidates, find_optimal_mpl
+from repro.metrics.results import SimulationResults
+
+__all__ = [
+    "base_params",
+    "terminal_sweep_points",
+    "txn_size_points",
+    "TxnSizeStudy",
+    "txn_size_study",
+]
+
+# Fixed MPL reference lines used across the transaction-size figures:
+# 35 is the base case optimum; 20 "chosen simply as another example".
+REFERENCE_MPLS = (35, 20)
+
+
+def base_params(scale: Scale, **overrides) -> SimulationParameters:
+    """Table 2 base parameters at the given measurement scale."""
+    params = SimulationParameters(**overrides)
+    return scale.apply(params)
+
+
+def terminal_sweep_points(scale: Scale) -> List[int]:
+    """#terminals grid for the Figure 1/3/7/18/22-style sweeps."""
+    fine = [5, 10, 15, 20, 25, 30, 35, 40, 50, 60, 75,
+            100, 125, 150, 175, 200]
+    coarse = [5, 15, 25, 35, 50, 75, 100, 150, 200]
+    return scale.pick(fine, coarse)
+
+
+def txn_size_points(scale: Scale) -> List[int]:
+    """Mean transaction sizes for the Figure 8–10/16–17/21 sweeps."""
+    fine = [4, 8, 12, 16, 24, 32, 40, 48, 56, 64, 72]
+    coarse = [4, 8, 16, 32, 48, 72]
+    return scale.pick(fine, coarse)
+
+
+@dataclass
+class TxnSizeStudy:
+    """All runs of the transaction-size sweep (Figures 8–10, 16–17)."""
+
+    sizes: List[int]
+    half_and_half: Dict[int, SimulationResults]
+    fixed: Dict[Tuple[int, int], SimulationResults]   # (mpl, size) -> result
+    optimal_mpl: Dict[int, int]                       # size -> best MPL
+    optimal: Dict[int, SimulationResults]             # size -> best result
+    tay: Dict[int, SimulationResults]
+    tay_mpl: Dict[int, int]
+
+
+_STUDY_CACHE: Dict[str, TxnSizeStudy] = {}
+
+
+def txn_size_study(scale: Scale) -> TxnSizeStudy:
+    """Run (or fetch) the transaction-size sweep at this scale.
+
+    200 terminals, base parameters, mean size varying from 4 to 72 pages;
+    curves for Half-and-Half, the two reference fixed MPLs, the searched
+    optimal MPL, and Tay's rule.
+    """
+    cached = _STUDY_CACHE.get(scale.name)
+    if cached is not None:
+        return cached
+
+    sizes = txn_size_points(scale)
+    hh: Dict[int, SimulationResults] = {}
+    fixed: Dict[Tuple[int, int], SimulationResults] = {}
+    opt_mpl: Dict[int, int] = {}
+    opt: Dict[int, SimulationResults] = {}
+    tay: Dict[int, SimulationResults] = {}
+    tay_mpls: Dict[int, int] = {}
+
+    for size in sizes:
+        params = base_params(scale, tran_size=size)
+        hh[size] = run_simulation(params, HalfAndHalfController())
+        for mpl in REFERENCE_MPLS:
+            fixed[(mpl, size)] = run_simulation(
+                params, FixedMPLController(mpl))
+        candidates = default_mpl_candidates(params.num_terms,
+                                            dense=scale.dense)
+        best, by_mpl = find_optimal_mpl(params, candidates)
+        opt_mpl[size] = best
+        opt[size] = by_mpl[best]
+        controller = TayRuleController.from_params(params)
+        tay_mpls[size] = controller.mpl
+        tay[size] = run_simulation(params, controller)
+
+    study = TxnSizeStudy(sizes=sizes, half_and_half=hh, fixed=fixed,
+                         optimal_mpl=opt_mpl, optimal=opt,
+                         tay=tay, tay_mpl=tay_mpls)
+    _STUDY_CACHE[scale.name] = study
+    return study

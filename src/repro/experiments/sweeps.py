@@ -1,0 +1,63 @@
+"""Parameter sweeps and the optimal-MPL search.
+
+Several figures compare against "the maximum page throughput for 2PL
+(determined by running a number of simulations to locate the optimal
+fixed MPL ...)".  :func:`find_optimal_mpl` performs that search over a
+candidate ladder; :func:`default_mpl_candidates` provides a ladder that
+is geometric above 10 so the search stays affordable while bracketing
+every optimum the paper reports (3 … 35).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.dbms.config import SimulationParameters
+from repro.errors import ExperimentError
+from repro.experiments.runner import WorkloadFactory, run_simulation
+from repro.metrics.results import SimulationResults
+
+__all__ = ["default_mpl_candidates", "find_optimal_mpl", "sweep_fixed_mpl"]
+
+
+def default_mpl_candidates(num_terms: int,
+                           dense: bool = False) -> List[int]:
+    """A candidate MPL ladder bounded by the terminal count."""
+    if dense:
+        ladder = list(range(1, 11)) + [12, 15, 18, 22, 27, 33, 40,
+                                       50, 60, 75, 90, 110, 135, 165, 200]
+    else:
+        ladder = [1, 2, 3, 5, 8, 12, 18, 27, 40, 60, 90, 135, 200]
+    return [m for m in ladder if m <= num_terms] or [num_terms]
+
+
+def sweep_fixed_mpl(params: SimulationParameters,
+                    candidates: Sequence[int],
+                    workload_factory: Optional[WorkloadFactory] = None,
+                    ) -> Dict[int, SimulationResults]:
+    """Run one fixed-MPL simulation per candidate."""
+    if not candidates:
+        raise ExperimentError("empty MPL candidate list")
+    results: Dict[int, SimulationResults] = {}
+    for mpl in candidates:
+        results[mpl] = run_simulation(
+            params, FixedMPLController(mpl),
+            workload_factory=workload_factory)
+    return results
+
+
+def find_optimal_mpl(params: SimulationParameters,
+                     candidates: Sequence[int],
+                     workload_factory: Optional[WorkloadFactory] = None,
+                     ) -> Tuple[int, Dict[int, SimulationResults]]:
+    """Locate the throughput-maximizing fixed MPL among ``candidates``.
+
+    Returns ``(best_mpl, results_by_mpl)``.  Ties break toward the
+    smaller MPL (less contention at equal throughput).
+    """
+    results = sweep_fixed_mpl(params, candidates, workload_factory)
+    best_mpl = min(
+        results,
+        key=lambda m: (-results[m].page_throughput.mean, m))
+    return best_mpl, results

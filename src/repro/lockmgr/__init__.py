@@ -1,0 +1,41 @@
+"""Two-phase locking substrate: lock table, deadlocks, protocols, policies."""
+
+from repro.lockmgr.modes import LockMode, compatible
+from repro.lockmgr.lock_table import Grant, LockTable, RequestOutcome
+from repro.lockmgr.waits_for import WaitsForGraph, build_graph
+from repro.lockmgr.deadlock import choose_victim, find_cycle, resolve_deadlocks
+from repro.lockmgr.wait_policy import (
+    BoundedWaitPolicy,
+    NoWaitPolicy,
+    UnboundedWaitPolicy,
+    WaitPolicy,
+    compatible_groups,
+)
+from repro.lockmgr.prevention import (
+    DeadlockStrategy,
+    wait_die_should_die,
+    wound_wait_victims,
+)
+from repro.lockmgr.protocols import LockProtocol
+
+__all__ = [
+    "LockMode",
+    "compatible",
+    "Grant",
+    "LockTable",
+    "RequestOutcome",
+    "WaitsForGraph",
+    "build_graph",
+    "choose_victim",
+    "find_cycle",
+    "resolve_deadlocks",
+    "BoundedWaitPolicy",
+    "NoWaitPolicy",
+    "UnboundedWaitPolicy",
+    "WaitPolicy",
+    "compatible_groups",
+    "LockProtocol",
+    "DeadlockStrategy",
+    "wait_die_should_die",
+    "wound_wait_victims",
+]

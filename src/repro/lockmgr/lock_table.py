@@ -1,0 +1,429 @@
+"""The lock table: per-page holders, FCFS wait queues, and S→X upgrades.
+
+Semantics implemented here, all pinned by the paper's Section 1 and 3:
+
+* Shared locks are mutually compatible; exclusive conflicts with everything.
+* Exclusive locks are acquired by *upgrading* a previously obtained shared
+  lock (footnote 1).  An upgrade is granted immediately when the upgrading
+  transaction is the lock's sole holder; otherwise the upgrader waits with
+  priority over ordinary waiters (new grants on that page are suppressed
+  while an upgrader waits, so readers cannot starve it).
+* Ordinary requests are granted FCFS: a request is granted only when no
+  other request is queued ahead of it and its mode is compatible with all
+  current holders.
+* Transactions wait for at most one lock at a time.
+
+The lock table is a pure data structure: it records state and reports
+outcomes (:class:`RequestOutcome`) and newly grantable requests
+(:class:`Grant` records).  Deadlock detection and transaction aborts are
+orchestrated by higher layers (:mod:`repro.lockmgr.deadlock` and the DBMS
+system) on top of the :meth:`LockTable.blocking_set` view.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.errors import LockProtocolError
+from repro.lockmgr.modes import LockMode, compatible
+
+__all__ = ["RequestOutcome", "Grant", "LockTable"]
+
+Txn = Any        # any hashable transaction token
+Page = Hashable
+
+
+class RequestOutcome(enum.Enum):
+    """Result of a lock request."""
+
+    GRANTED = "granted"
+    BLOCKED = "blocked"
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A request granted as a side effect of a release or wait-cancel."""
+
+    txn: Txn
+    page: Page
+    mode: LockMode
+    was_upgrade: bool
+
+
+class _Lock:
+    """State for one page: holders plus two-tier wait queue."""
+
+    __slots__ = ("holders", "upgraders", "queue")
+
+    def __init__(self) -> None:
+        self.holders: Dict[Txn, LockMode] = {}
+        self.upgraders: Deque[Txn] = deque()
+        self.queue: Deque[Tuple[Txn, LockMode]] = deque()
+
+    def empty(self) -> bool:
+        return not self.holders and not self.upgraders and not self.queue
+
+
+class _WaitRecord:
+    """What a blocked transaction is waiting for."""
+
+    __slots__ = ("page", "mode", "is_upgrade")
+
+    def __init__(self, page: Page, mode: LockMode, is_upgrade: bool):
+        self.page = page
+        self.mode = mode
+        self.is_upgrade = is_upgrade
+
+
+class LockTable:
+    """Page lock table with S/X modes, upgrades, and FCFS wait queues."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[Page, _Lock] = {}
+        # Insertion-ordered page index per transaction (dict keys),
+        # so release_all order is deterministic run to run.
+        self._held: Dict[Txn, Dict[Page, None]] = {}
+        self._waits: Dict[Txn, _WaitRecord] = {}
+        # Statistics.
+        self.requests = 0
+        self.blocks = 0
+        self.upgrades_requested = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def holders(self, page: Page) -> Dict[Txn, LockMode]:
+        """Current holders of a page lock (copy)."""
+        lock = self._locks.get(page)
+        return dict(lock.holders) if lock else {}
+
+    def held_pages(self, txn: Txn) -> Set[Page]:
+        """Pages on which ``txn`` currently holds a lock (copy)."""
+        return set(self._held.get(txn, ()))
+
+    def num_held(self, txn: Txn) -> int:
+        """Number of locks ``txn`` currently holds (O(1))."""
+        held = self._held.get(txn)
+        return len(held) if held else 0
+
+    def holds(self, txn: Txn, page: Page, mode: LockMode = None) -> bool:
+        """True if ``txn`` holds ``page`` (optionally in exactly ``mode``)."""
+        lock = self._locks.get(page)
+        if lock is None or txn not in lock.holders:
+            return False
+        return mode is None or lock.holders[txn] is mode
+
+    def waiting_on(self, txn: Txn) -> Optional[Page]:
+        """The page ``txn`` is blocked on, or None if it is not waiting."""
+        rec = self._waits.get(txn)
+        return rec.page if rec else None
+
+    def is_waiting(self, txn: Txn) -> bool:
+        """True if ``txn`` has a pending (blocked) lock request."""
+        return txn in self._waits
+
+    def num_waiters(self, page: Page) -> int:
+        """Total waiters (upgraders + ordinary) on one page."""
+        lock = self._locks.get(page)
+        if lock is None:
+            return 0
+        return len(lock.upgraders) + len(lock.queue)
+
+    def waiter_modes(self, page: Page) -> List[LockMode]:
+        """Requested modes of all waiters, upgraders first, in queue order."""
+        lock = self._locks.get(page)
+        if lock is None:
+            return []
+        modes = [LockMode.X] * len(lock.upgraders)
+        modes.extend(mode for _txn, mode in lock.queue)
+        return modes
+
+    def is_blocking_others(self, txn: Txn) -> bool:
+        """True if any page held by ``txn`` has waiters besides ``txn``.
+
+        Used by the Half-and-Half overload correction, which only considers
+        victims that "are in turn blocking other transactions".
+        """
+        for page in self._held.get(txn, ()):
+            lock = self._locks[page]
+            if lock.queue:
+                return True
+            if any(up is not txn for up in lock.upgraders):
+                return True
+        return False
+
+    def blocking_set(self, txn: Txn) -> Set[Txn]:
+        """Transactions that currently prevent ``txn``'s pending request.
+
+        This is the waits-for adjacency of ``txn``: empty if it is not
+        blocked.  For an upgrader, the blockers are the other holders.  For
+        an ordinary waiter, the blockers are incompatible holders, all
+        upgraders, and incompatible ordinary waiters queued ahead of it.
+        """
+        rec = self._waits.get(txn)
+        if rec is None:
+            return set()
+        lock = self._locks[rec.page]
+        blockers: Set[Txn] = set()
+        if rec.is_upgrade:
+            blockers.update(h for h in lock.holders if h is not txn)
+            for up in lock.upgraders:
+                if up is txn:
+                    break
+                blockers.add(up)
+            return blockers
+        for holder, held_mode in lock.holders.items():
+            if not compatible(held_mode, rec.mode):
+                blockers.add(holder)
+        blockers.update(lock.upgraders)
+        for waiter, mode in lock.queue:
+            if waiter is txn:
+                break
+            if not (compatible(mode, rec.mode) and compatible(rec.mode, mode)):
+                blockers.add(waiter)
+        blockers.discard(txn)
+        return blockers
+
+    def blocking_order(self, txn: Txn) -> List[Txn]:
+        """The blocking set in a *deterministic* order.
+
+        Set iteration order over arbitrary objects depends on memory
+        addresses, which would make deadlock-cycle discovery (and hence
+        victim choice) vary between runs of the same seed.  This variant
+        lists blockers in lock-table structural order: holders first (in
+        grant order), then upgraders, then queued waiters.
+        """
+        rec = self._waits.get(txn)
+        if rec is None:
+            return []
+        lock = self._locks[rec.page]
+        ordered: List[Txn] = []
+        seen: Set[int] = {id(txn)}
+
+        def _add(candidate: Txn) -> None:
+            if id(candidate) not in seen:
+                seen.add(id(candidate))
+                ordered.append(candidate)
+
+        if rec.is_upgrade:
+            for holder in lock.holders:
+                _add(holder)
+            for up in lock.upgraders:
+                if up is txn:
+                    break
+                _add(up)
+            return ordered
+        for holder, held_mode in lock.holders.items():
+            if not compatible(held_mode, rec.mode):
+                _add(holder)
+        for up in lock.upgraders:
+            _add(up)
+        for waiter, mode in lock.queue:
+            if waiter is txn:
+                break
+            if not (compatible(mode, rec.mode)
+                    and compatible(rec.mode, mode)):
+                _add(waiter)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def request(self, txn: Txn, page: Page, mode: LockMode) -> RequestOutcome:
+        """Request ``page`` in ``mode`` for ``txn``.
+
+        Returns GRANTED or BLOCKED.  A blocked transaction is enqueued; the
+        caller is responsible for deadlock detection (via
+        :func:`repro.lockmgr.deadlock.find_cycle`) and for parking the
+        transaction until a :class:`Grant` for it is returned by a later
+        release.
+
+        Raises :class:`LockProtocolError` if ``txn`` is already waiting for
+        some lock, requests a lock it already holds in a sufficient mode in
+        a *weaker* way (S after X is a no-op, tolerated), or requests X on
+        a page it does not hold S on while other policies forbid it.
+        """
+        if txn in self._waits:
+            raise LockProtocolError(
+                f"transaction {txn!r} issued a lock request while "
+                f"already waiting for page {self._waits[txn].page!r}")
+        self.requests += 1
+        lock = self._locks.get(page)
+        if lock is None:
+            lock = self._locks[page] = _Lock()
+
+        held_mode = lock.holders.get(txn)
+        if held_mode is not None:
+            if mode is LockMode.S or held_mode is LockMode.X:
+                # Re-request in an already-covered mode: no-op grant.
+                return RequestOutcome.GRANTED
+            # S held, X requested: upgrade path.
+            return self._request_upgrade(txn, page, lock)
+
+        # Fresh request: FCFS — grant only if nothing is queued ahead and
+        # the mode is compatible with every current holder.
+        if (not lock.upgraders and not lock.queue
+                and all(compatible(m, mode) for m in lock.holders.values())):
+            self._grant(txn, page, lock, mode)
+            return RequestOutcome.GRANTED
+        lock.queue.append((txn, mode))
+        self._waits[txn] = _WaitRecord(page, mode, is_upgrade=False)
+        self.blocks += 1
+        return RequestOutcome.BLOCKED
+
+    def _request_upgrade(self, txn: Txn, page: Page,
+                         lock: _Lock) -> RequestOutcome:
+        self.upgrades_requested += 1
+        if len(lock.holders) == 1:
+            lock.holders[txn] = LockMode.X
+            return RequestOutcome.GRANTED
+        lock.upgraders.append(txn)
+        self._waits[txn] = _WaitRecord(page, LockMode.X, is_upgrade=True)
+        self.blocks += 1
+        return RequestOutcome.BLOCKED
+
+    def _grant(self, txn: Txn, page: Page, lock: _Lock,
+               mode: LockMode) -> None:
+        lock.holders[txn] = mode
+        self._held.setdefault(txn, {})[page] = None
+
+    # ------------------------------------------------------------------
+    # Releases
+    # ------------------------------------------------------------------
+
+    def release(self, txn: Txn, page: Page) -> List[Grant]:
+        """Release a single page lock (used by the degree-2 protocol).
+
+        Returns the requests that became grantable.
+        """
+        lock = self._locks.get(page)
+        if lock is None or txn not in lock.holders:
+            raise LockProtocolError(
+                f"transaction {txn!r} released page {page!r} "
+                f"which it does not hold")
+        del lock.holders[txn]
+        held = self._held.get(txn)
+        if held is not None:
+            held.pop(page, None)
+            if not held:
+                del self._held[txn]
+        grants = self._promote_waiters(page, lock)
+        self._gc(page, lock)
+        return grants
+
+    def release_all(self, txn: Txn) -> List[Grant]:
+        """Release every lock held by ``txn`` and cancel any pending wait.
+
+        Used at commit (release after deferred updates) and at abort.
+        Returns all requests across all pages that became grantable.
+        """
+        grants: List[Grant] = []
+        grants.extend(self.cancel_wait(txn))
+        for page in list(self._held.get(txn, ())):
+            lock = self._locks[page]
+            del lock.holders[txn]
+            grants.extend(self._promote_waiters(page, lock))
+            self._gc(page, lock)
+        self._held.pop(txn, None)
+        return grants
+
+    def cancel_wait(self, txn: Txn) -> List[Grant]:
+        """Withdraw ``txn``'s pending request (e.g. it was chosen as a
+        deadlock victim while blocked, or a bounded-wait policy rejected
+        it).  Removing a waiter from the middle of a queue can make later
+        waiters grantable, so this also runs the grant scan.
+        """
+        rec = self._waits.pop(txn, None)
+        if rec is None:
+            return []
+        lock = self._locks[rec.page]
+        if rec.is_upgrade:
+            lock.upgraders.remove(txn)
+        else:
+            for i, (waiter, _mode) in enumerate(lock.queue):
+                if waiter is txn:
+                    del lock.queue[i]
+                    break
+        grants = self._promote_waiters(rec.page, lock)
+        self._gc(rec.page, lock)
+        return grants
+
+    def _promote_waiters(self, page: Page, lock: _Lock) -> List[Grant]:
+        """Grant every request that the FCFS + upgrade rules now allow."""
+        grants: List[Grant] = []
+        # Upgraders first: an upgrade is grantable when its transaction is
+        # the sole remaining holder.
+        while lock.upgraders:
+            up = lock.upgraders[0]
+            if len(lock.holders) == 1 and up in lock.holders:
+                lock.upgraders.popleft()
+                lock.holders[up] = LockMode.X
+                del self._waits[up]
+                grants.append(Grant(up, page, LockMode.X, was_upgrade=True))
+            else:
+                # A waiting upgrader suppresses all ordinary grants.
+                return grants
+        while lock.queue:
+            txn, mode = lock.queue[0]
+            if all(compatible(m, mode) for m in lock.holders.values()):
+                lock.queue.popleft()
+                self._grant(txn, page, lock, mode)
+                del self._waits[txn]
+                grants.append(Grant(txn, page, mode, was_upgrade=False))
+            else:
+                break
+        return grants
+
+    def _gc(self, page: Page, lock: _Lock) -> None:
+        if lock.empty():
+            del self._locks[page]
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used heavily by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal state is inconsistent.
+
+        Checked invariants:
+          * no two holders of one page have incompatible modes;
+          * every waiting transaction appears in exactly one wait queue;
+          * every upgrader currently holds the page in S mode;
+          * the head ordinary waiter is genuinely blocked (not grantable);
+          * the ``_held`` index mirrors ``holders`` exactly.
+        """
+        seen_waiting: Set[Txn] = set()
+        for page, lock in self._locks.items():
+            modes = list(lock.holders.values())
+            for i, m1 in enumerate(modes):
+                for m2 in modes[i + 1:]:
+                    assert compatible(m1, m2), (
+                        f"incompatible holders on page {page!r}")
+            for up in lock.upgraders:
+                assert lock.holders.get(up) is LockMode.S, (
+                    f"upgrader {up!r} does not hold S on page {page!r}")
+                assert up not in seen_waiting
+                seen_waiting.add(up)
+                assert self._waits[up].page == page
+            if lock.queue and not lock.upgraders:
+                txn, mode = lock.queue[0]
+                assert not all(
+                    compatible(m, mode) for m in lock.holders.values()), (
+                    f"head waiter {txn!r} on page {page!r} is grantable")
+            for txn, _mode in lock.queue:
+                assert txn not in seen_waiting
+                seen_waiting.add(txn)
+                assert self._waits[txn].page == page
+            for holder in lock.holders:
+                assert page in self._held.get(holder, set()), (
+                    f"held-index missing {page!r} for {holder!r}")
+        assert seen_waiting == set(self._waits), (
+            "wait-record index out of sync with queues")
+        for txn, pages in self._held.items():
+            for page in pages:
+                assert txn in self._locks[page].holders

@@ -1,0 +1,28 @@
+"""Lock modes and the compatibility matrix.
+
+The paper models page-level locking with the two classic modes: shared (S)
+for reads and exclusive (X) for writes.  "Shared locks are compatible with
+one another, but an exclusive lock on an object is incompatible with other
+shared and exclusive locks on the object."
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["LockMode", "compatible"]
+
+
+class LockMode(enum.IntEnum):
+    """Page lock modes."""
+
+    S = 0   # shared (read)
+    X = 1   # exclusive (write)
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """True if a lock in ``requested`` mode can coexist with ``held``.
+
+    Only S/S is compatible; every combination involving X conflicts.
+    """
+    return held is LockMode.S and requested is LockMode.S

@@ -1,0 +1,67 @@
+"""Deadlock handling strategies: detection vs timestamp prevention.
+
+The paper's system uses deadlock *detection* at block time with
+youngest-victim aborts.  The classic alternatives from the literature it
+builds on ([Gray79]; compared in the [Agra87a] family of studies) are
+timestamp-ordered *prevention* schemes, which never let a cycle form:
+
+* **Wait-die** — an older requester may wait for a younger holder; a
+  younger requester *dies* (aborts) immediately.  Waits only ever point
+  from older to younger transactions, so the waits-for graph is acyclic.
+* **Wound-wait** — an older requester *wounds* (aborts) younger holders
+  and takes their place in line; a younger requester waits.  Waits only
+  ever point from younger to older.
+
+Both rely on the same anti-starvation trick the paper uses for its
+victims: aborted transactions keep their original timestamps, so every
+transaction eventually becomes the oldest and cannot be killed again.
+
+Implementation note: wounding a *blocked* transaction is immediate; a
+*running* transaction (holding a CPU/disk or with a continuation event
+in flight) cannot be torn down mid-service, so it is marked wounded and
+aborts at its next scheduling checkpoint.  A transaction already in its
+deferred-update phase is spared — it holds all its locks, is about to
+commit, and aborting it would only waste finished work.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, List
+
+from repro.lockmgr.lock_table import LockTable
+
+__all__ = ["DeadlockStrategy", "wait_die_should_die",
+           "wound_wait_victims"]
+
+Txn = Any
+AgeKey = Callable[[Txn], Any]   # smaller = older
+
+
+class DeadlockStrategy(enum.Enum):
+    """How lock-wait cycles are handled."""
+
+    DETECTION = "detection"     # the paper: detect at block time
+    WAIT_DIE = "wait_die"
+    WOUND_WAIT = "wound_wait"
+
+
+def wait_die_should_die(lock_table: LockTable, txn: Txn,
+                        age: AgeKey) -> bool:
+    """Wait-die: the requester dies unless older than every blocker."""
+    my_age = age(txn)
+    return any(age(blocker) < my_age
+               for blocker in lock_table.blocking_order(txn))
+
+
+def wound_wait_victims(lock_table: LockTable, txn: Txn,
+                       age: AgeKey) -> List[Txn]:
+    """Wound-wait: the younger blockers the requester wounds.
+
+    The requester then keeps waiting for any remaining (older)
+    blockers; with none left, the grant cascade from the victims'
+    releases will admit it.
+    """
+    my_age = age(txn)
+    return [blocker for blocker in lock_table.blocking_order(txn)
+            if age(blocker) > my_age]

@@ -1,0 +1,26 @@
+"""Locking protocols: strict two-phase (degree 3) and degree-2.
+
+The paper's default protocol is strict 2PL: every lock is held until the
+transaction commits (after deferred updates) or aborts.  For the Figure 13
+experiment, read-only transactions instead use the *degree 2* protocol of
+[Gray79, Moha89]: "transactions lock each item before reading it, but they
+unlock the item before reading the next one".  Such transactions see a
+committed but non-serializable view.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["LockProtocol"]
+
+
+class LockProtocol(enum.Enum):
+    """Which locking discipline a transaction follows."""
+
+    TWO_PHASE = "2PL"       # strict 2PL: release everything at end
+    DEGREE_TWO = "degree2"  # cursor stability: release each S lock after use
+
+    def releases_read_locks_early(self) -> bool:
+        """True if read locks are dropped page-at-a-time."""
+        return self is LockProtocol.DEGREE_TWO

@@ -1,0 +1,80 @@
+"""Waits-for graph view over the lock table.
+
+The lock table already knows, for each blocked transaction, exactly which
+transactions prevent its pending request (:meth:`LockTable.blocking_set`).
+This module exposes that adjacency as an explicit directed graph snapshot,
+which is convenient for tests, for metrics, and for algorithms that want to
+reason about the whole graph (the deadlock detector itself walks the
+adjacency lazily and does not need the snapshot).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Set
+
+from repro.lockmgr.lock_table import LockTable
+
+__all__ = ["WaitsForGraph", "build_graph"]
+
+Txn = Any
+
+
+class WaitsForGraph:
+    """An immutable snapshot of the waits-for relation."""
+
+    def __init__(self, edges: Dict[Txn, Set[Txn]]):
+        self._edges = edges
+
+    def successors(self, txn: Txn) -> Set[Txn]:
+        """Transactions that ``txn`` waits for (empty if not blocked)."""
+        return set(self._edges.get(txn, ()))
+
+    def nodes(self) -> Set[Txn]:
+        """All transactions appearing in the graph."""
+        nodes: Set[Txn] = set(self._edges)
+        for targets in self._edges.values():
+            nodes.update(targets)
+        return nodes
+
+    def edges(self) -> List[tuple]:
+        """All (waiter, blocker) pairs."""
+        return [(src, dst)
+                for src, targets in self._edges.items()
+                for dst in targets]
+
+    def has_cycle(self) -> bool:
+        """True if any directed cycle exists (iterative three-color DFS)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[Txn, int] = {}
+        for root in self._edges:
+            if color.get(root, WHITE) != WHITE:
+                continue
+            stack: List[tuple] = [(root, iter(self._edges.get(root, ())))]
+            color[root] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = color.get(nxt, WHITE)
+                    if c == GRAY:
+                        return True
+                    if c == WHITE:
+                        color[nxt] = GRAY
+                        stack.append((nxt, iter(self._edges.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return False
+
+
+def build_graph(lock_table: LockTable,
+                waiters: Iterable[Txn]) -> WaitsForGraph:
+    """Snapshot the waits-for graph for the given blocked transactions."""
+    edges: Dict[Txn, Set[Txn]] = {}
+    for txn in waiters:
+        blockers = lock_table.blocking_set(txn)
+        if blockers:
+            edges[txn] = blockers
+    return WaitsForGraph(edges)

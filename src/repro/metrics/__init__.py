@@ -1,0 +1,26 @@
+"""Measurement: collectors, time-weighted stats, batch means, results."""
+
+from repro.metrics.batch_means import (
+    BatchStatistics,
+    student_t_quantile,
+    summarize_batches,
+)
+from repro.metrics.collector import AbortReason, Collector, MetricsSnapshot
+from repro.metrics.results import SimulationResults, build_results
+from repro.metrics.trace import TraceEvent, TraceEventType, Tracer
+from repro.metrics.timeweighted import TimeWeightedValue
+
+__all__ = [
+    "BatchStatistics",
+    "student_t_quantile",
+    "summarize_batches",
+    "AbortReason",
+    "Collector",
+    "MetricsSnapshot",
+    "SimulationResults",
+    "build_results",
+    "TimeWeightedValue",
+    "TraceEvent",
+    "TraceEventType",
+    "Tracer",
+]

@@ -1,0 +1,139 @@
+"""Aggregated simulation results.
+
+The experiment runner snapshots the :class:`Collector` at every batch
+boundary; :func:`build_results` turns those snapshots into per-batch rates
+and batch-means summaries.  :class:`SimulationResults` is the object every
+experiment and benchmark consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+from repro.metrics.batch_means import BatchStatistics, summarize_batches
+from repro.metrics.collector import ClassStats, MetricsSnapshot
+
+__all__ = ["SimulationResults", "build_results"]
+
+
+@dataclass
+class SimulationResults:
+    """Everything measured in one simulation run.
+
+    Rates are per simulated second over the measurement window (warmup
+    excluded).  ``page_throughput`` and ``raw_page_rate`` carry batch-means
+    confidence intervals; population averages are time-weighted means over
+    the whole measurement window.
+    """
+
+    controller_name: str
+    workload_name: str
+    page_throughput: BatchStatistics
+    raw_page_rate: BatchStatistics
+    transaction_throughput: BatchStatistics
+    avg_mpl: float                 # time-average number of active txns
+    max_mpl: float
+    avg_state1: float              # mature & running population
+    avg_state2: float
+    avg_state3: float
+    avg_state4: float
+    avg_ready_queue: float
+    commits: int
+    aborts: int
+    aborts_by_reason: Dict[str, int] = field(default_factory=dict)
+    avg_response_time: float = 0.0
+    avg_restarts_per_commit: float = 0.0
+    measurement_time: float = 0.0
+    batch_throughputs: List[float] = field(default_factory=list)
+    # Per-class accumulators for the whole run (warmup included);
+    # useful for multi-class fairness analysis.
+    per_class: Dict[str, ClassStats] = field(default_factory=dict)
+
+    @property
+    def avg_others(self) -> float:
+        """Average population of states 2–4 (the Fig. 3/4 companion curve)."""
+        return self.avg_state2 + self.avg_state3 + self.avg_state4
+
+    @property
+    def wasted_page_rate(self) -> float:
+        """Raw page rate minus committed page throughput (wasted work)."""
+        return self.raw_page_rate.mean - self.page_throughput.mean
+
+    @property
+    def abort_ratio(self) -> float:
+        """Aborts per commit over the measurement window."""
+        return self.aborts / self.commits if self.commits else 0.0
+
+    def summary_line(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.controller_name:<28} "
+                f"thruput={self.page_throughput.mean:7.2f} pages/s "
+                f"(±{self.page_throughput.half_width:.2f})  "
+                f"raw={self.raw_page_rate.mean:7.2f}  "
+                f"mpl={self.avg_mpl:5.1f}  "
+                f"commits={self.commits}  aborts={self.aborts}")
+
+
+def build_results(snapshots: Sequence[MetricsSnapshot],
+                  controller_name: str,
+                  workload_name: str,
+                  commits: int,
+                  aborts: int,
+                  aborts_by_reason: Dict[str, int],
+                  response_time_sum: float,
+                  restarts_of_committed: int,
+                  max_mpl: float,
+                  confidence: float = 0.90,
+                  per_class=None) -> SimulationResults:
+    """Aggregate batch-boundary snapshots into a results object.
+
+    ``snapshots[0]`` must be taken at the end of warmup (measurement
+    start); each subsequent snapshot closes one batch.
+    """
+    if len(snapshots) < 2:
+        raise ReproError("need at least two snapshots (start + one batch)")
+    first, last = snapshots[0], snapshots[-1]
+    elapsed = last.time - first.time
+    if elapsed <= 0.0:
+        raise ReproError("measurement window has zero length")
+
+    throughputs: List[float] = []
+    raw_rates: List[float] = []
+    txn_rates: List[float] = []
+    for prev, cur in zip(snapshots, snapshots[1:]):
+        dt = cur.time - prev.time
+        if dt <= 0.0:
+            raise ReproError("non-increasing snapshot times")
+        throughputs.append((cur.committed_pages - prev.committed_pages) / dt)
+        raw_rates.append((cur.raw_pages - prev.raw_pages) / dt)
+        txn_rates.append((cur.commits - prev.commits) / dt)
+
+    def window_avg(get_integral) -> float:
+        return (get_integral(last) - get_integral(first)) / elapsed
+
+    window_commits = last.commits - first.commits
+    return SimulationResults(
+        controller_name=controller_name,
+        workload_name=workload_name,
+        page_throughput=summarize_batches(throughputs, confidence),
+        raw_page_rate=summarize_batches(raw_rates, confidence),
+        transaction_throughput=summarize_batches(txn_rates, confidence),
+        avg_mpl=window_avg(lambda s: s.active_integral),
+        max_mpl=max_mpl,
+        avg_state1=window_avg(lambda s: s.state1_integral),
+        avg_state2=window_avg(lambda s: s.state2_integral),
+        avg_state3=window_avg(lambda s: s.state3_integral),
+        avg_state4=window_avg(lambda s: s.state4_integral),
+        avg_ready_queue=window_avg(lambda s: s.ready_queue_integral),
+        commits=window_commits,
+        aborts=aborts,
+        aborts_by_reason=dict(aborts_by_reason),
+        avg_response_time=(response_time_sum / commits if commits else 0.0),
+        avg_restarts_per_commit=(restarts_of_committed / commits
+                                 if commits else 0.0),
+        measurement_time=elapsed,
+        batch_throughputs=throughputs,
+        per_class=dict(per_class) if per_class else {},
+    )

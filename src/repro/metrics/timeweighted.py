@@ -1,0 +1,61 @@
+"""Time-weighted statistics for piecewise-constant signals.
+
+Population counts in a queuing simulation (active transactions, blocked
+transactions, queue lengths) are step functions of simulated time; their
+meaningful average is the time integral divided by elapsed time, not the
+mean of observations.  :class:`TimeWeightedValue` accumulates that
+integral incrementally: call :meth:`update` whenever the value changes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TimeWeightedValue"]
+
+
+class TimeWeightedValue:
+    """Tracks ∫value·dt for a piecewise-constant signal."""
+
+    __slots__ = ("_value", "_last_time", "_integral", "_start_time",
+                 "max_value")
+
+    def __init__(self, initial: float = 0.0, start_time: float = 0.0):
+        self._value = initial
+        self._last_time = start_time
+        self._start_time = start_time
+        self._integral = 0.0
+        self.max_value = initial
+
+    @property
+    def current(self) -> float:
+        """The value as of the last update."""
+        return self._value
+
+    def update(self, value: float, now: float) -> None:
+        """Record that the signal changed to ``value`` at time ``now``."""
+        self._integral += self._value * (now - self._last_time)
+        self._value = value
+        self._last_time = now
+        if value > self.max_value:
+            self.max_value = value
+
+    def add(self, delta: float, now: float) -> None:
+        """Shift the signal by ``delta`` at time ``now``."""
+        self.update(self._value + delta, now)
+
+    def integral(self, now: float) -> float:
+        """∫value·dt from the (possibly reset) start time to ``now``."""
+        return self._integral + self._value * (now - self._last_time)
+
+    def average(self, now: float) -> float:
+        """Time-weighted mean over the observation window ending at ``now``."""
+        elapsed = now - self._start_time
+        if elapsed <= 0.0:
+            return self._value
+        return self.integral(now) / elapsed
+
+    def reset(self, now: float) -> None:
+        """Restart the observation window at ``now`` (value is kept)."""
+        self._integral = 0.0
+        self._last_time = now
+        self._start_time = now
+        self.max_value = self._value

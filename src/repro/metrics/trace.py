@@ -1,0 +1,134 @@
+"""Event tracing: a structured record of what the system did and when.
+
+The collector aggregates; the tracer remembers.  A :class:`Tracer`
+plugged into the DBMS system records one :class:`TraceEvent` per
+interesting transition (admission, block, unblock, abort, commit,
+load-control action), which is invaluable for debugging controller
+behaviour and for the worked examples that narrate a simulation.
+
+Tracing is optional and off by default — the hot path pays one ``if``
+per transition when no tracer is installed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEventType", "TraceEvent", "Tracer"]
+
+
+class TraceEventType(enum.Enum):
+    """The transitions worth remembering."""
+
+    ARRIVAL = "arrival"
+    ADMIT = "admit"
+    QUEUE = "queue"              # parked in the external ready queue
+    LOCK_GRANT = "lock_grant"
+    BLOCK = "block"
+    UNBLOCK = "unblock"
+    MATURE = "mature"
+    DEADLOCK_ABORT = "deadlock_abort"
+    LOAD_CONTROL_ABORT = "load_control_abort"
+    WAIT_POLICY_ABORT = "wait_policy_abort"
+    WAIT_DIE_ABORT = "wait_die_abort"
+    WOUND_WAIT_ABORT = "wound_wait_abort"
+    RESTART = "restart"
+    COMMIT = "commit"
+
+
+_ABORT_EVENTS = {
+    "deadlock": TraceEventType.DEADLOCK_ABORT,
+    "load_control": TraceEventType.LOAD_CONTROL_ABORT,
+    "wait_policy": TraceEventType.WAIT_POLICY_ABORT,
+    "wait_die": TraceEventType.WAIT_DIE_ABORT,
+    "wound_wait": TraceEventType.WOUND_WAIT_ABORT,
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded transition."""
+
+    time: float
+    event_type: TraceEventType
+    txn_id: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        base = f"[{self.time:10.4f}] txn {self.txn_id:<6} " \
+               f"{self.event_type.value}"
+        return f"{base} ({self.detail})" if self.detail else base
+
+
+class Tracer:
+    """Bounded in-memory trace of system transitions.
+
+    Args:
+        capacity: maximum events retained; older events are dropped
+            FIFO once the bound is hit (``None`` = unbounded).
+        event_filter: optional predicate; events it rejects are not
+            recorded (use to trace, e.g., only aborts).
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000,
+                 event_filter: Optional[
+                     Callable[[TraceEvent], bool]] = None):
+        self.capacity = capacity
+        self.event_filter = event_filter
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def record(self, time: float, event_type: TraceEventType,
+               txn_id: int, detail: str = "") -> None:
+        """Append one event (subject to filter and capacity)."""
+        event = TraceEvent(time, event_type, txn_id, detail)
+        if self.event_filter is not None and not self.event_filter(event):
+            return
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(event)
+
+    def record_abort(self, time: float, txn_id: int, reason: str) -> None:
+        """Record an abort, mapping the collector reason string."""
+        event_type = _ABORT_EVENTS.get(
+            reason, TraceEventType.LOAD_CONTROL_ABORT)
+        self.record(time, event_type, txn_id, detail=reason)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def events(self, event_type: Optional[TraceEventType] = None,
+               txn_id: Optional[int] = None) -> List[TraceEvent]:
+        """Events matching the given type and/or transaction."""
+        out = self._events
+        if event_type is not None:
+            out = [e for e in out if e.event_type is event_type]
+        if txn_id is not None:
+            out = [e for e in out if e.txn_id == txn_id]
+        return list(out)
+
+    def counts(self) -> Dict[TraceEventType, int]:
+        """Event counts by type."""
+        out: Dict[TraceEventType, int] = {}
+        for e in self._events:
+            out[e.event_type] = out.get(e.event_type, 0) + 1
+        return out
+
+    def history_of(self, txn_id: int) -> List[TraceEvent]:
+        """The full recorded lifecycle of one transaction."""
+        return self.events(txn_id=txn_id)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Render the (tail of the) trace as text."""
+        events = self._events if limit is None else self._events[-limit:]
+        return "\n".join(str(e) for e in events)

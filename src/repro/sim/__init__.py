@@ -1,0 +1,19 @@
+"""Discrete-event simulation substrate.
+
+Provides the event-calendar kernel (:class:`Simulator`), reproducible named
+random streams (:class:`RandomStreams`), and the physical resource models
+(:class:`CpuPool`, :class:`DiskArray`) used by the DBMS model.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.resources import CpuPool, DiskArray, Priority
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "RandomStreams",
+    "CpuPool",
+    "DiskArray",
+    "Priority",
+]

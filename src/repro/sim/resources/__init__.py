@@ -1,0 +1,12 @@
+"""Physical resource models (CPU pool and disk array).
+
+These implement the physical queuing model of the paper's Figure 6: a pool
+of CPU servers shared through a single FCFS queue in which concurrency
+control requests have priority, and a collection of disks each with its own
+FCFS queue.
+"""
+
+from repro.sim.resources.cpu import CpuPool, Priority
+from repro.sim.resources.disk import DiskArray
+
+__all__ = ["CpuPool", "Priority", "DiskArray"]

@@ -1,0 +1,98 @@
+"""CPU server pool with priority FCFS scheduling.
+
+The paper's physical model (Section 3) uses a pool of CPU servers fed by a
+single queue: "Requests in the queue for the pool of CPU servers are
+serviced FCFS, except that concurrency control requests get priority over
+other service requests."  We model that with two FCFS sub-queues, one per
+priority class; a freed server always drains the high-priority queue first.
+
+Service is non-preemptive: a running request completes even if a
+higher-priority request arrives meanwhile.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Callable, Deque, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+__all__ = ["Priority", "CpuPool"]
+
+
+class Priority(enum.IntEnum):
+    """CPU request priority classes (lower value = higher priority)."""
+
+    CC = 0        # concurrency control work
+    NORMAL = 1    # page processing, deferred updates
+
+
+_Request = Tuple[float, Callable[..., Any], tuple]
+
+
+class CpuPool:
+    """A pool of identical CPU servers with a shared two-level FCFS queue."""
+
+    def __init__(self, sim: Simulator, num_cpus: int):
+        if num_cpus < 1:
+            raise ConfigurationError(f"num_cpus must be >= 1, got {num_cpus}")
+        self._sim = sim
+        self.num_cpus = num_cpus
+        self._free = num_cpus
+        self._queues: Tuple[Deque[_Request], Deque[_Request]] = (
+            deque(), deque())
+        # Statistics.
+        self.busy_time = 0.0          # total server-busy seconds
+        self.requests_served = 0
+
+    @property
+    def free_servers(self) -> int:
+        """Number of currently idle servers."""
+        return self._free
+
+    def queue_length(self) -> int:
+        """Number of requests waiting (not in service)."""
+        return len(self._queues[0]) + len(self._queues[1])
+
+    def utilization(self, elapsed: float) -> float:
+        """Average fraction of servers busy over ``elapsed`` seconds."""
+        if elapsed <= 0.0:
+            return 0.0
+        return self.busy_time / (elapsed * self.num_cpus)
+
+    def request(self, service_time: float,
+                callback: Callable[..., Any], *args: Any,
+                priority: Priority = Priority.NORMAL) -> None:
+        """Ask for ``service_time`` seconds of CPU; run callback when done.
+
+        Zero-cost requests complete through the same path (an event at the
+        current time) so that callback ordering stays deterministic.
+        """
+        if service_time < 0.0:
+            raise ConfigurationError(
+                f"negative CPU service time: {service_time}")
+        if self._free > 0:
+            self._start(service_time, callback, args)
+        else:
+            self._queues[int(priority)].append((service_time, callback, args))
+
+    def _start(self, service_time: float,
+               callback: Callable[..., Any], args: tuple) -> None:
+        self._free -= 1
+        self.busy_time += service_time
+        self._sim.schedule(service_time, self._complete, callback, args)
+
+    def _complete(self, callback: Callable[..., Any], args: tuple) -> None:
+        self._free += 1
+        self.requests_served += 1
+        # Hand the freed server to the next waiter before running the
+        # completion callback: the callback may itself issue a new request,
+        # and FCFS requires existing waiters to be served first.
+        cc_queue, normal_queue = self._queues
+        if cc_queue:
+            self._start(*cc_queue.popleft())
+        elif normal_queue:
+            self._start(*normal_queue.popleft())
+        callback(*args)

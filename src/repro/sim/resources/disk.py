@@ -1,0 +1,102 @@
+"""Disk array model: one FCFS queue per disk, uniform declustering.
+
+From the paper (Section 3): "Our I/O system model is a probabilistic model
+of a database that is declustered across all of the disks.  There is a
+queue associated with each disk; when a transaction needs service, it
+chooses a disk (at random, with all disks being equally likely) and waits
+in the queue associated with the selected disk.  The service discipline for
+the disk queues in the model is also FCFS."
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Deque, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+__all__ = ["DiskArray"]
+
+_Request = Tuple[float, Callable[..., Any], tuple]
+
+
+class _Disk:
+    """A single disk: one server, FCFS queue."""
+
+    __slots__ = ("busy", "queue", "busy_time", "requests_served")
+
+    def __init__(self) -> None:
+        self.busy = False
+        self.queue: Deque[_Request] = deque()
+        self.busy_time = 0.0
+        self.requests_served = 0
+
+
+class DiskArray:
+    """A collection of independent FCFS disks."""
+
+    def __init__(self, sim: Simulator, num_disks: int):
+        if num_disks < 1:
+            raise ConfigurationError(
+                f"num_disks must be >= 1, got {num_disks}")
+        self._sim = sim
+        self.num_disks = num_disks
+        self._disks: List[_Disk] = [_Disk() for _ in range(num_disks)]
+
+    def choose_disk(self, rng: random.Random) -> int:
+        """Pick a disk uniformly at random (the paper's declustering)."""
+        return rng.randrange(self.num_disks)
+
+    def queue_length(self, disk_index: int) -> int:
+        """Waiting requests (not in service) at one disk."""
+        return len(self._disks[disk_index].queue)
+
+    def total_queue_length(self) -> int:
+        """Waiting requests across all disks."""
+        return sum(len(d.queue) for d in self._disks)
+
+    def requests_served(self) -> int:
+        """Completed I/Os across all disks."""
+        return sum(d.requests_served for d in self._disks)
+
+    def utilization(self, elapsed: float) -> float:
+        """Average fraction of disks busy over ``elapsed`` seconds."""
+        if elapsed <= 0.0:
+            return 0.0
+        busy = sum(d.busy_time for d in self._disks)
+        return busy / (elapsed * self.num_disks)
+
+    def access(self, disk_index: int, service_time: float,
+               callback: Callable[..., Any], *args: Any) -> None:
+        """Request ``service_time`` seconds of I/O on a specific disk."""
+        if service_time < 0.0:
+            raise ConfigurationError(
+                f"negative disk service time: {service_time}")
+        if not 0 <= disk_index < self.num_disks:
+            raise ConfigurationError(
+                f"disk index {disk_index} out of range "
+                f"[0, {self.num_disks})")
+        disk = self._disks[disk_index]
+        if disk.busy:
+            disk.queue.append((service_time, callback, args))
+        else:
+            self._start(disk, service_time, callback, args)
+
+    def _start(self, disk: _Disk, service_time: float,
+               callback: Callable[..., Any], args: tuple) -> None:
+        disk.busy = True
+        disk.busy_time += service_time
+        self._sim.schedule(service_time, self._complete, disk, callback, args)
+
+    def _complete(self, disk: _Disk,
+                  callback: Callable[..., Any], args: tuple) -> None:
+        disk.requests_served += 1
+        if disk.queue:
+            # Start the next waiter before running the completion callback
+            # so FCFS order is preserved if the callback re-enters.
+            self._start(disk, *disk.queue.popleft())
+        else:
+            disk.busy = False
+        callback(*args)

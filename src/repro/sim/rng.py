@@ -1,0 +1,78 @@
+"""Reproducible random-number streams.
+
+A simulation study lives or dies by reproducibility: every stochastic
+decision (readset sizes, page choices, disk choices, workload phases) must
+be replayable from a single master seed, and the streams must be
+*independent* so that, e.g., changing how many pages a transaction reads
+does not perturb the disk-choice sequence of an unrelated subsystem.
+
+:class:`RandomStreams` hands out named substreams, each backed by its own
+``random.Random`` seeded from ``(master_seed, stream_name)``.  Requesting
+the same name twice returns the same stream object.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A factory for independent, named pseudo-random substreams."""
+
+    def __init__(self, master_seed: int = 42):
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the substream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            # Derive a child seed deterministically from (master, name).
+            # random.Random accepts arbitrary hashable seeds, but we fold the
+            # name into an integer explicitly so the derivation does not
+            # depend on PYTHONHASHSEED.
+            child_seed = self.master_seed
+            for ch in name:
+                child_seed = (child_seed * 1000003 + ord(ch)) % (2 ** 63)
+            rng = random.Random(child_seed)
+            self._streams[name] = rng
+        return rng
+
+    def uniform_int(self, name: str, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` from stream ``name``."""
+        return self.stream(name).randint(low, high)
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """Uniform float in ``[low, high)`` from stream ``name``."""
+        return self.stream(name).uniform(low, high)
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Exponential variate with the given mean (0 if mean is 0)."""
+        if mean <= 0.0:
+            return 0.0
+        return self.stream(name).expovariate(1.0 / mean)
+
+    def bernoulli(self, name: str, p: float) -> bool:
+        """True with probability ``p`` from stream ``name``."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self.stream(name).random() < p
+
+    def choice(self, name: str, options: Sequence) -> object:
+        """Uniform choice from a non-empty sequence."""
+        return self.stream(name).choice(options)
+
+    def sample_without_replacement(self, name: str,
+                                   population_size: int,
+                                   k: int) -> List[int]:
+        """Sample ``k`` distinct integers from ``[0, population_size)``.
+
+        Uses ``random.sample`` over a range object, which is O(k) and does
+        not materialize the population — important for large databases.
+        """
+        return self.stream(name).sample(range(population_size), k)

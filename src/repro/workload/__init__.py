@@ -1,0 +1,37 @@
+"""Workload generators: homogeneous, multi-class, and time-varying."""
+
+from repro.workload.base import (
+    WorkloadGenerator,
+    sample_page_sets,
+    sample_readset_size,
+)
+from repro.workload.homogeneous import HomogeneousWorkload
+from repro.workload.hotspot import (
+    HotspotWorkload,
+    effective_db_size_for_skew,
+)
+from repro.workload.mixed import (
+    MixedWorkload,
+    TransactionClass,
+    paper_mixed_classes,
+)
+from repro.workload.time_varying import (
+    FAST_PHASE_LENGTHS,
+    SLOW_PHASE_LENGTHS,
+    TimeVaryingWorkload,
+)
+
+__all__ = [
+    "WorkloadGenerator",
+    "sample_page_sets",
+    "sample_readset_size",
+    "HomogeneousWorkload",
+    "HotspotWorkload",
+    "effective_db_size_for_skew",
+    "MixedWorkload",
+    "TransactionClass",
+    "paper_mixed_classes",
+    "TimeVaryingWorkload",
+    "SLOW_PHASE_LENGTHS",
+    "FAST_PHASE_LENGTHS",
+]

@@ -1,0 +1,73 @@
+"""Workload generator interface and shared sampling helpers.
+
+All generators implement :class:`WorkloadGenerator`: given a terminal and
+the current time, produce a new :class:`Transaction` with an ordered
+readset sampled without replacement from the database and a writeset drawn
+per-page with some write probability — the sampling model of the paper's
+Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.dbms.transaction import Transaction
+from repro.errors import WorkloadError
+from repro.lockmgr.protocols import LockProtocol
+from repro.sim.rng import RandomStreams
+
+__all__ = ["WorkloadGenerator", "sample_readset_size", "sample_page_sets"]
+
+
+def sample_readset_size(streams: RandomStreams, mean_size: int) -> int:
+    """Readset size uniform over ``mean ± mean/2`` (integer pages, ≥ 1).
+
+    For the base case mean of 8 this yields the paper's 4–12 page range.
+    """
+    low = max(1, mean_size - mean_size // 2)
+    high = mean_size + mean_size // 2
+    return streams.uniform_int("readset_size", low, high)
+
+
+def sample_page_sets(streams: RandomStreams, db_size: int,
+                     readset_size: int,
+                     write_prob: float) -> Tuple[List[int], Set[int]]:
+    """Sample an ordered readset (without replacement) and its writeset."""
+    if readset_size > db_size:
+        raise WorkloadError(
+            f"readset of {readset_size} pages exceeds database "
+            f"of {db_size} pages")
+    readset = streams.sample_without_replacement(
+        "page_choice", db_size, readset_size)
+    writeset = {page for page in readset
+                if streams.bernoulli("write_choice", write_prob)}
+    return readset, writeset
+
+
+class WorkloadGenerator:
+    """Produces transactions for terminals."""
+
+    def __init__(self, streams: RandomStreams):
+        self.streams = streams
+
+    def make_transaction(self, txn_id: int, terminal_id: int,
+                         now: float) -> Transaction:
+        """Create the next transaction for ``terminal_id`` at time ``now``."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def _build(self, txn_id: int, terminal_id: int, now: float,
+               db_size: int, mean_size: int, write_prob: float,
+               protocol: LockProtocol = LockProtocol.TWO_PHASE,
+               class_name: str = "default") -> Transaction:
+        """Shared construction path used by the concrete generators."""
+        size = sample_readset_size(self.streams, mean_size)
+        readset, writeset = sample_page_sets(
+            self.streams, db_size, size, write_prob)
+        return Transaction(
+            txn_id=txn_id, terminal_id=terminal_id, timestamp=now,
+            readset=readset, writeset=writeset,
+            lock_protocol=protocol, class_name=class_name)

@@ -1,0 +1,37 @@
+"""Homogeneous workload: one transaction class (paper base case).
+
+All transactions draw their readset size from a common uniform
+distribution around ``tran_size`` and write each page read with
+probability ``write_prob``.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.config import SimulationParameters
+from repro.dbms.transaction import Transaction
+from repro.sim.rng import RandomStreams
+
+from repro.workload.base import WorkloadGenerator
+
+__all__ = ["HomogeneousWorkload"]
+
+
+class HomogeneousWorkload(WorkloadGenerator):
+    """Single-class workload driven directly by the simulation parameters."""
+
+    def __init__(self, streams: RandomStreams, params: SimulationParameters):
+        super().__init__(streams)
+        self.params = params
+
+    @property
+    def name(self) -> str:
+        return (f"Homogeneous(size={self.params.tran_size}, "
+                f"w={self.params.write_prob})")
+
+    def make_transaction(self, txn_id: int, terminal_id: int,
+                         now: float) -> Transaction:
+        p = self.params
+        return self._build(txn_id, terminal_id, now,
+                           db_size=p.db_size,
+                           mean_size=p.tran_size,
+                           write_prob=p.write_prob)

@@ -1,0 +1,112 @@
+"""Hot-spot (skewed-access) workload.
+
+The paper models non-uniform data sharing indirectly: "the performance
+impact of non-uniform data sharing on lock contention can be modeled as
+a reduction in the effective database size [Tay85]" (Section 4.3, the
+database-size experiment).  This generator models it *directly* with
+the classic b–c rule: a fraction ``access_skew`` of page accesses go to
+a fraction ``hot_fraction`` of the database (e.g. 80% of accesses to
+20% of pages), letting the Half-and-Half controller face genuine
+hot-spot contention rather than a shrunken uniform database.
+
+The hot set is the page range ``[0, hot_fraction·db_size)``; pages are
+still sampled without replacement within each region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.dbms.config import SimulationParameters
+from repro.dbms.transaction import Transaction
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomStreams
+
+from repro.workload.base import WorkloadGenerator, sample_readset_size
+
+__all__ = ["HotspotWorkload", "effective_db_size_for_skew"]
+
+
+def effective_db_size_for_skew(db_size: int, hot_fraction: float,
+                               access_skew: float) -> float:
+    """Tay-style effective database size of a b–c workload.
+
+    With fraction ``a`` of accesses uniform over ``h·D`` hot pages and
+    ``1−a`` uniform over the remaining ``(1−h)·D``, the probability that
+    two independent accesses collide on the same page is
+    ``a²/(hD) + (1−a)²/((1−h)D)``; the uniform database with the same
+    collision probability has size ``1 /`` that value.
+    """
+    if not 0.0 < hot_fraction < 1.0:
+        raise WorkloadError("hot_fraction must be in (0, 1)")
+    if not 0.0 <= access_skew <= 1.0:
+        raise WorkloadError("access_skew must be in [0, 1]")
+    hot_pages = hot_fraction * db_size
+    cold_pages = (1.0 - hot_fraction) * db_size
+    collision = (access_skew ** 2 / hot_pages
+                 + (1.0 - access_skew) ** 2 / cold_pages)
+    return 1.0 / collision
+
+
+class HotspotWorkload(WorkloadGenerator):
+    """b–c rule access skew over a partitioned hot/cold database."""
+
+    def __init__(self, streams: RandomStreams,
+                 params: SimulationParameters,
+                 hot_fraction: float = 0.2,
+                 access_skew: float = 0.8):
+        super().__init__(streams)
+        if not 0.0 < hot_fraction < 1.0:
+            raise WorkloadError(
+                f"hot_fraction must be in (0, 1), got {hot_fraction}")
+        if not 0.0 <= access_skew <= 1.0:
+            raise WorkloadError(
+                f"access_skew must be in [0, 1], got {access_skew}")
+        self.params = params
+        self.hot_fraction = hot_fraction
+        self.access_skew = access_skew
+        self.hot_pages = max(1, int(hot_fraction * params.db_size))
+        self.cold_pages = params.db_size - self.hot_pages
+        if self.cold_pages < 1:
+            raise WorkloadError("hot set covers the whole database")
+
+    @property
+    def name(self) -> str:
+        return (f"Hotspot({self.access_skew:.0%} of accesses to "
+                f"{self.hot_fraction:.0%} of {self.params.db_size} pages)")
+
+    def effective_db_size(self) -> float:
+        """The equivalent uniform database size of this skew."""
+        return effective_db_size_for_skew(
+            self.params.db_size, self.hot_fraction, self.access_skew)
+
+    def _split_sizes(self, readset_size: int) -> Tuple[int, int]:
+        """How many of this transaction's pages are hot vs cold."""
+        rng = self.streams.stream("hotspot_split")
+        hot = sum(1 for _ in range(readset_size)
+                  if rng.random() < self.access_skew)
+        hot = min(hot, self.hot_pages)
+        cold = min(readset_size - hot, self.cold_pages)
+        return hot, cold
+
+    def make_transaction(self, txn_id: int, terminal_id: int,
+                         now: float) -> Transaction:
+        p = self.params
+        size = sample_readset_size(self.streams, p.tran_size)
+        n_hot, n_cold = self._split_sizes(size)
+        hot_choice = self.streams.stream("hotspot_hot_pages")
+        cold_choice = self.streams.stream("hotspot_cold_pages")
+        readset: List[int] = hot_choice.sample(range(self.hot_pages),
+                                               n_hot)
+        readset.extend(cold_choice.sample(
+            range(self.hot_pages, p.db_size), n_cold))
+        # Interleave hot and cold accesses deterministically by
+        # shuffling with a dedicated stream (access order matters for
+        # lock-hold times).
+        self.streams.stream("hotspot_order").shuffle(readset)
+        writeset: Set[int] = {
+            page for page in readset
+            if self.streams.bernoulli("write_choice", p.write_prob)}
+        return Transaction(txn_id=txn_id, terminal_id=terminal_id,
+                           timestamp=now, readset=readset,
+                           writeset=writeset, class_name="hotspot")

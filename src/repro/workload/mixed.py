@@ -1,0 +1,106 @@
+"""Multi-class (mixed) workloads: Figures 12 and 13.
+
+The paper's heterogeneous experiment assigns 160 of 200 terminals to a
+class of small update transactions (4 pages, every page written) and the
+remaining 40 terminals to large read-only transactions (24 pages), for an
+average readset of 8 pages.  Figure 13 repeats the experiment with the
+read-only class using the degree-2 lock protocol.
+
+:class:`TransactionClass` is a declarative class spec; terminals are
+assigned to classes by contiguous ranges in declaration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.dbms.transaction import Transaction
+from repro.errors import WorkloadError
+from repro.lockmgr.protocols import LockProtocol
+from repro.sim.rng import RandomStreams
+
+from repro.workload.base import WorkloadGenerator
+
+__all__ = ["TransactionClass", "MixedWorkload",
+           "paper_mixed_classes"]
+
+
+@dataclass(frozen=True)
+class TransactionClass:
+    """One class in a multi-class workload."""
+
+    name: str
+    num_terminals: int
+    tran_size: int
+    write_prob: float
+    protocol: LockProtocol = field(default=LockProtocol.TWO_PHASE)
+
+    def __post_init__(self) -> None:
+        if self.num_terminals < 0:
+            raise WorkloadError(
+                f"class {self.name!r}: negative terminal count")
+        if self.tran_size < 1:
+            raise WorkloadError(
+                f"class {self.name!r}: tran_size must be positive")
+        if not 0.0 <= self.write_prob <= 1.0:
+            raise WorkloadError(
+                f"class {self.name!r}: write_prob must be in [0, 1]")
+
+
+def paper_mixed_classes(degree_two_readers: bool = False
+                        ) -> List[TransactionClass]:
+    """The exact two-class mix of Figures 12–13."""
+    reader_protocol = (LockProtocol.DEGREE_TWO if degree_two_readers
+                       else LockProtocol.TWO_PHASE)
+    return [
+        TransactionClass(name="small-update", num_terminals=160,
+                         tran_size=4, write_prob=1.0),
+        TransactionClass(name="large-readonly", num_terminals=40,
+                         tran_size=24, write_prob=0.0,
+                         protocol=reader_protocol),
+    ]
+
+
+class MixedWorkload(WorkloadGenerator):
+    """Terminals partitioned into contiguous per-class ranges."""
+
+    def __init__(self, streams: RandomStreams, db_size: int,
+                 classes: Sequence[TransactionClass]):
+        super().__init__(streams)
+        if not classes:
+            raise WorkloadError("mixed workload needs at least one class")
+        self.db_size = db_size
+        self.classes = list(classes)
+        self._boundaries: List[int] = []
+        total = 0
+        for cls in self.classes:
+            total += cls.num_terminals
+            self._boundaries.append(total)
+        self.total_terminals = total
+
+    @property
+    def name(self) -> str:
+        parts = ", ".join(
+            f"{c.name}×{c.num_terminals}" for c in self.classes)
+        return f"Mixed({parts})"
+
+    def class_for_terminal(self, terminal_id: int) -> TransactionClass:
+        """The class a terminal submits (contiguous range assignment)."""
+        if not 0 <= terminal_id < self.total_terminals:
+            raise WorkloadError(
+                f"terminal {terminal_id} outside [0, {self.total_terminals})")
+        for cls, bound in zip(self.classes, self._boundaries):
+            if terminal_id < bound:
+                return cls
+        raise WorkloadError("unreachable: boundary scan fell through")
+
+    def make_transaction(self, txn_id: int, terminal_id: int,
+                         now: float) -> Transaction:
+        cls = self.class_for_terminal(terminal_id)
+        return self._build(txn_id, terminal_id, now,
+                           db_size=self.db_size,
+                           mean_size=cls.tran_size,
+                           write_prob=cls.write_prob,
+                           protocol=cls.protocol,
+                           class_name=cls.name)

@@ -1,0 +1,105 @@
+"""Unit tests for the analytic bounds and contention approximations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    blocking_probability,
+    conflict_ratio,
+    cpu_bound_page_rate,
+    deadlock_probability,
+    disk_bound_page_rate,
+    max_safe_mpl,
+    predicts_thrashing,
+    resource_ceiling,
+)
+from repro.control.tay import effective_db_size, tay_mpl
+from repro.dbms.config import SimulationParameters
+from repro.errors import ConfigurationError
+
+
+def test_base_case_is_disk_bound():
+    params = SimulationParameters()
+    assert disk_bound_page_rate(params) == pytest.approx(5 / 0.035)
+    assert cpu_bound_page_rate(params) == pytest.approx(200.0)
+    assert resource_ceiling(params) == pytest.approx(142.857, rel=1e-3)
+
+
+def test_full_buffer_makes_cpu_bound():
+    params = SimulationParameters()
+    assert resource_ceiling(params, buffer_hit_ratio=1.0) == 200.0
+    assert math.isinf(disk_bound_page_rate(params, buffer_hit_ratio=1.0))
+
+
+def test_partial_buffer_raises_disk_bound():
+    params = SimulationParameters()
+    plain = disk_bound_page_rate(params)
+    cached = disk_bound_page_rate(params, buffer_hit_ratio=0.5)
+    assert cached == pytest.approx(2 * plain)
+
+
+def test_conflict_ratio_formula():
+    assert conflict_ratio(8, 35, 1000) == pytest.approx(2.24)
+    assert conflict_ratio(8, 10, 2285.7) == pytest.approx(0.28, rel=1e-2)
+
+
+def test_blocking_probability_monotone_and_clamped():
+    p1 = blocking_probability(8, 10, 1000)
+    p2 = blocking_probability(8, 100, 1000)
+    assert 0 < p1 < p2 <= 1.0
+    assert blocking_probability(1000, 1000, 10) == 1.0
+    assert blocking_probability(8, 1, 1000) == 0.0   # alone: no conflict
+
+
+def test_deadlock_probability_much_smaller_than_blocking():
+    blocking = blocking_probability(8, 35, 2285.7)
+    deadlock = deadlock_probability(8, 35, 2285.7)
+    assert deadlock < blocking
+
+
+def test_predicts_thrashing_threshold():
+    # Base case effective db: 2285.7; k=8.
+    d_eff = effective_db_size(1000, 0.25)
+    assert not predicts_thrashing(8, 35, d_eff)
+    assert predicts_thrashing(8, 200, d_eff)
+
+
+def test_max_safe_mpl_matches_tay_controller():
+    d_eff = effective_db_size(1000, 0.25)
+    for k in (4, 8, 24, 72):
+        assert max_safe_mpl(k, d_eff) == tay_mpl(1000, k, 0.25)
+
+
+def test_max_safe_mpl_infinite_db():
+    assert max_safe_mpl(8, math.inf) == 10 ** 9
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        conflict_ratio(0, 10, 100)
+    with pytest.raises(ConfigurationError):
+        blocking_probability(8, -1, 100)
+    with pytest.raises(ConfigurationError):
+        max_safe_mpl(8, 0)
+
+
+def test_simulation_matches_analysis_at_low_contention():
+    """At low contention the simulated blocking rate should be within a
+    small factor of the analytic estimate."""
+    from repro.control.fixed_mpl import FixedMPLController
+    from repro.dbms.system import DBMSSystem
+
+    params = SimulationParameters(num_terms=10, db_size=4000,
+                                  warmup_time=2.0, num_batches=2,
+                                  batch_time=20.0)
+    system = DBMSSystem(params=params, controller=FixedMPLController(10))
+    system.start()
+    system.sim.run(until=params.total_time)
+    observed = system.lock_table.blocks / max(1, system.lock_table.requests)
+    d_eff = effective_db_size(params.db_size, params.write_prob)
+    # k counts lock requests: readset + upgrades = 8 + 2 = 10 on average.
+    predicted = blocking_probability(10, 10, d_eff)
+    assert observed < 10 * predicted + 0.05

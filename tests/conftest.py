@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.config import SimulationParameters
+
+
+@pytest.fixture
+def fast_params() -> SimulationParameters:
+    """Small, quick parameters for integration tests (seconds, not minutes)."""
+    return SimulationParameters(
+        num_terms=30,
+        warmup_time=5.0,
+        num_batches=3,
+        batch_time=10.0,
+    )
+
+
+@pytest.fixture
+def tiny_params() -> SimulationParameters:
+    """Very small parameters for the cheapest end-to-end checks."""
+    return SimulationParameters(
+        num_terms=10,
+        db_size=200,
+        warmup_time=2.0,
+        num_batches=2,
+        batch_time=5.0,
+    )

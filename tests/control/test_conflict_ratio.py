@@ -1,0 +1,154 @@
+"""Unit tests for the conflict-ratio controller."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.control.conflict_ratio import ConflictRatioController
+from repro.core.state_tracker import StateTracker
+from repro.dbms.transaction import Transaction
+from repro.errors import ConfigurationError
+
+
+def _txn(i):
+    return Transaction(txn_id=i, terminal_id=0, timestamp=float(i),
+                       readset=[1, 2], writeset=set())
+
+
+class FakeLockTable:
+    def __init__(self):
+        self.held = {}
+        self.blocking = set()
+
+    def num_held(self, txn):
+        return self.held.get(txn, 0)
+
+    def is_blocking_others(self, txn):
+        return txn in self.blocking
+
+
+class FakeSystem:
+    def __init__(self):
+        self.tracker = StateTracker()
+        self.lock_table = FakeLockTable()
+        self.ready = []
+        self.admitted = []
+        self.aborted = []
+
+    def try_admit_one(self):
+        if not self.ready:
+            return False
+        txn = self.ready.pop(0)
+        self.admitted.append(txn)
+        self.tracker.add(txn, 0.0)
+        return True
+
+    def abort_transaction(self, txn, reason):
+        self.aborted.append(txn)
+        self.tracker.remove(txn, 0.0)
+        self.lock_table.held.pop(txn, None)
+
+
+@pytest.fixture
+def crc():
+    controller = ConflictRatioController()
+    controller.attach(FakeSystem())
+    return controller
+
+
+def _add(system, n_locks, blocked=False, i=[0]):
+    i[0] += 1
+    txn = _txn(100 + i[0])
+    system.tracker.add(txn, 0.0)
+    if blocked:
+        system.tracker.set_blocked(txn, True, 0.0)
+    system.lock_table.held[txn] = n_locks
+    return txn
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ConflictRatioController(critical_ratio=1.0)
+    with pytest.raises(ConfigurationError):
+        ConflictRatioController(abort_margin=-0.1)
+
+
+def test_empty_system_ratio_is_one(crc):
+    assert crc.conflict_ratio() == 1.0
+    assert crc.want_admit(_txn(1))
+
+
+def test_no_blocking_ratio_is_one(crc):
+    _add(crc.system, 4)
+    _add(crc.system, 6)
+    assert crc.conflict_ratio() == 1.0
+
+
+def test_ratio_counts_locks_not_heads(crc):
+    # One running txn with 9 locks, one blocked with 1 lock:
+    # ratio = 10/9 ≈ 1.11 even though half the txns are blocked.
+    _add(crc.system, 9)
+    _add(crc.system, 1, blocked=True)
+    assert crc.conflict_ratio() == pytest.approx(10 / 9)
+    assert crc.want_admit(_txn(1))
+
+
+def test_ratio_above_critical_blocks_admission(crc):
+    _add(crc.system, 5)
+    _add(crc.system, 5, blocked=True)   # ratio = 2.0
+    assert crc.conflict_ratio() == pytest.approx(2.0)
+    assert not crc.want_admit(_txn(1))
+
+
+def test_all_blocked_is_infinite(crc):
+    _add(crc.system, 3, blocked=True)
+    assert math.isinf(crc.conflict_ratio())
+
+
+def test_commit_preauthorizes_when_below(crc):
+    _add(crc.system, 5)
+    crc.on_commit(_txn(99))
+    assert crc.want_admit(_txn(1))          # flag consumed
+    # Above critical the commit does not pre-authorize:
+    _add(crc.system, 9, blocked=True)
+    crc.on_commit(_txn(98))
+    assert not crc.want_admit(_txn(2))
+
+
+def test_on_block_aborts_until_margin(crc):
+    system = crc.system
+    _add(system, 4)
+    victims = [_add(system, 4, blocked=True) for _ in range(3)]
+    system.lock_table.blocking = set(victims)
+    assert crc.conflict_ratio() == pytest.approx(4.0)
+    crc.on_block(victims[0])
+    # Aborting blocked holders drives the ratio back below 1.4.
+    assert crc.conflict_ratio() <= 1.4 + 1e-9
+    assert crc.load_control_aborts == len(system.aborted) > 0
+
+
+def test_lock_granted_admits_while_below(crc):
+    system = crc.system
+    _add(system, 5)
+    system.ready.extend(_txn(i) for i in range(3))
+    crc.on_lock_granted(_txn(99))
+    assert len(system.admitted) == 3       # new txns hold no locks
+
+
+def test_end_to_end_beats_no_control():
+    from repro.control.no_control import NoControlController
+    from repro.dbms.config import SimulationParameters
+    from repro.experiments.runner import run_simulation
+
+    params = SimulationParameters(num_terms=120, warmup_time=8.0,
+                                  num_batches=2, batch_time=15.0)
+    raw = run_simulation(params, NoControlController())
+    crc = run_simulation(params, ConflictRatioController())
+    assert crc.page_throughput.mean > raw.page_throughput.mean
+    assert crc.avg_mpl < raw.avg_mpl
+
+
+def test_name():
+    assert "1.3" in ConflictRatioController().name

@@ -1,0 +1,201 @@
+"""Unit tests for the baseline load controllers (fixed MPL, no-control,
+composite, buffer-aware) against a fake system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.base import LoadController
+from repro.control.composite import BufferAwareAdmission, CompositeController
+from repro.control.fixed_mpl import FixedMPLController
+from repro.control.no_control import NoControlController
+from repro.core.state_tracker import StateTracker
+from repro.dbms.transaction import Transaction
+from repro.errors import ConfigurationError
+
+
+def _txn(i, reads=4):
+    return Transaction(txn_id=i, terminal_id=0, timestamp=float(i),
+                       readset=list(range(reads)), writeset=set())
+
+
+class FakeReadyQueue(list):
+    def peek(self):
+        return self[0] if self else None
+
+
+class FakeSystem:
+    def __init__(self):
+        self.tracker = StateTracker()
+        self.ready_queue = FakeReadyQueue()
+        self.admitted = []
+
+    def try_admit_one(self):
+        if not self.ready_queue:
+            return False
+        txn = self.ready_queue.pop(0)
+        self.admitted.append(txn)
+        self.tracker.add(txn, 0.0)
+        return True
+
+
+def _attach(controller):
+    controller.attach(FakeSystem())
+    return controller
+
+
+# ----------------------------------------------------------------------
+# FixedMPLController
+# ----------------------------------------------------------------------
+
+def test_fixed_mpl_admits_below_limit():
+    c = _attach(FixedMPLController(2))
+    assert c.want_admit(_txn(1))
+    c.system.tracker.add(_txn(10), 0.0)
+    assert c.want_admit(_txn(2))
+    c.system.tracker.add(_txn(11), 0.0)
+    assert not c.want_admit(_txn(3))
+
+
+def test_fixed_mpl_tops_up_on_removal():
+    c = _attach(FixedMPLController(2))
+    active = [_txn(10), _txn(11)]
+    for t in active:
+        c.system.tracker.add(t, 0.0)
+    c.system.ready_queue.extend([_txn(1), _txn(2), _txn(3)])
+    c.system.tracker.remove(active[0], 1.0)
+    c.on_removed(active[0])
+    assert len(c.system.admitted) == 1      # back to the limit, no more
+
+
+def test_fixed_mpl_invalid_limit():
+    with pytest.raises(ConfigurationError):
+        FixedMPLController(0)
+
+
+def test_fixed_mpl_name():
+    assert FixedMPLController(35).name == "FixedMPL(35)"
+
+
+# ----------------------------------------------------------------------
+# NoControlController
+# ----------------------------------------------------------------------
+
+def test_no_control_always_admits():
+    c = _attach(NoControlController())
+    for i in range(50):
+        c.system.tracker.add(_txn(100 + i), 0.0)
+    assert c.want_admit(_txn(1))
+
+
+def test_no_control_drains_queue_on_removal():
+    c = _attach(NoControlController())
+    c.system.ready_queue.extend([_txn(1), _txn(2)])
+    c.on_removed(_txn(99))
+    assert len(c.system.admitted) == 2
+
+
+# ----------------------------------------------------------------------
+# Base class
+# ----------------------------------------------------------------------
+
+def test_base_controller_admits_and_ignores_hooks():
+    c = _attach(LoadController())
+    t = _txn(1)
+    assert c.want_admit(t)
+    # None of these should raise.
+    c.on_admit(t)
+    c.on_lock_granted(t)
+    c.on_block(t)
+    c.on_unblock(t)
+    c.on_commit(t)
+    c.on_abort(t, "deadlock")
+    c.on_removed(t)
+    assert c.name == "LoadController"
+
+
+# ----------------------------------------------------------------------
+# CompositeController
+# ----------------------------------------------------------------------
+
+class _Veto(LoadController):
+    def __init__(self, allow):
+        super().__init__()
+        self.allow = allow
+        self.events = []
+
+    def want_admit(self, txn):
+        self.events.append("ask")
+        return self.allow
+
+    def on_commit(self, txn):
+        self.events.append("commit")
+
+
+def test_composite_requires_unanimity():
+    yes, no = _Veto(True), _Veto(False)
+    c = _attach(CompositeController([yes, no]))
+    assert not c.want_admit(_txn(1))
+    both_yes = _attach(CompositeController([_Veto(True), _Veto(True)]))
+    assert both_yes.want_admit(_txn(1))
+
+
+def test_composite_stops_asking_after_refusal():
+    first, second = _Veto(False), _Veto(True)
+    c = _attach(CompositeController([first, second]))
+    c.want_admit(_txn(1))
+    assert first.events == ["ask"]
+    assert second.events == []       # never consulted
+
+
+def test_composite_fans_out_hooks():
+    children = [_Veto(True), _Veto(True)]
+    c = _attach(CompositeController(children))
+    c.on_commit(_txn(1))
+    assert all(ch.events == ["commit"] for ch in children)
+
+
+def test_composite_attaches_children():
+    child = _Veto(True)
+    c = CompositeController([child])
+    system = FakeSystem()
+    c.attach(system)
+    assert child.system is system
+
+
+def test_composite_requires_children():
+    with pytest.raises(ConfigurationError):
+        CompositeController([])
+
+
+def test_composite_name():
+    c = CompositeController([FixedMPLController(5), NoControlController()])
+    assert "FixedMPL(5)" in c.name and "NoControl" in c.name
+
+
+# ----------------------------------------------------------------------
+# BufferAwareAdmission
+# ----------------------------------------------------------------------
+
+def test_buffer_aware_admits_within_budget():
+    c = _attach(BufferAwareAdmission(buf_size=10))
+    assert c.want_admit(_txn(1, reads=6))
+    c.system.tracker.add(_txn(10, reads=6), 0.0)
+    assert not c.want_admit(_txn(2, reads=6))   # 6 + 6 > 10
+    assert c.want_admit(_txn(3, reads=4))       # 6 + 4 <= 10
+
+
+def test_buffer_aware_tops_up_within_budget():
+    c = _attach(BufferAwareAdmission(buf_size=10))
+    c.system.ready_queue.extend([_txn(1, reads=6), _txn(2, reads=6)])
+    c.on_removed(_txn(99))
+    assert len(c.system.admitted) == 1          # second would overflow
+
+
+def test_buffer_aware_validation():
+    with pytest.raises(ConfigurationError):
+        BufferAwareAdmission(buf_size=0)
+    with pytest.raises(ConfigurationError):
+        BufferAwareAdmission(buf_size=10, capacity_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        BufferAwareAdmission(buf_size=10, capacity_fraction=1.5)

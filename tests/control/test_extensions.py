@@ -1,0 +1,218 @@
+"""Tests for the extension controllers: blocked-fraction ablation,
+class-priority admission, and H&H victim-policy variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.blocked_fraction import BlockedFractionController
+from repro.control.class_priority import ClassPriorityPolicy
+from repro.core.half_and_half import HalfAndHalfController
+from repro.core.regions import Region
+from repro.core.state_tracker import StateTracker
+from repro.dbms.ready_queue import ReadyQueue
+from repro.dbms.transaction import Transaction
+from repro.errors import ConfigurationError
+
+
+def _txn(i, class_name="default", ts=None):
+    return Transaction(txn_id=i, terminal_id=0,
+                       timestamp=float(ts if ts is not None else i),
+                       readset=[1, 2], writeset=set(),
+                       class_name=class_name)
+
+
+# ----------------------------------------------------------------------
+# BlockedFractionController
+# ----------------------------------------------------------------------
+
+class _FakeSystem:
+    def __init__(self):
+        self.tracker = StateTracker()
+
+    def try_admit_one(self):
+        return False
+
+
+def test_blocked_fraction_regions_ignore_maturity():
+    c = BlockedFractionController()
+    c.attach(_FakeSystem())
+    # 6 running (immature!) out of 6: underloaded for this controller,
+    # whereas Half-and-Half would call it comfortable.
+    for i in range(6):
+        c.system.tracker.add(_txn(i), 0.0)
+    assert c.region() is Region.UNDERLOADED
+
+    hh = HalfAndHalfController()
+    hh.attach(c.system)
+    assert hh.region() is Region.COMFORTABLE
+
+
+def test_blocked_fraction_overload_on_blocked_majority():
+    c = BlockedFractionController()
+    c.attach(_FakeSystem())
+    txns = [_txn(i) for i in range(10)]
+    for t in txns:
+        c.system.tracker.add(t, 0.0)
+    for t in txns[:6]:
+        c.system.tracker.set_blocked(t, True, 0.0)
+    assert c.region() is Region.OVERLOADED
+
+
+def test_blocked_fraction_invalid_delta():
+    with pytest.raises(ConfigurationError):
+        BlockedFractionController(delta=0.7)
+
+
+def test_blocked_fraction_name():
+    assert "BlockedFraction" in BlockedFractionController().name
+
+
+# ----------------------------------------------------------------------
+# ClassPriorityPolicy
+# ----------------------------------------------------------------------
+
+def test_class_priority_key_ordering():
+    policy = ClassPriorityPolicy({"oltp": 10, "batch": 1})
+    oltp, batch, other = (_txn(1, "oltp"), _txn(2, "batch"),
+                          _txn(3, "unknown"))
+    assert policy(oltp) < policy(batch) < policy(other)
+
+
+def test_class_priority_default_priority():
+    policy = ClassPriorityPolicy({"oltp": 5}, default_priority=7)
+    assert policy(_txn(1, "unknown")) < policy(_txn(2, "oltp"))
+
+
+def test_class_priority_name():
+    name = ClassPriorityPolicy({"a": 2, "b": 1}).name
+    assert name.index("a") < name.index("b")
+
+
+def test_pop_best_picks_priority_then_fifo():
+    queue = ReadyQueue()
+    policy = ClassPriorityPolicy({"oltp": 1})
+    batch1 = _txn(1, "batch")
+    oltp1 = _txn(2, "oltp")
+    oltp2 = _txn(3, "oltp")
+    for t in (batch1, oltp1, oltp2):
+        queue.push(t)
+    assert queue.pop_best(policy) is oltp1    # priority, FIFO within
+    assert queue.pop_best(policy) is oltp2
+    assert queue.pop_best(policy) is batch1
+    assert queue.pop_best(policy) is None
+
+
+def test_pop_best_fifo_for_uniform_keys():
+    queue = ReadyQueue()
+    txns = [_txn(i) for i in range(4)]
+    for t in txns:
+        queue.push(t)
+    out = [queue.pop_best(lambda t: 0) for _ in range(4)]
+    assert out == txns
+
+
+# ----------------------------------------------------------------------
+# Half-and-Half victim-policy variants
+# ----------------------------------------------------------------------
+
+class _VictimSystem:
+    def __init__(self):
+        self.tracker = StateTracker()
+        self.lock_table = self
+        self.aborted = []
+        from repro.sim.rng import RandomStreams
+        self.streams = RandomStreams(1)
+
+    def is_blocking_others(self, txn):
+        return True
+
+    def try_admit_one(self):
+        return False
+
+    def abort_transaction(self, txn, reason):
+        self.aborted.append(txn)
+        self.tracker.remove(txn, 0.0)
+
+
+def _blocked_set(system, n):
+    txns = []
+    for i in range(n):
+        t = _txn(i, ts=float(i))
+        system.tracker.add(t, 0.0)
+        system.tracker.set_mature(t, 0.0)
+        system.tracker.set_blocked(t, True, 0.0)
+        txns.append(t)
+    return txns
+
+
+def test_victim_policy_youngest_vs_oldest():
+    for policy, expect_index in (("youngest", -1), ("oldest", 0)):
+        c = HalfAndHalfController(victim_policy=policy)
+        c.attach(_VictimSystem())
+        txns = _blocked_set(c.system, 5)
+        victim = c._choose_victim()
+        assert victim is txns[expect_index]
+
+
+def test_victim_policy_random_is_deterministic_by_seed():
+    c1 = HalfAndHalfController(victim_policy="random")
+    c1.attach(_VictimSystem())
+    _blocked_set(c1.system, 5)
+    c2 = HalfAndHalfController(victim_policy="random")
+    c2.attach(_VictimSystem())
+    _blocked_set(c2.system, 5)
+    assert c1._choose_victim().txn_id == c2._choose_victim().txn_id
+
+
+def test_victim_policy_validation():
+    with pytest.raises(ConfigurationError):
+        HalfAndHalfController(victim_policy="heaviest")
+
+
+def test_any_blocked_victims_flag():
+    class NonBlockingSystem(_VictimSystem):
+        def is_blocking_others(self, txn):
+            return False
+
+    strict = HalfAndHalfController()
+    strict.attach(NonBlockingSystem())
+    _blocked_set(strict.system, 3)
+    assert strict._choose_victim() is None
+
+    lenient = HalfAndHalfController(require_blocking_victims=False)
+    lenient.attach(NonBlockingSystem())
+    txns = _blocked_set(lenient.system, 3)
+    assert lenient._choose_victim() is txns[-1]
+
+
+def test_variant_names():
+    assert "oldest" in HalfAndHalfController(
+        victim_policy="oldest").name
+    assert "any-blocked" in HalfAndHalfController(
+        require_blocking_victims=False).name
+    assert HalfAndHalfController().name == "Half-and-Half(δ=0.025)"
+
+
+# ----------------------------------------------------------------------
+# End-to-end: class priority actually shifts service
+# ----------------------------------------------------------------------
+
+def test_class_priority_favours_class_end_to_end():
+    from repro.experiments.runner import run_simulation
+    from repro.dbms.config import SimulationParameters
+    from repro.workload.mixed import MixedWorkload, paper_mixed_classes
+
+    params = SimulationParameters(num_terms=200, warmup_time=5.0,
+                                  num_batches=2, batch_time=15.0)
+
+    def factory(streams, p):
+        return MixedWorkload(streams, p.db_size, paper_mixed_classes())
+
+    fifo = run_simulation(params, HalfAndHalfController(),
+                          workload_factory=factory)
+    favoured = run_simulation(
+        params, HalfAndHalfController(), workload_factory=factory,
+        admission_order=ClassPriorityPolicy({"small-update": 1}))
+    assert favoured.per_class["small-update"].commits > \
+        fifo.per_class["small-update"].commits

@@ -1,0 +1,71 @@
+"""Unit tests for Tay's rule of thumb."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.control.tay import (
+    TayRuleController,
+    effective_db_size,
+    tay_mpl,
+)
+from repro.dbms.config import SimulationParameters
+from repro.errors import ConfigurationError
+
+
+def test_effective_db_size_formula():
+    # w = 0.25: D_e = D / (1 - 0.75^2) = D / 0.4375
+    assert effective_db_size(1000, 0.25) == pytest.approx(1000 / 0.4375)
+
+
+def test_effective_db_size_pure_writes():
+    # w = 1: every lock is exclusive; D_e = D.
+    assert effective_db_size(1000, 1.0) == pytest.approx(1000.0)
+
+
+def test_effective_db_size_read_only_is_infinite():
+    assert math.isinf(effective_db_size(1000, 0.0))
+
+
+def test_paper_size72_gives_mpl_1():
+    """Paper: 'when the average transaction size is 72 ... Tay's rule
+    yields an MPL of only 1'."""
+    assert tay_mpl(1000, 72, 0.25) == 1
+
+
+def test_base_case_mpl_moderate():
+    # k=8: N = 1.5 * 2285.7 / 64 = 53.57 -> 53: liberal vs the true
+    # optimum of ~35, matching the paper's "a bit too liberal" comment.
+    assert tay_mpl(1000, 8, 0.25) == 53
+
+
+def test_mpl_monotone_decreasing_in_txn_size():
+    mpls = [tay_mpl(1000, k, 0.25) for k in (4, 8, 16, 32, 72)]
+    assert mpls == sorted(mpls, reverse=True)
+
+
+def test_read_only_workload_capped():
+    assert tay_mpl(1000, 8, 0.0, max_mpl=200) == 200
+
+
+def test_invalid_tran_size():
+    with pytest.raises(ConfigurationError):
+        tay_mpl(1000, 0, 0.25)
+
+
+def test_controller_from_params_caps_at_terminals():
+    params = SimulationParameters(num_terms=40)
+    controller = TayRuleController.from_params(params)
+    assert controller.mpl <= 40
+
+
+def test_controller_is_fixed_mpl():
+    controller = TayRuleController(1000, 8, 0.25)
+    assert controller.mpl == 53
+    assert "53" in controller.name
+
+
+def test_larger_db_allows_more_transactions():
+    assert tay_mpl(8000, 8, 0.25) > tay_mpl(1000, 8, 0.25)

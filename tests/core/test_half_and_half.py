@@ -1,0 +1,196 @@
+"""Unit tests for the Half-and-Half controller against a fake system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.core.regions import Region
+from repro.core.state_tracker import StateTracker
+from repro.dbms.transaction import Transaction
+from repro.errors import ConfigurationError
+
+
+def _txn(i, ts=None):
+    return Transaction(txn_id=i, terminal_id=0,
+                       timestamp=float(ts if ts is not None else i),
+                       readset=[1, 2, 3, 4], writeset=set())
+
+
+class FakeLockTable:
+    """is_blocking_others controllable per transaction."""
+
+    def __init__(self):
+        self.blocking = set()
+
+    def is_blocking_others(self, txn):
+        return txn in self.blocking
+
+
+class FakeSystem:
+    """Just enough surface for the controller hooks."""
+
+    def __init__(self):
+        self.tracker = StateTracker()
+        self.lock_table = FakeLockTable()
+        self.ready = []          # pending admissions
+        self.admitted = []
+        self.aborted = []
+
+    def try_admit_one(self):
+        if not self.ready:
+            return False
+        txn = self.ready.pop(0)
+        self.admitted.append(txn)
+        self.tracker.add(txn, 0.0)
+        return True
+
+    def abort_transaction(self, txn, reason):
+        self.aborted.append((txn, reason))
+        self.tracker.remove(txn, 0.0)
+
+
+@pytest.fixture
+def hh():
+    controller = HalfAndHalfController()
+    controller.attach(FakeSystem())
+    return controller
+
+
+def _add_state(system, n_state1=0, n_state2=0, n_state3=0, n_state4=0,
+               start_id=100):
+    """Populate the tracker with transactions in given states."""
+    i = start_id
+    made = {1: [], 2: [], 3: [], 4: []}
+    for state, count in ((1, n_state1), (2, n_state2),
+                         (3, n_state3), (4, n_state4)):
+        for _ in range(count):
+            t = _txn(i)
+            i += 1
+            system.tracker.add(t, 0.0)
+            if state in (1, 3):
+                system.tracker.set_mature(t, 0.0)
+            if state in (3, 4):
+                system.tracker.set_blocked(t, True, 0.0)
+            made[state].append(t)
+    return made
+
+
+def test_invalid_delta_rejected():
+    with pytest.raises(ConfigurationError):
+        HalfAndHalfController(delta=0.5)
+    with pytest.raises(ConfigurationError):
+        HalfAndHalfController(delta=-0.01)
+
+
+def test_empty_system_admits_arrival(hh):
+    assert hh.region() is Region.UNDERLOADED
+    assert hh.want_admit(_txn(1))
+
+
+def test_comfortable_system_refuses_arrival(hh):
+    _add_state(hh.system, n_state1=5, n_state3=5)
+    assert hh.region() is Region.COMFORTABLE
+    assert not hh.want_admit(_txn(1))
+
+
+def test_underloaded_system_admits_arrival(hh):
+    _add_state(hh.system, n_state1=8, n_state4=2)
+    assert hh.region() is Region.UNDERLOADED
+    assert hh.want_admit(_txn(1))
+
+
+def test_commit_preauthorizes_next_arrival(hh):
+    _add_state(hh.system, n_state1=5, n_state3=5)   # comfortable
+    hh.on_commit(_txn(99))          # ready queue empty -> flag set
+    assert hh.want_admit(_txn(1))   # consumed the flag
+    assert not hh.want_admit(_txn(2))
+
+
+def test_commit_admits_replacement_from_queue(hh):
+    system = hh.system
+    _add_state(system, n_state1=5, n_state3=5)
+    waiting = _txn(1)
+    system.ready.append(waiting)
+    hh.on_commit(_txn(99))
+    assert system.admitted == [waiting]     # unconditional replacement
+    assert not hh._admit_next_arrival
+
+
+def test_lock_granted_admits_while_underloaded(hh):
+    system = hh.system
+    _add_state(system, n_state1=6)       # 6/6 state 1 -> underloaded
+    system.ready.extend(_txn(i) for i in range(3))
+    hh.on_lock_granted(_txn(99))
+    # Each admission adds an immature running txn, diluting the State-1
+    # fraction: 6/7 = 0.857, 6/8 = 0.75, 6/9 = 0.667 ... admission stops
+    # once the fraction reaches 0.525, i.e. after 5 admits; only 3 are
+    # queued, so all 3 enter.
+    assert len(system.admitted) == 3
+
+
+def test_lock_granted_admission_stops_at_region_boundary(hh):
+    system = hh.system
+    _add_state(system, n_state1=6)
+    system.ready.extend(_txn(i) for i in range(20))
+    hh.on_lock_granted(_txn(99))
+    # 6/n > 0.525 holds while n <= 11, so a 6th admission happens at
+    # n = 11 and the fraction 6/12 = 0.5 then stops the loop.
+    assert len(system.admitted) == 6
+    assert hh.region() is not Region.UNDERLOADED
+
+
+def test_on_block_aborts_youngest_blocking_victim(hh):
+    system = hh.system
+    made = _add_state(system, n_state3=6, n_state1=2)
+    # 6/8 = 0.75 > 0.525 -> overloaded.  Only some victims eligible.
+    blocked = made[3]
+    system.lock_table.blocking = {blocked[0], blocked[4]}
+    assert hh.region() is Region.OVERLOADED
+    hh.on_block(blocked[1])
+    # Victims youngest-first: blocked[4] (largest timestamp) first,
+    # then blocked[0]; after that no eligible victims remain and the
+    # loop stops even though the region is still Overloaded.
+    assert [t for t, _r in system.aborted] == [blocked[4], blocked[0]]
+    assert all(reason == "load_control" for _t, reason in system.aborted)
+
+
+def test_on_block_without_eligible_victims_does_nothing(hh):
+    system = hh.system
+    _add_state(system, n_state3=6, n_state1=2)
+    system.lock_table.blocking = set()   # nobody blocks anyone
+    hh.on_block(_txn(99))
+    assert system.aborted == []
+
+
+def test_on_block_in_comfortable_region_does_nothing(hh):
+    system = hh.system
+    made = _add_state(system, n_state1=5, n_state3=5)
+    system.lock_table.blocking = set(made[3])
+    hh.on_block(made[3][0])
+    assert system.aborted == []
+
+
+def test_victim_selection_uses_timestamp_age(hh):
+    system = hh.system
+    old = _txn(1, ts=1.0)
+    young = _txn(2, ts=50.0)
+    for t in (old, young):
+        system.tracker.add(t, 0.0)
+        system.tracker.set_mature(t, 0.0)
+        system.tracker.set_blocked(t, True, 0.0)
+    system.lock_table.blocking = {old, young}
+    victim = hh._choose_victim()
+    assert victim is young
+
+
+def test_name_mentions_delta():
+    assert "0.025" in HalfAndHalfController().name
+
+
+def test_statistics_counters(hh):
+    system = hh.system
+    _add_state(system, n_state1=6)
+    system.ready.extend(_txn(i) for i in range(2))
+    hh.on_lock_granted(_txn(99))
+    assert hh.admissions_on_grant == 2

@@ -1,0 +1,60 @@
+"""Unit tests for the maturity rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maturity import MaturityRule
+from repro.errors import ConfigurationError
+
+
+def test_paper_default_25_percent():
+    rule = MaturityRule()
+    assert rule.fraction == 0.25
+    assert rule.threshold(8) == 2
+    assert rule.threshold(10) == 3     # ceil(2.5)
+    assert rule.threshold(72) == 18
+
+
+def test_threshold_at_least_one():
+    rule = MaturityRule(fraction=0.1)
+    assert rule.threshold(1) == 1
+    assert rule.threshold(0) == 1      # degenerate estimate
+
+
+def test_fraction_variants():
+    assert MaturityRule(fraction=0.5).threshold(8) == 4
+    assert MaturityRule(fraction=0.1).threshold(40) == 4
+    assert MaturityRule(fraction=1.0).threshold(8) == 8
+
+
+def test_cap_applies_when_smaller():
+    rule = MaturityRule(fraction=0.25, cap_locks=4)
+    assert rule.threshold(8) == 2      # 25% = 2 < cap
+    assert rule.threshold(40) == 4     # 25% = 10, capped at 4
+    assert rule.threshold(400) == 4
+
+
+def test_cap_never_below_one():
+    rule = MaturityRule(fraction=0.25, cap_locks=1)
+    assert rule.threshold(100) == 1
+
+
+def test_invalid_fraction_rejected():
+    with pytest.raises(ConfigurationError):
+        MaturityRule(fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        MaturityRule(fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        MaturityRule(fraction=-0.25)
+
+
+def test_invalid_cap_rejected():
+    with pytest.raises(ConfigurationError):
+        MaturityRule(cap_locks=0)
+
+
+def test_describe():
+    assert "25%" in MaturityRule().describe()
+    capped = MaturityRule(cap_locks=6).describe()
+    assert "6" in capped and "min" in capped

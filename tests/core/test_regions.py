@@ -1,0 +1,66 @@
+"""Unit tests for the 50%-rule region classification."""
+
+from __future__ import annotations
+
+from repro.core.regions import DEFAULT_DELTA, Region, classify_region
+
+
+def test_empty_system_is_underloaded():
+    assert classify_region(0, 0, 0) is Region.UNDERLOADED
+
+
+def test_mostly_mature_running_is_underloaded():
+    # 6 of 10 State 1 -> 0.6 > 0.525
+    assert classify_region(10, 6, 0) is Region.UNDERLOADED
+
+
+def test_mostly_mature_blocked_is_overloaded():
+    assert classify_region(10, 0, 6) is Region.OVERLOADED
+
+
+def test_balanced_is_comfortable():
+    assert classify_region(10, 5, 5) is Region.COMFORTABLE
+
+
+def test_exactly_half_is_comfortable():
+    """The 50% rule uses strict > with the delta tolerance."""
+    assert classify_region(2, 1, 1) is Region.COMFORTABLE
+    assert classify_region(100, 50, 50) is Region.COMFORTABLE
+
+
+def test_delta_hysteresis_window():
+    # 52/100 = 0.52 < 0.525: inside the tolerance window.
+    assert classify_region(100, 52, 0) is Region.COMFORTABLE
+    # 53/100 = 0.53 > 0.525: outside.
+    assert classify_region(100, 53, 0) is Region.UNDERLOADED
+    assert classify_region(100, 0, 53) is Region.OVERLOADED
+
+
+def test_zero_delta():
+    assert classify_region(100, 51, 0, delta=0.0) is Region.UNDERLOADED
+    assert classify_region(100, 50, 0, delta=0.0) is Region.COMFORTABLE
+
+
+def test_single_running_mature_transaction():
+    assert classify_region(1, 1, 0) is Region.UNDERLOADED
+
+
+def test_single_blocked_mature_transaction():
+    assert classify_region(1, 0, 1) is Region.OVERLOADED
+
+
+def test_all_immature_is_comfortable():
+    assert classify_region(10, 0, 0) is Region.COMFORTABLE
+
+
+def test_default_delta_value():
+    assert DEFAULT_DELTA == 0.025
+
+
+def test_regions_mutually_exclusive():
+    """State-1 and State-3 fractions cannot both exceed 0.525."""
+    for n_active in range(1, 30):
+        for s1 in range(n_active + 1):
+            for s3 in range(n_active + 1 - s1):
+                region = classify_region(n_active, s1, s3)
+                assert isinstance(region, Region)

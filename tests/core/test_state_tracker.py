@@ -1,0 +1,142 @@
+"""Unit and property tests for the transaction state tracker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state_tracker import StateTracker
+from repro.dbms.transaction import Transaction
+from repro.metrics.collector import Collector
+
+
+def _txn(i):
+    return Transaction(txn_id=i, terminal_id=0, timestamp=float(i),
+                       readset=[1, 2], writeset=set())
+
+
+def test_add_enters_state2():
+    tracker = StateTracker()
+    t = _txn(1)
+    tracker.add(t, 0.0)
+    assert tracker.n_active == 1
+    assert tracker.n_state2 == 1
+    assert tracker.state_of(t) == 2
+    tracker.check_invariants()
+
+
+def test_maturity_moves_to_state1():
+    tracker = StateTracker()
+    t = _txn(1)
+    tracker.add(t, 0.0)
+    tracker.set_mature(t, 1.0)
+    assert tracker.n_state1 == 1 and tracker.n_state2 == 0
+    assert tracker.state_of(t) == 1
+
+
+def test_blocking_moves_between_states():
+    tracker = StateTracker()
+    t = _txn(1)
+    tracker.add(t, 0.0)
+    tracker.set_blocked(t, True, 1.0)
+    assert tracker.state_of(t) == 4
+    tracker.set_mature(t, 2.0)
+    assert tracker.state_of(t) == 3
+    tracker.set_blocked(t, False, 3.0)
+    assert tracker.state_of(t) == 1
+    tracker.check_invariants()
+
+
+def test_remove_clears_counts():
+    tracker = StateTracker()
+    t = _txn(1)
+    tracker.add(t, 0.0)
+    tracker.set_mature(t, 1.0)
+    tracker.set_blocked(t, True, 2.0)
+    tracker.remove(t, 3.0)
+    assert tracker.n_active == 0
+    assert (tracker.n_state1, tracker.n_state2,
+            tracker.n_state3, tracker.n_state4) == (0, 0, 0, 0)
+
+
+def test_redundant_transitions_are_noops():
+    tracker = StateTracker()
+    t = _txn(1)
+    tracker.add(t, 0.0)
+    tracker.set_blocked(t, False, 1.0)     # already running
+    tracker.set_mature(t, 1.0)
+    tracker.set_mature(t, 2.0)             # already mature
+    assert tracker.n_state1 == 1
+    tracker.check_invariants()
+
+
+def test_add_twice_asserts():
+    tracker = StateTracker()
+    t = _txn(1)
+    tracker.add(t, 0.0)
+    with pytest.raises(AssertionError):
+        tracker.add(t, 1.0)
+
+
+def test_remove_unknown_asserts():
+    tracker = StateTracker()
+    with pytest.raises(AssertionError):
+        tracker.remove(_txn(1), 0.0)
+
+
+def test_blocked_transactions_iteration():
+    tracker = StateTracker()
+    ts = [_txn(i) for i in range(4)]
+    for t in ts:
+        tracker.add(t, 0.0)
+    tracker.set_blocked(ts[1], True, 1.0)
+    tracker.set_blocked(ts[3], True, 1.0)
+    assert set(tracker.blocked_transactions()) == {ts[1], ts[3]}
+    assert tracker.n_blocked == 2
+    assert tracker.n_running == 2
+
+
+def test_collector_receives_population_updates():
+    collector = Collector()
+    tracker = StateTracker(collector)
+    t = _txn(1)
+    tracker.add(t, 1.0)
+    tracker.set_blocked(t, True, 3.0)
+    # Between t=1 and t=3 there was one running immature transaction.
+    snap = collector.snapshot(3.0)
+    assert snap.state2_integral == pytest.approx(2.0)
+    assert snap.active_integral == pytest.approx(2.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["add", "remove", "block",
+                                           "unblock", "mature"]),
+                          st.integers(min_value=0, max_value=7)),
+                min_size=1, max_size=80))
+def test_property_counters_match_recomputation(ops):
+    tracker = StateTracker()
+    txns = {i: _txn(i) for i in range(8)}
+    active = set()
+    now = 0.0
+    for op, i in ops:
+        now += 1.0
+        t = txns[i]
+        if op == "add" and i not in active:
+            tracker.add(t, now)
+            active.add(i)
+        elif op == "remove" and i in active:
+            tracker.remove(t, now)
+            active.remove(i)
+            # Fresh object on re-add (flags reset like a restart).
+            txns[i] = _txn(i)
+        elif op == "block" and i in active:
+            tracker.set_blocked(t, True, now)
+        elif op == "unblock" and i in active:
+            tracker.set_blocked(t, False, now)
+        elif op == "mature" and i in active:
+            tracker.set_mature(t, now)
+        tracker.check_invariants()
+        assert tracker.n_active == len(active)
+        assert (tracker.n_state1 + tracker.n_state2
+                + tracker.n_state3 + tracker.n_state4) == len(active)

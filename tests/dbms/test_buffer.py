@@ -1,0 +1,98 @@
+"""Unit and property tests for the LRU buffer manager."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms.buffer import LRUBuffer, NullBuffer
+from repro.errors import ConfigurationError
+
+
+def test_null_buffer_never_hits():
+    buf = NullBuffer()
+    assert not buf.access_read(1)
+    assert not buf.access_read(1)   # even repeated reads
+    buf.access_write(1)             # no-op
+    assert buf.hit_ratio() == 0.0
+    assert buf.capacity is None
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        LRUBuffer(0)
+
+
+def test_first_read_misses_second_hits():
+    buf = LRUBuffer(10)
+    assert not buf.access_read(1)
+    assert buf.access_read(1)
+    assert buf.hits == 1 and buf.misses == 1
+    assert buf.hit_ratio() == 0.5
+
+
+def test_capacity_eviction_lru_order():
+    buf = LRUBuffer(2)
+    buf.access_read(1)
+    buf.access_read(2)
+    buf.access_read(3)          # evicts 1 (least recently used)
+    assert 1 not in buf
+    assert 2 in buf and 3 in buf
+    assert buf.evictions == 1
+
+
+def test_read_refreshes_recency():
+    buf = LRUBuffer(2)
+    buf.access_read(1)
+    buf.access_read(2)
+    buf.access_read(1)          # 1 is now most recent
+    buf.access_read(3)          # evicts 2
+    assert 1 in buf and 3 in buf and 2 not in buf
+
+
+def test_write_inserts_and_refreshes():
+    buf = LRUBuffer(2)
+    buf.access_write(5)
+    assert 5 in buf
+    buf.access_read(6)
+    buf.access_write(5)         # refresh 5
+    buf.access_read(7)          # evicts 6
+    assert 5 in buf and 7 in buf and 6 not in buf
+
+
+def test_len_tracks_occupancy():
+    buf = LRUBuffer(3)
+    for p in (1, 2):
+        buf.access_read(p)
+    assert len(buf) == 2
+    for p in (3, 4):
+        buf.access_read(p)
+    assert len(buf) == 3
+
+
+def test_hit_ratio_zero_without_accesses():
+    assert LRUBuffer(4).hit_ratio() == 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=1, max_value=8),
+       st.lists(st.tuples(st.integers(min_value=0, max_value=20),
+                          st.booleans()),
+                min_size=1, max_size=100))
+def test_property_lru_matches_reference_model(capacity, accesses):
+    """The buffer must agree with a brute-force recency-list model."""
+    buf = LRUBuffer(capacity)
+    reference: list = []    # most recent last
+    for page, is_write in accesses:
+        if is_write:
+            buf.access_write(page)
+        else:
+            hit = buf.access_read(page)
+            assert hit == (page in reference)
+        if page in reference:
+            reference.remove(page)
+        reference.append(page)
+        if len(reference) > capacity:
+            reference.pop(0)
+        assert set(reference) == set(buf._pages)

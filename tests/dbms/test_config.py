@@ -1,0 +1,78 @@
+"""Unit tests for SimulationParameters (paper Table 2 defaults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.config import SimulationParameters
+from repro.errors import ConfigurationError
+
+
+def test_defaults_match_paper_table2():
+    p = SimulationParameters()
+    assert p.db_size == 1000
+    assert p.tran_size == 8
+    assert p.write_prob == 0.25
+    assert p.num_terms == 200
+    assert p.think_time == 0.0
+    assert p.page_io == pytest.approx(0.035)
+    assert p.page_cpu == pytest.approx(0.005)
+    assert p.num_cpus == 1
+    assert p.num_disks == 5
+
+
+def test_default_model_options():
+    p = SimulationParameters()
+    assert p.buf_size is None          # bufferless by default
+    assert p.lock_upgrades             # footnote 1 behaviour
+    assert p.locking_enabled
+    assert p.cc_cpu == 0.0             # folded into page_cpu
+    assert p.estimate_error == 1.0
+
+
+def test_measurement_window_helpers():
+    p = SimulationParameters(warmup_time=10.0, num_batches=4,
+                             batch_time=25.0)
+    assert p.measurement_time == 100.0
+    assert p.total_time == 110.0
+
+
+def test_replace_creates_validated_copy():
+    p = SimulationParameters()
+    q = p.replace(num_terms=50)
+    assert q.num_terms == 50
+    assert p.num_terms == 200          # original untouched
+    with pytest.raises(ConfigurationError):
+        p.replace(num_terms=0)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("db_size", 0),
+    ("tran_size", 0),
+    ("write_prob", -0.1),
+    ("write_prob", 1.1),
+    ("num_terms", 0),
+    ("think_time", -1.0),
+    ("page_io", -0.001),
+    ("page_cpu", -0.001),
+    ("num_cpus", 0),
+    ("num_disks", 0),
+    ("buf_size", 0),
+    ("cc_cpu", -0.1),
+    ("estimate_error", 0.0),
+    ("estimate_error", -1.0),
+    ("warmup_time", -1.0),
+    ("batch_time", 0.0),
+    ("num_batches", 0),
+])
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        SimulationParameters(**{field: value})
+
+
+def test_readset_cannot_exceed_database():
+    # tran_size 100 -> max readset 150 > db_size 120
+    with pytest.raises(ConfigurationError):
+        SimulationParameters(db_size=120, tran_size=100)
+    # exactly fits
+    SimulationParameters(db_size=150, tran_size=100)

@@ -1,0 +1,60 @@
+"""Unit tests for the external ready queue."""
+
+from __future__ import annotations
+
+from repro.dbms.ready_queue import ReadyQueue
+from repro.dbms.transaction import Transaction, TxnPhase
+
+
+def _txn(i):
+    return Transaction(txn_id=i, terminal_id=0, timestamp=float(i),
+                       readset=[i], writeset=set())
+
+
+def test_empty_queue():
+    q = ReadyQueue()
+    assert len(q) == 0
+    assert not q
+    assert q.pop() is None
+    assert q.peek() is None
+
+
+def test_fifo_order():
+    q = ReadyQueue()
+    txns = [_txn(i) for i in range(5)]
+    for t in txns:
+        q.push(t)
+    assert [q.pop() for _ in range(5)] == txns
+
+
+def test_push_sets_ready_phase():
+    q = ReadyQueue()
+    t = _txn(1)
+    q.push(t)
+    assert t.phase is TxnPhase.READY
+
+
+def test_peek_does_not_remove():
+    q = ReadyQueue()
+    t = _txn(1)
+    q.push(t)
+    assert q.peek() is t
+    assert len(q) == 1
+
+
+def test_statistics():
+    q = ReadyQueue()
+    for i in range(3):
+        q.push(_txn(i))
+    q.pop()
+    q.push(_txn(3))
+    assert q.total_enqueued == 4
+    assert q.max_length == 3
+
+
+def test_iteration_in_order():
+    q = ReadyQueue()
+    txns = [_txn(i) for i in range(3)]
+    for t in txns:
+        q.push(t)
+    assert list(q) == txns

@@ -1,0 +1,225 @@
+"""Integration tests: the full DBMS system end to end (short runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.control.no_control import NoControlController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.dbms.config import SimulationParameters
+from repro.dbms.system import DBMSSystem
+from repro.errors import SimulationError
+from repro.experiments.runner import run_simulation
+from repro.lockmgr.wait_policy import BoundedWaitPolicy
+from repro.sim.rng import RandomStreams
+from repro.workload.mixed import MixedWorkload, paper_mixed_classes
+
+
+def _run_system(params, controller, **kwargs):
+    system = DBMSSystem(params=params, controller=controller, **kwargs)
+    system.start()
+    system.sim.run(until=params.total_time)
+    return system
+
+
+def test_short_run_commits_transactions(tiny_params):
+    system = _run_system(tiny_params, NoControlController())
+    assert system.collector.commits > 0
+    assert system.collector.raw_pages >= system.collector.committed_pages
+
+
+def test_start_twice_rejected(tiny_params):
+    system = DBMSSystem(params=tiny_params,
+                        controller=NoControlController())
+    system.start()
+    with pytest.raises(SimulationError):
+        system.start()
+
+
+def test_invariants_hold_at_quiescent_points(tiny_params):
+    system = DBMSSystem(params=tiny_params,
+                        controller=HalfAndHalfController())
+    system.start()
+    for horizon in (1.0, 3.0, 7.0, 12.0):
+        system.sim.run(until=horizon)
+        system.check_invariants()
+
+
+def test_transaction_conservation(fast_params):
+    """Every generated transaction is committed, active, queued, or the
+    single in-flight transaction of some terminal."""
+    system = _run_system(fast_params, HalfAndHalfController())
+    accounted = (system.collector.commits
+                 + system.tracker.n_active
+                 + len(system.ready_queue))
+    assert accounted <= system.total_generated
+    # Each terminal has at most one uncommitted transaction outstanding.
+    assert system.total_generated - system.collector.commits \
+        <= fast_params.num_terms
+
+
+def test_determinism_same_seed(fast_params):
+    r1 = run_simulation(fast_params, HalfAndHalfController())
+    r2 = run_simulation(fast_params, HalfAndHalfController())
+    assert r1.commits == r2.commits
+    assert r1.page_throughput.mean == r2.page_throughput.mean
+    assert r1.batch_throughputs == r2.batch_throughputs
+
+
+def test_different_seeds_differ(fast_params):
+    r1 = run_simulation(fast_params, NoControlController())
+    r2 = run_simulation(fast_params.replace(seed=99),
+                        NoControlController())
+    assert r1.page_throughput.mean != r2.page_throughput.mean
+
+
+def test_fixed_mpl_never_exceeded():
+    params = SimulationParameters(num_terms=30, warmup_time=2.0,
+                                  num_batches=2, batch_time=5.0)
+    system = DBMSSystem(params=params, controller=FixedMPLController(7))
+    system.start()
+    for horizon in (1.0, 4.0, 9.0):
+        system.sim.run(until=horizon)
+        assert system.tracker.n_active <= 7
+    assert system.collector.active.max_value <= 7
+
+
+def test_contention_produces_deadlock_aborts():
+    """A tiny hot database under pure 2PL must deadlock sometimes."""
+    params = SimulationParameters(num_terms=25, db_size=50, tran_size=6,
+                                  write_prob=0.8, warmup_time=2.0,
+                                  num_batches=2, batch_time=10.0)
+    system = _run_system(params, NoControlController())
+    assert system.collector.aborts > 0
+    assert system.collector.aborts_by_reason.get("deadlock", 0) > 0
+    assert system.collector.commits > 0   # forward progress despite aborts
+
+
+def test_aborted_transactions_eventually_commit():
+    params = SimulationParameters(num_terms=20, db_size=50, tran_size=6,
+                                  write_prob=0.8, warmup_time=2.0,
+                                  num_batches=2, batch_time=10.0)
+    result = run_simulation(params, NoControlController())
+    assert result.avg_restarts_per_commit > 0.0
+
+
+def test_no_locking_mode_has_no_aborts(tiny_params):
+    params = tiny_params.replace(locking_enabled=False)
+    system = _run_system(params, NoControlController())
+    assert system.collector.aborts == 0
+    assert system.lock_table.requests == 0
+    assert system.collector.commits > 0
+
+
+def test_bounded_wait_policy_aborts_on_queue_overflow():
+    params = SimulationParameters(num_terms=30, db_size=80, tran_size=6,
+                                  write_prob=0.7, warmup_time=2.0,
+                                  num_batches=2, batch_time=10.0)
+    system = _run_system(params, NoControlController(),
+                         wait_policy=BoundedWaitPolicy(limit=1))
+    assert system.collector.aborts_by_reason.get("wait_policy", 0) > 0
+
+
+def test_half_and_half_aborts_under_overload():
+    params = SimulationParameters(num_terms=60, db_size=60, tran_size=8,
+                                  write_prob=0.8, warmup_time=2.0,
+                                  num_batches=2, batch_time=10.0)
+    system = _run_system(params, HalfAndHalfController())
+    # The load controller itself should have taken corrective action.
+    assert isinstance(system.controller, HalfAndHalfController)
+    assert (system.collector.aborts_by_reason.get("load_control", 0) > 0
+            or system.collector.aborts_by_reason.get("deadlock", 0) > 0)
+
+
+def test_mixed_workload_both_classes_commit(fast_params):
+    from repro.workload.mixed import TransactionClass
+
+    streams = RandomStreams(fast_params.seed)
+    committed_classes = set()
+
+    class Spy(NoControlController):
+        def on_commit(self, txn):
+            committed_classes.add(txn.class_name)
+
+    # A small mix (low contention) so both classes commit quickly.
+    classes = [
+        TransactionClass("small-update", num_terminals=8,
+                         tran_size=4, write_prob=1.0),
+        TransactionClass("large-readonly", num_terminals=2,
+                         tran_size=24, write_prob=0.0),
+    ]
+    workload = MixedWorkload(streams, fast_params.db_size, classes)
+    params = fast_params.replace(num_terms=10)
+    system = DBMSSystem(params=params, controller=Spy(),
+                        workload=workload, streams=streams)
+    system.start()
+    system.sim.run(until=15.0)
+    assert committed_classes == {"small-update", "large-readonly"}
+
+
+def test_degree_two_readers_release_locks_early(fast_params):
+    streams = RandomStreams(fast_params.seed)
+    workload = MixedWorkload(streams, fast_params.db_size,
+                             paper_mixed_classes(degree_two_readers=True))
+    params = fast_params.replace(num_terms=200)
+    system = DBMSSystem(params=params, controller=NoControlController(),
+                        workload=workload, streams=streams)
+    system.start()
+    system.sim.run(until=15.0)
+    system.check_invariants()
+    # Degree-2 readers never hold more than one lock, so no active
+    # read-only transaction may hold 2+ pages.
+    for txn in system.tracker.active_transactions():
+        if txn.lock_protocol.releases_read_locks_early():
+            assert len(system.lock_table.held_pages(txn)) <= 1
+    assert system.collector.commits > 0
+
+
+def test_buffer_improves_throughput(fast_params):
+    plain = run_simulation(fast_params, NoControlController())
+    buffered = run_simulation(fast_params.replace(buf_size=1000),
+                              NoControlController())
+    assert buffered.page_throughput.mean > plain.page_throughput.mean
+
+
+def test_buffer_hit_ratio_positive(tiny_params):
+    system = _run_system(tiny_params.replace(buf_size=100),
+                         NoControlController())
+    assert system.buffer.hit_ratio() > 0.0
+
+
+def test_cc_cpu_cost_slows_system(fast_params):
+    cheap = run_simulation(fast_params, FixedMPLController(10))
+    costly = run_simulation(fast_params.replace(cc_cpu=0.004),
+                            FixedMPLController(10))
+    assert costly.page_throughput.mean < cheap.page_throughput.mean
+
+
+def test_think_time_reduces_pressure(tiny_params):
+    eager = run_simulation(tiny_params, NoControlController())
+    lazy = run_simulation(tiny_params.replace(think_time=5.0),
+                          NoControlController())
+    assert lazy.avg_mpl < eager.avg_mpl
+
+
+def test_estimate_error_still_functions(fast_params):
+    result = run_simulation(fast_params.replace(estimate_error=3.0),
+                            HalfAndHalfController())
+    assert result.page_throughput.mean > 0
+
+
+def test_immediate_x_locking_mode(fast_params):
+    result = run_simulation(fast_params.replace(lock_upgrades=False),
+                            NoControlController())
+    assert result.commits > 0
+
+
+def test_abort_of_inactive_transaction_rejected(tiny_params):
+    from repro.dbms.transaction import Transaction
+    system = DBMSSystem(params=tiny_params,
+                        controller=NoControlController())
+    ghost = Transaction(txn_id=0, terminal_id=0, timestamp=0.0,
+                        readset=[1], writeset=set())
+    with pytest.raises(SimulationError):
+        system.abort_transaction(ghost, "deadlock")

@@ -1,0 +1,86 @@
+"""Property-based end-to-end tests: random small configurations must
+run to completion with all cross-component invariants intact."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.control.no_control import NoControlController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.dbms.config import SimulationParameters
+from repro.dbms.system import DBMSSystem
+from repro.lockmgr.wait_policy import BoundedWaitPolicy
+
+
+config_strategy = st.fixed_dictionaries({
+    "num_terms": st.integers(min_value=1, max_value=25),
+    "db_size": st.integers(min_value=30, max_value=300),
+    "tran_size": st.integers(min_value=1, max_value=10),
+    "write_prob": st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+    "seed": st.integers(min_value=0, max_value=2 ** 20),
+    "buffered": st.booleans(),
+    "upgrades": st.booleans(),
+    "controller": st.sampled_from(["none", "fixed", "hh"]),
+    "bounded_wait": st.booleans(),
+})
+
+
+def _build_system(cfg):
+    params = SimulationParameters(
+        num_terms=cfg["num_terms"],
+        db_size=cfg["db_size"],
+        tran_size=cfg["tran_size"],
+        write_prob=cfg["write_prob"],
+        seed=cfg["seed"],
+        buf_size=50 if cfg["buffered"] else None,
+        lock_upgrades=cfg["upgrades"],
+        warmup_time=1.0, num_batches=1, batch_time=4.0,
+    )
+    controller = {
+        "none": NoControlController,
+        "hh": HalfAndHalfController,
+    }.get(cfg["controller"], lambda: FixedMPLController(5))()
+    wait_policy = BoundedWaitPolicy(1) if cfg["bounded_wait"] else None
+    return DBMSSystem(params=params, controller=controller,
+                      wait_policy=wait_policy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config_strategy)
+def test_property_random_configs_run_clean(cfg):
+    system = _build_system(cfg)
+    system.start()
+    system.sim.run(until=system.params.total_time)
+
+    # Cross-component invariants at the quiescent point.
+    system.check_invariants()
+
+    # Conservation: every generated transaction is committed, active,
+    # queued, pending restart, or the in-flight one of some terminal.
+    accounted = (system.collector.commits
+                 + system.tracker.n_active
+                 + len(system.ready_queue))
+    assert accounted <= system.total_generated
+    assert (system.total_generated - system.collector.commits
+            <= system.params.num_terms)
+
+    # Counting sanity.
+    assert system.collector.raw_pages >= system.collector.committed_pages
+    assert system.collector.commits >= 0
+    assert system.tracker.n_active <= system.params.num_terms
+
+
+@settings(max_examples=15, deadline=None)
+@given(config_strategy)
+def test_property_same_config_is_deterministic(cfg):
+    runs = []
+    for _ in range(2):
+        system = _build_system(cfg)
+        system.start()
+        system.sim.run(until=system.params.total_time)
+        runs.append((system.collector.commits,
+                     system.collector.aborts,
+                     system.collector.raw_pages))
+    assert runs[0] == runs[1]

@@ -1,0 +1,84 @@
+"""Unit tests for Transaction lifecycle state."""
+
+from __future__ import annotations
+
+from repro.dbms.transaction import Transaction, TxnPhase
+from repro.lockmgr.protocols import LockProtocol
+
+
+def _txn(**kwargs):
+    defaults = dict(txn_id=1, terminal_id=0, timestamp=5.0,
+                    readset=[3, 7, 9], writeset={7})
+    defaults.update(kwargs)
+    return Transaction(**defaults)
+
+
+def test_initial_state():
+    t = _txn()
+    assert t.phase is TxnPhase.THINKING
+    assert t.step_index == 0
+    assert t.locks_completed == 0
+    assert not t.is_mature and not t.is_blocked
+    assert t.restarts == 0
+
+
+def test_size_properties():
+    t = _txn()
+    assert t.num_reads == 3
+    assert t.num_writes == 1
+    assert not t.is_read_only
+    assert _txn(writeset=set()).is_read_only
+
+
+def test_total_lock_requests_counts_upgrades():
+    assert _txn().total_lock_requests() == 4      # 3 reads + 1 upgrade
+    assert _txn(writeset=set()).total_lock_requests() == 3
+
+
+def test_current_page_and_progress():
+    t = _txn()
+    assert t.current_page() == 3
+    t.step_index = 2
+    assert t.current_page() == 9
+    assert not t.finished_reading()
+    t.step_index = 3
+    assert t.finished_reading()
+
+
+def test_reset_for_restart_preserves_plan_and_timestamp():
+    t = _txn()
+    t.phase = TxnPhase.EXECUTING
+    t.step_index = 2
+    t.locks_completed = 3
+    t.is_mature = True
+    t.is_blocked = True
+    t.attempt_reads = 2
+    t.pending_updates = [7]
+    t.reset_for_restart()
+    assert t.phase is TxnPhase.READY
+    assert t.step_index == 0
+    assert t.locks_completed == 0
+    assert not t.is_mature and not t.is_blocked
+    assert t.restarts == 1
+    assert t.attempt_reads == 0
+    assert t.pending_updates == []
+    # The reference string and timestamp survive (paper Section 3).
+    assert t.readset == [3, 7, 9]
+    assert t.writeset == {7}
+    assert t.timestamp == 5.0
+
+
+def test_default_protocol_is_two_phase():
+    assert _txn().lock_protocol is LockProtocol.TWO_PHASE
+
+
+def test_degree_two_protocol_releases_early():
+    t = _txn(lock_protocol=LockProtocol.DEGREE_TWO)
+    assert t.lock_protocol.releases_read_locks_early()
+    assert not LockProtocol.TWO_PHASE.releases_read_locks_early()
+
+
+def test_repr_is_informative():
+    text = repr(_txn(class_name="small-update"))
+    assert "small-update" in text
+    assert "r=3" in text and "w=1" in text

@@ -1,0 +1,73 @@
+"""Property-based tests: random distributed configurations run clean."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.config import DistributedParameters
+from repro.distributed.controllers import (
+    make_half_and_half_sites,
+    make_no_control_sites,
+)
+from repro.distributed.system import DistributedSystem
+from repro.lockmgr.prevention import DeadlockStrategy
+
+
+config_strategy = st.fixed_dictionaries({
+    "num_sites": st.integers(min_value=1, max_value=5),
+    "num_terms": st.integers(min_value=1, max_value=20),
+    "db_size": st.integers(min_value=60, max_value=300),
+    "tran_size": st.integers(min_value=1, max_value=8),
+    "write_prob": st.sampled_from([0.0, 0.25, 0.8]),
+    "locality": st.sampled_from([0.0, 0.5, 1.0]),
+    "msg_delay": st.sampled_from([0.0, 0.002]),
+    "seed": st.integers(min_value=0, max_value=2 ** 16),
+    "hh": st.booleans(),
+    "strategy": st.sampled_from(list(DeadlockStrategy)),
+})
+
+
+def _build(cfg):
+    params = DistributedParameters(
+        num_sites=cfg["num_sites"], num_terms=cfg["num_terms"],
+        db_size=cfg["db_size"], tran_size=cfg["tran_size"],
+        write_prob=cfg["write_prob"], locality=cfg["locality"],
+        msg_delay=cfg["msg_delay"], seed=cfg["seed"],
+        warmup_time=1.0, num_batches=1, batch_time=4.0)
+    make = (make_half_and_half_sites if cfg["hh"]
+            else make_no_control_sites)
+    return DistributedSystem(params=params,
+                             controllers=make(cfg["num_sites"]),
+                             deadlock_strategy=cfg["strategy"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(config_strategy)
+def test_property_random_distributed_configs_run_clean(cfg):
+    system = _build(cfg)
+    system.start()
+    system.sim.run(until=system.params.total_time)
+    system.check_invariants()
+    queued = sum(len(v.ready_queue) for v in system.site_views)
+    accounted = (system.collector.commits
+                 + system.tracker.n_active + queued)
+    assert accounted <= system.total_generated
+    assert (system.total_generated - system.collector.commits
+            <= system.params.num_terms)
+    assert system.collector.raw_pages >= system.collector.committed_pages
+    if cfg["strategy"] is not DeadlockStrategy.DETECTION:
+        assert system.collector.aborts_by_reason.get("deadlock", 0) == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(config_strategy)
+def test_property_distributed_determinism(cfg):
+    runs = []
+    for _ in range(2):
+        system = _build(cfg)
+        system.start()
+        system.sim.run(until=system.params.total_time)
+        runs.append((system.collector.commits, system.collector.aborts,
+                     system.collector.raw_pages))
+    assert runs[0] == runs[1]

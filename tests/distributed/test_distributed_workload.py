@@ -1,0 +1,105 @@
+"""Unit tests for the distributed workload generator and parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.config import DistributedParameters
+from repro.distributed.partition import RangePartition
+from repro.distributed.workload import DistributedWorkload
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+
+
+def _gen(seed=1, **overrides):
+    params = DistributedParameters(**overrides)
+    partition = RangePartition(params.db_size, params.num_sites)
+    return DistributedWorkload(RandomStreams(seed), params, partition), \
+        params, partition
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        DistributedParameters(num_sites=0)
+    with pytest.raises(ConfigurationError):
+        DistributedParameters(msg_delay=-0.1)
+    with pytest.raises(ConfigurationError):
+        DistributedParameters(locality=1.5)
+    with pytest.raises(ConfigurationError):
+        DistributedParameters(num_sites=2000, db_size=1000)
+
+
+def test_single_site_degenerates_to_centralized():
+    params = DistributedParameters(num_sites=1, msg_delay=0.0)
+    assert params.pages_per_site == params.db_size
+
+
+def test_terminal_site_assignment_round_robin():
+    gen, params, _part = _gen(num_sites=4)
+    assert gen.home_site_of_terminal(0) == 0
+    assert gen.home_site_of_terminal(5) == 1
+    assert gen.home_site_of_terminal(199) == 3
+
+
+def test_pages_distinct_and_in_range():
+    gen, params, _part = _gen(num_sites=4)
+    for i in range(100):
+        txn = gen.make_transaction(i, i, 0.0)
+        assert len(set(txn.readset)) == len(txn.readset)
+        assert all(0 <= p < params.db_size for p in txn.readset)
+        assert txn.writeset <= set(txn.readset)
+
+
+def test_locality_controls_home_fraction():
+    gen, _params, part = _gen(num_sites=4, locality=0.9)
+    home_hits = total = 0
+    for i in range(400):
+        txn = gen.make_transaction(i, 0, 0.0)   # home site 0
+        lo, hi = part.range_of(0)
+        total += txn.num_reads
+        home_hits += sum(1 for p in txn.readset if lo <= p < hi)
+    assert home_hits / total > 0.8
+
+
+def test_full_locality_stays_home():
+    gen, _params, part = _gen(num_sites=4, locality=1.0)
+    lo, hi = part.range_of(2)
+    for i in range(50):
+        txn = gen.make_transaction(i, 2, 0.0)   # terminal 2 -> site 2
+        assert all(lo <= p < hi for p in txn.readset)
+
+
+def test_zero_locality_goes_remote():
+    gen, _params, part = _gen(num_sites=4, locality=0.0)
+    lo, hi = part.range_of(0)
+    remote = total = 0
+    for i in range(200):
+        txn = gen.make_transaction(i, 0, 0.0)
+        total += txn.num_reads
+        remote += sum(1 for p in txn.readset if not lo <= p < hi)
+    assert remote == total
+
+
+def test_class_name_records_home_site():
+    gen, _params, _part = _gen(num_sites=4)
+    assert gen.make_transaction(0, 6, 0.0).class_name == "site2"
+
+
+def test_deterministic_by_seed():
+    a, _p, _ = _gen(seed=7)
+    b, _p2, _ = _gen(seed=7)
+    for i in range(20):
+        assert a.make_transaction(i, i, 0.0).readset == \
+            b.make_transaction(i, i, 0.0).readset
+
+
+def test_oversized_home_partition_request_falls_back():
+    """locality=1.0 with a readset bigger than the home partition must
+    still produce a valid (partially remote) transaction."""
+    gen, params, part = _gen(num_sites=4, db_size=40, tran_size=8,
+                             locality=1.0)
+    # Home partition has 10 pages; readsets can reach 12.
+    for i in range(100):
+        txn = gen.make_transaction(i, 0, 0.0)
+        assert len(set(txn.readset)) == txn.num_reads
+        assert all(0 <= p < 40 for p in txn.readset)

@@ -1,0 +1,52 @@
+"""Unit tests for range partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.partition import RangePartition
+from repro.errors import ConfigurationError
+
+
+def test_even_partition():
+    part = RangePartition(db_size=100, num_sites=4)
+    assert part.range_of(0) == (0, 25)
+    assert part.range_of(3) == (75, 100)
+    assert part.site_of(0) == 0
+    assert part.site_of(24) == 0
+    assert part.site_of(25) == 1
+    assert part.site_of(99) == 3
+
+
+def test_remainder_goes_to_last_site():
+    part = RangePartition(db_size=10, num_sites=3)
+    assert part.range_of(0) == (0, 3)
+    assert part.range_of(1) == (3, 6)
+    assert part.range_of(2) == (6, 10)
+    assert part.pages_at(2) == 4
+    assert sum(part.pages_at(s) for s in part.sites()) == 10
+
+
+def test_single_site_owns_everything():
+    part = RangePartition(db_size=50, num_sites=1)
+    assert all(part.site_of(p) == 0 for p in range(50))
+
+
+def test_every_page_has_exactly_one_owner():
+    part = RangePartition(db_size=97, num_sites=5)
+    for page in range(97):
+        site = part.site_of(page)
+        lo, hi = part.range_of(site)
+        assert lo <= page < hi
+
+
+def test_invalid_inputs():
+    with pytest.raises(ConfigurationError):
+        RangePartition(db_size=2, num_sites=3)
+    with pytest.raises(ConfigurationError):
+        RangePartition(db_size=10, num_sites=0)
+    part = RangePartition(db_size=10, num_sites=2)
+    with pytest.raises(ConfigurationError):
+        part.site_of(10)
+    with pytest.raises(ConfigurationError):
+        part.range_of(2)

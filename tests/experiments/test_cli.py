@@ -1,0 +1,38 @@
+"""Tests for the repro-experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig01" in out and "fig23" in out
+
+
+def test_run_unknown_figure_fails(capsys):
+    assert main(["run", "fig99"]) == 1
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_run_figure_smoke(capsys):
+    """Run the cheapest figure end to end through the CLI."""
+    assert main(["run", "fig20", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "fig20" in out
+    assert "paper claim" in out
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_rejects_bad_scale():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig07", "--scale", "gigantic"])

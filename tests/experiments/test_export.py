@@ -1,0 +1,73 @@
+"""Tests for figure/result export and re-import."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.experiments.export import (
+    figure_from_json,
+    figure_to_csv,
+    figure_to_json,
+    results_to_dict,
+)
+from repro.experiments.figures.base import FigureResult
+
+
+def _figure():
+    return FigureResult(
+        figure_id="figX", title="Demo", x_label="terminals",
+        y_label="pages/s", x_values=[5.0, 10.0],
+        series={"a": [1.5, 2.5], "b": [None, 4.0]},
+        notes="demo note")
+
+
+def test_csv_round_trip(tmp_path):
+    path = tmp_path / "fig.csv"
+    figure_to_csv(_figure(), path)
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["terminals", "a", "b"]
+    assert rows[1] == ["5.0", "1.5", ""]
+    assert rows[2] == ["10.0", "2.5", "4.0"]
+
+
+def test_json_round_trip(tmp_path):
+    path = tmp_path / "fig.json"
+    original = _figure()
+    figure_to_json(original, path)
+    loaded = figure_from_json(path)
+    assert loaded.figure_id == original.figure_id
+    assert loaded.x_values == original.x_values
+    assert loaded.series == original.series
+    assert loaded.notes == original.notes
+
+
+def test_json_is_valid_json(tmp_path):
+    path = tmp_path / "fig.json"
+    figure_to_json(_figure(), path)
+    payload = json.loads(path.read_text())
+    assert payload["title"] == "Demo"
+
+
+def test_results_to_dict(tiny_params):
+    from repro.control.no_control import NoControlController
+    from repro.experiments.runner import run_simulation
+    r = run_simulation(tiny_params, NoControlController())
+    d = results_to_dict(r)
+    assert d["controller"] == "NoControl"
+    assert d["page_throughput"] > 0
+    assert "default" in d["per_class"]
+    json.dumps(d)   # fully serializable
+
+
+def test_cli_export_flags(tmp_path, capsys):
+    from repro.experiments.cli import main
+    csv_path = tmp_path / "f.csv"
+    json_path = tmp_path / "f.json"
+    code = main(["run", "fig20", "--scale", "smoke",
+                 "--csv", str(csv_path), "--json", str(json_path)])
+    assert code == 0
+    assert csv_path.exists() and json_path.exists()
+    loaded = figure_from_json(json_path)
+    assert loaded.figure_id == "fig20"

@@ -1,0 +1,65 @@
+"""Pin the sweep grids that figures use at each scale.
+
+These grids define what the benchmark suite actually measures; changing
+them silently would change what "reproduced" means, so they are pinned
+here (paper scale must include the paper's named operating points).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.ext_write_prob import write_prob_points
+from repro.experiments.figures.fig11_db_size import db_size_points
+from repro.experiments.figures.fig20_maturity_fraction import (
+    fraction_points,
+)
+from repro.experiments.figures.fig21_maturity_cap import cap_points
+from repro.experiments.scales import BENCH, PAPER, SMOKE
+from repro.experiments.studies import (
+    terminal_sweep_points,
+    txn_size_points,
+)
+
+
+def test_terminal_grid_contains_key_points():
+    for scale in (SMOKE, BENCH, PAPER):
+        points = terminal_sweep_points(scale)
+        # The paper's peak (35) and both extremes must be sampled.
+        assert 35 in points
+        assert points[0] <= 5 and points[-1] == 200
+        assert points == sorted(points)
+
+
+def test_txn_size_grid_spans_paper_range():
+    for scale in (SMOKE, BENCH, PAPER):
+        sizes = txn_size_points(scale)
+        assert sizes[0] == 4 and sizes[-1] == 72   # "4 ... to 72 pages"
+        assert 8 in sizes                           # the base case
+        assert sizes == sorted(sizes)
+
+
+def test_paper_scale_grids_are_finer():
+    assert len(terminal_sweep_points(PAPER)) > \
+        len(terminal_sweep_points(SMOKE))
+    assert len(txn_size_points(PAPER)) > len(txn_size_points(SMOKE))
+    assert len(db_size_points(PAPER)) > len(db_size_points(SMOKE))
+
+
+def test_maturity_fraction_grid_covers_paper_range():
+    fractions = fraction_points(PAPER)
+    assert fractions[0] == 0.10 and fractions[-1] == 0.50
+    assert 0.25 in fractions                        # the default
+
+
+def test_cap_grid_straddles_the_15_percent_threshold():
+    caps = cap_points(PAPER)
+    # For the base size of 8 (10 lock requests), 15% is 1.5 locks; for
+    # size 72 (90 requests) it is 13.5.  The grid must contain caps on
+    # both sides of the threshold for mid-range sizes.
+    assert min(caps) <= 3
+    assert max(caps) >= 8
+
+
+def test_write_prob_grid_covers_both_ends():
+    probs = write_prob_points(PAPER)
+    assert probs[0] == 0.0 and probs[-1] == 1.0
+    assert 0.25 in probs                            # the base case

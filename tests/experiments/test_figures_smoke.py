@@ -1,0 +1,85 @@
+"""Smoke-scale runs of selected figures, asserting the paper's shapes.
+
+These are the cheapest figures; the full set runs in the benchmark
+suite.  Shape assertions are deliberately loose — smoke-scale windows
+are short — but they still pin the qualitative claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures.fig01_thrashing import run as run_fig01
+from repro.experiments.figures.fig03_populations_base import (
+    crossover_point,
+    run as run_fig03,
+)
+from repro.experiments.figures.fig07_base_case import run as run_fig07
+from repro.experiments.scales import SMOKE
+
+
+@pytest.fixture(scope="module")
+def fig01():
+    return run_fig01(SMOKE)
+
+
+@pytest.fixture(scope="module")
+def fig03():
+    return run_fig03(SMOKE)
+
+
+@pytest.fixture(scope="module")
+def fig07():
+    return run_fig07(SMOKE)
+
+
+def test_fig01_2pl_thrashes(fig01):
+    curve = fig01.get("2PL (no load control)")
+    peak = max(curve)
+    assert curve[-1] < 0.75 * peak       # collapse at 200 terminals
+    assert curve.index(peak) not in (0, len(curve) - 1)
+
+
+def test_fig01_no_cc_saturates_without_collapse(fig01):
+    curve = fig01.get("no concurrency control")
+    peak = max(curve)
+    assert curve[-1] > 0.9 * peak        # flat tail, no thrashing
+
+
+def test_fig01_no_cc_dominates_at_high_load(fig01):
+    cc = fig01.get("2PL (no load control)")
+    nocc = fig01.get("no concurrency control")
+    assert nocc[-1] > cc[-1]
+
+
+def test_fig03_crossover_near_throughput_peak(fig03):
+    cross = crossover_point(fig03)
+    assert cross is not None
+    thruput = fig03.extras["page_throughput"]
+    peak_x = fig03.x_values[thruput.index(max(thruput))]
+    # The paper's claim: crossover approximately at the peak.  Allow a
+    # factor-of-two window at smoke scale.
+    assert 0.5 * peak_x <= cross <= 2.0 * peak_x
+
+
+def test_fig03_state1_rises_then_falls(fig03):
+    state1 = fig03.get("State 1 (mature & running)")
+    peak_idx = state1.index(max(state1))
+    assert peak_idx not in (0, len(state1) - 1)
+    assert state1[-1] < max(state1)
+
+
+def test_fig07_half_and_half_avoids_thrashing(fig07):
+    hh = fig07.get("Half-and-Half")
+    raw = fig07.get("2PL (no load control)")
+    # At the highest terminal counts H&H clearly beats raw 2PL ...
+    assert hh[-1] > 1.3 * raw[-1]
+    # ... and stays near its own peak (no collapse).
+    assert hh[-1] > 0.85 * max(hh)
+
+
+def test_fig07_curves_agree_at_light_load(fig07):
+    hh = fig07.get("Half-and-Half")
+    raw = fig07.get("2PL (no load control)")
+    # With few terminals there is nothing to control.
+    assert hh[0] == pytest.approx(raw[0], rel=0.15)

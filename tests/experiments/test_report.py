@@ -1,0 +1,22 @@
+"""Test the EXPERIMENTS.md report generator (smoke scale, all figures)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import all_figures
+from repro.experiments.report import generate_report
+from repro.experiments.scales import SMOKE
+
+
+def test_generate_report_smoke(tmp_path):
+    out = tmp_path / "EXPERIMENTS.md"
+    path = generate_report(SMOKE, str(out),
+                           echo=lambda *a, **k: None)
+    assert path == out
+    text = out.read_text()
+    # One section per registered figure, each with claim and data.
+    for spec in all_figures():
+        assert f"## {spec.figure_id}:" in text
+    assert text.count("**Paper claim.**") == len(all_figures())
+    assert text.count("**Measured.**") == len(all_figures())
+    assert "pages/second" in text
+    assert "smoke" in text

@@ -1,0 +1,69 @@
+"""Tests for the simulation runner and sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.control.no_control import NoControlController
+from repro.errors import ExperimentError
+from repro.experiments.runner import run_simulation
+from repro.experiments.sweeps import (
+    default_mpl_candidates,
+    find_optimal_mpl,
+    sweep_fixed_mpl,
+)
+from repro.workload.mixed import MixedWorkload, paper_mixed_classes
+
+
+def test_run_simulation_produces_complete_results(fast_params):
+    r = run_simulation(fast_params, NoControlController())
+    assert r.page_throughput.mean > 0
+    assert r.raw_page_rate.mean >= r.page_throughput.mean
+    assert r.page_throughput.num_batches == fast_params.num_batches
+    assert len(r.batch_throughputs) == fast_params.num_batches
+    assert r.measurement_time == pytest.approx(
+        fast_params.measurement_time)
+    assert r.controller_name == "NoControl"
+    assert "Homogeneous" in r.workload_name
+    assert 0 < r.avg_mpl <= fast_params.num_terms
+    assert r.avg_response_time > 0
+
+
+def test_run_simulation_with_workload_factory(fast_params):
+    def factory(streams, params):
+        return MixedWorkload(streams, params.db_size,
+                             paper_mixed_classes())
+
+    params = fast_params.replace(num_terms=200)
+    r = run_simulation(params, NoControlController(),
+                       workload_factory=factory)
+    assert "Mixed" in r.workload_name
+    assert r.commits > 0
+
+
+def test_default_mpl_candidates_bounded():
+    assert all(m <= 50 for m in default_mpl_candidates(50))
+    assert default_mpl_candidates(1) == [1]
+    dense = default_mpl_candidates(200, dense=True)
+    coarse = default_mpl_candidates(200, dense=False)
+    assert len(dense) > len(coarse)
+    assert all(isinstance(m, int) and m >= 1 for m in dense)
+
+
+def test_sweep_fixed_mpl_runs_each_candidate(tiny_params):
+    results = sweep_fixed_mpl(tiny_params, [2, 5])
+    assert set(results) == {2, 5}
+    assert all(r.page_throughput.mean > 0 for r in results.values())
+
+
+def test_sweep_empty_candidates_rejected(tiny_params):
+    with pytest.raises(ExperimentError):
+        sweep_fixed_mpl(tiny_params, [])
+
+
+def test_find_optimal_mpl_returns_member(tiny_params):
+    best, results = find_optimal_mpl(tiny_params, [1, 3, 8])
+    assert best in (1, 3, 8)
+    assert results[best].page_throughput.mean == max(
+        r.page_throughput.mean for r in results.values())

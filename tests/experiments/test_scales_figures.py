@@ -1,0 +1,118 @@
+"""Tests for scales, the figure framework, registry, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import REGISTRY, all_figures, get_figure
+from repro.experiments.figures.base import FigureResult
+from repro.experiments.reporting import (
+    format_figure_list,
+    format_results_table,
+)
+from repro.experiments.scales import (
+    BENCH,
+    PAPER,
+    SMOKE,
+    get_scale,
+    scale_from_env,
+)
+from repro.experiments.studies import base_params
+
+
+def test_scales_ordering():
+    assert SMOKE.num_batches < PAPER.num_batches
+    assert SMOKE.batch_time < PAPER.batch_time
+    assert PAPER.dense and not SMOKE.dense
+
+
+def test_scale_apply_sets_measurement_window():
+    params = base_params(BENCH)
+    assert params.warmup_time == BENCH.warmup_time
+    assert params.batch_time == BENCH.batch_time
+    assert params.num_batches == BENCH.num_batches
+
+
+def test_scale_pick():
+    assert PAPER.pick([1, 2, 3], [1]) == [1, 2, 3]
+    assert SMOKE.pick([1, 2, 3], [1]) == [1]
+
+
+def test_get_scale_by_name():
+    assert get_scale("smoke") is SMOKE
+    assert get_scale("PAPER") is PAPER
+    with pytest.raises(ExperimentError):
+        get_scale("huge")
+
+
+def test_scale_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "paper")
+    assert scale_from_env() is PAPER
+    monkeypatch.delenv("REPRO_SCALE")
+    assert scale_from_env(default="smoke") is SMOKE
+
+
+def test_registry_covers_all_paper_figures():
+    expected = {f"fig{n:02d}" for n in
+                (1, 2, 3, 4, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                 16, 17, 18, 19, 20, 21, 22, 23)}
+    expected.add("ext_write_prob")
+    expected.add("ext_distributed")
+    assert set(REGISTRY) == expected
+
+
+def test_get_figure_lookup():
+    spec = get_figure("fig07")
+    assert spec.figure_id == "fig07"
+    assert callable(spec.run)
+    with pytest.raises(ExperimentError):
+        get_figure("fig99")
+
+
+def test_all_figures_in_order():
+    ids = [s.figure_id for s in all_figures()]
+    assert ids[0] == "fig01"
+    assert ids[-1] == "ext_distributed"
+    assert len(ids) == len(set(ids))
+
+
+def test_figure_result_validation():
+    with pytest.raises(ExperimentError):
+        FigureResult(figure_id="x", title="t", x_label="x", y_label="y",
+                     x_values=[1.0, 2.0], series={"s": [1.0]})
+
+
+def test_figure_result_table_rendering():
+    r = FigureResult(figure_id="figX", title="Demo", x_label="n",
+                     y_label="pages/s", x_values=[1.0, 2.0],
+                     series={"a": [10.0, 20.5], "b": [None, 3.0]},
+                     notes="hello")
+    table = r.as_table()
+    assert "figX" in table and "Demo" in table
+    assert "20.50" in table
+    assert "hello" in table
+    assert "-" in table            # the None cell
+
+
+def test_figure_result_get_series():
+    r = FigureResult(figure_id="figX", title="t", x_label="x",
+                     y_label="y", x_values=[1.0], series={"a": [2.0]})
+    assert r.get("a") == [2.0]
+    with pytest.raises(ExperimentError):
+        r.get("missing")
+
+
+def test_format_figure_list():
+    text = format_figure_list(all_figures())
+    assert "fig01" in text and "claim:" in text
+
+
+def test_format_results_table(tiny_params):
+    from repro.control.no_control import NoControlController
+    from repro.experiments.runner import run_simulation
+    r = run_simulation(tiny_params, NoControlController())
+    table = format_results_table([r], title="demo")
+    assert "demo" in table
+    assert "NoControl" in table
+    assert "thruput" in table

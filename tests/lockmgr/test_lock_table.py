@@ -1,0 +1,295 @@
+"""Unit tests for the lock table: grants, queues, upgrades, releases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LockProtocolError
+from repro.lockmgr.lock_table import LockTable, RequestOutcome
+from repro.lockmgr.modes import LockMode
+
+
+class T:
+    """Minimal hashable transaction token."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@pytest.fixture
+def table():
+    return LockTable()
+
+
+@pytest.fixture
+def txns():
+    return T("t1"), T("t2"), T("t3")
+
+
+def test_fresh_shared_lock_granted(table, txns):
+    t1, _, _ = txns
+    assert table.request(t1, 1, LockMode.S) is RequestOutcome.GRANTED
+    assert table.holds(t1, 1, LockMode.S)
+    table.check_invariants()
+
+
+def test_two_readers_share_a_page(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.S)
+    assert table.request(t2, 1, LockMode.S) is RequestOutcome.GRANTED
+    assert table.holds(t1, 1) and table.holds(t2, 1)
+
+
+def test_exclusive_blocks_reader(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.X)
+    assert table.request(t2, 1, LockMode.S) is RequestOutcome.BLOCKED
+    assert table.waiting_on(t2) == 1
+    assert not table.holds(t2, 1)
+    table.check_invariants()
+
+
+def test_reader_blocks_writer(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.S)
+    assert table.request(t2, 1, LockMode.X) is RequestOutcome.BLOCKED
+
+
+def test_fcfs_no_overtaking_past_queued_writer(table, txns):
+    """A new S request must queue behind an X waiter (no starvation)."""
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.X)          # waits
+    assert table.request(t3, 1, LockMode.S) is RequestOutcome.BLOCKED
+    table.check_invariants()
+
+
+def test_release_grants_head_waiter(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.X)
+    table.request(t2, 1, LockMode.S)
+    grants = table.release_all(t1)
+    assert [(g.txn, g.page, g.mode) for g in grants] == \
+        [(t2, 1, LockMode.S)]
+    assert table.holds(t2, 1, LockMode.S)
+    assert not table.is_waiting(t2)
+
+
+def test_release_grants_compatible_group_together(table, txns):
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.X)
+    table.request(t2, 1, LockMode.S)
+    table.request(t3, 1, LockMode.S)
+    grants = table.release_all(t1)
+    assert {g.txn for g in grants} == {t2, t3}   # both readers granted
+    table.check_invariants()
+
+
+def test_release_stops_at_incompatible_waiter(table, txns):
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.X)
+    table.request(t2, 1, LockMode.S)
+    table.request(t3, 1, LockMode.X)
+    grants = table.release_all(t1)
+    assert [g.txn for g in grants] == [t2]
+    assert table.is_waiting(t3)
+
+
+def test_rerequest_held_lock_is_noop_grant(table, txns):
+    t1, _, _ = txns
+    table.request(t1, 1, LockMode.S)
+    assert table.request(t1, 1, LockMode.S) is RequestOutcome.GRANTED
+    table.request(t1, 2, LockMode.X)
+    # S after X is covered by the X lock.
+    assert table.request(t1, 2, LockMode.S) is RequestOutcome.GRANTED
+    assert table.holds(t1, 2, LockMode.X)
+
+
+def test_upgrade_granted_when_sole_holder(table, txns):
+    t1, _, _ = txns
+    table.request(t1, 1, LockMode.S)
+    assert table.request(t1, 1, LockMode.X) is RequestOutcome.GRANTED
+    assert table.holds(t1, 1, LockMode.X)
+
+
+def test_upgrade_blocks_behind_other_reader(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.S)
+    assert table.request(t1, 1, LockMode.X) is RequestOutcome.BLOCKED
+    table.check_invariants()
+    grants = table.release_all(t2)
+    assert [(g.txn, g.mode, g.was_upgrade) for g in grants] == \
+        [(t1, LockMode.X, True)]
+    assert table.holds(t1, 1, LockMode.X)
+
+
+def test_waiting_upgrader_suppresses_new_grants(table, txns):
+    """Readers must not be granted past a waiting upgrader."""
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.S)
+    table.request(t1, 1, LockMode.X)                     # upgrader waits
+    assert table.request(t3, 1, LockMode.S) is RequestOutcome.BLOCKED
+    # t2 releases: the upgrade is granted, not the new reader.
+    grants = table.release_all(t2)
+    assert [g.txn for g in grants] == [t1]
+    assert table.holds(t1, 1, LockMode.X)
+    assert table.is_waiting(t3)
+    # When the upgraded writer finishes, the reader gets in.
+    grants = table.release_all(t1)
+    assert [g.txn for g in grants] == [t3]
+
+
+def test_release_single_page(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t1, 2, LockMode.S)
+    table.request(t2, 1, LockMode.X)
+    grants = table.release(t1, 1)
+    assert [g.txn for g in grants] == [t2]
+    assert table.holds(t1, 2)
+    assert not table.holds(t1, 1)
+
+
+def test_release_unheld_page_raises(table, txns):
+    t1, _, _ = txns
+    with pytest.raises(LockProtocolError):
+        table.release(t1, 99)
+
+
+def test_request_while_waiting_raises(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.X)
+    table.request(t2, 1, LockMode.S)
+    with pytest.raises(LockProtocolError):
+        table.request(t2, 2, LockMode.S)
+
+
+def test_cancel_wait_removes_request(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.X)
+    table.request(t2, 1, LockMode.S)
+    grants = table.cancel_wait(t2)
+    assert grants == []
+    assert not table.is_waiting(t2)
+    table.check_invariants()
+
+
+def test_cancel_wait_in_middle_unblocks_later_compatible(table, txns):
+    """Removing an X waiter lets a queued S join the current S holders."""
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.X)
+    table.request(t3, 1, LockMode.S)
+    grants = table.cancel_wait(t2)
+    assert [g.txn for g in grants] == [t3]
+    assert table.holds(t3, 1, LockMode.S)
+
+
+def test_cancel_wait_noop_for_non_waiter(table, txns):
+    t1, _, _ = txns
+    assert table.cancel_wait(t1) == []
+
+
+def test_release_all_cancels_pending_wait(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.X)
+    table.request(t2, 1, LockMode.S)
+    table.request(t1, 2, LockMode.S)   # t1 holds two locks... second page
+    table.release_all(t2)              # t2 was only waiting
+    assert not table.is_waiting(t2)
+    assert table.holds(t1, 1) and table.holds(t1, 2)
+
+
+def test_held_pages_tracking(table, txns):
+    t1, _, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t1, 5, LockMode.X)
+    assert table.held_pages(t1) == {1, 5}
+    table.release_all(t1)
+    assert table.held_pages(t1) == set()
+
+
+def test_is_blocking_others(table, txns):
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.X)
+    assert not table.is_blocking_others(t1)
+    table.request(t2, 1, LockMode.S)
+    assert table.is_blocking_others(t1)
+    assert not table.is_blocking_others(t2)
+    # An upgrader waiting on a page held by t3 too.
+    table.request(t3, 2, LockMode.S)
+    assert not table.is_blocking_others(t3)
+
+
+def test_blocking_set_for_ordinary_waiter(table, txns):
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.X)      # blocked by holder t1
+    table.request(t3, 1, LockMode.X)      # blocked by t1 and t2
+    assert table.blocking_set(t2) == {t1}
+    assert table.blocking_set(t3) == {t1, t2}
+    assert table.blocking_set(t1) == set()   # not waiting
+
+
+def test_blocking_set_for_upgrader(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.S)
+    table.request(t1, 1, LockMode.X)
+    assert table.blocking_set(t1) == {t2}
+
+
+def test_blocking_set_shared_waiter_not_blocked_by_shared_ahead(table,
+                                                                txns):
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.X)
+    table.request(t2, 1, LockMode.S)
+    table.request(t3, 1, LockMode.S)
+    # t3 is blocked by the X holder but NOT by the compatible S ahead.
+    assert table.blocking_set(t3) == {t1}
+
+
+def test_statistics_counters(table, txns):
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t3, 1, LockMode.S)
+    table.request(t2, 1, LockMode.X)       # blocks behind both readers
+    table.request(t1, 1, LockMode.X)       # upgrade blocks behind t3's S
+    assert table.requests == 4
+    assert table.blocks == 2
+    assert table.upgrades_requested == 1
+
+
+def test_upgrade_by_sole_holder_granted_past_waiters(table, txns):
+    """An upgrade by the only holder conflicts with nobody and is
+    granted immediately, even with an X request queued behind it."""
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.X)
+    assert table.request(t1, 1, LockMode.X) is RequestOutcome.GRANTED
+    assert table.holds(t1, 1, LockMode.X)
+    assert table.is_waiting(t2)
+
+
+def test_waiter_modes_order(table, txns):
+    t1, t2, t3 = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t3, 1, LockMode.S)
+    table.request(t2, 1, LockMode.X)       # ordinary X waiter
+    table.request(t1, 1, LockMode.X)       # upgrader (listed first)
+    assert table.waiter_modes(1) == [LockMode.X, LockMode.X]
+    assert table.num_waiters(1) == 2
+    assert table.num_waiters(999) == 0
+
+
+def test_lock_entry_garbage_collected(table, txns):
+    t1, _, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table.release_all(t1)
+    assert table.holders(1) == {}
+    assert table._locks == {}  # internal: entry truly removed

@@ -1,0 +1,20 @@
+"""The lock-mode compatibility matrix."""
+
+from repro.lockmgr.modes import LockMode, compatible
+
+
+def test_shared_compatible_with_shared():
+    assert compatible(LockMode.S, LockMode.S)
+
+
+def test_exclusive_conflicts_with_shared():
+    assert not compatible(LockMode.X, LockMode.S)
+    assert not compatible(LockMode.S, LockMode.X)
+
+
+def test_exclusive_conflicts_with_exclusive():
+    assert not compatible(LockMode.X, LockMode.X)
+
+
+def test_modes_are_distinct():
+    assert LockMode.S != LockMode.X

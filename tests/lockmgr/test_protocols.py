@@ -1,0 +1,17 @@
+"""Unit tests for the lock-protocol enum."""
+
+from repro.lockmgr.protocols import LockProtocol
+
+
+def test_two_phase_holds_read_locks():
+    assert not LockProtocol.TWO_PHASE.releases_read_locks_early()
+
+
+def test_degree_two_releases_read_locks():
+    assert LockProtocol.DEGREE_TWO.releases_read_locks_early()
+
+
+def test_values_are_stable():
+    # These strings appear in configs and logs; pin them.
+    assert LockProtocol.TWO_PHASE.value == "2PL"
+    assert LockProtocol.DEGREE_TWO.value == "degree2"

@@ -1,0 +1,142 @@
+"""Unit tests for wait policies and compatible-group counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lockmgr.lock_table import LockTable
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.wait_policy import (
+    BoundedWaitPolicy,
+    UnboundedWaitPolicy,
+    compatible_groups,
+)
+
+
+class T:
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+S, X = LockMode.S, LockMode.X
+
+
+def test_compatible_groups_empty():
+    assert compatible_groups([]) == 0
+
+
+def test_compatible_groups_single():
+    assert compatible_groups([S]) == 1
+    assert compatible_groups([X]) == 1
+
+
+def test_compatible_groups_shared_run_is_one_group():
+    assert compatible_groups([S, S, S]) == 1
+
+
+def test_compatible_groups_exclusives_are_singletons():
+    assert compatible_groups([X, X, X]) == 3
+
+
+def test_compatible_groups_mixed():
+    assert compatible_groups([S, S, X, S, S]) == 3
+    assert compatible_groups([X, S, S, X]) == 3
+    assert compatible_groups([S, X, S, X]) == 4
+
+
+def test_unbounded_policy_always_allows():
+    table = LockTable()
+    policy = UnboundedWaitPolicy()
+    t1, t2 = T("a"), T("b")
+    table.request(t1, 1, X)
+    table.request(t2, 1, X)
+    assert policy.allow_wait(table, t2, 1, X)
+    assert policy.name == "UnboundedWaitPolicy"
+
+
+def test_bounded_policy_rejects_excess_groups():
+    table = LockTable()
+    policy = BoundedWaitPolicy(limit=1)
+    a, b, c = T("a"), T("b"), T("c")
+    table.request(a, 1, X)
+    table.request(b, 1, X)      # 1 waiter group
+    assert policy.allow_wait(table, b, 1, X)
+    table.request(c, 1, X)      # would be 2 groups
+    assert not policy.allow_wait(table, c, 1, X)
+
+
+def test_bounded_policy_shared_requests_share_a_group():
+    """Footnote 7: several S waiters behind an X lock are one group."""
+    table = LockTable()
+    policy = BoundedWaitPolicy(limit=1)
+    a, r1, r2, r3 = T("a"), T("r1"), T("r2"), T("r3")
+    table.request(a, 1, X)
+    for reader in (r1, r2, r3):
+        table.request(reader, 1, S)
+        assert policy.allow_wait(table, reader, 1, S)
+
+
+def test_bounded_policy_limit_two():
+    table = LockTable()
+    policy = BoundedWaitPolicy(limit=2)
+    a, b, c, d = T("a"), T("b"), T("c"), T("d")
+    table.request(a, 1, X)
+    table.request(b, 1, X)
+    assert policy.allow_wait(table, b, 1, X)
+    table.request(c, 1, X)
+    assert policy.allow_wait(table, c, 1, X)
+    table.request(d, 1, X)
+    assert not policy.allow_wait(table, d, 1, X)
+
+
+def test_bounded_policy_counts_upgraders():
+    table = LockTable()
+    policy = BoundedWaitPolicy(limit=1)
+    a, b, c = T("a"), T("b"), T("c")
+    table.request(a, 1, S)
+    table.request(b, 1, S)
+    table.request(a, 1, X)      # upgrader: one X group
+    assert policy.allow_wait(table, a, 1, X)
+    table.request(c, 1, X)      # second group
+    assert not policy.allow_wait(table, c, 1, X)
+
+
+def test_bounded_policy_invalid_limit():
+    with pytest.raises(ConfigurationError):
+        BoundedWaitPolicy(limit=0)
+
+
+def test_bounded_policy_name():
+    assert BoundedWaitPolicy(limit=2).name == "BoundedWait(limit=2)"
+
+
+def test_no_wait_policy_always_rejects():
+    from repro.lockmgr.wait_policy import NoWaitPolicy
+    table = LockTable()
+    policy = NoWaitPolicy()
+    a, b = T("a"), T("b")
+    table.request(a, 1, X)
+    table.request(b, 1, S)
+    assert not policy.allow_wait(table, b, 1, S)
+    assert policy.name == "NoWaitPolicy"
+
+
+def test_no_wait_policy_end_to_end_deadlock_free():
+    """Under no-waiting, nothing ever waits, so no deadlocks occur."""
+    from repro.control.no_control import NoControlController
+    from repro.dbms.config import SimulationParameters
+    from repro.experiments.runner import run_simulation
+    from repro.lockmgr.wait_policy import NoWaitPolicy
+
+    params = SimulationParameters(num_terms=20, db_size=60, tran_size=6,
+                                  write_prob=0.7, warmup_time=2.0,
+                                  num_batches=2, batch_time=8.0)
+    result = run_simulation(params, NoControlController(),
+                            wait_policy=NoWaitPolicy())
+    assert result.aborts_by_reason.get("deadlock", 0) == 0
+    assert result.aborts_by_reason.get("wait_policy", 0) > 0
+    assert result.commits > 0

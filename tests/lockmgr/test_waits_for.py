@@ -1,0 +1,78 @@
+"""Unit tests for the waits-for graph snapshot."""
+
+from __future__ import annotations
+
+from repro.lockmgr.lock_table import LockTable
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.waits_for import WaitsForGraph, build_graph
+
+
+class T:
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+def test_empty_graph_has_no_cycle():
+    g = WaitsForGraph({})
+    assert not g.has_cycle()
+    assert g.nodes() == set()
+    assert g.edges() == []
+
+
+def test_simple_edge():
+    a, b = T("a"), T("b")
+    g = WaitsForGraph({a: {b}})
+    assert g.successors(a) == {b}
+    assert g.successors(b) == set()
+    assert g.nodes() == {a, b}
+    assert g.edges() == [(a, b)]
+    assert not g.has_cycle()
+
+
+def test_two_cycle_detected():
+    a, b = T("a"), T("b")
+    g = WaitsForGraph({a: {b}, b: {a}})
+    assert g.has_cycle()
+
+
+def test_long_chain_no_cycle():
+    ts = [T(str(i)) for i in range(10)]
+    edges = {ts[i]: {ts[i + 1]} for i in range(9)}
+    assert not WaitsForGraph(edges).has_cycle()
+
+
+def test_self_loop_is_a_cycle():
+    a = T("a")
+    assert WaitsForGraph({a: {a}}).has_cycle()
+
+
+def test_diamond_no_cycle():
+    a, b, c, d = T("a"), T("b"), T("c"), T("d")
+    g = WaitsForGraph({a: {b, c}, b: {d}, c: {d}})
+    assert not g.has_cycle()
+
+
+def test_build_graph_from_lock_table():
+    table = LockTable()
+    a, b, c = T("a"), T("b"), T("c")
+    table.request(a, 1, LockMode.X)
+    table.request(b, 1, LockMode.S)
+    table.request(c, 1, LockMode.S)
+    g = build_graph(table, [b, c])
+    assert g.successors(b) == {a}
+    assert g.successors(c) == {a}
+    assert not g.has_cycle()
+
+
+def test_build_graph_reflects_cycle():
+    table = LockTable()
+    a, b = T("a"), T("b")
+    table.request(a, 1, LockMode.X)
+    table.request(b, 2, LockMode.X)
+    table.request(a, 2, LockMode.S)
+    table.request(b, 1, LockMode.S)
+    g = build_graph(table, [a, b])
+    assert g.has_cycle()

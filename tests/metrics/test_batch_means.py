@@ -1,0 +1,88 @@
+"""Unit tests for batch-means statistics."""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import ReproError
+from repro.metrics.batch_means import (
+    BatchStatistics,
+    student_t_quantile,
+    summarize_batches,
+)
+
+
+def test_t_quantile_matches_scipy_tabulated():
+    for df in (1, 5, 19, 30, 120):
+        expected = scipy_stats.t.ppf(0.95, df)
+        assert student_t_quantile(df) == pytest.approx(expected, rel=1e-3)
+
+
+def test_t_quantile_interpolated_values_reasonable():
+    # df = 35 is between the tabulated 30 and 40.
+    q = student_t_quantile(35)
+    assert student_t_quantile(40) < q < student_t_quantile(30)
+    expected = scipy_stats.t.ppf(0.95, 35)
+    assert q == pytest.approx(expected, rel=1e-2)
+
+
+def test_t_quantile_large_df_is_normal():
+    assert student_t_quantile(10_000) == pytest.approx(1.6449, abs=1e-4)
+
+
+def test_t_quantile_other_confidence_uses_scipy():
+    q = student_t_quantile(19, confidence=0.95)
+    assert q == pytest.approx(scipy_stats.t.ppf(0.975, 19), rel=1e-6)
+
+
+def test_t_quantile_invalid_df():
+    with pytest.raises(ReproError):
+        student_t_quantile(0)
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ReproError):
+        summarize_batches([])
+
+
+def test_single_batch_has_zero_half_width():
+    s = summarize_batches([42.0])
+    assert s.mean == 42.0
+    assert s.half_width == 0.0
+    assert s.num_batches == 1
+
+
+def test_constant_batches_zero_variance():
+    s = summarize_batches([5.0] * 20)
+    assert s.mean == 5.0
+    assert s.std_dev == 0.0
+    assert s.half_width == 0.0
+
+
+def test_known_example():
+    values = [10.0, 12.0, 11.0, 13.0]
+    s = summarize_batches(values)
+    assert s.mean == pytest.approx(11.5)
+    # sample std dev of [10,12,11,13] = sqrt(5/3)
+    assert s.std_dev == pytest.approx((5 / 3) ** 0.5)
+    t = student_t_quantile(3)
+    assert s.half_width == pytest.approx(t * s.std_dev / 2.0)
+
+
+def test_ci_bounds_and_relative_width():
+    s = summarize_batches([10.0, 12.0, 11.0, 13.0])
+    assert s.ci_low == pytest.approx(s.mean - s.half_width)
+    assert s.ci_high == pytest.approx(s.mean + s.half_width)
+    assert s.relative_half_width == pytest.approx(s.half_width / s.mean)
+
+
+def test_relative_width_zero_mean():
+    s = BatchStatistics(mean=0.0, std_dev=1.0, half_width=0.5,
+                        confidence=0.9, num_batches=5)
+    assert s.relative_half_width == 0.0
+
+
+def test_str_rendering():
+    text = str(summarize_batches([10.0, 12.0]))
+    assert "±" in text and "90%" in text

@@ -1,0 +1,119 @@
+"""Unit tests for the metrics collector and result assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.collector import AbortReason, Collector
+from repro.metrics.results import build_results
+
+
+def test_collector_counts_pages():
+    c = Collector()
+    c.on_page_read()
+    c.on_page_read()
+    c.on_page_written()
+    assert c.raw_pages == 3
+    assert c.committed_pages == 0
+
+
+def test_collector_commit_credits_pages():
+    c = Collector()
+    c.on_commit(pages=10, response_time=2.5, restarts=1)
+    assert c.commits == 1
+    assert c.committed_pages == 10
+    assert c.response_time_sum == 2.5
+    assert c.restarts_of_committed == 1
+
+
+def test_collector_abort_reasons():
+    c = Collector()
+    c.on_abort(AbortReason.DEADLOCK)
+    c.on_abort(AbortReason.DEADLOCK)
+    c.on_abort(AbortReason.LOAD_CONTROL)
+    assert c.aborts == 3
+    assert c.aborts_by_reason == {"deadlock": 2, "load_control": 1}
+
+
+def test_snapshot_carries_integrals():
+    c = Collector()
+    c.set_populations(0.0, n_active=2, n_state1=1, n_state2=1,
+                      n_state3=0, n_state4=0)
+    snap = c.snapshot(4.0)
+    assert snap.active_integral == pytest.approx(8.0)
+    assert snap.state1_integral == pytest.approx(4.0)
+    assert snap.others_integral() == pytest.approx(4.0)
+
+
+def _snap(c, t):
+    return c.snapshot(t)
+
+
+def _collector_with_history():
+    c = Collector()
+    snaps = [c.snapshot(0.0)]
+    # batch 1: 100 raw pages, 80 committed, 8 commits
+    c.raw_pages, c.committed_pages, c.commits = 100, 80, 8
+    snaps.append(c.snapshot(10.0))
+    # batch 2: +200 raw, +150 committed, +15 commits
+    c.raw_pages, c.committed_pages, c.commits = 300, 230, 23
+    snaps.append(c.snapshot(20.0))
+    return c, snaps
+
+
+def test_build_results_batch_rates():
+    c, snaps = _collector_with_history()
+    r = build_results(snaps, "ctrl", "wl", commits=23, aborts=2,
+                      aborts_by_reason={"deadlock": 2},
+                      response_time_sum=46.0, restarts_of_committed=4,
+                      max_mpl=12.0)
+    assert r.batch_throughputs == [8.0, 15.0]
+    assert r.page_throughput.mean == pytest.approx(11.5)
+    assert r.raw_page_rate.mean == pytest.approx(15.0)
+    assert r.transaction_throughput.mean == pytest.approx(1.15)
+    assert r.commits == 23
+    assert r.aborts == 2
+    assert r.avg_response_time == pytest.approx(2.0)
+    assert r.avg_restarts_per_commit == pytest.approx(4 / 23)
+    assert r.measurement_time == pytest.approx(20.0)
+    assert r.wasted_page_rate == pytest.approx(15.0 - 11.5)
+    assert r.abort_ratio == pytest.approx(2 / 23)
+
+
+def test_build_results_needs_two_snapshots():
+    c = Collector()
+    with pytest.raises(ReproError):
+        build_results([c.snapshot(0.0)], "c", "w", 0, 0, {}, 0.0, 0, 0.0)
+
+
+def test_build_results_rejects_nonincreasing_times():
+    c = Collector()
+    snaps = [c.snapshot(5.0), c.snapshot(5.0)]
+    with pytest.raises(ReproError):
+        build_results(snaps, "c", "w", 0, 0, {}, 0.0, 0, 0.0)
+
+
+def test_summary_line_contains_key_figures():
+    _c, snaps = _collector_with_history()
+    r = build_results(snaps, "MyController", "wl", commits=23, aborts=2,
+                      aborts_by_reason={}, response_time_sum=0.0,
+                      restarts_of_committed=0, max_mpl=0.0)
+    line = r.summary_line()
+    assert "MyController" in line
+    assert "11.50" in line
+
+
+def test_avg_others_combines_states():
+    c = Collector()
+    c.set_populations(0.0, n_active=4, n_state1=1, n_state2=1,
+                      n_state3=1, n_state4=1)
+    snaps = [c.snapshot(0.0)]
+    c.commits = 1
+    snaps.append(c.snapshot(10.0))
+    r = build_results(snaps, "c", "w", commits=1, aborts=0,
+                      aborts_by_reason={}, response_time_sum=0.0,
+                      restarts_of_committed=0, max_mpl=4.0)
+    assert r.avg_state1 == pytest.approx(1.0)
+    assert r.avg_others == pytest.approx(3.0)
+    assert r.avg_mpl == pytest.approx(4.0)

@@ -1,0 +1,79 @@
+"""Unit and property tests for time-weighted value tracking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.timeweighted import TimeWeightedValue
+
+
+def test_constant_signal():
+    v = TimeWeightedValue(3.0)
+    assert v.integral(10.0) == pytest.approx(30.0)
+    assert v.average(10.0) == pytest.approx(3.0)
+
+
+def test_step_change():
+    v = TimeWeightedValue(0.0)
+    v.update(4.0, 2.0)     # 0 for [0,2), 4 afterwards
+    assert v.integral(5.0) == pytest.approx(12.0)
+    assert v.average(5.0) == pytest.approx(2.4)
+
+
+def test_add_shifts_value():
+    v = TimeWeightedValue(1.0)
+    v.add(2.0, 5.0)
+    assert v.current == 3.0
+    assert v.integral(10.0) == pytest.approx(1.0 * 5 + 3.0 * 5)
+
+
+def test_average_with_zero_elapsed_returns_value():
+    v = TimeWeightedValue(7.0, start_time=3.0)
+    assert v.average(3.0) == 7.0
+
+
+def test_max_value_tracked():
+    v = TimeWeightedValue(1.0)
+    v.update(5.0, 1.0)
+    v.update(2.0, 2.0)
+    assert v.max_value == 5.0
+
+
+def test_reset_restarts_window():
+    v = TimeWeightedValue(2.0)
+    v.update(4.0, 5.0)
+    v.reset(5.0)
+    assert v.integral(7.0) == pytest.approx(8.0)   # 4 * 2s
+    assert v.average(7.0) == pytest.approx(4.0)
+    assert v.max_value == 4.0
+
+
+def test_multiple_updates_at_same_time():
+    v = TimeWeightedValue(0.0)
+    v.update(3.0, 1.0)
+    v.update(5.0, 1.0)     # instantaneous correction
+    assert v.integral(2.0) == pytest.approx(5.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0.001, max_value=100,
+                                    allow_nan=False),
+                          st.floats(min_value=-50, max_value=50,
+                                    allow_nan=False)),
+                min_size=1, max_size=30))
+def test_property_integral_matches_manual_sum(steps):
+    v = TimeWeightedValue(0.0)
+    now = 0.0
+    expected = 0.0
+    value = 0.0
+    for dt, new_value in steps:
+        expected += value * dt
+        now += dt
+        v.update(new_value, now)
+        value = new_value
+    assert v.integral(now) == pytest.approx(expected, abs=1e-6)
+    # Extending the window accrues at the current value.
+    assert v.integral(now + 2.0) == pytest.approx(
+        expected + 2.0 * value, abs=1e-6)

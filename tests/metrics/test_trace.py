@@ -1,0 +1,106 @@
+"""Unit tests for the event tracer."""
+
+from __future__ import annotations
+
+from repro.metrics.trace import TraceEvent, TraceEventType, Tracer
+
+
+def test_record_and_iterate():
+    tracer = Tracer()
+    tracer.record(1.0, TraceEventType.ADMIT, 7)
+    tracer.record(2.0, TraceEventType.COMMIT, 7, detail="0 restarts")
+    events = list(tracer)
+    assert len(events) == 2
+    assert events[0].event_type is TraceEventType.ADMIT
+    assert events[1].detail == "0 restarts"
+
+
+def test_capacity_drops_oldest():
+    tracer = Tracer(capacity=3)
+    for i in range(5):
+        tracer.record(float(i), TraceEventType.ADMIT, i)
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [e.txn_id for e in tracer] == [2, 3, 4]
+
+
+def test_unbounded_capacity():
+    tracer = Tracer(capacity=None)
+    for i in range(1000):
+        tracer.record(float(i), TraceEventType.ADMIT, i)
+    assert len(tracer) == 1000
+    assert tracer.dropped == 0
+
+
+def test_event_filter():
+    tracer = Tracer(event_filter=lambda e: e.event_type
+                    is TraceEventType.COMMIT)
+    tracer.record(1.0, TraceEventType.ADMIT, 1)
+    tracer.record(2.0, TraceEventType.COMMIT, 1)
+    assert len(tracer) == 1
+    assert tracer.events()[0].event_type is TraceEventType.COMMIT
+
+
+def test_record_abort_maps_reasons():
+    tracer = Tracer()
+    tracer.record_abort(1.0, 1, "deadlock")
+    tracer.record_abort(2.0, 2, "load_control")
+    tracer.record_abort(3.0, 3, "wait_policy")
+    types = [e.event_type for e in tracer]
+    assert types == [TraceEventType.DEADLOCK_ABORT,
+                     TraceEventType.LOAD_CONTROL_ABORT,
+                     TraceEventType.WAIT_POLICY_ABORT]
+
+
+def test_query_by_type_and_txn():
+    tracer = Tracer()
+    tracer.record(1.0, TraceEventType.ADMIT, 1)
+    tracer.record(2.0, TraceEventType.ADMIT, 2)
+    tracer.record(3.0, TraceEventType.COMMIT, 1)
+    assert len(tracer.events(TraceEventType.ADMIT)) == 2
+    assert len(tracer.events(txn_id=1)) == 2
+    assert len(tracer.events(TraceEventType.COMMIT, txn_id=2)) == 0
+    assert [e.event_type for e in tracer.history_of(1)] == \
+        [TraceEventType.ADMIT, TraceEventType.COMMIT]
+
+
+def test_counts():
+    tracer = Tracer()
+    tracer.record(1.0, TraceEventType.BLOCK, 1)
+    tracer.record(2.0, TraceEventType.BLOCK, 2)
+    tracer.record(3.0, TraceEventType.UNBLOCK, 1)
+    assert tracer.counts() == {TraceEventType.BLOCK: 2,
+                               TraceEventType.UNBLOCK: 1}
+
+
+def test_format_and_str():
+    tracer = Tracer()
+    tracer.record(1.5, TraceEventType.BLOCK, 42, detail="page 7")
+    text = tracer.format()
+    assert "42" in text and "block" in text and "page 7" in text
+    assert str(TraceEvent(1.0, TraceEventType.ADMIT, 3)).endswith("admit")
+
+
+def test_format_limit():
+    tracer = Tracer()
+    for i in range(10):
+        tracer.record(float(i), TraceEventType.ADMIT, i)
+    assert len(tracer.format(limit=3).splitlines()) == 3
+
+
+def test_traced_simulation_records_lifecycle(tiny_params):
+    from repro.control.no_control import NoControlController
+    from repro.experiments.runner import run_simulation
+    tracer = Tracer()
+    run_simulation(tiny_params, NoControlController(), tracer=tracer)
+    counts = tracer.counts()
+    assert counts.get(TraceEventType.ARRIVAL, 0) > 0
+    assert counts.get(TraceEventType.ADMIT, 0) > 0
+    assert counts.get(TraceEventType.COMMIT, 0) > 0
+    assert counts.get(TraceEventType.LOCK_GRANT, 0) > 0
+    # A transaction's first trace event is its arrival; its commit (if
+    # any) comes last.
+    first = tracer.history_of(0)
+    assert first[0].event_type is TraceEventType.ARRIVAL
+    if first[-1].event_type is TraceEventType.COMMIT:
+        assert first[-1].time >= first[0].time

@@ -1,0 +1,124 @@
+"""Unit tests for the CPU pool (priority FCFS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.resources.cpu import CpuPool, Priority
+
+
+def test_invalid_server_count_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        CpuPool(sim, 0)
+
+
+def test_negative_service_time_rejected():
+    sim = Simulator()
+    cpu = CpuPool(sim, 1)
+    with pytest.raises(ConfigurationError):
+        cpu.request(-1.0, lambda: None)
+
+
+def test_single_server_fcfs_completion_order():
+    sim = Simulator()
+    cpu = CpuPool(sim, 1)
+    done = []
+    cpu.request(2.0, done.append, "a")
+    cpu.request(1.0, done.append, "b")   # shorter but queued behind a
+    cpu.request(1.0, done.append, "c")
+    sim.run()
+    assert done == ["a", "b", "c"]
+    assert sim.now == 4.0
+
+
+def test_cc_priority_jumps_normal_queue():
+    sim = Simulator()
+    cpu = CpuPool(sim, 1)
+    done = []
+    cpu.request(1.0, done.append, "running")
+    cpu.request(1.0, done.append, "normal-1")
+    cpu.request(1.0, done.append, "cc", priority=Priority.CC)
+    cpu.request(1.0, done.append, "normal-2")
+    sim.run()
+    # The in-service request is not preempted; the CC request then runs
+    # before the earlier-queued normal requests.
+    assert done == ["running", "cc", "normal-1", "normal-2"]
+
+
+def test_multiple_servers_run_in_parallel():
+    sim = Simulator()
+    cpu = CpuPool(sim, 2)
+    done_times = {}
+    cpu.request(3.0, lambda: done_times.setdefault("a", sim.now))
+    cpu.request(3.0, lambda: done_times.setdefault("b", sim.now))
+    cpu.request(3.0, lambda: done_times.setdefault("c", sim.now))
+    sim.run()
+    assert done_times["a"] == 3.0
+    assert done_times["b"] == 3.0
+    assert done_times["c"] == 6.0   # waited for a free server
+
+
+def test_free_servers_tracking():
+    sim = Simulator()
+    cpu = CpuPool(sim, 2)
+    assert cpu.free_servers == 2
+    cpu.request(1.0, lambda: None)
+    assert cpu.free_servers == 1
+    cpu.request(1.0, lambda: None)
+    cpu.request(1.0, lambda: None)
+    assert cpu.free_servers == 0
+    assert cpu.queue_length() == 1
+    sim.run()
+    assert cpu.free_servers == 2
+    assert cpu.queue_length() == 0
+
+
+def test_zero_service_time_completes():
+    sim = Simulator()
+    cpu = CpuPool(sim, 1)
+    done = []
+    cpu.request(0.0, done.append, "instant")
+    sim.run()
+    assert done == ["instant"]
+    assert sim.now == 0.0
+
+
+def test_utilization_accounting():
+    sim = Simulator()
+    cpu = CpuPool(sim, 1)
+    cpu.request(4.0, lambda: None)
+    sim.run()
+    assert cpu.busy_time == pytest.approx(4.0)
+    assert cpu.utilization(8.0) == pytest.approx(0.5)
+    assert cpu.utilization(0.0) == 0.0
+    assert cpu.requests_served == 1
+
+
+def test_completion_callback_can_issue_new_request():
+    sim = Simulator()
+    cpu = CpuPool(sim, 1)
+    done = []
+
+    def chain(name, depth):
+        done.append(name)
+        if depth < 2:
+            cpu.request(1.0, chain, f"{name}+", depth + 1)
+
+    cpu.request(1.0, chain, "r", 0)
+    cpu.request(1.0, done.append, "queued")
+    sim.run()
+    # The queued request was waiting first, so it is served before the
+    # chained follow-up (FCFS).
+    assert done == ["r", "queued", "r+", "r++"]
+
+
+def test_requests_served_counts_all():
+    sim = Simulator()
+    cpu = CpuPool(sim, 3)
+    for _ in range(7):
+        cpu.request(1.0, lambda: None)
+    sim.run()
+    assert cpu.requests_served == 7

@@ -1,0 +1,209 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(5.0, fired.append, label)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.schedule(7.25, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5, 7.25]
+    assert sim.now == 7.25
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run(until=20.0)
+    assert fired == ["early", "late"]
+
+
+def test_event_at_exact_horizon_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "edge")
+    sim.run(until=5.0)
+    assert fired == ["edge"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.001, lambda: None)
+
+
+def test_zero_delay_event_fires_at_now():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, seen.append, sim.now))
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.run() == 0
+
+
+def test_pending_counts_only_live_events():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    h1.cancel()
+    assert sim.pending() == 1
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule_at(4.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [4.0]
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.run() == 6
+
+
+def test_stop_inside_callback():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(1)
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]  # the stop request halted the loop
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_run_returns_number_of_events():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    assert sim.run() == 5
+
+
+def test_callback_arguments_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+    sim.run()
+    assert seen == [(1, "x")]
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_property_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fire_times = []
+    for d in delays:
+        sim.schedule(d, lambda: fire_times.append(sim.now))
+    sim.run()
+    assert len(fire_times) == len(delays)
+    assert fire_times == sorted(fire_times)
+    assert fire_times == sorted(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=40))
+def test_property_cancelled_events_never_fire(items):
+    sim = Simulator()
+    fired = []
+    for i, (delay, cancel) in enumerate(items):
+        handle = sim.schedule(delay, fired.append, i)
+        if cancel:
+            handle.cancel()
+    sim.run()
+    expected = [i for i, (_d, cancel) in enumerate(items) if not cancel]
+    assert sorted(fired) == expected

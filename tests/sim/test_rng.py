@@ -1,0 +1,129 @@
+"""Unit tests for the named random-stream factory."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_name_returns_same_stream():
+    streams = RandomStreams(7)
+    assert streams.stream("alpha") is streams.stream("alpha")
+
+
+def test_different_names_return_independent_streams():
+    streams = RandomStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_same_seed_reproduces_sequences():
+    seq1 = [RandomStreams(11).stream("x").random() for _ in range(1)]
+    seq2 = [RandomStreams(11).stream("x").random() for _ in range(1)]
+    assert seq1 == seq2
+    s1 = RandomStreams(11)
+    s2 = RandomStreams(11)
+    assert [s1.stream("x").random() for _ in range(10)] == \
+           [s2.stream("x").random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    s1 = RandomStreams(1).stream("x").random()
+    s2 = RandomStreams(2).stream("x").random()
+    assert s1 != s2
+
+
+def test_stream_isolation_under_interleaving():
+    """Draws on one stream must not perturb another stream's sequence."""
+    ref = RandomStreams(5)
+    expected = [ref.stream("main").random() for _ in range(5)]
+
+    mixed = RandomStreams(5)
+    got = []
+    for _ in range(5):
+        mixed.stream("noise").random()   # interleaved draws elsewhere
+        got.append(mixed.stream("main").random())
+    assert got == expected
+
+
+def test_uniform_int_bounds():
+    streams = RandomStreams(3)
+    values = [streams.uniform_int("u", 4, 12) for _ in range(200)]
+    assert all(4 <= v <= 12 for v in values)
+    assert min(values) == 4 and max(values) == 12  # both ends reachable
+
+
+def test_uniform_float_bounds():
+    streams = RandomStreams(3)
+    values = [streams.uniform("f", 1.0, 2.0) for _ in range(100)]
+    assert all(1.0 <= v <= 2.0 for v in values)
+
+
+def test_exponential_zero_mean_is_zero():
+    streams = RandomStreams(3)
+    assert streams.exponential("t", 0.0) == 0.0
+    assert streams.exponential("t", -1.0) == 0.0
+
+
+def test_exponential_mean_approximately_correct():
+    streams = RandomStreams(3)
+    n = 5000
+    mean = sum(streams.exponential("t", 2.0) for _ in range(n)) / n
+    assert 1.8 < mean < 2.2
+
+
+def test_bernoulli_edges():
+    streams = RandomStreams(3)
+    assert not streams.bernoulli("b", 0.0)
+    assert streams.bernoulli("b", 1.0)
+    assert not streams.bernoulli("b", -0.5)
+    assert streams.bernoulli("b", 1.5)
+
+
+def test_bernoulli_rate():
+    streams = RandomStreams(3)
+    hits = sum(streams.bernoulli("b", 0.25) for _ in range(4000))
+    assert 800 < hits < 1200
+
+
+def test_sample_without_replacement_distinct_and_in_range():
+    streams = RandomStreams(3)
+    sample = streams.sample_without_replacement("p", 1000, 50)
+    assert len(sample) == 50
+    assert len(set(sample)) == 50
+    assert all(0 <= p < 1000 for p in sample)
+
+
+def test_sample_whole_population():
+    streams = RandomStreams(3)
+    sample = streams.sample_without_replacement("p", 5, 5)
+    assert sorted(sample) == [0, 1, 2, 3, 4]
+
+
+def test_choice_returns_member():
+    streams = RandomStreams(3)
+    options = (10, 20, 30)
+    for _ in range(20):
+        assert streams.choice("c", options) in options
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31),
+       st.text(min_size=1, max_size=20))
+def test_property_stream_derivation_deterministic(seed, name):
+    a = RandomStreams(seed).stream(name).random()
+    b = RandomStreams(seed).stream(name).random()
+    assert a == b
+
+
+@given(st.integers(min_value=1, max_value=500),
+       st.data())
+def test_property_sample_is_valid_subset(population, data):
+    k = data.draw(st.integers(min_value=0, max_value=population))
+    streams = RandomStreams(9)
+    sample = streams.sample_without_replacement("s", population, k)
+    assert len(sample) == k
+    assert len(set(sample)) == k
+    assert all(0 <= x < population for x in sample)

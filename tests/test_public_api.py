@@ -1,0 +1,33 @@
+"""The public API surface: everything advertised in __all__ imports."""
+
+from __future__ import annotations
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_key_classes_exposed():
+    # The objects a downstream user needs for the quickstart.
+    assert callable(repro.run_simulation)
+    params = repro.SimulationParameters(num_terms=5, warmup_time=1.0,
+                                        num_batches=2, batch_time=2.0)
+    controller = repro.HalfAndHalfController()
+    result = repro.run_simulation(params, controller)
+    assert isinstance(result, repro.SimulationResults)
+    assert result.page_throughput.mean > 0
+
+
+def test_errors_form_hierarchy():
+    assert issubclass(repro.ConfigurationError, repro.ReproError)
+    assert issubclass(repro.SimulationError, repro.ReproError)
+    assert issubclass(repro.LockManagerError, repro.ReproError)
+    assert issubclass(repro.WorkloadError, repro.ReproError)
+    assert issubclass(repro.ExperimentError, repro.ReproError)

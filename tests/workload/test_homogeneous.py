@@ -1,0 +1,97 @@
+"""Unit tests for the homogeneous workload generator."""
+
+from __future__ import annotations
+
+from repro.dbms.config import SimulationParameters
+from repro.sim.rng import RandomStreams
+from repro.workload.base import sample_readset_size
+from repro.workload.homogeneous import HomogeneousWorkload
+
+
+def _gen(seed=1, **overrides):
+    params = SimulationParameters(**overrides)
+    return HomogeneousWorkload(RandomStreams(seed), params)
+
+
+def test_readset_sizes_in_paper_range():
+    """Base case: mean 8 -> uniform on [4, 12]."""
+    gen = _gen()
+    sizes = [gen.make_transaction(i, 0, 0.0).num_reads
+             for i in range(300)]
+    assert min(sizes) == 4
+    assert max(sizes) == 12
+    assert all(4 <= s <= 12 for s in sizes)
+
+
+def test_mean_size_approximately_correct():
+    gen = _gen()
+    n = 2000
+    mean = sum(gen.make_transaction(i, 0, 0.0).num_reads
+               for i in range(n)) / n
+    assert 7.6 < mean < 8.4
+
+
+def test_pages_distinct_and_in_database():
+    gen = _gen(db_size=100, tran_size=20)
+    for i in range(50):
+        txn = gen.make_transaction(i, 0, 0.0)
+        assert len(set(txn.readset)) == len(txn.readset)
+        assert all(0 <= p < 100 for p in txn.readset)
+
+
+def test_writeset_subset_of_readset():
+    gen = _gen()
+    for i in range(100):
+        txn = gen.make_transaction(i, 0, 0.0)
+        assert txn.writeset <= set(txn.readset)
+
+
+def test_write_prob_zero_gives_read_only():
+    gen = _gen(write_prob=0.0)
+    assert all(gen.make_transaction(i, 0, 0.0).is_read_only
+               for i in range(50))
+
+
+def test_write_prob_one_writes_everything():
+    gen = _gen(write_prob=1.0)
+    for i in range(50):
+        txn = gen.make_transaction(i, 0, 0.0)
+        assert txn.writeset == set(txn.readset)
+
+
+def test_write_fraction_approximately_correct():
+    gen = _gen()   # write_prob 0.25
+    reads = writes = 0
+    for i in range(1000):
+        txn = gen.make_transaction(i, 0, 0.0)
+        reads += txn.num_reads
+        writes += txn.num_writes
+    assert 0.2 < writes / reads < 0.3
+
+
+def test_same_seed_same_transactions():
+    a = _gen(seed=9)
+    b = _gen(seed=9)
+    for i in range(20):
+        ta = a.make_transaction(i, 0, 0.0)
+        tb = b.make_transaction(i, 0, 0.0)
+        assert ta.readset == tb.readset
+        assert ta.writeset == tb.writeset
+
+
+def test_transaction_metadata_passed_through():
+    gen = _gen()
+    txn = gen.make_transaction(42, 7, 3.5)
+    assert txn.txn_id == 42
+    assert txn.terminal_id == 7
+    assert txn.timestamp == 3.5
+
+
+def test_sample_readset_size_minimum_one():
+    streams = RandomStreams(1)
+    sizes = {sample_readset_size(streams, 1) for _ in range(50)}
+    assert sizes == {1}
+
+
+def test_name_describes_workload():
+    assert "8" in _gen().name

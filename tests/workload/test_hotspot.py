@@ -1,0 +1,119 @@
+"""Unit tests for the hot-spot (b–c rule) workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.config import SimulationParameters
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomStreams
+from repro.workload.hotspot import (
+    HotspotWorkload,
+    effective_db_size_for_skew,
+)
+
+
+def _gen(seed=1, hot_fraction=0.2, access_skew=0.8, **overrides):
+    params = SimulationParameters(**overrides)
+    return HotspotWorkload(RandomStreams(seed), params,
+                           hot_fraction=hot_fraction,
+                           access_skew=access_skew)
+
+
+def test_hot_set_size():
+    gen = _gen()
+    assert gen.hot_pages == 200      # 20% of 1000
+    assert gen.cold_pages == 800
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(WorkloadError):
+        _gen(hot_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        _gen(hot_fraction=1.0)
+    with pytest.raises(WorkloadError):
+        _gen(access_skew=1.5)
+    with pytest.raises(WorkloadError):
+        effective_db_size_for_skew(1000, 1.2, 0.8)
+
+
+def test_pages_valid_and_distinct():
+    gen = _gen()
+    for i in range(100):
+        txn = gen.make_transaction(i, 0, 0.0)
+        assert len(set(txn.readset)) == len(txn.readset)
+        assert all(0 <= p < 1000 for p in txn.readset)
+        assert txn.writeset <= set(txn.readset)
+
+
+def test_access_skew_ratio():
+    """~80% of accesses should land in the hot set."""
+    gen = _gen()
+    hot = total = 0
+    for i in range(500):
+        txn = gen.make_transaction(i, 0, 0.0)
+        total += txn.num_reads
+        hot += sum(1 for p in txn.readset if p < gen.hot_pages)
+    assert 0.72 < hot / total < 0.88
+
+
+def test_no_skew_is_roughly_uniform():
+    gen = _gen(access_skew=0.2, hot_fraction=0.2)   # proportional
+    hot = total = 0
+    for i in range(500):
+        txn = gen.make_transaction(i, 0, 0.0)
+        total += txn.num_reads
+        hot += sum(1 for p in txn.readset if p < gen.hot_pages)
+    assert 0.12 < hot / total < 0.28
+
+
+def test_effective_db_size_uniform_limit():
+    """Proportional access (a = h) recovers the true database size."""
+    assert effective_db_size_for_skew(1000, 0.2, 0.2) == \
+        pytest.approx(1000.0)
+
+
+def test_effective_db_size_shrinks_with_skew():
+    uniform = effective_db_size_for_skew(1000, 0.2, 0.2)
+    eighty_twenty = effective_db_size_for_skew(1000, 0.2, 0.8)
+    extreme = effective_db_size_for_skew(1000, 0.2, 0.99)
+    assert extreme < eighty_twenty < uniform
+    # The classic 80-20 rule shrinks a 1000-page database to ~300
+    # effective pages: 1/(0.64/200 + 0.04/800).
+    assert eighty_twenty == pytest.approx(307.7, rel=1e-2)
+
+
+def test_generator_exposes_effective_size():
+    gen = _gen()
+    assert gen.effective_db_size() == pytest.approx(
+        effective_db_size_for_skew(1000, 0.2, 0.8))
+
+
+def test_deterministic_by_seed():
+    a, b = _gen(seed=5), _gen(seed=5)
+    for i in range(20):
+        assert a.make_transaction(i, 0, 0.0).readset == \
+            b.make_transaction(i, 0, 0.0).readset
+
+
+def test_skewed_contention_hurts_throughput():
+    """End to end: skew must increase contention vs uniform access."""
+    from repro.control.no_control import NoControlController
+    from repro.experiments.runner import run_simulation
+
+    params = SimulationParameters(num_terms=60, warmup_time=5.0,
+                                  num_batches=2, batch_time=15.0)
+    uniform = run_simulation(params, NoControlController())
+
+    def factory(streams, p):
+        return HotspotWorkload(streams, p, hot_fraction=0.1,
+                               access_skew=0.9)
+
+    skewed = run_simulation(params, NoControlController(),
+                            workload_factory=factory)
+    assert skewed.page_throughput.mean < uniform.page_throughput.mean
+    assert skewed.aborts > uniform.aborts
+
+
+def test_name_mentions_skew():
+    assert "80%" in _gen().name

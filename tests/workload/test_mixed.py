@@ -1,0 +1,98 @@
+"""Unit tests for the multi-class (mixed) workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.lockmgr.protocols import LockProtocol
+from repro.sim.rng import RandomStreams
+from repro.workload.mixed import (
+    MixedWorkload,
+    TransactionClass,
+    paper_mixed_classes,
+)
+
+
+def _paper_gen(seed=1, degree2=False):
+    return MixedWorkload(RandomStreams(seed), db_size=1000,
+                         classes=paper_mixed_classes(degree2))
+
+
+def test_paper_classes_shape():
+    classes = paper_mixed_classes()
+    assert len(classes) == 2
+    small, large = classes
+    assert small.num_terminals == 160
+    assert small.tran_size == 4 and small.write_prob == 1.0
+    assert large.num_terminals == 40
+    assert large.tran_size == 24 and large.write_prob == 0.0
+    # Average readset: (160*4 + 40*24) / 200 == 8, as in the base case.
+    total = sum(c.num_terminals * c.tran_size for c in classes)
+    assert total / 200 == 8
+
+
+def test_terminal_to_class_assignment():
+    gen = _paper_gen()
+    assert gen.class_for_terminal(0).name == "small-update"
+    assert gen.class_for_terminal(159).name == "small-update"
+    assert gen.class_for_terminal(160).name == "large-readonly"
+    assert gen.class_for_terminal(199).name == "large-readonly"
+
+
+def test_terminal_out_of_range_rejected():
+    gen = _paper_gen()
+    with pytest.raises(WorkloadError):
+        gen.class_for_terminal(200)
+    with pytest.raises(WorkloadError):
+        gen.class_for_terminal(-1)
+
+
+def test_small_update_class_writes_everything():
+    gen = _paper_gen()
+    for i in range(30):
+        txn = gen.make_transaction(i, 10, 0.0)
+        assert txn.class_name == "small-update"
+        assert txn.writeset == set(txn.readset)
+        assert 2 <= txn.num_reads <= 6      # 4 ± 2
+
+
+def test_large_readonly_class():
+    gen = _paper_gen()
+    for i in range(30):
+        txn = gen.make_transaction(i, 180, 0.0)
+        assert txn.class_name == "large-readonly"
+        assert txn.is_read_only
+        assert 12 <= txn.num_reads <= 36    # 24 ± 12
+
+
+def test_degree_two_protocol_flag():
+    plain = _paper_gen(degree2=False).make_transaction(0, 180, 0.0)
+    assert plain.lock_protocol is LockProtocol.TWO_PHASE
+    d2 = _paper_gen(degree2=True).make_transaction(0, 180, 0.0)
+    assert d2.lock_protocol is LockProtocol.DEGREE_TWO
+    # Updaters always use strict 2PL.
+    upd = _paper_gen(degree2=True).make_transaction(0, 10, 0.0)
+    assert upd.lock_protocol is LockProtocol.TWO_PHASE
+
+
+def test_empty_class_list_rejected():
+    with pytest.raises(WorkloadError):
+        MixedWorkload(RandomStreams(1), 1000, [])
+
+
+def test_class_validation():
+    with pytest.raises(WorkloadError):
+        TransactionClass(name="bad", num_terminals=-1,
+                         tran_size=4, write_prob=0.5)
+    with pytest.raises(WorkloadError):
+        TransactionClass(name="bad", num_terminals=1,
+                         tran_size=0, write_prob=0.5)
+    with pytest.raises(WorkloadError):
+        TransactionClass(name="bad", num_terminals=1,
+                         tran_size=4, write_prob=1.5)
+
+
+def test_name_mentions_classes():
+    name = _paper_gen().name
+    assert "small-update" in name and "large-readonly" in name

@@ -1,0 +1,97 @@
+"""Unit tests for the time-varying workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.rng import RandomStreams
+from repro.workload.time_varying import (
+    FAST_PHASE_LENGTHS,
+    SLOW_PHASE_LENGTHS,
+    TimeVaryingWorkload,
+)
+
+
+def _gen(seed=1, lengths=(10, 20), **kwargs):
+    return TimeVaryingWorkload(RandomStreams(seed), db_size=1000,
+                               phase1_lengths=lengths, **kwargs)
+
+
+def test_paper_phase_length_sets():
+    assert SLOW_PHASE_LENGTHS == (1000, 2000, 3000, 4000, 5000)
+    assert FAST_PHASE_LENGTHS == (200, 400, 600, 800, 1000)
+
+
+def test_empty_phase_lengths_rejected():
+    with pytest.raises(WorkloadError):
+        _gen(lengths=())
+
+
+def test_invalid_size_range_rejected():
+    with pytest.raises(WorkloadError):
+        _gen(size_low=10, size_high=4)
+
+
+def test_phase2_length_restores_target_mean():
+    """N2 = N1 (s1 - 8) / (8 - 4): the two phases average to 8 pages."""
+    gen = _gen(lengths=(100,), size_low=24, size_high=24)
+    # Phase 1: 100 transactions at mean 24.
+    for i in range(100):
+        gen.make_transaction(i, 0, 0.0)
+    assert gen.current_mean_size == 24
+    # Phase 2 begins: mean 4, for N2 = 100*(24-8)/4 = 400 transactions.
+    gen.make_transaction(100, 0, 0.0)
+    assert gen.current_mean_size == 4
+    total_n1, total_n2, s1 = 100, 400, 24
+    avg = (total_n1 * s1 + total_n2 * 4) / (total_n1 + total_n2)
+    assert avg == 8
+
+
+def test_phases_alternate():
+    gen = _gen(lengths=(5,), size_low=16, size_high=16)
+    sizes_seen = []
+    for i in range(5 + 10 + 5):   # phase1 (5@16), phase2 (10@4), phase1
+        gen.make_transaction(i, 0, 0.0)
+        sizes_seen.append(gen.current_mean_size)
+    assert sizes_seen[:5] == [16] * 5
+    assert sizes_seen[5:15] == [4] * 10
+    assert sizes_seen[15] == 16
+
+
+def test_small_phase1_size_skips_phase2():
+    """A phase-1 mean at/below the target cannot be offset: no phase 2."""
+    gen = _gen(lengths=(3,), size_low=8, size_high=8)
+    for i in range(10):
+        gen.make_transaction(i, 0, 0.0)
+        assert gen.current_mean_size == 8   # never drops to 4
+
+
+def test_transaction_sizes_match_current_phase():
+    gen = _gen(lengths=(50,), size_low=40, size_high=40)
+    for i in range(50):
+        txn = gen.make_transaction(i, 0, 0.0)
+        assert 20 <= txn.num_reads <= 60    # 40 ± 20
+    txn = gen.make_transaction(50, 0, 0.0)
+    assert 2 <= txn.num_reads <= 6          # phase 2: 4 ± 2
+
+
+def test_deterministic_by_seed():
+    a, b = _gen(seed=4), _gen(seed=4)
+    for i in range(100):
+        ta, tb = a.make_transaction(i, 0, 0.0), b.make_transaction(i, 0, 0.0)
+        assert ta.readset == tb.readset
+
+
+def test_phase1_size_within_configured_range():
+    gen = _gen(lengths=(5,), size_low=4, size_high=72)
+    seen = set()
+    for i in range(500):
+        gen.make_transaction(i, 0, 0.0)
+        seen.add(gen.current_mean_size)
+    assert all(s == 4 or 4 <= s <= 72 for s in seen)
+    assert len(seen) > 3   # sizes actually vary
+
+
+def test_name_mentions_lengths():
+    assert "4" in _gen().name
