@@ -1,5 +1,12 @@
-"""Experiment harness: runner, sweeps, figure reproductions, reporting."""
+"""Experiment harness: runner, parallel executor, sweeps, figures."""
 
+from repro.experiments.parallel import (
+    ResultCache,
+    RunSpec,
+    execution_context,
+    run_specs,
+)
 from repro.experiments.runner import run_simulation
 
-__all__ = ["run_simulation"]
+__all__ = ["run_simulation", "RunSpec", "ResultCache",
+           "execution_context", "run_specs"]

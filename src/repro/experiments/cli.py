@@ -3,8 +3,17 @@
 Usage::
 
     repro-experiment list
-    repro-experiment run fig07 [--scale smoke|bench|paper]
-    repro-experiment run all   [--scale bench]
+    repro-experiment run fig07 [--scale smoke|bench|paper] [--jobs N]
+    repro-experiment run all   [--scale bench] [--cache-dir .repro-cache]
+
+``--jobs N`` fans independent simulation runs out over N worker
+processes; results are bit-identical to ``--jobs 1``.  ``--cache-dir``
+enables the content-addressed on-disk result cache, so re-running a
+figure (or running another figure that shares runs) is near-instant.
+
+With ``run all``, ``--csv``/``--json`` name a *directory* and one file
+per figure (``<figure_id>.csv`` / ``.json``) is written into it; with a
+single figure they name the output file, as before.
 """
 
 from __future__ import annotations
@@ -12,14 +21,33 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.experiments.figures import all_figures, get_figure
+from repro.experiments.parallel import execution_context
 from repro.experiments.reporting import format_figure, format_figure_list
 from repro.experiments.scales import get_scale
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help=("run independent simulations in up to N "
+                              "worker processes (default: 1, serial)"))
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help=("directory for the content-addressed on-disk "
+                              "result cache (default: no cache)"))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,9 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["smoke", "bench", "paper"],
                        help="measurement scale (default: bench)")
     run_p.add_argument("--csv", metavar="PATH", default=None,
-                       help="also write the figure data as CSV")
+                       help=("also write the figure data as CSV (a "
+                             "directory when running 'all')"))
     run_p.add_argument("--json", metavar="PATH", default=None,
-                       help="also write the figure data as JSON")
+                       help=("also write the figure data as JSON (a "
+                             "directory when running 'all')"))
+    _add_execution_flags(run_p)
 
     report_p = sub.add_parser(
         "report", help="run every figure and write EXPERIMENTS.md")
@@ -48,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["smoke", "bench", "paper"])
     report_p.add_argument("--out", default="EXPERIMENTS.md",
                           help="output path (default: EXPERIMENTS.md)")
+    _add_execution_flags(report_p)
     return parser
 
 
@@ -73,6 +105,37 @@ def _run_one(figure_id: str, scale_name: str,
         print(f"wrote {json_path}", file=sys.stderr)
 
 
+def _export_dir(path: Optional[str]) -> Optional[Path]:
+    """For 'run all': interpret an export flag as a directory, create it."""
+    if path is None:
+        return None
+    directory = Path(path)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except (FileExistsError, NotADirectoryError) as exc:
+        raise ReproError(
+            f"export directory {directory} collides with an existing "
+            f"file") from exc
+    return directory
+
+
+def _run_command(args) -> None:
+    if args.figure == "all":
+        csv_dir = _export_dir(args.csv)
+        json_dir = _export_dir(args.json)
+        for spec in all_figures():
+            _run_one(
+                spec.figure_id, args.scale,
+                csv_path=(csv_dir / f"{spec.figure_id}.csv"
+                          if csv_dir else None),
+                json_path=(json_dir / f"{spec.figure_id}.json"
+                           if json_dir else None))
+            print()
+    else:
+        _run_one(args.figure, args.scale,
+                 csv_path=args.csv, json_path=args.json)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -80,16 +143,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             print(format_figure_list(all_figures()))
         elif args.command == "run":
-            if args.figure == "all":
-                for spec in all_figures():
-                    _run_one(spec.figure_id, args.scale)
-                    print()
-            else:
-                _run_one(args.figure, args.scale,
-                         csv_path=args.csv, json_path=args.json)
+            with execution_context(jobs=args.jobs, cache=args.cache_dir,
+                                   progress=True):
+                _run_command(args)
         elif args.command == "report":
             from repro.experiments.report import generate_report
-            path = generate_report(get_scale(args.scale), args.out)
+            with execution_context(jobs=args.jobs, cache=args.cache_dir,
+                                   progress=True):
+                path = generate_report(get_scale(args.scale), args.out)
             print(f"wrote {path}", file=sys.stderr)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

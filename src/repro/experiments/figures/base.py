@@ -13,9 +13,24 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError
+from repro.experiments.parallel import RunSpec, run_specs
 from repro.experiments.scales import Scale
+from repro.metrics.results import SimulationResults
 
-__all__ = ["FigureResult", "FigureSpec"]
+__all__ = ["FigureResult", "FigureSpec", "RunSpec", "simulate_specs"]
+
+
+def simulate_specs(specs: Sequence[RunSpec],
+                   label: str = "figure") -> List[SimulationResults]:
+    """Run a figure's batch of simulations through the execution layer.
+
+    Thin wrapper over :func:`repro.experiments.parallel.run_specs`: the
+    ambient :class:`~repro.experiments.parallel.ExecutionContext` decides
+    the worker count and result cache, so figure modules only describe
+    *what* to run.  Results come back in spec order, bit-identical for
+    any ``--jobs`` value.
+    """
+    return run_specs(specs, label=label)
 
 
 @dataclass

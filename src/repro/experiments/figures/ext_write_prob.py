@@ -12,11 +12,11 @@ from typing import Dict, List
 
 from repro.control.fixed_mpl import FixedMPLController
 from repro.core.half_and_half import HalfAndHalfController
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import REFERENCE_MPLS, base_params
-from repro.experiments.sweeps import default_mpl_candidates, find_optimal_mpl
+from repro.experiments.sweeps import default_mpl_candidates, select_optimal_mpl
 
 __all__ = ["FIGURE", "run", "write_prob_points"]
 
@@ -34,20 +34,44 @@ def run(scale: Scale) -> FigureResult:
     for mpl in REFERENCE_MPLS:
         series[f"MPL {mpl}"] = []
     optimal_mpls: Dict[float, int] = {}
+
+    specs, index = [], []
     for w in probs:
         params = base_params(scale, write_prob=w)
-        series["Half-and-Half"].append(
-            run_simulation(params, HalfAndHalfController())
-            .page_throughput.mean)
+        specs.append(RunSpec(params=params,
+                             controller_factory=HalfAndHalfController))
+        index.append(("hh", w, None))
         candidates = default_mpl_candidates(params.num_terms,
                                             dense=scale.dense)
-        best, by_mpl = find_optimal_mpl(params, candidates)
+        for mpl in candidates:
+            specs.append(RunSpec(params=params,
+                                 controller_factory=FixedMPLController,
+                                 controller_args=(mpl,)))
+            index.append(("candidate", w, mpl))
+        for mpl in REFERENCE_MPLS:
+            specs.append(RunSpec(params=params,
+                                 controller_factory=FixedMPLController,
+                                 controller_args=(mpl,)))
+            index.append(("reference", w, mpl))
+    results = simulate_specs(specs, label="ext_write_prob")
+
+    by_prob_candidates: Dict[float, Dict[int, object]] = {}
+    reference: Dict[tuple, object] = {}
+    for (kind, w, mpl), result in zip(index, results):
+        if kind == "hh":
+            series["Half-and-Half"].append(result.page_throughput.mean)
+        elif kind == "candidate":
+            by_prob_candidates.setdefault(w, {})[mpl] = result
+        else:
+            reference[(w, mpl)] = result
+    for w in probs:
+        best = select_optimal_mpl(by_prob_candidates[w])
         optimal_mpls[w] = best
-        series["Optimal MPL"].append(by_mpl[best].page_throughput.mean)
+        series["Optimal MPL"].append(
+            by_prob_candidates[w][best].page_throughput.mean)
         for mpl in REFERENCE_MPLS:
             series[f"MPL {mpl}"].append(
-                run_simulation(params, FixedMPLController(mpl))
-                .page_throughput.mean)
+                reference[(w, mpl)].page_throughput.mean)
     return FigureResult(
         figure_id="ext_write_prob",
         title="Page Throughput vs write probability (200 terminals)",

@@ -10,8 +10,8 @@ due to lock thrashing.
 from __future__ import annotations
 
 from repro.control.no_control import NoControlController
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params, terminal_sweep_points
 
@@ -20,17 +20,16 @@ __all__ = ["FIGURE", "run"]
 
 def run(scale: Scale) -> FigureResult:
     points = terminal_sweep_points(scale)
-    with_2pl = []
-    without_cc = []
+    specs = []
     for terms in points:
         params = base_params(scale, num_terms=terms)
-        with_2pl.append(
-            run_simulation(params, NoControlController())
-            .page_throughput.mean)
-        without_cc.append(
-            run_simulation(params.replace(locking_enabled=False),
-                           NoControlController())
-            .page_throughput.mean)
+        specs.append(RunSpec(params=params,
+                             controller_factory=NoControlController))
+        specs.append(RunSpec(params=params.replace(locking_enabled=False),
+                             controller_factory=NoControlController))
+    results = simulate_specs(specs, label="fig01")
+    with_2pl = [r.page_throughput.mean for r in results[0::2]]
+    without_cc = [r.page_throughput.mean for r in results[1::2]]
     return FigureResult(
         figure_id="fig01",
         title="Page Throughput (2PL thrashing, base case)",

@@ -10,8 +10,8 @@ solution is required".
 from __future__ import annotations
 
 from repro.control.fixed_mpl import FixedMPLController
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params, terminal_sweep_points
 
@@ -22,17 +22,17 @@ BASE_OPTIMAL_MPL = 35
 
 def run(scale: Scale) -> FigureResult:
     points = terminal_sweep_points(scale)
-    base_curve = []
-    large_curve = []
+    specs = []
     for terms in points:
-        base = base_params(scale, num_terms=terms)
-        base_curve.append(
-            run_simulation(base, FixedMPLController(BASE_OPTIMAL_MPL))
-            .page_throughput.mean)
-        large = base_params(scale, num_terms=terms, tran_size=32)
-        large_curve.append(
-            run_simulation(large, FixedMPLController(BASE_OPTIMAL_MPL))
-            .page_throughput.mean)
+        for tran_size in (8, 32):
+            specs.append(RunSpec(
+                params=base_params(scale, num_terms=terms,
+                                   tran_size=tran_size),
+                controller_factory=FixedMPLController,
+                controller_args=(BASE_OPTIMAL_MPL,)))
+    results = simulate_specs(specs, label="fig02")
+    base_curve = [r.page_throughput.mean for r in results[0::2]]
+    large_curve = [r.page_throughput.mean for r in results[1::2]]
     return FigureResult(
         figure_id="fig02",
         title=f"Page Throughput with fixed MPL {BASE_OPTIMAL_MPL}",

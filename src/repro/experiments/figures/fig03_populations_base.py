@@ -13,8 +13,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.control.no_control import NoControlController
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params, terminal_sweep_points
 
@@ -25,15 +25,14 @@ def population_sweep(scale: Scale, tran_size: int,
                      figure_id: str) -> FigureResult:
     """Shared implementation for Figures 3 and 4."""
     points = terminal_sweep_points(scale)
-    state1: List[float] = []
-    others: List[float] = []
-    throughput: List[float] = []
-    for terms in points:
-        params = base_params(scale, num_terms=terms, tran_size=tran_size)
-        result = run_simulation(params, NoControlController())
-        state1.append(result.avg_state1)
-        others.append(result.avg_others)
-        throughput.append(result.page_throughput.mean)
+    specs = [RunSpec(params=base_params(scale, num_terms=terms,
+                                        tran_size=tran_size),
+                     controller_factory=NoControlController)
+             for terms in points]
+    results = simulate_specs(specs, label=figure_id)
+    state1: List[float] = [r.avg_state1 for r in results]
+    others: List[float] = [r.avg_others for r in results]
+    throughput: List[float] = [r.page_throughput.mean for r in results]
     return FigureResult(
         figure_id=figure_id,
         title=(f"Transaction-state populations "

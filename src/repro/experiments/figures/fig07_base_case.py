@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from repro.control.no_control import NoControlController
 from repro.core.half_and_half import HalfAndHalfController
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params, terminal_sweep_points
 
@@ -22,17 +22,18 @@ def control_sweep(scale: Scale, figure_id: str,
                   **param_overrides) -> FigureResult:
     """Shared H&H-vs-raw-2PL terminal sweep (Figures 7, 22, 23)."""
     points = terminal_sweep_points(scale)
-    hh_curve = []
-    raw_curve = []
-    hh_mpl = []
+    specs = []
     for terms in points:
         params = base_params(scale, num_terms=terms, **param_overrides)
-        hh = run_simulation(params, HalfAndHalfController())
-        hh_curve.append(hh.page_throughput.mean)
-        hh_mpl.append(hh.avg_mpl)
-        raw_curve.append(
-            run_simulation(params, NoControlController())
-            .page_throughput.mean)
+        specs.append(RunSpec(params=params,
+                             controller_factory=HalfAndHalfController))
+        specs.append(RunSpec(params=params,
+                             controller_factory=NoControlController))
+    results = simulate_specs(specs, label=figure_id)
+    hh_results = results[0::2]
+    hh_curve = [r.page_throughput.mean for r in hh_results]
+    hh_mpl = [r.avg_mpl for r in hh_results]
+    raw_curve = [r.page_throughput.mean for r in results[1::2]]
     return FigureResult(
         figure_id=figure_id,
         title="Page Throughput: Half-and-Half vs raw 2PL",

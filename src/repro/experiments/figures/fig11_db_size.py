@@ -14,11 +14,11 @@ from typing import Dict, List
 
 from repro.control.fixed_mpl import FixedMPLController
 from repro.core.half_and_half import HalfAndHalfController
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import REFERENCE_MPLS, base_params
-from repro.experiments.sweeps import default_mpl_candidates, find_optimal_mpl
+from repro.experiments.sweeps import default_mpl_candidates, select_optimal_mpl
 
 __all__ = ["FIGURE", "run", "db_size_points"]
 
@@ -36,20 +36,44 @@ def run(scale: Scale) -> FigureResult:
     for mpl in REFERENCE_MPLS:
         series[f"MPL {mpl}"] = []
     optimal_mpls: Dict[int, int] = {}
+
+    specs, index = [], []
     for db in sizes:
         params = base_params(scale, db_size=db)
-        series["Half-and-Half"].append(
-            run_simulation(params, HalfAndHalfController())
-            .page_throughput.mean)
+        specs.append(RunSpec(params=params,
+                             controller_factory=HalfAndHalfController))
+        index.append(("hh", db, None))
         candidates = default_mpl_candidates(params.num_terms,
                                             dense=scale.dense)
-        best, by_mpl = find_optimal_mpl(params, candidates)
+        for mpl in candidates:
+            specs.append(RunSpec(params=params,
+                                 controller_factory=FixedMPLController,
+                                 controller_args=(mpl,)))
+            index.append(("candidate", db, mpl))
+        for mpl in REFERENCE_MPLS:
+            specs.append(RunSpec(params=params,
+                                 controller_factory=FixedMPLController,
+                                 controller_args=(mpl,)))
+            index.append(("reference", db, mpl))
+    results = simulate_specs(specs, label="fig11")
+
+    by_db_candidates: Dict[int, Dict[int, object]] = {}
+    reference: Dict[tuple, object] = {}
+    for (kind, db, mpl), result in zip(index, results):
+        if kind == "hh":
+            series["Half-and-Half"].append(result.page_throughput.mean)
+        elif kind == "candidate":
+            by_db_candidates.setdefault(db, {})[mpl] = result
+        else:
+            reference[(db, mpl)] = result
+    for db in sizes:
+        best = select_optimal_mpl(by_db_candidates[db])
         optimal_mpls[db] = best
-        series["Optimal MPL"].append(by_mpl[best].page_throughput.mean)
+        series["Optimal MPL"].append(
+            by_db_candidates[db][best].page_throughput.mean)
         for mpl in REFERENCE_MPLS:
             series[f"MPL {mpl}"].append(
-                run_simulation(params, FixedMPLController(mpl))
-                .page_throughput.mean)
+                reference[(db, mpl)].page_throughput.mean)
     return FigureResult(
         figure_id="fig11",
         title="Page Throughput vs database size (200 terminals)",

@@ -12,23 +12,41 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.control.fixed_mpl import FixedMPLController
 from repro.core.half_and_half import HalfAndHalfController
 from repro.dbms.config import SimulationParameters
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params
-from repro.experiments.sweeps import sweep_fixed_mpl
 from repro.sim.rng import RandomStreams
 from repro.workload.mixed import MixedWorkload, paper_mixed_classes
 
-__all__ = ["FIGURE", "run", "mixed_workload_sweep", "mpl_sweep_points"]
+__all__ = ["FIGURE", "run", "mixed_workload_sweep", "mpl_sweep_points",
+           "MixedWorkloadFactory"]
 
 
 def mpl_sweep_points(scale: Scale) -> List[int]:
     fine = [5, 10, 15, 20, 25, 30, 35, 40, 50, 60, 75, 100, 150, 200]
     coarse = [5, 15, 30, 50, 100, 200]
     return scale.pick(fine, coarse)
+
+
+class MixedWorkloadFactory:
+    """Picklable workload factory for the paper's two-class mix.
+
+    A module-level class (rather than a closure) so run specs carrying it
+    can cross process boundaries and hash into stable cache keys.
+    """
+
+    def __init__(self, degree_two_readers: bool):
+        self.degree_two_readers = degree_two_readers
+
+    def __call__(self, streams: RandomStreams,
+                 params: SimulationParameters) -> MixedWorkload:
+        return MixedWorkload(
+            streams, params.db_size,
+            paper_mixed_classes(degree_two_readers=self.degree_two_readers))
 
 
 _SWEEP_CACHE = {}
@@ -42,16 +60,18 @@ def mixed_workload_sweep(scale: Scale, figure_id: str,
     if cached is not None:
         return cached
 
-    def factory(streams: RandomStreams, params: SimulationParameters):
-        return MixedWorkload(
-            streams, params.db_size,
-            paper_mixed_classes(degree_two_readers=degree_two_readers))
-
+    factory = MixedWorkloadFactory(degree_two_readers)
     params = base_params(scale)
     mpls = mpl_sweep_points(scale)
-    fixed = sweep_fixed_mpl(params, mpls, workload_factory=factory)
-    hh = run_simulation(params, HalfAndHalfController(),
-                        workload_factory=factory)
+    specs = [RunSpec(params=params, controller_factory=FixedMPLController,
+                     controller_args=(mpl,), workload_factory=factory)
+             for mpl in mpls]
+    specs.append(RunSpec(params=params,
+                         controller_factory=HalfAndHalfController,
+                         workload_factory=factory))
+    results = simulate_specs(specs, label=figure_id)
+    fixed = dict(zip(mpls, results))
+    hh = results[-1]
     protocol = "degree-2 readers" if degree_two_readers else "2PL readers"
     result = FigureResult(
         figure_id=figure_id,

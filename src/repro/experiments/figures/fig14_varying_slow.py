@@ -17,13 +17,13 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.control.fixed_mpl import FixedMPLController
 from repro.core.half_and_half import HalfAndHalfController
 from repro.dbms.config import SimulationParameters
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params
-from repro.experiments.sweeps import sweep_fixed_mpl
 from repro.sim.rng import RandomStreams
 from repro.workload.time_varying import (
     FAST_PHASE_LENGTHS,
@@ -31,7 +31,7 @@ from repro.workload.time_varying import (
     TimeVaryingWorkload,
 )
 
-__all__ = ["FIGURE", "run", "time_varying_sweep"]
+__all__ = ["FIGURE", "run", "time_varying_sweep", "TimeVaryingFactory"]
 
 
 def _mpl_points(scale: Scale) -> List[int]:
@@ -40,23 +40,37 @@ def _mpl_points(scale: Scale) -> List[int]:
     return scale.pick(fine, coarse)
 
 
+class TimeVaryingFactory:
+    """Picklable workload factory for the phase-alternating workload."""
+
+    def __init__(self, phase_lengths: Sequence[int]):
+        self.phase_lengths = tuple(phase_lengths)
+
+    def __call__(self, streams: RandomStreams,
+                 params: SimulationParameters) -> TimeVaryingWorkload:
+        return TimeVaryingWorkload(streams, params.db_size,
+                                   phase1_lengths=self.phase_lengths,
+                                   write_prob=params.write_prob)
+
+
 def time_varying_sweep(scale: Scale, figure_id: str,
                        phase_lengths: Sequence[int],
                        variation: str) -> FigureResult:
     """Shared implementation for Figures 14 and 15."""
-
-    def factory(streams: RandomStreams, params: SimulationParameters):
-        return TimeVaryingWorkload(streams, params.db_size,
-                                   phase1_lengths=phase_lengths,
-                                   write_prob=params.write_prob)
-
+    factory = TimeVaryingFactory(phase_lengths)
     # Longer window: phases span many simulated seconds each.
     params = base_params(scale).replace(
         batch_time=scale.batch_time * 3.0)
     mpls = _mpl_points(scale)
-    fixed = sweep_fixed_mpl(params, mpls, workload_factory=factory)
-    hh = run_simulation(params, HalfAndHalfController(),
-                        workload_factory=factory)
+    specs = [RunSpec(params=params, controller_factory=FixedMPLController,
+                     controller_args=(mpl,), workload_factory=factory)
+             for mpl in mpls]
+    specs.append(RunSpec(params=params,
+                         controller_factory=HalfAndHalfController,
+                         workload_factory=factory))
+    results = simulate_specs(specs, label=figure_id)
+    fixed = dict(zip(mpls, results))
+    hh = results[-1]
     return FigureResult(
         figure_id=figure_id,
         title=f"Page Throughput, {variation} workload variation",

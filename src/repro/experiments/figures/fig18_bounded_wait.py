@@ -14,8 +14,8 @@ from typing import Dict, List
 
 from repro.control.no_control import NoControlController
 from repro.core.half_and_half import HalfAndHalfController
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params, terminal_sweep_points
 from repro.lockmgr.wait_policy import BoundedWaitPolicy
@@ -33,21 +33,24 @@ def bounded_wait_study(scale: Scale) -> Dict[str, Dict[int,
     if cached is not None:
         return cached
     points = terminal_sweep_points(scale)
-    study: Dict[str, Dict[int, SimulationResults]] = {
-        "plain 2PL": {}, "wait limit 1": {}, "wait limit 2": {},
-        "Half-and-Half": {}}
+    variants = (
+        ("plain 2PL", NoControlController, None),
+        ("wait limit 1", NoControlController, BoundedWaitPolicy(limit=1)),
+        ("wait limit 2", NoControlController, BoundedWaitPolicy(limit=2)),
+        ("Half-and-Half", HalfAndHalfController, None),
+    )
+    specs, index = [], []
     for terms in points:
         params = base_params(scale, num_terms=terms)
-        study["plain 2PL"][terms] = run_simulation(
-            params, NoControlController())
-        study["wait limit 1"][terms] = run_simulation(
-            params, NoControlController(),
-            wait_policy=BoundedWaitPolicy(limit=1))
-        study["wait limit 2"][terms] = run_simulation(
-            params, NoControlController(),
-            wait_policy=BoundedWaitPolicy(limit=2))
-        study["Half-and-Half"][terms] = run_simulation(
-            params, HalfAndHalfController())
+        for name, factory, policy in variants:
+            specs.append(RunSpec(params=params, controller_factory=factory,
+                                 wait_policy=policy))
+            index.append((name, terms))
+    results = simulate_specs(specs, label="fig18-19")
+    study: Dict[str, Dict[int, SimulationResults]] = {
+        name: {} for name, _, _ in variants}
+    for (name, terms), result in zip(index, results):
+        study[name][terms] = result
     _CACHE[scale.name] = study
     return study
 

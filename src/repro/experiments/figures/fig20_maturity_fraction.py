@@ -12,8 +12,8 @@ from typing import List
 
 from repro.core.half_and_half import HalfAndHalfController
 from repro.core.maturity import MaturityRule
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params
 
@@ -29,14 +29,13 @@ def fraction_points(scale: Scale) -> List[float]:
 def run(scale: Scale) -> FigureResult:
     fractions = fraction_points(scale)
     params = base_params(scale)
-    thruput = []
-    avg_mpl = []
-    for fraction in fractions:
-        result = run_simulation(
-            params, HalfAndHalfController(),
-            maturity_rule=MaturityRule(fraction=fraction))
-        thruput.append(result.page_throughput.mean)
-        avg_mpl.append(result.avg_mpl)
+    specs = [RunSpec(params=params,
+                     controller_factory=HalfAndHalfController,
+                     maturity_rule=MaturityRule(fraction=fraction))
+             for fraction in fractions]
+    results = simulate_specs(specs, label="fig20")
+    thruput = [r.page_throughput.mean for r in results]
+    avg_mpl = [r.avg_mpl for r in results]
     return FigureResult(
         figure_id="fig20",
         title="Page Throughput vs maturity fraction (base case, H&H)",

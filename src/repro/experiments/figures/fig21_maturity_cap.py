@@ -15,8 +15,8 @@ from typing import Dict, List
 
 from repro.core.half_and_half import HalfAndHalfController
 from repro.core.maturity import MaturityRule
-from repro.experiments.figures.base import FigureResult, FigureSpec
-from repro.experiments.runner import run_simulation
+from repro.experiments.figures.base import (FigureResult, FigureSpec,
+                                            RunSpec, simulate_specs)
 from repro.experiments.scales import Scale
 from repro.experiments.studies import base_params, txn_size_study
 
@@ -39,16 +39,16 @@ def run(scale: Scale) -> FigureResult:
         "Optimal MPL": [
             study.optimal[s].page_throughput.mean for s in study.sizes],
     }
-    for cap in caps:
-        rule = MaturityRule(fraction=0.25, cap_locks=cap)
-        curve = []
-        for size in study.sizes:
-            params = base_params(scale, tran_size=size)
-            curve.append(
-                run_simulation(params, HalfAndHalfController(),
-                               maturity_rule=rule)
-                .page_throughput.mean)
-        series[f"cap X={cap}"] = curve
+    specs = [RunSpec(params=base_params(scale, tran_size=size),
+                     controller_factory=HalfAndHalfController,
+                     maturity_rule=MaturityRule(fraction=0.25,
+                                                cap_locks=cap))
+             for cap in caps for size in study.sizes]
+    results = simulate_specs(specs, label="fig21")
+    per = len(study.sizes)
+    for i, cap in enumerate(caps):
+        series[f"cap X={cap}"] = [
+            r.page_throughput.mean for r in results[i * per:(i + 1) * per]]
     return FigureResult(
         figure_id="fig21",
         title="Page Throughput with capped maturity (min(25%, X locks))",

@@ -1,0 +1,439 @@
+"""Deterministic fan-out execution for independent simulation runs.
+
+Every figure and study in this package reduces to the same shape of work:
+a list of completely independent ``(parameters, controller, options)``
+run specifications whose results are assembled afterwards.  Each run owns
+its own :class:`~repro.sim.rng.RandomStreams` seeded from its parameters,
+so executing the list serially, in a process pool, or partly from a cache
+yields *bit-identical* results — the only thing that changes is wall
+clock time.
+
+Three pieces live here:
+
+* :class:`RunSpec` — a picklable description of one simulation run.
+  Controllers hold per-run state, so the spec carries a factory (class or
+  module-level callable) plus arguments rather than an instance.
+* :class:`ResultCache` — a content-addressed on-disk cache.  The key is a
+  stable hash of the full run specification plus a fingerprint of the
+  package sources, so results survive process restarts but never leak
+  across code or parameter changes.
+* :func:`run_specs` — the executor.  With ``jobs=1`` it runs in-process
+  (exactly the historical behaviour); with ``jobs>1`` it fans out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Results always come
+  back in input order.  Duplicate specs within one batch execute once.
+
+Callers normally do not pass ``jobs``/``cache`` explicitly: the CLI (and
+any other entry point) installs an ambient :class:`ExecutionContext` via
+:func:`execution_context`, and every sweep, study, and figure below it
+picks the settings up automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import multiprocessing
+import os
+import pickle
+import sys
+import tempfile
+import time
+import types
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
+
+from repro.dbms.config import SimulationParameters
+from repro.errors import ExperimentError
+from repro.experiments.runner import WorkloadFactory, run_simulation
+from repro.metrics.results import SimulationResults
+
+__all__ = [
+    "RunSpec",
+    "ResultCache",
+    "ExecutionContext",
+    "execution_context",
+    "current_context",
+    "run_specs",
+    "stable_token",
+    "code_fingerprint",
+]
+
+# Bump when the meaning of cached payloads changes (e.g. the pickle layout
+# of SimulationResults is reorganized without a source change).
+_CACHE_FORMAT = "repro-result-v1"
+
+
+# ----------------------------------------------------------------------
+# Run specifications
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run, described by picklable data.
+
+    Attributes:
+        params: the full simulation parameters (including the seed).
+        controller_factory: a picklable callable (typically a controller
+            class) producing a *fresh* controller for this run.
+        controller_args / controller_kwargs: arguments for the factory;
+            ``controller_kwargs`` is a tuple of ``(name, value)`` pairs so
+            the spec stays hashable and order-insensitive for caching.
+        workload_factory: optional picklable workload factory (module-level
+            function or instance of a module-level class — closures cannot
+            cross process boundaries).
+        wait_policy / maturity_rule / admission_order / deadlock_strategy:
+            passed straight through to :func:`run_simulation`.
+        tag: caller-chosen label carried through to progress output; not
+            part of the cache key.
+    """
+
+    params: SimulationParameters
+    controller_factory: Callable[..., Any]
+    controller_args: Tuple[Any, ...] = ()
+    controller_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    workload_factory: Optional[WorkloadFactory] = None
+    wait_policy: Any = None
+    maturity_rule: Any = None
+    admission_order: Any = None
+    deadlock_strategy: Any = None
+    tag: Any = None
+
+    def make_controller(self):
+        """Instantiate a fresh controller for one run."""
+        return self.controller_factory(*self.controller_args,
+                                       **dict(self.controller_kwargs))
+
+    def execute(self) -> SimulationResults:
+        """Run this spec in the current process."""
+        return run_simulation(
+            self.params,
+            self.make_controller(),
+            workload_factory=self.workload_factory,
+            wait_policy=self.wait_policy,
+            maturity_rule=self.maturity_rule,
+            admission_order=self.admission_order,
+            deadlock_strategy=self.deadlock_strategy,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label for progress lines."""
+        factory = getattr(self.controller_factory, "__name__",
+                          str(self.controller_factory))
+        args = ", ".join(repr(a) for a in self.controller_args)
+        label = f"{factory}({args})"
+        if self.tag is not None:
+            label += f" [{self.tag}]"
+        return label
+
+
+# ----------------------------------------------------------------------
+# Stable cache keys
+# ----------------------------------------------------------------------
+
+def stable_token(obj: Any) -> str:
+    """A deterministic, process-independent text form of ``obj``.
+
+    Unlike ``pickle`` or plain ``repr``, the token does not depend on
+    ``PYTHONHASHSEED``, dict insertion order, or object identity, so it is
+    safe to hash into an on-disk cache key.  Containers recurse;
+    dataclasses and plain objects serialize as class name + field values;
+    functions and classes serialize by qualified name.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__module__}.{type(obj).__qualname__}.{obj.name}"
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(stable_token(v) for v in obj)
+        return f"[{inner}]" if isinstance(obj, list) else f"({inner})"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(stable_token(v) for v in obj)) + "}"
+    if isinstance(obj, dict):
+        items = sorted(
+            f"{stable_token(k)}:{stable_token(v)}" for k, v in obj.items())
+        return "{" + ",".join(items) + "}"
+    if isinstance(obj, functools.partial):
+        return (f"partial({stable_token(obj.func)},"
+                f"{stable_token(obj.args)},{stable_token(obj.keywords)})")
+    if isinstance(obj, types.MethodType):
+        # Bound (class)methods: owner + function name.
+        return (f"{stable_token(obj.__self__)}."
+                f"{obj.__func__.__name__}")
+    if isinstance(obj, (types.FunctionType, types.BuiltinFunctionType, type)):
+        return f"{obj.__module__}.{obj.__qualname__}"
+    if dataclasses.is_dataclass(obj):
+        fields = {f.name: getattr(obj, f.name)
+                  for f in dataclasses.fields(obj)}
+        return (f"{type(obj).__module__}.{type(obj).__qualname__}"
+                + stable_token(fields))
+    state = getattr(obj, "__dict__", None)
+    if state is None and hasattr(type(obj), "__slots__"):
+        state = {name: getattr(obj, name)
+                 for name in type(obj).__slots__ if hasattr(obj, name)}
+    if state is not None:
+        return (f"{type(obj).__module__}.{type(obj).__qualname__}"
+                + stable_token(state))
+    raise ExperimentError(
+        f"cannot derive a stable cache token for {obj!r} "
+        f"({type(obj).__qualname__})")
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every source file in the ``repro`` package.
+
+    Folded into each cache key so that stale results can never survive a
+    code change — any edit anywhere in the package invalidates the cache.
+    """
+    import repro
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def spec_key(spec: RunSpec) -> str:
+    """Content-addressed cache key for one run spec."""
+    token = "\n".join([
+        _CACHE_FORMAT,
+        code_fingerprint(),
+        stable_token(spec.params),
+        stable_token(spec.controller_factory),
+        stable_token(spec.controller_args),
+        stable_token(dict(spec.controller_kwargs)),
+        stable_token(spec.workload_factory),
+        stable_token(spec.wait_policy),
+        stable_token(spec.maturity_rule),
+        stable_token(spec.admission_order),
+        stable_token(spec.deadlock_strategy),
+    ])
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed pickle store for :class:`SimulationResults`.
+
+    One file per result, named by the spec's key; writes are atomic
+    (temp file + rename) so a killed run never leaves a torn entry, and
+    unreadable entries are treated as misses.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ExperimentError(
+                f"cache directory {self.root} collides with an existing "
+                f"file") from exc
+
+    def key_for(self, spec: RunSpec) -> str:
+        return spec_key(spec)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResults]:
+        try:
+            with self.path_for(key).open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError):
+            return None
+
+    def put(self, key: str, result: SimulationResults) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r})"
+
+
+# ----------------------------------------------------------------------
+# Ambient execution context
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """How multi-run batches execute: worker count, cache, verbosity."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    progress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {self.jobs}")
+
+
+_DEFAULT_CONTEXT = ExecutionContext()
+_CONTEXT_STACK: List[ExecutionContext] = []
+
+
+def current_context() -> ExecutionContext:
+    """The innermost active execution context (default: serial, no cache)."""
+    return _CONTEXT_STACK[-1] if _CONTEXT_STACK else _DEFAULT_CONTEXT
+
+
+@contextmanager
+def execution_context(jobs: int = 1,
+                      cache: Union[ResultCache, str, Path, None] = None,
+                      progress: bool = False) -> Iterator[ExecutionContext]:
+    """Install an ambient :class:`ExecutionContext` for nested batches.
+
+    ``cache`` accepts a ready :class:`ResultCache` or a directory path.
+    """
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    ctx = ExecutionContext(jobs=jobs, cache=cache, progress=progress)
+    _CONTEXT_STACK.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXT_STACK.pop()
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+def _execute_spec(spec: RunSpec) -> Tuple[float, SimulationResults]:
+    """Process-pool worker: run one spec, returning (elapsed, result)."""
+    start = time.perf_counter()
+    result = spec.execute()
+    return time.perf_counter() - start, result
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _progress(enabled: bool, message: str) -> None:
+    if enabled:
+        print(message, file=sys.stderr, flush=True)
+
+
+def run_specs(specs: Sequence[RunSpec],
+              jobs: Optional[int] = None,
+              cache: Union[ResultCache, str, Path, None] = None,
+              progress: Optional[bool] = None,
+              label: str = "batch") -> List[SimulationResults]:
+    """Execute a batch of independent runs; results come back in order.
+
+    Arguments left as ``None`` fall back to the ambient
+    :class:`ExecutionContext`.  Identical specs within the batch execute
+    once and share their result object.  Output is bit-identical for any
+    ``jobs`` value: each run is self-contained and seeded by its params.
+    """
+    ctx = current_context()
+    if jobs is None:
+        jobs = ctx.jobs
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if cache is None:
+        cache = ctx.cache
+    elif not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    if progress is None:
+        progress = ctx.progress
+
+    specs = list(specs)
+    if not specs:
+        return []
+    for spec in specs:
+        if not isinstance(spec, RunSpec):
+            raise ExperimentError(
+                f"run_specs expects RunSpec instances, got {type(spec)!r}")
+
+    start = time.perf_counter()
+    results: List[Optional[SimulationResults]] = [None] * len(specs)
+
+    # Deduplicate identical specs within the batch; the canonical index of
+    # each distinct key does the work, everyone else shares the result.
+    keys = [spec_key(spec) for spec in specs]
+    canonical: Dict[str, int] = {}
+    to_run: List[int] = []
+    cached = 0
+    for i, key in enumerate(keys):
+        if key in canonical:
+            continue
+        canonical[key] = i
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                cached += 1
+                continue
+        to_run.append(i)
+
+    executed = len(to_run)
+    if executed:
+        if jobs == 1 or executed == 1:
+            for n, i in enumerate(to_run, start=1):
+                elapsed, results[i] = _execute_spec(specs[i])
+                _progress(progress,
+                          f"[{label} {n}/{executed}] "
+                          f"{specs[i].describe()}: {elapsed:.1f}s")
+                if cache is not None:
+                    cache.put(keys[i], results[i])
+        else:
+            workers = min(jobs, executed)
+            with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=_mp_context()) as pool:
+                futures = {pool.submit(_execute_spec, specs[i]): i
+                           for i in to_run}
+                done = 0
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        i = futures[fut]
+                        elapsed, results[i] = fut.result()
+                        done += 1
+                        _progress(progress,
+                                  f"[{label} {done}/{executed}] "
+                                  f"{specs[i].describe()}: {elapsed:.1f}s")
+                        if cache is not None:
+                            cache.put(keys[i], results[i])
+
+    # Fill in duplicates from their canonical runs.
+    for i, key in enumerate(keys):
+        if results[i] is None:
+            results[i] = results[canonical[key]]
+
+    wall = time.perf_counter() - start
+    _progress(progress and len(specs) > 1,
+              f"[{label}] {len(specs)} runs: {executed} executed "
+              f"({jobs} job{'s' if jobs != 1 else ''}), {cached} from cache, "
+              f"{len(specs) - executed - cached} deduplicated, "
+              f"{wall:.1f}s wall")
+    return results  # type: ignore[return-value]

@@ -1,13 +1,17 @@
-"""Shared multi-figure studies, cached per scale.
+"""Shared multi-figure studies.
 
 Several paper figures are different views of one underlying sweep
 (Figures 8–10 and 16–17 all come from the transaction-size study).  The
-studies here run the sweep once per scale and memoize it so figure
-modules and benchmarks don't repeat hours of simulation.
+studies here submit every run of the sweep as one flat batch to the
+parallel execution layer — so all runs fan out together under ``--jobs``
+and land in the on-disk cache — and memoize the assembled study on the
+*full* run-spec fingerprint (parameters, controllers, seeds, code
+version), not just the scale's name.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -15,9 +19,9 @@ from repro.control.fixed_mpl import FixedMPLController
 from repro.control.tay import TayRuleController
 from repro.core.half_and_half import HalfAndHalfController
 from repro.dbms.config import SimulationParameters
-from repro.experiments.runner import run_simulation
+from repro.experiments.parallel import RunSpec, run_specs, spec_key
 from repro.experiments.scales import Scale
-from repro.experiments.sweeps import default_mpl_candidates, find_optimal_mpl
+from repro.experiments.sweeps import default_mpl_candidates, select_optimal_mpl
 from repro.metrics.results import SimulationResults
 
 __all__ = [
@@ -67,7 +71,20 @@ class TxnSizeStudy:
     tay_mpl: Dict[int, int]
 
 
+# In-process memo for assembled studies, keyed on a fingerprint of every
+# run spec in the study (the old cache was keyed on the scale *name*
+# alone, which silently served stale results to any caller that tweaked
+# parameters, grids, or seeds between calls).
 _STUDY_CACHE: Dict[str, TxnSizeStudy] = {}
+
+
+def _tay_spec(params: SimulationParameters) -> RunSpec:
+    """Tay's-rule run for one parameter point (MPL capped at #terminals)."""
+    return RunSpec(params=params,
+                   controller_factory=TayRuleController,
+                   controller_args=(params.db_size, params.tran_size,
+                                    params.write_prob),
+                   controller_kwargs=(("max_mpl", params.num_terms),))
 
 
 def txn_size_study(scale: Scale) -> TxnSizeStudy:
@@ -75,37 +92,65 @@ def txn_size_study(scale: Scale) -> TxnSizeStudy:
 
     200 terminals, base parameters, mean size varying from 4 to 72 pages;
     curves for Half-and-Half, the two reference fixed MPLs, the searched
-    optimal MPL, and Tay's rule.
+    optimal MPL, and Tay's rule.  All runs go out as a single batch.
     """
-    cached = _STUDY_CACHE.get(scale.name)
+    sizes = txn_size_points(scale)
+
+    # (kind, size, mpl-or-None) bookkeeping parallel to the spec list.
+    specs: List[RunSpec] = []
+    index: List[Tuple[str, int, object]] = []
+    for size in sizes:
+        params = base_params(scale, tran_size=size)
+        specs.append(RunSpec(params=params,
+                             controller_factory=HalfAndHalfController))
+        index.append(("hh", size, None))
+        for mpl in REFERENCE_MPLS:
+            specs.append(RunSpec(params=params,
+                                 controller_factory=FixedMPLController,
+                                 controller_args=(mpl,)))
+            index.append(("fixed", size, mpl))
+        for mpl in default_mpl_candidates(params.num_terms,
+                                          dense=scale.dense):
+            specs.append(RunSpec(params=params,
+                                 controller_factory=FixedMPLController,
+                                 controller_args=(mpl,)))
+            index.append(("candidate", size, mpl))
+        specs.append(_tay_spec(params))
+        index.append(("tay", size, None))
+
+    digest = hashlib.sha256(
+        "\n".join(spec_key(s) for s in specs).encode()).hexdigest()
+    cached = _STUDY_CACHE.get(digest)
     if cached is not None:
         return cached
 
-    sizes = txn_size_points(scale)
+    results = run_specs(specs, label="txn-size-study")
+
     hh: Dict[int, SimulationResults] = {}
     fixed: Dict[Tuple[int, int], SimulationResults] = {}
-    opt_mpl: Dict[int, int] = {}
-    opt: Dict[int, SimulationResults] = {}
+    by_size_candidates: Dict[int, Dict[int, SimulationResults]] = {}
     tay: Dict[int, SimulationResults] = {}
     tay_mpls: Dict[int, int] = {}
+    for (kind, size, mpl), spec, result in zip(index, specs, results):
+        if kind == "hh":
+            hh[size] = result
+        elif kind == "fixed":
+            fixed[(mpl, size)] = result
+        elif kind == "candidate":
+            by_size_candidates.setdefault(size, {})[mpl] = result
+        else:
+            tay[size] = result
+            tay_mpls[size] = spec.make_controller().mpl
 
+    opt_mpl: Dict[int, int] = {}
+    opt: Dict[int, SimulationResults] = {}
     for size in sizes:
-        params = base_params(scale, tran_size=size)
-        hh[size] = run_simulation(params, HalfAndHalfController())
-        for mpl in REFERENCE_MPLS:
-            fixed[(mpl, size)] = run_simulation(
-                params, FixedMPLController(mpl))
-        candidates = default_mpl_candidates(params.num_terms,
-                                            dense=scale.dense)
-        best, by_mpl = find_optimal_mpl(params, candidates)
+        best = select_optimal_mpl(by_size_candidates[size])
         opt_mpl[size] = best
-        opt[size] = by_mpl[best]
-        controller = TayRuleController.from_params(params)
-        tay_mpls[size] = controller.mpl
-        tay[size] = run_simulation(params, controller)
+        opt[size] = by_size_candidates[size][best]
 
     study = TxnSizeStudy(sizes=sizes, half_and_half=hh, fixed=fixed,
                          optimal_mpl=opt_mpl, optimal=opt,
                          tay=tay, tay_mpl=tay_mpls)
-    _STUDY_CACHE[scale.name] = study
+    _STUDY_CACHE[digest] = study
     return study

@@ -6,6 +6,11 @@ fixed MPL ...)".  :func:`find_optimal_mpl` performs that search over a
 candidate ladder; :func:`default_mpl_candidates` provides a ladder that
 is geometric above 10 so the search stays affordable while bracketing
 every optimum the paper reports (3 … 35).
+
+All sweeps execute through :func:`repro.experiments.parallel.run_specs`,
+so they fan out across worker processes and hit the on-disk result cache
+whenever the ambient :class:`~repro.experiments.parallel.ExecutionContext`
+provides them.
 """
 
 from __future__ import annotations
@@ -15,10 +20,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.control.fixed_mpl import FixedMPLController
 from repro.dbms.config import SimulationParameters
 from repro.errors import ExperimentError
-from repro.experiments.runner import WorkloadFactory, run_simulation
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.experiments.runner import WorkloadFactory
 from repro.metrics.results import SimulationResults
 
-__all__ = ["default_mpl_candidates", "find_optimal_mpl", "sweep_fixed_mpl"]
+__all__ = ["default_mpl_candidates", "find_optimal_mpl",
+           "select_optimal_mpl", "sweep_fixed_mpl"]
 
 
 def default_mpl_candidates(num_terms: int,
@@ -39,12 +46,21 @@ def sweep_fixed_mpl(params: SimulationParameters,
     """Run one fixed-MPL simulation per candidate."""
     if not candidates:
         raise ExperimentError("empty MPL candidate list")
-    results: Dict[int, SimulationResults] = {}
-    for mpl in candidates:
-        results[mpl] = run_simulation(
-            params, FixedMPLController(mpl),
-            workload_factory=workload_factory)
-    return results
+    specs = [RunSpec(params=params,
+                     controller_factory=FixedMPLController,
+                     controller_args=(int(mpl),),
+                     workload_factory=workload_factory)
+             for mpl in candidates]
+    results = run_specs(specs, label="mpl-sweep")
+    return dict(zip(candidates, results))
+
+
+def select_optimal_mpl(results: Dict[int, SimulationResults]) -> int:
+    """The throughput-maximizing MPL; ties break toward the smaller MPL
+    (less contention at equal throughput)."""
+    if not results:
+        raise ExperimentError("empty MPL result set")
+    return min(results, key=lambda m: (-results[m].page_throughput.mean, m))
 
 
 def find_optimal_mpl(params: SimulationParameters,
@@ -53,11 +69,7 @@ def find_optimal_mpl(params: SimulationParameters,
                      ) -> Tuple[int, Dict[int, SimulationResults]]:
     """Locate the throughput-maximizing fixed MPL among ``candidates``.
 
-    Returns ``(best_mpl, results_by_mpl)``.  Ties break toward the
-    smaller MPL (less contention at equal throughput).
+    Returns ``(best_mpl, results_by_mpl)``.
     """
     results = sweep_fixed_mpl(params, candidates, workload_factory)
-    best_mpl = min(
-        results,
-        key=lambda m: (-results[m].page_throughput.mean, m))
-    return best_mpl, results
+    return select_optimal_mpl(results), results

@@ -126,6 +126,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        hit_max = False
         heap = self._heap
         try:
             while heap:
@@ -138,6 +139,7 @@ class Simulator:
                 if until is not None and ev.time > until:
                     break
                 if max_events is not None and fired >= max_events:
+                    hit_max = True
                     break
                 heapq.heappop(heap)
                 self._now = ev.time
@@ -150,8 +152,12 @@ class Simulator:
                 fired += 1
         finally:
             self._running = False
-        if until is not None and self._now < until and not self._stopped:
+        if (until is not None and self._now < until
+                and not self._stopped and not hit_max):
             # Exhausted the calendar before the horizon: advance the clock so
             # repeated run(until=...) calls measure real elapsed sim time.
+            # Not done when the max_events valve tripped — events are still
+            # pending before the horizon, so jumping the clock to `until`
+            # would corrupt subsequent run(until=...) accounting.
             self._now = until
         return fired

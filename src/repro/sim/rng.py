@@ -16,6 +16,8 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Sequence
 
+from repro.errors import ConfigurationError
+
 __all__ = ["RandomStreams"]
 
 
@@ -50,8 +52,16 @@ class RandomStreams:
         return self.stream(name).uniform(low, high)
 
     def exponential(self, name: str, mean: float) -> float:
-        """Exponential variate with the given mean (0 if mean is 0)."""
-        if mean <= 0.0:
+        """Exponential variate with the given mean (0 if mean is exactly 0).
+
+        A negative mean is a caller configuration error, not a degenerate
+        distribution, and raises :class:`ConfigurationError` rather than
+        silently collapsing to 0.
+        """
+        if mean < 0.0:
+            raise ConfigurationError(
+                f"exponential mean must be non-negative, got {mean}")
+        if mean == 0.0:
             return 0.0
         return self.stream(name).expovariate(1.0 / mean)
 

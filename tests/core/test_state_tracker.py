@@ -85,6 +85,46 @@ def test_remove_unknown_asserts():
         tracker.remove(_txn(1), 0.0)
 
 
+def test_invariants_across_admit_block_abort_readmit_lifecycle():
+    # The full lifecycle of a restarted transaction: admit, mature, block,
+    # abort (remove), then re-admit as a fresh attempt.  The counters must
+    # agree with a from-scratch recomputation at every step.
+    tracker = StateTracker()
+    bystander = _txn(99)           # concurrent txn to catch count leaks
+    tracker.add(bystander, 0.0)
+    tracker.set_mature(bystander, 0.5)
+    tracker.check_invariants()
+
+    t = _txn(1)
+    tracker.add(t, 1.0)            # admit: state 2 (running, immature)
+    tracker.check_invariants()
+    assert tracker.state_of(t) == 2
+
+    tracker.set_mature(t, 2.0)     # state 1
+    tracker.set_blocked(t, True, 3.0)   # state 3 (blocked, mature)
+    tracker.check_invariants()
+    assert tracker.state_of(t) == 3
+    assert (tracker.n_state1, tracker.n_state3) == (1, 1)
+
+    tracker.remove(t, 4.0)         # abort while blocked
+    tracker.check_invariants()
+    assert tracker.n_active == 1   # only the bystander remains
+    assert (tracker.n_state1, tracker.n_state2,
+            tracker.n_state3, tracker.n_state4) == (1, 0, 0, 0)
+
+    retry = _txn(1)                # restart arrives as a fresh attempt
+    tracker.add(retry, 5.0)
+    tracker.check_invariants()
+    assert tracker.state_of(retry) == 2   # immature again, prior state gone
+    assert tracker.n_active == 2
+    assert (tracker.n_state1, tracker.n_state2) == (1, 1)
+
+    tracker.remove(retry, 6.0)
+    tracker.remove(bystander, 6.0)
+    tracker.check_invariants()
+    assert tracker.n_active == 0
+
+
 def test_blocked_transactions_iteration():
     tracker = StateTracker()
     ts = [_txn(i) for i in range(4)]

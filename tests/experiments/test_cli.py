@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.experiments import cli
 from repro.experiments.cli import build_parser, main
+from repro.experiments.figures import get_figure
 
 
 def test_list_command(capsys):
@@ -36,3 +40,47 @@ def test_parser_rejects_bad_scale():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "fig07", "--scale", "gigantic"])
+
+
+def test_parser_accepts_jobs_and_cache_dir(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(["run", "fig07", "--jobs", "4",
+                              "--cache-dir", str(tmp_path)])
+    assert args.jobs == 4
+    assert args.cache_dir == str(tmp_path)
+    args = parser.parse_args(["report", "--jobs", "2"])
+    assert args.jobs == 2
+
+
+def test_parser_rejects_nonpositive_jobs():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig07", "--jobs", "0"])
+
+
+def test_run_figure_with_jobs_and_cache(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    assert main(["run", "fig20", "--scale", "smoke", "--jobs", "2",
+                 "--cache-dir", str(cache)]) == 0
+    assert "fig20" in capsys.readouterr().out
+    assert any(cache.glob("*.pkl"))
+    # Warm re-run serves every simulation from the cache.
+    assert main(["run", "fig20", "--scale", "smoke", "--jobs", "2",
+                 "--cache-dir", str(cache)]) == 0
+    err = capsys.readouterr().err
+    assert "from cache" in err
+
+
+def test_run_all_exports_per_figure_files(capsys, tmp_path, monkeypatch):
+    # Regression: `run all` used to silently drop --csv/--json.  With
+    # `all` the flags name a directory that receives one file per figure.
+    monkeypatch.setattr(cli, "all_figures",
+                        lambda: [get_figure("fig20")])
+    csv_dir = tmp_path / "csv"
+    json_dir = tmp_path / "json"
+    assert main(["run", "all", "--scale", "smoke",
+                 "--csv", str(csv_dir), "--json", str(json_dir)]) == 0
+    assert (csv_dir / "fig20.csv").is_file()
+    payload = json.loads((json_dir / "fig20.json").read_text())
+    assert payload["figure_id"] == "fig20"
+    capsys.readouterr()

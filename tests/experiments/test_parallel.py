@@ -1,0 +1,223 @@
+"""Tests for the parallel execution layer and the on-disk result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.control.no_control import NoControlController
+from repro.core.maturity import MaturityRule
+from repro.errors import ExperimentError
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    ExecutionContext,
+    ResultCache,
+    RunSpec,
+    current_context,
+    execution_context,
+    run_specs,
+    spec_key,
+    stable_token,
+)
+from repro.workload.mixed import MixedWorkload, paper_mixed_classes
+
+
+def _specs(params, mpls=(2, 5)):
+    return [RunSpec(params=params, controller_factory=FixedMPLController,
+                    controller_args=(m,)) for m in mpls]
+
+
+# ----------------------------------------------------------------------
+# Determinism: serial == parallel, bit for bit
+# ----------------------------------------------------------------------
+
+def test_parallel_results_bit_identical_to_serial(tiny_params):
+    specs = _specs(tiny_params, (2, 4, 7))
+    serial = run_specs(specs, jobs=1)
+    fanned = run_specs(specs, jobs=3)
+    assert serial == fanned
+    assert [r.controller_name for r in serial] == \
+        ["FixedMPL(2)", "FixedMPL(4)", "FixedMPL(7)"]
+
+
+def test_results_returned_in_spec_order(tiny_params):
+    specs = _specs(tiny_params, (7, 2, 4))
+    results = run_specs(specs, jobs=2)
+    assert [r.controller_name for r in results] == \
+        ["FixedMPL(7)", "FixedMPL(2)", "FixedMPL(4)"]
+
+
+def test_duplicate_specs_execute_once(tiny_params, monkeypatch):
+    calls = []
+    original = parallel.run_simulation
+
+    def counting(params, controller, **kwargs):
+        calls.append(controller.name)
+        return original(params, controller, **kwargs)
+
+    monkeypatch.setattr(parallel, "run_simulation", counting)
+    specs = _specs(tiny_params, (3, 3, 3))
+    results = run_specs(specs, jobs=1)
+    assert len(calls) == 1
+    assert results[0] is results[1] is results[2]
+
+
+def test_empty_batch():
+    assert run_specs([]) == []
+
+
+def test_rejects_bad_jobs(tiny_params):
+    with pytest.raises(ExperimentError):
+        run_specs(_specs(tiny_params), jobs=0)
+    with pytest.raises(ExperimentError):
+        ExecutionContext(jobs=0)
+
+
+def test_rejects_non_spec_items(tiny_params):
+    with pytest.raises(ExperimentError):
+        run_specs([tiny_params])
+
+
+# ----------------------------------------------------------------------
+# The on-disk cache
+# ----------------------------------------------------------------------
+
+def test_cache_round_trip(tiny_params, tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = _specs(tiny_params)
+    cold = run_specs(specs, jobs=1, cache=cache)
+    assert len(cache) == len(specs)
+    warm = run_specs(specs, jobs=1, cache=cache)
+    assert cold == warm
+
+
+def test_cache_hit_skips_execution(tiny_params, tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    specs = _specs(tiny_params)
+    cold = run_specs(specs, jobs=1, cache=cache)
+
+    def boom(*args, **kwargs):
+        raise AssertionError("simulation executed despite warm cache")
+
+    monkeypatch.setattr(parallel, "run_simulation", boom)
+    warm = run_specs(specs, jobs=1, cache=cache)
+    assert warm == cold
+
+
+def test_corrupt_cache_entry_is_a_miss(tiny_params, tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _specs(tiny_params)[0]
+    key = cache.key_for(spec)
+    cache.path_for(key).write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+    # And run_specs recovers by recomputing (and repairing) the entry.
+    [result] = run_specs([spec], jobs=1, cache=cache)
+    assert cache.get(key) == result
+
+
+def test_cache_accepts_path_argument(tiny_params, tmp_path):
+    results = run_specs(_specs(tiny_params), jobs=1,
+                        cache=tmp_path / "cache")
+    assert (tmp_path / "cache").is_dir()
+    assert len(results) == 2
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+
+def test_key_sensitive_to_seed_params_and_controller(tiny_params):
+    base = RunSpec(params=tiny_params, controller_factory=FixedMPLController,
+                   controller_args=(5,))
+    same = RunSpec(params=tiny_params.replace(),
+                   controller_factory=FixedMPLController,
+                   controller_args=(5,))
+    assert spec_key(base) == spec_key(same)
+    assert spec_key(base) != spec_key(
+        RunSpec(params=tiny_params.replace(seed=7),
+                controller_factory=FixedMPLController,
+                controller_args=(5,)))
+    assert spec_key(base) != spec_key(
+        RunSpec(params=tiny_params, controller_factory=FixedMPLController,
+                controller_args=(6,)))
+    assert spec_key(base) != spec_key(
+        RunSpec(params=tiny_params, controller_factory=NoControlController))
+    assert spec_key(base) != spec_key(
+        RunSpec(params=tiny_params, controller_factory=FixedMPLController,
+                controller_args=(5,),
+                maturity_rule=MaturityRule(fraction=0.10)))
+
+
+def test_tag_not_part_of_key(tiny_params):
+    a = RunSpec(params=tiny_params, controller_factory=FixedMPLController,
+                controller_args=(5,), tag="left")
+    b = RunSpec(params=tiny_params, controller_factory=FixedMPLController,
+                controller_args=(5,), tag="right")
+    assert spec_key(a) == spec_key(b)
+
+
+def test_stable_token_order_insensitive():
+    assert stable_token({"a": 1, "b": 2}) == stable_token({"b": 2, "a": 1})
+    assert stable_token({1, 2, 3}) == stable_token({3, 2, 1})
+    assert stable_token([1, 2]) != stable_token((1, 2))
+    assert stable_token(FixedMPLController).endswith("FixedMPLController")
+
+
+def test_stable_token_rejects_unhashable_opaque_objects():
+    with pytest.raises(ExperimentError):
+        stable_token(object())
+
+
+# ----------------------------------------------------------------------
+# Ambient execution context
+# ----------------------------------------------------------------------
+
+def test_execution_context_plumbing(tmp_path):
+    assert current_context().jobs == 1
+    assert current_context().cache is None
+    with execution_context(jobs=3, cache=tmp_path) as ctx:
+        assert current_context() is ctx
+        assert ctx.jobs == 3
+        assert isinstance(ctx.cache, ResultCache)
+        with execution_context(jobs=1) as inner:
+            assert current_context() is inner
+        assert current_context() is ctx
+    assert current_context().jobs == 1
+
+
+def test_run_specs_uses_ambient_context(tiny_params, tmp_path, monkeypatch):
+    with execution_context(jobs=1, cache=tmp_path):
+        cold = run_specs(_specs(tiny_params))
+    assert len(ResultCache(tmp_path)) == 2
+
+    def boom(*args, **kwargs):
+        raise AssertionError("ambient cache not consulted")
+
+    monkeypatch.setattr(parallel, "run_simulation", boom)
+    with execution_context(jobs=1, cache=tmp_path):
+        warm = run_specs(_specs(tiny_params))
+    assert warm == cold
+
+
+# ----------------------------------------------------------------------
+# Workload factories across process boundaries
+# ----------------------------------------------------------------------
+
+class _MixedFactory:
+    """Module-level picklable factory used by the fan-out test."""
+
+    def __call__(self, streams, params):
+        return MixedWorkload(streams, params.db_size, paper_mixed_classes())
+
+
+def test_workload_factory_instance_crosses_processes(tiny_params):
+    params = tiny_params.replace(num_terms=200)
+    spec = RunSpec(params=params, controller_factory=NoControlController,
+                   workload_factory=_MixedFactory())
+    serial = run_specs([spec, spec], jobs=1)
+    # Force pool execution with two distinct specs to exercise pickling.
+    other = RunSpec(params=params, controller_factory=FixedMPLController,
+                    controller_args=(5,), workload_factory=_MixedFactory())
+    fanned = run_specs([spec, other], jobs=2)
+    assert fanned[0] == serial[0]
+    assert "Mixed" in fanned[0].workload_name

@@ -27,6 +27,29 @@ def test_t_quantile_interpolated_values_reasonable():
     assert q == pytest.approx(expected, rel=1e-2)
 
 
+def test_t_quantile_untabulated_range_tracks_scipy():
+    # Every df in the untabulated interpolation range (30, 120) must stay
+    # close to the exact quantile and strictly inside its bracketing
+    # table entries.
+    table_dfs = [30, 40, 50, 60, 80, 100, 120]
+    for df in range(31, 120):
+        if df in table_dfs:
+            continue
+        q = student_t_quantile(df)
+        lower = max(k for k in table_dfs if k < df)
+        upper = min(k for k in table_dfs if k > df)
+        assert student_t_quantile(upper) < q < student_t_quantile(lower)
+        assert q == pytest.approx(scipy_stats.t.ppf(0.95, df), rel=2e-3)
+
+
+def test_t_quantile_monotone_over_untabulated_range():
+    values = [student_t_quantile(df) for df in range(30, 121)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    # Endpoints agree with the table, so interpolation is continuous.
+    assert values[0] == pytest.approx(1.6973)
+    assert values[-1] == pytest.approx(1.6577)
+
+
 def test_t_quantile_large_df_is_normal():
     assert student_t_quantile(10_000) == pytest.approx(1.6449, abs=1e-4)
 

@@ -136,6 +136,39 @@ def test_max_events_limits_execution():
     assert sim.run() == 6
 
 
+def test_max_events_does_not_fast_forward_clock():
+    # Regression: when the max_events safety valve tripped with events
+    # still pending before the horizon, run(until=...) fast-forwarded the
+    # clock to `until` anyway, corrupting subsequent run accounting.
+    sim = Simulator()
+    for t in range(1, 6):
+        sim.schedule(float(t), lambda: None)
+    assert sim.run(until=10.0, max_events=2) == 2
+    assert sim.now == 2.0          # not 10.0: events at t=3..5 still pending
+    assert sim.pending() == 3
+    assert sim.run(until=10.0) == 3
+    assert sim.now == 10.0         # calendar drained, clock reaches horizon
+
+
+def test_max_events_with_exhausted_calendar_still_advances():
+    # When the valve is set but never trips, the horizon jump must behave
+    # as before.
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert sim.run(until=10.0, max_events=5) == 1
+    assert sim.now == 10.0
+
+
+def test_max_events_exactly_drains_calendar_still_advances():
+    # When the last allowed event also empties the calendar, the run
+    # genuinely finished early and the horizon jump must still happen.
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.run(until=10.0, max_events=2) == 2
+    assert sim.now == 10.0
+
+
 def test_stop_inside_callback():
     sim = Simulator()
     fired = []

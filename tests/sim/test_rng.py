@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.errors import ConfigurationError
 from repro.sim.rng import RandomStreams
 
 
@@ -65,7 +67,16 @@ def test_uniform_float_bounds():
 def test_exponential_zero_mean_is_zero():
     streams = RandomStreams(3)
     assert streams.exponential("t", 0.0) == 0.0
-    assert streams.exponential("t", -1.0) == 0.0
+
+
+def test_exponential_negative_mean_rejected():
+    # Regression: a negative mean used to return 0.0 silently, masking
+    # caller configuration errors; only exactly 0 is a degenerate case.
+    streams = RandomStreams(3)
+    with pytest.raises(ConfigurationError):
+        streams.exponential("t", -1.0)
+    with pytest.raises(ConfigurationError):
+        streams.exponential("t", -1e-12)
 
 
 def test_exponential_mean_approximately_correct():
