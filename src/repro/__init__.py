@@ -63,6 +63,14 @@ from repro.metrics import (
     TraceEventType,
     Tracer,
 )
+from repro.telemetry import (
+    ControllerDecision,
+    DecisionLog,
+    ProbeSample,
+    ProbeScheduler,
+    TelemetryConfig,
+    TelemetrySession,
+)
 from repro.workload import (
     HomogeneousWorkload,
     HotspotWorkload,
@@ -109,6 +117,12 @@ __all__ = [
     "TraceEvent",
     "TraceEventType",
     "Tracer",
+    "ControllerDecision",
+    "DecisionLog",
+    "ProbeSample",
+    "ProbeScheduler",
+    "TelemetryConfig",
+    "TelemetrySession",
     "HomogeneousWorkload",
     "HotspotWorkload",
     "MixedWorkload",

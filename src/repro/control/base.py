@@ -18,12 +18,13 @@ Controllers interact with the system through a narrow surface:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dbms.transaction import Transaction
     from repro.dbms.system import DBMSSystem
+    from repro.telemetry.decisions import DecisionLog
 
 __all__ = ["LoadController"]
 
@@ -33,10 +34,56 @@ class LoadController:
 
     def __init__(self) -> None:
         self.system: "DBMSSystem" = None  # type: ignore[assignment]
+        # Optional telemetry sink; controllers guard every use with a
+        # single ``is not None`` check so the disabled path allocates
+        # nothing (same discipline as the system's tracer).
+        self.decision_log: Optional["DecisionLog"] = None
 
     def attach(self, system: "DBMSSystem") -> None:
         """Bind to the system before the simulation starts."""
         self.system = system
+
+    def on_decision_log_attached(self) -> None:
+        """A decision log was just installed (telemetry enabled).
+
+        Controllers with one-off configuration decisions (e.g. a
+        derived MPL limit) record them here; the log is attached after
+        construction, so ``__init__``/``attach`` are too early."""
+
+    def log_decision(self, action: str,
+                     txn: "Transaction" = None,
+                     region=None,
+                     measure: Optional[float] = None,
+                     threshold: Optional[float] = None,
+                     detail: str = "") -> None:
+        """Record one verdict in the attached decision log.
+
+        Call sites should guard with ``if self.decision_log is not
+        None`` so the disabled path pays only that check; this method
+        fills in the timestamp, controller name, and the population
+        counts the controller observed.
+        """
+        log = self.decision_log
+        if log is None:
+            return
+        from repro.telemetry.decisions import ControllerDecision
+        # A log may be installed before attach() binds the system (e.g.
+        # a controller configured by hand); counts are simply zero then.
+        tracker = self.system.tracker if self.system is not None else None
+        log.record(ControllerDecision(
+            time=(self.system.sim.now if self.system is not None else 0.0),
+            controller=self.name,
+            action=action,
+            region=(region.value if region is not None
+                    and hasattr(region, "value") else region),
+            n_active=(tracker.n_active if tracker is not None else 0),
+            n_state1=(tracker.n_state1 if tracker is not None else 0),
+            n_state3=(tracker.n_state3 if tracker is not None else 0),
+            txn_id=(txn.txn_id if txn is not None else None),
+            measure=measure,
+            threshold=threshold,
+            detail=detail,
+        ))
 
     @property
     def name(self) -> str:

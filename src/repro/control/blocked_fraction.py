@@ -61,16 +61,36 @@ class BlockedFractionController(LoadController):
     # Hooks (deliberately identical in structure to Half-and-Half)
     # ------------------------------------------------------------------
 
+    def _blocked_frac(self) -> float:
+        tracker = self.system.tracker
+        return (tracker.n_blocked / tracker.n_active
+                if tracker.n_active else 0.0)
+
     def want_admit(self, txn: "Transaction") -> bool:
         if self._admit_next_arrival:
             self._admit_next_arrival = False
+            if self.decision_log is not None:
+                self.log_decision("admit_carryover", txn=txn,
+                                  region=self.region())
             return True
-        return self.region() is Region.UNDERLOADED
+        region = self.region()
+        admit = region is Region.UNDERLOADED
+        if self.decision_log is not None:
+            self.log_decision("admit" if admit else "defer", txn=txn,
+                              region=region,
+                              measure=self._blocked_frac(),
+                              threshold=0.5 + self.delta)
+        return admit
 
     def on_lock_granted(self, txn: "Transaction") -> None:
         while self.region() is Region.UNDERLOADED:
             if not self.system.try_admit_one():
                 break
+            if self.decision_log is not None:
+                self.log_decision("admit_queued",
+                                  region=Region.UNDERLOADED,
+                                  measure=self._blocked_frac(),
+                                  threshold=0.5 + self.delta)
 
     def on_block(self, txn: "Transaction") -> None:
         while self.region() is Region.OVERLOADED:
@@ -78,11 +98,21 @@ class BlockedFractionController(LoadController):
             if victim is None:
                 break
             self.load_control_aborts += 1
+            if self.decision_log is not None:
+                self.log_decision("abort_victim", txn=victim,
+                                  region=Region.OVERLOADED,
+                                  measure=self._blocked_frac(),
+                                  threshold=0.5 + self.delta)
             self.system.abort_transaction(victim, AbortReason.LOAD_CONTROL)
 
     def on_commit(self, txn: "Transaction") -> None:
-        if not self.system.try_admit_one():
+        if self.system.try_admit_one():
+            if self.decision_log is not None:
+                self.log_decision("admit_on_commit", region=self.region())
+        else:
             self._admit_next_arrival = True
+            if self.decision_log is not None:
+                self.log_decision("carry_admit", region=self.region())
 
     def _choose_victim(self) -> Optional["Transaction"]:
         lock_table = self.system.lock_table

@@ -94,16 +94,35 @@ class ConflictRatioController(LoadController):
     # Hooks (mirrors the Half-and-Half structure)
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _finite(ratio: float) -> "float | None":
+        # The decision log serializes to JSON; an all-blocked system's
+        # infinite ratio travels as null.
+        return None if math.isinf(ratio) else ratio
+
     def want_admit(self, txn: "Transaction") -> bool:
         if self._admit_next_arrival:
             self._admit_next_arrival = False
+            if self.decision_log is not None:
+                self.log_decision("admit_carryover", txn=txn)
             return True
-        return self._below_critical()
+        ratio = self.conflict_ratio()
+        admit = ratio < self.critical_ratio
+        if self.decision_log is not None:
+            self.log_decision("admit" if admit else "defer", txn=txn,
+                              measure=self._finite(ratio),
+                              threshold=self.critical_ratio)
+        return admit
 
     def on_lock_granted(self, txn: "Transaction") -> None:
         while self._below_critical():
             if not self.system.try_admit_one():
                 break
+            if self.decision_log is not None:
+                self.log_decision("admit_queued",
+                                  measure=self._finite(
+                                      self.conflict_ratio()),
+                                  threshold=self.critical_ratio)
 
     def on_block(self, txn: "Transaction") -> None:
         while self._above_abort_level():
@@ -111,12 +130,27 @@ class ConflictRatioController(LoadController):
             if victim is None:
                 break
             self.load_control_aborts += 1
+            if self.decision_log is not None:
+                self.log_decision("abort_victim", txn=victim,
+                                  measure=self._finite(
+                                      self.conflict_ratio()),
+                                  threshold=(self.critical_ratio
+                                             + self.abort_margin))
             self.system.abort_transaction(victim, AbortReason.LOAD_CONTROL)
 
     def on_commit(self, txn: "Transaction") -> None:
         if self._below_critical():
-            if not self.system.try_admit_one():
+            if self.system.try_admit_one():
+                if self.decision_log is not None:
+                    self.log_decision("admit_on_commit",
+                                      measure=self._finite(
+                                          self.conflict_ratio()),
+                                      threshold=self.critical_ratio)
+            else:
                 self._admit_next_arrival = True
+                if self.decision_log is not None:
+                    self.log_decision("carry_admit",
+                                      threshold=self.critical_ratio)
 
     def _choose_victim(self) -> Optional["Transaction"]:
         lock_table = self.system.lock_table

@@ -33,10 +33,20 @@ class FixedMPLController(LoadController):
         return f"FixedMPL({self.mpl})"
 
     def want_admit(self, txn: "Transaction") -> bool:
-        return self.system.tracker.n_active < self.mpl
+        admit = self.system.tracker.n_active < self.mpl
+        if self.decision_log is not None:
+            self.log_decision("admit" if admit else "defer", txn=txn,
+                              measure=float(self.system.tracker.n_active),
+                              threshold=float(self.mpl))
+        return admit
 
     def on_removed(self, txn: "Transaction") -> None:
         # Top the system back up to the limit from the ready queue.
         while (self.system.tracker.n_active < self.mpl
                and self.system.try_admit_one()):
-            pass
+            if self.decision_log is not None:
+                self.log_decision(
+                    "admit_queued",
+                    measure=float(self.system.tracker.n_active),
+                    threshold=float(self.mpl),
+                    detail="top-up after removal")

@@ -51,11 +51,26 @@ def tay_mpl(db_size: int, tran_size: float, write_prob: float,
 
 
 class TayRuleController(FixedMPLController):
-    """Fixed-MPL controller whose limit comes from Tay's formula."""
+    """Fixed-MPL controller whose limit comes from Tay's formula.
+
+    Admission and top-up decisions are logged by the inherited
+    :class:`FixedMPLController` hooks; attaching a decision log
+    additionally records the derived MPL itself, so the log documents
+    *why* this run admits what it admits.
+    """
 
     def __init__(self, db_size: int, tran_size: float, write_prob: float,
                  max_mpl: int = 10 ** 9):
         super().__init__(tay_mpl(db_size, tran_size, write_prob, max_mpl))
+        self._rule_inputs = (db_size, tran_size, write_prob)
+
+    def on_decision_log_attached(self) -> None:
+        db_size, tran_size, write_prob = self._rule_inputs
+        self.log_decision(
+            "set_mpl", measure=float(self.mpl),
+            threshold=_THRASHING_CONSTANT,
+            detail=(f"k={tran_size} D={db_size} w={write_prob} "
+                    f"D_eff={effective_db_size(db_size, write_prob):.1f}"))
 
     @classmethod
     def from_params(cls, params: SimulationParameters) -> "TayRuleController":

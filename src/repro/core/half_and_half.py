@@ -93,11 +93,32 @@ class HalfAndHalfController(LoadController):
     # Hooks
     # ------------------------------------------------------------------
 
+    def _frac_state1(self) -> float:
+        tracker = self.system.tracker
+        return (tracker.n_state1 / tracker.n_active
+                if tracker.n_active else 0.0)
+
+    def _frac_state3(self) -> float:
+        tracker = self.system.tracker
+        return (tracker.n_state3 / tracker.n_active
+                if tracker.n_active else 0.0)
+
     def want_admit(self, txn: "Transaction") -> bool:
         if self._admit_next_arrival:
             self._admit_next_arrival = False
+            if self.decision_log is not None:
+                self.log_decision("admit_carryover", txn=txn,
+                                  region=self.region(),
+                                  detail="pre-authorised at commit")
             return True
-        return self.region() is Region.UNDERLOADED
+        region = self.region()
+        admit = region is Region.UNDERLOADED
+        if self.decision_log is not None:
+            self.log_decision("admit" if admit else "defer", txn=txn,
+                              region=region,
+                              measure=self._frac_state1(),
+                              threshold=0.5 + self.delta)
+        return admit
 
     def on_lock_granted(self, txn: "Transaction") -> None:
         # "New transactions will be admitted from the external ready queue
@@ -107,6 +128,12 @@ class HalfAndHalfController(LoadController):
             if not self.system.try_admit_one():
                 break
             self.admissions_on_grant += 1
+            if self.decision_log is not None:
+                self.log_decision("admit_queued",
+                                  region=Region.UNDERLOADED,
+                                  measure=self._frac_state1(),
+                                  threshold=0.5 + self.delta,
+                                  detail="admitted on lock grant")
 
     def on_block(self, txn: "Transaction") -> None:
         # "Blocked transactions will be aborted until the system leaves
@@ -116,6 +143,12 @@ class HalfAndHalfController(LoadController):
             if victim is None:
                 break
             self.load_control_aborts += 1
+            if self.decision_log is not None:
+                self.log_decision("abort_victim", txn=victim,
+                                  region=Region.OVERLOADED,
+                                  measure=self._frac_state3(),
+                                  threshold=0.5 + self.delta,
+                                  detail=f"policy={self.victim_policy}")
             self.system.abort_transaction(victim, AbortReason.LOAD_CONTROL)
 
     def on_commit(self, txn: "Transaction") -> None:
@@ -123,8 +156,16 @@ class HalfAndHalfController(LoadController):
         # (unconditionally) admitted to replace it if one is available.
         # Otherwise the algorithm decides to admit the next transaction
         # that arrives and records this decision."
-        if not self.system.try_admit_one():
+        if self.system.try_admit_one():
+            if self.decision_log is not None:
+                self.log_decision("admit_on_commit",
+                                  region=self.region(),
+                                  detail="replacement for committed txn")
+        else:
             self._admit_next_arrival = True
+            if self.decision_log is not None:
+                self.log_decision("carry_admit", region=self.region(),
+                                  detail="ready queue empty at commit")
 
     # ------------------------------------------------------------------
 

@@ -40,6 +40,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         metavar="N",
@@ -48,6 +55,16 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", metavar="PATH", default=None,
                         help=("directory for the content-addressed on-disk "
                               "result cache (default: no cache)"))
+    parser.add_argument("--telemetry-dir", metavar="PATH", default=None,
+                        help=("export per-run telemetry (probes.jsonl, "
+                              "decisions.jsonl, trace.jsonl, manifest.json, "
+                              "profile.json) into PATH/<spec key>/ "
+                              "(default: telemetry off)"))
+    parser.add_argument("--probe-interval", type=_positive_float,
+                        default=1.0, metavar="SECONDS",
+                        help=("simulated seconds between telemetry probe "
+                              "samples (default: 1.0; only used with "
+                              "--telemetry-dir)"))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("--out", default="EXPERIMENTS.md",
                           help="output path (default: EXPERIMENTS.md)")
     _add_execution_flags(report_p)
+
+    tel_p = sub.add_parser(
+        "telemetry",
+        help="inspect telemetry directories written by --telemetry-dir")
+    tel_sub = tel_p.add_subparsers(dest="telemetry_command", required=True)
+    tel_report = tel_sub.add_parser(
+        "report", help="render an ASCII dashboard for one or more runs")
+    tel_report.add_argument("dir", help="a run directory or telemetry root")
+    tel_validate = tel_sub.add_parser(
+        "validate", help="validate manifest + JSONL streams against schemas")
+    tel_validate.add_argument("dir",
+                              help="a run directory or telemetry root")
     return parser
 
 
@@ -136,6 +165,53 @@ def _run_command(args) -> None:
                  csv_path=args.csv, json_path=args.json)
 
 
+def _telemetry_config(args):
+    """Build a TelemetryConfig from CLI flags, or None when disabled."""
+    if args.telemetry_dir is None:
+        return None
+    from repro.telemetry import TelemetryConfig
+    return TelemetryConfig(root=str(args.telemetry_dir),
+                           probe_interval=args.probe_interval)
+
+
+def _telemetry_run_dirs(root: Path) -> List[Path]:
+    """Run directories under ``root`` (or ``root`` itself if it is one)."""
+    if (root / "manifest.json").exists():
+        return [root]
+    return sorted(d for d in root.iterdir()
+                  if d.is_dir() and (d / "manifest.json").exists())
+
+
+def _telemetry_command(args) -> int:
+    root = Path(args.dir)
+    if not root.is_dir():
+        raise ReproError(f"not a directory: {root}")
+    if args.telemetry_command == "report":
+        from repro.telemetry import render_report
+        print(render_report(root))
+        return 0
+    # validate
+    from repro.telemetry import validate_run_dir
+    run_dirs = _telemetry_run_dirs(root)
+    if not run_dirs:
+        raise ReproError(f"no telemetry runs (manifest.json) under {root}")
+    failures = 0
+    for run_dir in run_dirs:
+        errors = validate_run_dir(run_dir)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"{run_dir.name}: {error}", file=sys.stderr)
+        else:
+            print(f"{run_dir.name}: ok")
+    if failures:
+        print(f"{failures}/{len(run_dirs)} run(s) failed validation",
+              file=sys.stderr)
+        return 1
+    print(f"{len(run_dirs)} run(s) valid")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -144,14 +220,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_figure_list(all_figures()))
         elif args.command == "run":
             with execution_context(jobs=args.jobs, cache=args.cache_dir,
-                                   progress=True):
+                                   progress=True,
+                                   telemetry=_telemetry_config(args)):
                 _run_command(args)
         elif args.command == "report":
             from repro.experiments.report import generate_report
             with execution_context(jobs=args.jobs, cache=args.cache_dir,
-                                   progress=True):
+                                   progress=True,
+                                   telemetry=_telemetry_config(args)):
                 path = generate_report(get_scale(args.scale), args.out)
             print(f"wrote {path}", file=sys.stderr)
+        elif args.command == "telemetry":
+            return _telemetry_command(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -52,6 +52,7 @@ from repro.dbms.config import SimulationParameters
 from repro.errors import ExperimentError
 from repro.experiments.runner import WorkloadFactory, run_simulation
 from repro.metrics.results import SimulationResults
+from repro.telemetry.export import TelemetryConfig, write_cache_hit_manifest
 
 __all__ = [
     "RunSpec",
@@ -109,8 +110,13 @@ class RunSpec:
         return self.controller_factory(*self.controller_args,
                                        **dict(self.controller_kwargs))
 
-    def execute(self) -> SimulationResults:
-        """Run this spec in the current process."""
+    def execute(self, telemetry=None) -> SimulationResults:
+        """Run this spec in the current process.
+
+        ``telemetry`` is an optional
+        :class:`repro.telemetry.TelemetrySession`; the executor opens
+        one per spec when a telemetry directory is configured.
+        """
         return run_simulation(
             self.params,
             self.make_controller(),
@@ -119,6 +125,7 @@ class RunSpec:
             maturity_rule=self.maturity_rule,
             admission_order=self.admission_order,
             deadlock_strategy=self.deadlock_strategy,
+            telemetry=telemetry,
         )
 
     def describe(self) -> str:
@@ -280,11 +287,13 @@ class ResultCache:
 
 @dataclass(frozen=True)
 class ExecutionContext:
-    """How multi-run batches execute: worker count, cache, verbosity."""
+    """How multi-run batches execute: worker count, cache, verbosity,
+    and (optionally) where per-run telemetry lands."""
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     progress: bool = False
+    telemetry: Optional["TelemetryConfig"] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -303,14 +312,23 @@ def current_context() -> ExecutionContext:
 @contextmanager
 def execution_context(jobs: int = 1,
                       cache: Union[ResultCache, str, Path, None] = None,
-                      progress: bool = False) -> Iterator[ExecutionContext]:
+                      progress: bool = False,
+                      telemetry: Union[TelemetryConfig, str, Path,
+                                       None] = None,
+                      ) -> Iterator[ExecutionContext]:
     """Install an ambient :class:`ExecutionContext` for nested batches.
 
     ``cache`` accepts a ready :class:`ResultCache` or a directory path.
+    ``telemetry`` accepts a :class:`repro.telemetry.TelemetryConfig` or
+    a root directory path; every executed run then exports probes,
+    decisions, trace, and a manifest into ``<root>/<spec key>/``.
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
-    ctx = ExecutionContext(jobs=jobs, cache=cache, progress=progress)
+    if telemetry is not None and not isinstance(telemetry, TelemetryConfig):
+        telemetry = TelemetryConfig(root=str(telemetry))
+    ctx = ExecutionContext(jobs=jobs, cache=cache, progress=progress,
+                           telemetry=telemetry)
     _CONTEXT_STACK.append(ctx)
     try:
         yield ctx
@@ -322,11 +340,31 @@ def execution_context(jobs: int = 1,
 # The executor
 # ----------------------------------------------------------------------
 
-def _execute_spec(spec: RunSpec) -> Tuple[float, SimulationResults]:
-    """Process-pool worker: run one spec, returning (elapsed, result)."""
+def _execute_spec(spec: RunSpec,
+                  telemetry: Optional[TelemetryConfig] = None,
+                  run_id: Optional[str] = None
+                  ) -> Tuple[float, SimulationResults]:
+    """Process-pool worker: run one spec, returning (elapsed, result).
+
+    With a telemetry config the worker opens its own session in
+    ``<root>/<run_id>/`` — sessions hold live observers and cannot
+    cross process boundaries, but the config (plain data) can.
+    """
     start = time.perf_counter()
-    result = spec.execute()
+    session = None
+    if telemetry is not None and run_id is not None:
+        session = telemetry.session_for(run_id)
+        session.manifest_extra = _spec_provenance(spec, run_id)
+    result = spec.execute(telemetry=session)
     return time.perf_counter() - start, result
+
+
+def _spec_provenance(spec: RunSpec, key: str) -> Dict[str, Any]:
+    """Manifest fields identifying one spec within a batch."""
+    return {
+        "spec_key": key,
+        "tag": (None if spec.tag is None else str(spec.tag)),
+    }
 
 
 def _mp_context():
@@ -344,13 +382,20 @@ def run_specs(specs: Sequence[RunSpec],
               jobs: Optional[int] = None,
               cache: Union[ResultCache, str, Path, None] = None,
               progress: Optional[bool] = None,
-              label: str = "batch") -> List[SimulationResults]:
+              label: str = "batch",
+              telemetry: Union[TelemetryConfig, str, Path, None] = None,
+              ) -> List[SimulationResults]:
     """Execute a batch of independent runs; results come back in order.
 
     Arguments left as ``None`` fall back to the ambient
     :class:`ExecutionContext`.  Identical specs within the batch execute
     once and share their result object.  Output is bit-identical for any
     ``jobs`` value: each run is self-contained and seeded by its params.
+
+    With ``telemetry`` set (config or root directory), every *executed*
+    run exports its telemetry into ``<root>/<spec key>/`` — the key
+    makes the layout identical for serial and pooled execution — and
+    every cache hit records a provenance-only manifest there.
     """
     ctx = current_context()
     if jobs is None:
@@ -363,6 +408,10 @@ def run_specs(specs: Sequence[RunSpec],
         cache = ResultCache(cache)
     if progress is None:
         progress = ctx.progress
+    if telemetry is None:
+        telemetry = ctx.telemetry
+    elif not isinstance(telemetry, TelemetryConfig):
+        telemetry = TelemetryConfig(root=str(telemetry))
 
     specs = list(specs)
     if not specs:
@@ -390,6 +439,12 @@ def run_specs(specs: Sequence[RunSpec],
             if hit is not None:
                 results[i] = hit
                 cached += 1
+                if telemetry is not None:
+                    write_cache_hit_manifest(
+                        Path(telemetry.root) / key,
+                        seed=specs[i].params.seed,
+                        params=specs[i].params,
+                        extra=_spec_provenance(specs[i], key))
                 continue
         to_run.append(i)
 
@@ -397,7 +452,8 @@ def run_specs(specs: Sequence[RunSpec],
     if executed:
         if jobs == 1 or executed == 1:
             for n, i in enumerate(to_run, start=1):
-                elapsed, results[i] = _execute_spec(specs[i])
+                elapsed, results[i] = _execute_spec(
+                    specs[i], telemetry, keys[i])
                 _progress(progress,
                           f"[{label} {n}/{executed}] "
                           f"{specs[i].describe()}: {elapsed:.1f}s")
@@ -408,7 +464,8 @@ def run_specs(specs: Sequence[RunSpec],
             with ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=_mp_context()) as pool:
-                futures = {pool.submit(_execute_spec, specs[i]): i
+                futures = {pool.submit(_execute_spec, specs[i],
+                                       telemetry, keys[i]): i
                            for i in to_run}
                 done = 0
                 remaining = set(futures)

@@ -8,6 +8,7 @@ the snapshots to a :class:`SimulationResults`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.control.base import LoadController
@@ -39,6 +40,7 @@ def run_simulation(params: SimulationParameters,
                    tracer=None,
                    admission_order=None,
                    deadlock_strategy=None,
+                   telemetry=None,
                    ) -> SimulationResults:
     """Run one complete simulation and return its measured results.
 
@@ -53,11 +55,22 @@ def run_simulation(params: SimulationParameters,
             the paper's 25% rule).
         tracer: optional :class:`repro.metrics.trace.Tracer` recording
             per-transaction lifecycle events.
+        telemetry: optional
+            :class:`repro.telemetry.TelemetrySession`; installs the
+            full observability stack (tracer, probe scheduler, decision
+            log, event-loop profiler) and exports JSONL + manifest into
+            the session's directory when the run completes.  Mutually
+            exclusive with ``tracer`` (the session brings its own).
 
     Returns:
         A :class:`SimulationResults` with batch-means statistics over the
         post-warmup window.
     """
+    if telemetry is not None and tracer is not None:
+        raise ValueError(
+            "pass either telemetry= or tracer=, not both: a telemetry "
+            "session installs its own tracer")
+    wall_start = perf_counter()
     sim = Simulator()
     streams = RandomStreams(params.seed)
     collector = Collector()
@@ -70,6 +83,8 @@ def run_simulation(params: SimulationParameters,
                         tracer=tracer, admission_order=admission_order,
                         **({"deadlock_strategy": deadlock_strategy}
                            if deadlock_strategy is not None else {}))
+    if telemetry is not None:
+        telemetry.install(system)
     system.start()
 
     sim.run(until=params.warmup_time)
@@ -84,7 +99,7 @@ def run_simulation(params: SimulationParameters,
         reason: count - reasons_at_start.get(reason, 0)
         for reason, count in collector.aborts_by_reason.items()
     }
-    return build_results(
+    results = build_results(
         snapshots=snapshots,
         controller_name=system.controller.name,
         workload_name=system.workload.name,
@@ -96,3 +111,12 @@ def run_simulation(params: SimulationParameters,
         max_mpl=collector.active.max_value,
         per_class=collector.per_class,
     )
+    if telemetry is not None:
+        telemetry.finalize(
+            params=params,
+            controller_name=system.controller.name,
+            workload_name=system.workload.name,
+            sim_time=sim.now,
+            wall_time=perf_counter() - wall_start,
+        )
+    return results

@@ -105,6 +105,15 @@ class LockTable:
         """Pages on which ``txn`` currently holds a lock (copy)."""
         return set(self._held.get(txn, ()))
 
+    def num_locked_pages(self) -> int:
+        """Pages with a live lock entry (holders or waiters) — the
+        lock-table size a real lock manager would report."""
+        return len(self._locks)
+
+    def total_held(self) -> int:
+        """Total page locks held, summed over all transactions."""
+        return sum(len(pages) for pages in self._held.values())
+
     def num_held(self, txn: Txn) -> int:
         """Number of locks ``txn`` currently holds (O(1))."""
         held = self._held.get(txn)

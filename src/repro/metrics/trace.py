@@ -13,8 +13,9 @@ per transition when no tracer is installed.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceEventType", "TraceEvent", "Tracer"]
 
@@ -36,6 +37,10 @@ class TraceEventType(enum.Enum):
     WOUND_WAIT_ABORT = "wound_wait_abort"
     RESTART = "restart"
     COMMIT = "commit"
+    # Catch-all for abort reasons this enum does not know about
+    # (controllers may invent their own reason strings); the reason
+    # travels in the event's ``detail``.
+    ABORT = "abort"
 
 
 _ABORT_EVENTS = {
@@ -77,7 +82,9 @@ class Tracer:
                      Callable[[TraceEvent], bool]] = None):
         self.capacity = capacity
         self.event_filter = event_filter
-        self._events: List[TraceEvent] = []
+        # A deque with maxlen evicts FIFO in O(1); a plain list's
+        # pop(0) is O(n) per event once the bound is hit.
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
 
     def __len__(self) -> int:
@@ -93,14 +100,18 @@ class Tracer:
         if self.event_filter is not None and not self.event_filter(event):
             return
         if self.capacity is not None and len(self._events) >= self.capacity:
-            self._events.pop(0)
+            # The deque evicts the oldest event itself; just count it.
             self.dropped += 1
         self._events.append(event)
 
     def record_abort(self, time: float, txn_id: int, reason: str) -> None:
-        """Record an abort, mapping the collector reason string."""
-        event_type = _ABORT_EVENTS.get(
-            reason, TraceEventType.LOAD_CONTROL_ABORT)
+        """Record an abort, mapping the collector reason string.
+
+        Reasons the :class:`TraceEventType` enum does not know about
+        (custom controller aborts) become generic :attr:`ABORT` events
+        carrying the reason string, rather than being mislabelled.
+        """
+        event_type = _ABORT_EVENTS.get(reason, TraceEventType.ABORT)
         self.record(time, event_type, txn_id, detail=reason)
 
     # ------------------------------------------------------------------
@@ -110,12 +121,12 @@ class Tracer:
     def events(self, event_type: Optional[TraceEventType] = None,
                txn_id: Optional[int] = None) -> List[TraceEvent]:
         """Events matching the given type and/or transaction."""
-        out = self._events
-        if event_type is not None:
-            out = [e for e in out if e.event_type is event_type]
-        if txn_id is not None:
-            out = [e for e in out if e.txn_id == txn_id]
-        return list(out)
+        out: List[TraceEvent] = [
+            e for e in self._events
+            if (event_type is None or e.event_type is event_type)
+            and (txn_id is None or e.txn_id == txn_id)
+        ]
+        return out
 
     def counts(self) -> Dict[TraceEventType, int]:
         """Event counts by type."""
@@ -130,5 +141,7 @@ class Tracer:
 
     def format(self, limit: Optional[int] = None) -> str:
         """Render the (tail of the) trace as text."""
-        events = self._events if limit is None else self._events[-limit:]
+        events = list(self._events)
+        if limit is not None:
+            events = events[-limit:]
         return "\n".join(str(e) for e in events)

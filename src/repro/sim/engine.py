@@ -23,6 +23,7 @@ Typical usage::
 from __future__ import annotations
 
 import heapq
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
@@ -75,6 +76,12 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._stopped = False
+        # Optional wall-clock profiler (duck-typed; see
+        # repro.telemetry.profiling.EngineProfiler): when set, every
+        # executed event's callback and perf_counter duration are
+        # reported to profiler.record(callback, elapsed).  Costs one
+        # None check per event when disabled.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -128,6 +135,8 @@ class Simulator:
         fired = 0
         hit_max = False
         heap = self._heap
+        profiler = self.profiler
+        perf_counter = _perf_counter
         try:
             while heap:
                 if self._stopped:
@@ -148,7 +157,12 @@ class Simulator:
                 # the callback itself may hold the handle.
                 ev.callback = None
                 ev.args = ()
-                callback(*args)  # type: ignore[misc]
+                if profiler is None:
+                    callback(*args)  # type: ignore[misc]
+                else:
+                    start = perf_counter()
+                    callback(*args)  # type: ignore[misc]
+                    profiler.record(callback, perf_counter() - start)
                 fired += 1
         finally:
             self._running = False

@@ -61,6 +61,11 @@ class DiskArray:
         """Completed I/Os across all disks."""
         return sum(d.requests_served for d in self._disks)
 
+    @property
+    def busy_time(self) -> float:
+        """Total server-busy seconds summed across all disks."""
+        return sum(d.busy_time for d in self._disks)
+
     def utilization(self, elapsed: float) -> float:
         """Average fraction of disks busy over ``elapsed`` seconds."""
         if elapsed <= 0.0:

@@ -1,0 +1,81 @@
+"""Observability: time-series probes, decision logs, structured export.
+
+The telemetry layer watches a simulation the way the paper watches its
+system — as trajectories, not endpoints:
+
+* :class:`ProbeScheduler` samples the live populations, queues,
+  utilizations, and lock-table statistics at a fixed simulated-time
+  interval;
+* :class:`DecisionLog` records every load-controller verdict with the
+  evidence it acted on;
+* :class:`TelemetrySession` bundles both with the event
+  :class:`~repro.metrics.trace.Tracer` and an event-loop profiler and
+  exports everything as deterministic JSONL plus a provenance manifest;
+* :mod:`repro.telemetry.report` renders exported runs as a terminal
+  dashboard (sparklines, thrashing onset, top aborters).
+
+Everything is zero-cost when disabled: one ``None`` check per hook, no
+allocations, no extra events.
+"""
+
+from repro.telemetry.decisions import (
+    ControllerDecision,
+    DecisionAction,
+    DecisionLog,
+)
+from repro.telemetry.export import (
+    TELEMETRY_FORMAT,
+    TelemetryConfig,
+    TelemetrySession,
+    json_dump,
+    jsonl_dump,
+    trace_event_to_dict,
+    write_cache_hit_manifest,
+)
+from repro.telemetry.probes import ProbeSample, ProbeScheduler
+from repro.telemetry.profiling import EngineProfiler, subsystem_of
+from repro.telemetry.report import (
+    detect_thrashing_onset,
+    render_report,
+    render_run_report,
+    sparkline,
+    top_aborters,
+)
+from repro.telemetry.schemas import (
+    DECISION_SCHEMA,
+    MANIFEST_SCHEMA,
+    PROBE_SCHEMA,
+    TRACE_SCHEMA,
+    validate_jsonl,
+    validate_record,
+    validate_run_dir,
+)
+
+__all__ = [
+    "ControllerDecision",
+    "DecisionAction",
+    "DecisionLog",
+    "TELEMETRY_FORMAT",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "json_dump",
+    "jsonl_dump",
+    "trace_event_to_dict",
+    "write_cache_hit_manifest",
+    "ProbeSample",
+    "ProbeScheduler",
+    "EngineProfiler",
+    "subsystem_of",
+    "detect_thrashing_onset",
+    "render_report",
+    "render_run_report",
+    "sparkline",
+    "top_aborters",
+    "DECISION_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "PROBE_SCHEMA",
+    "TRACE_SCHEMA",
+    "validate_jsonl",
+    "validate_record",
+    "validate_run_dir",
+]

@@ -1,0 +1,155 @@
+"""Controller decision log: every load-control verdict, with evidence.
+
+The paper's controllers act at a handful of decision points (arrival,
+lock grant, block, commit).  A :class:`DecisionLog` plugged into a
+controller records one :class:`ControllerDecision` per verdict — the
+action taken, the operating region, and the population counts the
+controller observed at that instant — so controller behaviour can be
+replayed and debugged offline instead of inferred from aggregates.
+
+Like the tracer, the log is optional and off by default; an attached
+controller pays one ``None`` check per hook when no log is installed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["DecisionAction", "ControllerDecision", "DecisionLog"]
+
+
+class DecisionAction:
+    """Well-known decision kinds (string constants, not an enum, so
+    custom controllers can introduce their own without touching this
+    module)."""
+
+    ADMIT = "admit"                    # arrival admitted immediately
+    DEFER = "defer"                    # arrival parked in the ready queue
+    ADMIT_CARRYOVER = "admit_carryover"  # pre-authorised by a past commit
+    ADMIT_QUEUED = "admit_queued"      # admitted from the ready queue
+    ABORT_VICTIM = "abort_victim"      # overload victim aborted
+    ADMIT_ON_COMMIT = "admit_on_commit"  # replacement admitted at commit
+    CARRY_ADMIT = "carry_admit"        # commit found the queue empty;
+    #                                    next arrival pre-authorised
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One recorded load-control verdict.
+
+    ``measure`` and ``threshold`` carry the controller's decision
+    variable and the value it was compared against — for Half-and-Half
+    the observed State 1/State 3 fraction vs ``0.5 ± δ``, for the
+    conflict-ratio controller the ratio vs its critical value, for a
+    fixed-MPL controller the active count vs the MPL limit.
+    """
+
+    time: float
+    controller: str
+    action: str
+    region: Optional[str] = None
+    n_active: int = 0
+    n_state1: int = 0
+    n_state3: int = 0
+    txn_id: Optional[int] = None
+    measure: Optional[float] = None
+    threshold: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def frac_state1(self) -> float:
+        """Observed State 1 (running & mature) fraction."""
+        return self.n_state1 / self.n_active if self.n_active else 0.0
+
+    @property
+    def frac_state3(self) -> float:
+        """Observed State 3 (blocked & mature) fraction."""
+        return self.n_state3 / self.n_active if self.n_active else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A flat JSON-serializable record (the decisions.jsonl row)."""
+        return {
+            "time": self.time,
+            "controller": self.controller,
+            "action": self.action,
+            "region": self.region,
+            "n_active": self.n_active,
+            "n_state1": self.n_state1,
+            "n_state3": self.n_state3,
+            "frac_state1": self.frac_state1,
+            "frac_state3": self.frac_state3,
+            "txn_id": self.txn_id,
+            "measure": self.measure,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        base = (f"[{self.time:10.4f}] {self.action:<16} "
+                f"active={self.n_active:<4} s1={self.n_state1:<4} "
+                f"s3={self.n_state3}")
+        if self.region is not None:
+            base += f" region={self.region}"
+        if self.txn_id is not None:
+            base += f" txn={self.txn_id}"
+        return f"{base} ({self.detail})" if self.detail else base
+
+
+class DecisionLog:
+    """Bounded in-memory log of controller decisions.
+
+    Args:
+        capacity: maximum decisions retained; older entries are dropped
+            FIFO once the bound is hit (``None`` = unbounded).
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000):
+        self.capacity = capacity
+        self._decisions: Deque[ControllerDecision] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[ControllerDecision]:
+        return iter(self._decisions)
+
+    def record(self, decision: ControllerDecision) -> None:
+        """Append one decision (subject to capacity)."""
+        if (self.capacity is not None
+                and len(self._decisions) >= self.capacity):
+            self.dropped += 1
+        self._decisions.append(decision)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def decisions(self, action: Optional[str] = None
+                  ) -> List[ControllerDecision]:
+        """Decisions, optionally restricted to one action kind."""
+        if action is None:
+            return list(self._decisions)
+        return [d for d in self._decisions if d.action == action]
+
+    def counts(self) -> Dict[str, int]:
+        """Decision counts by action kind."""
+        out: Dict[str, int] = {}
+        for d in self._decisions:
+            out[d.action] = out.get(d.action, 0) + 1
+        return out
+
+    def victims(self) -> List[int]:
+        """Transaction ids of load-control abort victims, in order."""
+        return [d.txn_id for d in self._decisions
+                if d.action == DecisionAction.ABORT_VICTIM
+                and d.txn_id is not None]
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Render the (tail of the) log as text."""
+        decisions = list(self._decisions)
+        if limit is not None:
+            decisions = decisions[-limit:]
+        return "\n".join(str(d) for d in decisions)

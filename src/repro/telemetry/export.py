@@ -1,0 +1,260 @@
+"""Structured telemetry export: JSONL streams plus a per-run manifest.
+
+A :class:`TelemetrySession` bundles the three observers — a
+:class:`~repro.metrics.trace.Tracer`, a
+:class:`~repro.telemetry.decisions.DecisionLog`, and a
+:class:`~repro.telemetry.probes.ProbeScheduler` — installs them on a
+:class:`~repro.dbms.system.DBMSSystem`, and, after the run, serializes
+everything into one directory:
+
+* ``manifest.json``   — provenance (seed, parameters, spec hash,
+  package fingerprint, record counts).  Fully deterministic: two runs
+  of the same spec produce byte-identical manifests regardless of
+  process layout.
+* ``probes.jsonl`` / ``decisions.jsonl`` / ``trace.jsonl`` — one
+  compact JSON object per line, sorted keys, deterministic bytes.
+* ``profile.json``    — wall-clock numbers (run wall time, event-loop
+  profile).  Deliberately the *only* non-deterministic file, so
+  byte-comparing everything else across serial and process-pool
+  execution is a valid equivalence check.
+
+A :class:`TelemetryConfig` is the picklable recipe for sessions —
+:func:`repro.experiments.parallel.run_specs` ships one across the
+process pool and each worker opens its own session in a per-spec
+subdirectory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (TYPE_CHECKING, Any, Dict, Iterable, Mapping, Optional,
+                    Union)
+
+from repro.metrics.trace import TraceEvent, Tracer
+from repro.telemetry.decisions import DecisionLog
+from repro.telemetry.probes import ProbeScheduler
+from repro.telemetry.profiling import EngineProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.system import DBMSSystem
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "json_dump",
+    "jsonl_dump",
+    "trace_event_to_dict",
+    "write_cache_hit_manifest",
+]
+
+TELEMETRY_FORMAT = "repro-telemetry-v1"
+
+
+def json_dump(obj: Any, path: Union[str, Path]) -> Path:
+    """Write one JSON document with deterministic bytes."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8")
+    return path
+
+
+def jsonl_dump(records: Iterable[Mapping[str, Any]],
+               path: Union[str, Path]) -> Path:
+    """Write records as JSON Lines with deterministic bytes."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def trace_event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """The trace.jsonl row for one trace event."""
+    return {
+        "time": event.time,
+        "type": event.event_type.value,
+        "txn_id": event.txn_id,
+        "detail": event.detail,
+    }
+
+
+def _code_fingerprint() -> str:
+    # Imported lazily: the experiments layer sits above telemetry, and
+    # eager import would create a cycle through the runner.
+    from repro.experiments.parallel import code_fingerprint
+    return code_fingerprint()
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Picklable recipe for per-run telemetry sessions.
+
+    Attributes:
+        root: directory under which each run gets its own subdirectory.
+        probe_interval: simulated seconds between probe samples.
+        trace_capacity / decision_capacity: retention bounds for the
+            trace and decision log (``None`` = unbounded).
+        profile: attach an :class:`EngineProfiler` to the event loop.
+    """
+
+    root: str
+    probe_interval: float = 1.0
+    trace_capacity: Optional[int] = None
+    decision_capacity: Optional[int] = None
+    profile: bool = True
+
+    def session_for(self, run_id: str) -> "TelemetrySession":
+        """Open a session writing into ``<root>/<run_id>/``."""
+        return TelemetrySession(
+            Path(self.root) / run_id,
+            probe_interval=self.probe_interval,
+            trace_capacity=self.trace_capacity,
+            decision_capacity=self.decision_capacity,
+            profile=self.profile,
+        )
+
+
+class TelemetrySession:
+    """Full observability for one simulation run.
+
+    Typical use (the runner does this when given ``telemetry=``)::
+
+        session = TelemetrySession("runs/base-case")
+        results = run_simulation(params, controller, telemetry=session)
+        # runs/base-case/ now holds manifest.json, probes.jsonl,
+        # decisions.jsonl, trace.jsonl and profile.json
+
+    ``manifest_extra`` may be filled by the caller before the run
+    finishes (the parallel executor records the spec key and tag
+    there); string keys with JSON-serializable values only.
+    """
+
+    def __init__(self, out_dir: Union[str, Path],
+                 probe_interval: float = 1.0,
+                 trace_capacity: Optional[int] = None,
+                 decision_capacity: Optional[int] = None,
+                 profile: bool = True):
+        self.out_dir = Path(out_dir)
+        self.probe_interval = probe_interval
+        self.tracer = Tracer(capacity=trace_capacity)
+        self.decisions = DecisionLog(capacity=decision_capacity)
+        self.probes: Optional[ProbeScheduler] = None
+        self.profiler = EngineProfiler() if profile else None
+        # Callers may add provenance fields (spec key, tag, ...) here
+        # before the run finishes; merged into the manifest.
+        self.manifest_extra: Dict[str, Any] = {}
+        self._finalized = False
+
+    def install(self, system: "DBMSSystem") -> None:
+        """Attach all observers to a freshly built system.
+
+        Must run before ``system.start()`` so the first probe lands
+        exactly one interval into the run.
+        """
+        system.tracer = self.tracer
+        system.controller.decision_log = self.decisions
+        system.controller.on_decision_log_attached()
+        self.probes = ProbeScheduler(system, self.probe_interval)
+        self.probes.start()
+        if self.profiler is not None:
+            system.sim.profiler = self.profiler
+
+    # ------------------------------------------------------------------
+
+    def finalize(self,
+                 params: Any = None,
+                 controller_name: Optional[str] = None,
+                 workload_name: Optional[str] = None,
+                 sim_time: Optional[float] = None,
+                 wall_time: Optional[float] = None,
+                 extra: Optional[Mapping[str, Any]] = None) -> Path:
+        """Serialize everything collected; returns the run directory."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        samples = self.probes.samples if self.probes is not None else []
+
+        jsonl_dump((s.to_dict() for s in samples),
+                   self.out_dir / "probes.jsonl")
+        jsonl_dump((d.to_dict() for d in self.decisions),
+                   self.out_dir / "decisions.jsonl")
+        jsonl_dump((trace_event_to_dict(e) for e in self.tracer),
+                   self.out_dir / "trace.jsonl")
+
+        manifest: Dict[str, Any] = {
+            "format": TELEMETRY_FORMAT,
+            "seed": getattr(params, "seed", 0),
+            "params": (_params_dict(params) if params is not None else {}),
+            "controller": controller_name,
+            "workload": workload_name,
+            "sim_time": sim_time,
+            "probe_interval": self.probe_interval,
+            "code_fingerprint": _code_fingerprint(),
+            "cache_hit": False,
+            "records": {
+                "probes": len(samples),
+                "decisions": len(self.decisions),
+                "decisions_dropped": self.decisions.dropped,
+                "trace": len(self.tracer),
+                "trace_dropped": self.tracer.dropped,
+            },
+        }
+        manifest.update(self.manifest_extra)
+        if extra:
+            manifest.update(extra)
+        json_dump(manifest, self.out_dir / "manifest.json")
+
+        # Wall-clock facts are quarantined here so everything above
+        # stays byte-deterministic.
+        profile: Dict[str, Any] = {"wall_time_seconds": wall_time}
+        if self.profiler is not None:
+            profile["event_loop"] = self.profiler.summary()
+        json_dump(profile, self.out_dir / "profile.json")
+
+        self._finalized = True
+        return self.out_dir
+
+
+def _params_dict(params: Any) -> Dict[str, Any]:
+    import dataclasses
+    if dataclasses.is_dataclass(params):
+        return dataclasses.asdict(params)
+    return dict(vars(params))
+
+
+def write_cache_hit_manifest(run_dir: Union[str, Path],
+                             seed: int,
+                             params: Any = None,
+                             extra: Optional[Mapping[str, Any]] = None
+                             ) -> Optional[Path]:
+    """Record provenance for a run served from the result cache.
+
+    A cache hit executes nothing, so there are no streams to export —
+    but the run directory still documents *what* the cached result was
+    (seed, parameters, spec key, fingerprint).  An existing manifest
+    (from the run that populated the cache) is left untouched.
+    """
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / "manifest.json"
+    if manifest_path.exists():
+        return None
+    run_dir.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, Any] = {
+        "format": TELEMETRY_FORMAT,
+        "seed": seed,
+        "params": (_params_dict(params) if params is not None else {}),
+        "controller": None,
+        "workload": None,
+        "sim_time": None,
+        "probe_interval": None,
+        "code_fingerprint": _code_fingerprint(),
+        "cache_hit": True,
+        "records": {},
+    }
+    if extra:
+        manifest.update(extra)
+    return json_dump(manifest, manifest_path)

@@ -1,0 +1,265 @@
+"""Text dashboard over exported telemetry.
+
+``repro-experiment telemetry report <dir>`` renders, per run directory:
+
+* ASCII sparklines of the state-fraction, MPL, and queue trajectories
+  (the paper's Figures 3–4 as one terminal line each);
+* thrashing-onset detection — the first simulated time the State 3
+  (blocked & mature) fraction stays above the 50% rule's abort
+  threshold for several consecutive samples;
+* the top aborting transactions from the trace, with their abort
+  reasons;
+* the event-loop profile (events/sec, time per subsystem) when one was
+  recorded.
+
+Everything here consumes the JSONL files only, never live objects, so
+the dashboard works on any archived run directory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.regions import DEFAULT_DELTA
+from repro.errors import ExperimentError
+
+__all__ = [
+    "sparkline",
+    "load_jsonl",
+    "detect_thrashing_onset",
+    "top_aborters",
+    "render_run_report",
+    "render_report",
+]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60,
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render a numeric series as one line of block characters.
+
+    Values are bucketed down to ``width`` cells (bucket mean) and scaled
+    between ``lo`` and ``hi`` (defaults: the series' own min/max).
+    """
+    if not values:
+        return ""
+    # Downsample: cell i averages the slice [i*n/width, (i+1)*n/width).
+    n = len(values)
+    if n > width:
+        cells = []
+        for i in range(width):
+            start = i * n // width
+            end = max(start + 1, (i + 1) * n // width)
+            chunk = values[start:end]
+            cells.append(sum(chunk) / len(chunk))
+    else:
+        cells = list(values)
+    floor = min(cells) if lo is None else lo
+    ceil = max(cells) if hi is None else hi
+    span = ceil - floor
+    if span <= 0.0:
+        return _BLOCKS[0] * len(cells)
+    out = []
+    for v in cells:
+        frac = (v - floor) / span
+        index = min(len(_BLOCKS) - 1, max(0, int(frac * len(_BLOCKS))))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def load_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Decode a JSONL file into a list of records."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def detect_thrashing_onset(samples: Sequence[Dict[str, Any]],
+                           delta: float = DEFAULT_DELTA,
+                           consecutive: int = 3) -> Optional[float]:
+    """First time the State 3 fraction stays over ``0.5 + delta``.
+
+    Returns the simulated time of the first sample of the first run of
+    ``consecutive`` samples all above the threshold, or ``None`` if the
+    system never (sustainedly) enters the overloaded region.
+    """
+    threshold = 0.5 + delta
+    run_start: Optional[float] = None
+    run_length = 0
+    for sample in samples:
+        if sample["frac_state3"] > threshold:
+            if run_length == 0:
+                run_start = sample["time"]
+            run_length += 1
+            if run_length >= consecutive:
+                return run_start
+        else:
+            run_length = 0
+            run_start = None
+    return None
+
+
+def top_aborters(trace_records: Sequence[Dict[str, Any]],
+                 limit: int = 5) -> List[Tuple[int, int, Dict[str, int]]]:
+    """Transactions with the most recorded aborts.
+
+    Returns ``(txn_id, abort_count, {reason: count})`` tuples, most
+    aborted first (ties break on txn id for stable output).
+    """
+    per_txn: Dict[int, Dict[str, int]] = {}
+    for record in trace_records:
+        # Abort trace rows carry the collector reason in ``detail``
+        # (both the typed *_abort events and the generic catch-all).
+        if not (record["type"].endswith("_abort")
+                or record["type"] == "abort"):
+            continue
+        reasons = per_txn.setdefault(record["txn_id"], {})
+        reason = record["detail"] or record["type"]
+        reasons[reason] = reasons.get(reason, 0) + 1
+    ranked = sorted(
+        ((txn_id, sum(reasons.values()), reasons)
+         for txn_id, reasons in per_txn.items()),
+        key=lambda item: (-item[1], item[0]))
+    return ranked[:limit]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _series(samples: Sequence[Dict[str, Any]],
+            field: str) -> List[float]:
+    return [s[field] for s in samples if s.get(field) is not None]
+
+
+def _spark_row(label: str, values: Sequence[float],
+               lo: Optional[float] = None,
+               hi: Optional[float] = None,
+               width: int = 60) -> str:
+    if not values:
+        return f"  {label:<14} (no samples)"
+    line = sparkline(values, width=width, lo=lo, hi=hi)
+    return (f"  {label:<14} {line}  "
+            f"min={min(values):.2f} mean={sum(values) / len(values):.2f} "
+            f"max={max(values):.2f}")
+
+
+def render_run_report(run_dir: Union[str, Path],
+                      width: int = 60) -> str:
+    """The dashboard for one telemetry run directory."""
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / "manifest.json"
+    if not manifest_path.is_file():
+        raise ExperimentError(
+            f"{run_dir} is not a telemetry run directory "
+            f"(no manifest.json)")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+
+    lines = [f"run {run_dir.name}"]
+    controller = manifest.get("controller") or "?"
+    lines.append(f"  controller={controller}  "
+                 f"seed={manifest.get('seed')}  "
+                 f"sim_time={manifest.get('sim_time')}  "
+                 f"fingerprint={manifest.get('code_fingerprint')}")
+    if manifest.get("cache_hit"):
+        lines.append("  served from the result cache "
+                     "(provenance only, no streams)")
+        return "\n".join(lines)
+    records = manifest.get("records", {})
+    lines.append(f"  records: probes={records.get('probes', 0)} "
+                 f"decisions={records.get('decisions', 0)} "
+                 f"trace={records.get('trace', 0)}"
+                 + (f" (trace dropped {records['trace_dropped']})"
+                    if records.get("trace_dropped") else ""))
+
+    probes_path = run_dir / "probes.jsonl"
+    samples = load_jsonl(probes_path) if probes_path.is_file() else []
+    if samples:
+        lines.append(_spark_row("state1 frac",
+                                _series(samples, "frac_state1"),
+                                lo=0.0, hi=1.0, width=width))
+        lines.append(_spark_row("state3 frac",
+                                _series(samples, "frac_state3"),
+                                lo=0.0, hi=1.0, width=width))
+        lines.append(_spark_row("blocked frac",
+                                _series(samples, "blocked_frac"),
+                                lo=0.0, hi=1.0, width=width))
+        lines.append(_spark_row("mpl", _series(samples, "n_active"),
+                                width=width))
+        lines.append(_spark_row("ready queue",
+                                _series(samples, "ready_queue"),
+                                width=width))
+        lines.append(_spark_row("cpu util", _series(samples, "cpu_util"),
+                                lo=0.0, hi=1.0, width=width))
+        lines.append(_spark_row("disk util",
+                                _series(samples, "disk_util"),
+                                lo=0.0, hi=1.0, width=width))
+        onset = detect_thrashing_onset(samples)
+        if onset is None:
+            lines.append("  thrashing onset: none (State 3 fraction never "
+                         f"sustained above {0.5 + DEFAULT_DELTA})")
+        else:
+            lines.append(f"  thrashing onset: t={onset:g} (State 3 "
+                         f"fraction sustained above "
+                         f"{0.5 + DEFAULT_DELTA})")
+
+    trace_path = run_dir / "trace.jsonl"
+    if trace_path.is_file():
+        ranked = top_aborters(load_jsonl(trace_path))
+        if ranked:
+            parts = []
+            for txn_id, count, reasons in ranked:
+                by_reason = ",".join(
+                    f"{reason}×{n}"
+                    for reason, n in sorted(reasons.items()))
+                parts.append(f"txn {txn_id} ({count}: {by_reason})")
+            lines.append("  top aborters: " + "; ".join(parts))
+        else:
+            lines.append("  top aborters: none (no aborts traced)")
+
+    profile_path = run_dir / "profile.json"
+    if profile_path.is_file():
+        profile = json.loads(profile_path.read_text(encoding="utf-8"))
+        loop = profile.get("event_loop")
+        if loop:
+            lines.append(
+                f"  event loop: {loop['events']} events, "
+                f"{loop['events_per_second']:,.0f} events/s wall")
+            subsystems = loop.get("subsystems", {})
+            total = sum(s["seconds"] for s in subsystems.values()) or 1.0
+            ranked_subsystems = sorted(subsystems.items(),
+                                       key=lambda kv: -kv[1]["seconds"])
+            for name, stats in ranked_subsystems[:4]:
+                lines.append(
+                    f"    {name:<22} {stats['events']:>9} events  "
+                    f"{100.0 * stats['seconds'] / total:5.1f}% of "
+                    f"callback time")
+    return "\n".join(lines)
+
+
+def render_report(root: Union[str, Path], width: int = 60) -> str:
+    """Dashboard for a run directory, or every run under a root.
+
+    ``root`` may be a single run directory (it has a manifest.json) or
+    a telemetry root containing one subdirectory per run.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ExperimentError(f"no such telemetry directory: {root}")
+    if (root / "manifest.json").is_file():
+        return render_run_report(root, width=width)
+    run_dirs = sorted(p for p in root.iterdir()
+                      if (p / "manifest.json").is_file())
+    if not run_dirs:
+        raise ExperimentError(
+            f"{root} contains no telemetry run directories")
+    return "\n\n".join(render_run_report(p, width=width)
+                       for p in run_dirs)

@@ -1,0 +1,214 @@
+"""JSON schemas for the telemetry files, and a dependency-free validator.
+
+Each run directory holds four deterministic artifacts:
+
+* ``manifest.json``   — provenance: seed, parameters, spec hash, package
+  fingerprint, record counts (:data:`MANIFEST_SCHEMA`);
+* ``probes.jsonl``    — one :data:`PROBE_SCHEMA` record per sample;
+* ``decisions.jsonl`` — one :data:`DECISION_SCHEMA` record per verdict;
+* ``trace.jsonl``     — one :data:`TRACE_SCHEMA` record per transition;
+
+plus the wall-clock ``profile.json``, which is deliberately *not*
+byte-deterministic and therefore not schema-pinned beyond being an
+object.
+
+The validator implements the subset of JSON Schema the schemas use
+(``type`` with unions, ``required``, ``properties``) so CI can check
+emitted files without a third-party ``jsonschema`` dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+__all__ = [
+    "PROBE_SCHEMA",
+    "DECISION_SCHEMA",
+    "TRACE_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "validate_record",
+    "validate_jsonl",
+    "validate_run_dir",
+]
+
+
+PROBE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "time", "n_active", "ready_queue",
+        "n_state1", "n_state2", "n_state3", "n_state4",
+        "frac_state1", "frac_state3", "blocked_frac",
+        "cpu_util", "disk_util", "conflict_ratio",
+        "locks_held", "locked_pages",
+        "cum_lock_requests", "cum_lock_blocks",
+        "cum_commits", "cum_aborts", "cum_aborts_by_reason",
+    ],
+    "properties": {
+        "time": {"type": "number"},
+        "n_active": {"type": "integer"},
+        "ready_queue": {"type": "integer"},
+        "n_state1": {"type": "integer"},
+        "n_state2": {"type": "integer"},
+        "n_state3": {"type": "integer"},
+        "n_state4": {"type": "integer"},
+        "frac_state1": {"type": "number"},
+        "frac_state3": {"type": "number"},
+        "blocked_frac": {"type": "number"},
+        "cpu_util": {"type": "number"},
+        "disk_util": {"type": "number"},
+        "conflict_ratio": {"type": ["number", "null"]},
+        "locks_held": {"type": "integer"},
+        "locked_pages": {"type": "integer"},
+        "cum_lock_requests": {"type": "integer"},
+        "cum_lock_blocks": {"type": "integer"},
+        "cum_commits": {"type": "integer"},
+        "cum_aborts": {"type": "integer"},
+        "cum_aborts_by_reason": {"type": "object"},
+    },
+}
+
+DECISION_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "time", "controller", "action", "region",
+        "n_active", "n_state1", "n_state3",
+        "frac_state1", "frac_state3",
+        "txn_id", "measure", "threshold", "detail",
+    ],
+    "properties": {
+        "time": {"type": "number"},
+        "controller": {"type": "string"},
+        "action": {"type": "string"},
+        "region": {"type": ["string", "null"]},
+        "n_active": {"type": "integer"},
+        "n_state1": {"type": "integer"},
+        "n_state3": {"type": "integer"},
+        "frac_state1": {"type": "number"},
+        "frac_state3": {"type": "number"},
+        "txn_id": {"type": ["integer", "null"]},
+        "measure": {"type": ["number", "null"]},
+        "threshold": {"type": ["number", "null"]},
+        "detail": {"type": "string"},
+    },
+}
+
+TRACE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["time", "type", "txn_id", "detail"],
+    "properties": {
+        "time": {"type": "number"},
+        "type": {"type": "string"},
+        "txn_id": {"type": "integer"},
+        "detail": {"type": "string"},
+    },
+}
+
+MANIFEST_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["format", "seed", "code_fingerprint", "records"],
+    "properties": {
+        "format": {"type": "string"},
+        "seed": {"type": "integer"},
+        "params": {"type": "object"},
+        "controller": {"type": ["string", "null"]},
+        "workload": {"type": ["string", "null"]},
+        "sim_time": {"type": ["number", "null"]},
+        "probe_interval": {"type": ["number", "null"]},
+        "code_fingerprint": {"type": "string"},
+        "spec_key": {"type": ["string", "null"]},
+        "tag": {"type": ["string", "null"]},
+        "cache_hit": {"type": "boolean"},
+        "records": {"type": "object"},
+    },
+}
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+    # bool is an int subclass; a schema saying integer/number means a
+    # real number, so booleans are rejected explicitly.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+}
+
+
+def _type_ok(value: Any, expected: Union[str, List[str]]) -> bool:
+    names = [expected] if isinstance(expected, str) else expected
+    return any(_TYPE_CHECKS[name](value) for name in names)
+
+
+def validate_record(record: Any, schema: Dict[str, Any],
+                    where: str = "record") -> List[str]:
+    """Check one decoded record against a schema; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return [f"{where}: expected an object, got {type(record).__name__}"]
+    for name in schema.get("required", ()):
+        if name not in record:
+            errors.append(f"{where}: missing required field {name!r}")
+    for name, spec in schema.get("properties", {}).items():
+        if name not in record:
+            continue
+        expected = spec.get("type")
+        if expected is not None and not _type_ok(record[name], expected):
+            errors.append(
+                f"{where}: field {name!r} has type "
+                f"{type(record[name]).__name__}, expected {expected}")
+    return errors
+
+
+def validate_jsonl(path: Union[str, Path],
+                   schema: Dict[str, Any]) -> List[str]:
+    """Validate every line of a JSONL file; returns error strings."""
+    path = Path(path)
+    errors: List[str] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"{path.name}:{lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: invalid JSON ({exc})")
+            continue
+        errors.extend(validate_record(record, schema, where=where))
+    return errors
+
+
+def validate_run_dir(run_dir: Union[str, Path]) -> List[str]:
+    """Validate one telemetry run directory; returns error strings.
+
+    The manifest is mandatory.  The JSONL streams are validated when
+    present; a cache-hit run records provenance only, so their absence
+    is not an error.
+    """
+    run_dir = Path(run_dir)
+    errors: List[str] = []
+
+    manifest_path = run_dir / "manifest.json"
+    if not manifest_path.is_file():
+        return [f"{run_dir}: missing manifest.json"]
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{manifest_path}: invalid ({exc})"]
+    errors.extend(validate_record(manifest, MANIFEST_SCHEMA,
+                                  where=manifest_path.name))
+
+    for filename, schema in (("probes.jsonl", PROBE_SCHEMA),
+                             ("decisions.jsonl", DECISION_SCHEMA),
+                             ("trace.jsonl", TRACE_SCHEMA)):
+        path = run_dir / filename
+        if path.is_file():
+            errors.extend(validate_jsonl(path, schema))
+    return errors

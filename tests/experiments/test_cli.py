@@ -71,6 +71,63 @@ def test_run_figure_with_jobs_and_cache(capsys, tmp_path):
     assert "from cache" in err
 
 
+def test_parser_accepts_telemetry_flags(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(["run", "fig07",
+                              "--telemetry-dir", str(tmp_path),
+                              "--probe-interval", "0.5"])
+    assert args.telemetry_dir == str(tmp_path)
+    assert args.probe_interval == 0.5
+    # Defaults: telemetry off, 1s probes.
+    args = parser.parse_args(["run", "fig07"])
+    assert args.telemetry_dir is None
+    assert args.probe_interval == 1.0
+
+
+def test_parser_rejects_nonpositive_probe_interval():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig07", "--probe-interval", "0"])
+
+
+def test_run_figure_with_telemetry_then_validate_and_report(capsys,
+                                                            tmp_path):
+    tel = tmp_path / "tel"
+    assert main(["run", "fig20", "--scale", "smoke",
+                 "--telemetry-dir", str(tel),
+                 "--probe-interval", "5"]) == 0
+    capsys.readouterr()
+    run_dirs = [d for d in tel.iterdir() if d.is_dir()]
+    assert run_dirs
+    for d in run_dirs:
+        assert (d / "manifest.json").is_file()
+        assert (d / "probes.jsonl").is_file()
+
+    assert main(["telemetry", "validate", str(tel)]) == 0
+    out = capsys.readouterr().out
+    assert f"{len(run_dirs)} run(s) valid" in out
+
+    assert main(["telemetry", "report", str(tel)]) == 0
+    out = capsys.readouterr().out
+    assert "state3 frac" in out
+
+
+def test_telemetry_validate_flags_corrupt_runs(capsys, tmp_path):
+    run = tmp_path / "run"
+    run.mkdir()
+    (run / "manifest.json").write_text("{}")  # missing required fields
+    assert main(["telemetry", "validate", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "missing required" in err
+
+
+def test_telemetry_commands_reject_bad_dirs(capsys, tmp_path):
+    assert main(["telemetry", "validate", str(tmp_path / "nope")]) == 1
+    assert "error:" in capsys.readouterr().err
+    assert main(["telemetry", "validate", str(tmp_path)]) == 1
+    assert "no telemetry runs" in capsys.readouterr().err
+
+
 def test_run_all_exports_per_figure_files(capsys, tmp_path, monkeypatch):
     # Regression: `run all` used to silently drop --csv/--json.  With
     # `all` the flags name a directory that receives one file per figure.

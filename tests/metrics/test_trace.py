@@ -52,6 +52,24 @@ def test_record_abort_maps_reasons():
                      TraceEventType.WAIT_POLICY_ABORT]
 
 
+def test_record_abort_unknown_reason_keeps_reason():
+    tracer = Tracer()
+    tracer.record_abort(1.0, 1, "buffer_eviction")
+    (event,) = tracer.events()
+    assert event.event_type is TraceEventType.ABORT
+    assert event.detail == "buffer_eviction"
+
+
+def test_capacity_eviction_preserves_order_after_wraparound():
+    tracer = Tracer(capacity=2)
+    for i in range(10):
+        tracer.record(float(i), TraceEventType.ADMIT, i)
+    assert [e.txn_id for e in tracer] == [8, 9]
+    assert tracer.dropped == 8
+    # format() must still work on the deque-backed store.
+    assert len(tracer.format(limit=1).splitlines()) == 1
+
+
 def test_query_by_type_and_txn():
     tracer = Tracer()
     tracer.record(1.0, TraceEventType.ADMIT, 1)

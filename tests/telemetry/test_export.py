@@ -1,0 +1,154 @@
+"""Telemetry export: session lifecycle, determinism, schema validity."""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.parallel import RunSpec, run_specs, spec_key
+from repro.experiments.runner import run_simulation
+from repro.metrics.trace import Tracer
+from repro.telemetry import (TelemetryConfig, TelemetrySession,
+                             validate_run_dir, write_cache_hit_manifest)
+
+RUN_FILES = ["manifest.json", "probes.jsonl", "decisions.jsonl",
+             "trace.jsonl", "profile.json"]
+
+
+def _run_session(params, out_dir, **session_kwargs):
+    session = TelemetrySession(out_dir, **session_kwargs)
+    results = run_simulation(params, HalfAndHalfController(),
+                             telemetry=session)
+    return session, results
+
+
+def test_session_emits_all_files(tiny_params, tmp_path):
+    _run_session(tiny_params, tmp_path / "run")
+    assert sorted(p.name for p in (tmp_path / "run").iterdir()) == \
+        sorted(RUN_FILES)
+    assert validate_run_dir(tmp_path / "run") == []
+
+
+def test_manifest_provenance(tiny_params, tmp_path):
+    session, _ = _run_session(tiny_params, tmp_path / "run",
+                              probe_interval=2.0)
+    session.manifest_extra  # attribute exists even when unused
+    manifest = json.loads(
+        (tmp_path / "run" / "manifest.json").read_text())
+    assert manifest["format"] == "repro-telemetry-v1"
+    assert manifest["seed"] == tiny_params.seed
+    assert manifest["params"]["num_terms"] == tiny_params.num_terms
+    assert manifest["probe_interval"] == 2.0
+    assert manifest["cache_hit"] is False
+    assert manifest["records"]["probes"] > 0
+    assert manifest["records"]["decisions"] > 0
+    assert len(manifest["code_fingerprint"]) == 16
+
+
+def test_deterministic_bytes_across_runs(tiny_params, tmp_path):
+    """Identical specs produce byte-identical deterministic artifacts."""
+    _run_session(tiny_params, tmp_path / "a")
+    _run_session(tiny_params, tmp_path / "b")
+    for name in RUN_FILES:
+        if name == "profile.json":
+            continue  # wall-clock: the one deliberately variable file
+        assert (tmp_path / "a" / name).read_bytes() == \
+            (tmp_path / "b" / name).read_bytes(), name
+
+
+def test_profile_quarantines_wall_clock(tiny_params, tmp_path):
+    _run_session(tiny_params, tmp_path / "run")
+    profile = json.loads((tmp_path / "run" / "profile.json").read_text())
+    assert profile["wall_time_seconds"] > 0.0
+    loop = profile["event_loop"]
+    assert loop["events"] > 0
+    assert "telemetry.probes" in loop["subsystems"]
+    # Wall-clock facts must NOT leak into the deterministic manifest.
+    manifest = json.loads(
+        (tmp_path / "run" / "manifest.json").read_text())
+    assert "wall_time_seconds" not in manifest
+
+
+def test_telemetry_and_tracer_are_mutually_exclusive(tiny_params, tmp_path):
+    session = TelemetrySession(tmp_path / "run")
+    with pytest.raises(ValueError):
+        run_simulation(tiny_params, HalfAndHalfController(),
+                       tracer=Tracer(), telemetry=session)
+
+
+def test_cache_hit_manifest_never_clobbers(tiny_params, tmp_path):
+    run_dir = tmp_path / "run"
+    _run_session(tiny_params, run_dir)
+    full = (run_dir / "manifest.json").read_bytes()
+    assert write_cache_hit_manifest(run_dir, seed=1) is None
+    assert (run_dir / "manifest.json").read_bytes() == full
+
+    fresh = tmp_path / "hit"
+    path = write_cache_hit_manifest(fresh, seed=7, params=tiny_params,
+                                    extra={"spec_key": "abc", "tag": None})
+    manifest = json.loads(path.read_text())
+    assert manifest["cache_hit"] is True
+    assert manifest["seed"] == 7
+    assert validate_run_dir(fresh) == []
+
+
+def test_run_specs_serial_and_pool_write_identical_bytes(tiny_params,
+                                                         tmp_path):
+    specs = [
+        RunSpec(params=tiny_params,
+                controller_factory=HalfAndHalfController),
+        RunSpec(params=tiny_params,
+                controller_factory=partial(FixedMPLController, 4)),
+    ]
+    serial = run_specs(specs, jobs=1, telemetry=tmp_path / "serial")
+    pooled = run_specs(specs, jobs=2, telemetry=tmp_path / "pool")
+    assert serial == pooled
+    keys = [spec_key(s) for s in specs]
+    for key in keys:
+        for name in RUN_FILES:
+            if name == "profile.json":
+                continue
+            assert (tmp_path / "serial" / key / name).read_bytes() == \
+                (tmp_path / "pool" / key / name).read_bytes(), (key, name)
+        manifest = json.loads(
+            (tmp_path / "serial" / key / "manifest.json").read_text())
+        assert manifest["spec_key"] == key
+
+
+def test_run_specs_cache_hits_record_provenance(tiny_params, tmp_path):
+    specs = [RunSpec(params=tiny_params,
+                     controller_factory=HalfAndHalfController)]
+    run_specs(specs, cache=tmp_path / "cache")  # populate
+    run_specs(specs, cache=tmp_path / "cache",
+              telemetry=tmp_path / "tel")
+    key = spec_key(specs[0])
+    run_dir = tmp_path / "tel" / key
+    assert sorted(p.name for p in run_dir.iterdir()) == ["manifest.json"]
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["cache_hit"] is True
+    assert manifest["spec_key"] == key
+    assert validate_run_dir(run_dir) == []
+
+
+def test_telemetry_config_round_trips_through_pickle(tmp_path):
+    import pickle
+    config = TelemetryConfig(root=str(tmp_path), probe_interval=0.5,
+                             trace_capacity=100)
+    assert pickle.loads(pickle.dumps(config)) == config
+
+
+def test_schema_validator_flags_bad_records(tmp_path):
+    from repro.telemetry import PROBE_SCHEMA, validate_record
+    errors = validate_record({"time": "not-a-number"}, PROBE_SCHEMA)
+    assert any("missing required" in e for e in errors)
+    assert any("'time'" in e and "str" in e for e in errors)
+    # Booleans are not integers.
+    from repro.telemetry import TRACE_SCHEMA
+    errors = validate_record(
+        {"time": 1.0, "type": "admit", "txn_id": True, "detail": ""},
+        TRACE_SCHEMA)
+    assert any("txn_id" in e for e in errors)

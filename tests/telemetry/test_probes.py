@@ -1,0 +1,99 @@
+"""Probe scheduler: sampling cadence, determinism, and neutrality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.control.no_control import NoControlController
+from repro.dbms.system import DBMSSystem
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_simulation
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.telemetry.probes import ProbeScheduler
+
+
+def _build_system(params, controller=None):
+    sim = Simulator()
+    streams = RandomStreams(params.seed)
+    return DBMSSystem(params=params,
+                      controller=controller or NoControlController(),
+                      sim=sim, streams=streams)
+
+
+def test_interval_must_be_positive(tiny_params):
+    system = _build_system(tiny_params)
+    with pytest.raises(ConfigurationError):
+        ProbeScheduler(system, interval=0.0)
+    with pytest.raises(ConfigurationError):
+        ProbeScheduler(system, interval=-1.0)
+
+
+def test_samples_land_on_the_interval_grid(tiny_params):
+    system = _build_system(tiny_params)
+    probes = ProbeScheduler(system, interval=2.5)
+    probes.start()
+    system.start()
+    system.sim.run(until=10.0)
+    times = [s.time for s in probes.samples]
+    assert times == [2.5, 5.0, 7.5, 10.0]
+
+
+def test_start_is_idempotent(tiny_params):
+    system = _build_system(tiny_params)
+    probes = ProbeScheduler(system, interval=1.0)
+    probes.start()
+    probes.start()
+    system.start()
+    system.sim.run(until=3.0)
+    assert [s.time for s in probes.samples] == [1.0, 2.0, 3.0]
+
+
+def test_samples_are_internally_consistent(tiny_params):
+    system = _build_system(tiny_params)
+    probes = ProbeScheduler(system, interval=1.0)
+    probes.start()
+    system.start()
+    system.sim.run(until=15.0)
+    assert probes.samples
+    for s in probes.samples:
+        assert s.n_active == s.n_state1 + s.n_state2 + s.n_state3 + s.n_state4
+        assert 0.0 <= s.cpu_util <= 1.0
+        assert 0.0 <= s.disk_util <= 1.0
+        assert 0.0 <= s.blocked_frac <= 1.0
+        assert s.conflict_ratio is None or s.conflict_ratio >= 1.0
+        assert s.cum_aborts == sum(s.cum_aborts_by_reason.values())
+
+
+def test_identical_runs_sample_identically(tiny_params):
+    def collect():
+        system = _build_system(tiny_params, HalfAndHalfController())
+        probes = ProbeScheduler(system, interval=1.0)
+        probes.start()
+        system.start()
+        system.sim.run(until=20.0)
+        return probes.samples
+
+    assert collect() == collect()
+
+
+def test_probes_do_not_perturb_the_simulation(tiny_params):
+    """A probed run must return byte-for-byte the same results."""
+    plain = run_simulation(tiny_params, HalfAndHalfController())
+
+    from repro.telemetry.export import TelemetrySession
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        session = TelemetrySession(tmp, probe_interval=0.5)
+        probed = run_simulation(tiny_params, HalfAndHalfController(),
+                                telemetry=session)
+    assert plain == probed
+
+
+def test_to_dict_sorts_abort_reasons(tiny_params):
+    system = _build_system(tiny_params)
+    sample = ProbeScheduler(system, interval=1.0).sample()
+    row = sample.to_dict()
+    assert list(row["cum_aborts_by_reason"]) == sorted(
+        row["cum_aborts_by_reason"])

@@ -1,0 +1,86 @@
+"""Telemetry dashboard: sparklines, thrashing detection, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.errors import ExperimentError
+from repro.experiments.runner import run_simulation
+from repro.telemetry import (TelemetrySession, detect_thrashing_onset,
+                             render_report, render_run_report, sparkline,
+                             top_aborters, write_cache_hit_manifest)
+
+
+def test_sparkline_scales_to_blocks():
+    line = sparkline([0.0, 0.5, 1.0], lo=0.0, hi=1.0)
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+    assert len(line) == 3
+
+
+def test_sparkline_downsamples_to_width():
+    assert len(sparkline(list(range(1000)), width=40)) == 40
+
+
+def test_sparkline_flat_series_and_empty():
+    assert sparkline([]) == ""
+    assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+
+def _probe(time, frac):
+    return {"time": time, "frac_state3": frac}
+
+
+def test_thrashing_onset_requires_consecutive_samples():
+    below, above = 0.3, 0.9
+    samples = [_probe(1.0, above), _probe(2.0, below),
+               _probe(3.0, above), _probe(4.0, above), _probe(5.0, above)]
+    # Isolated excursions do not count; the sustained run starts at t=3.
+    assert detect_thrashing_onset(samples, consecutive=3) == 3.0
+    assert detect_thrashing_onset(samples, consecutive=4) is None
+    assert detect_thrashing_onset([_probe(1.0, below)]) is None
+
+
+def test_top_aborters_ranks_and_breaks_ties_stably():
+    records = [
+        {"type": "deadlock_abort", "txn_id": 2, "detail": "deadlock"},
+        {"type": "abort", "txn_id": 1, "detail": "custom"},
+        {"type": "deadlock_abort", "txn_id": 2, "detail": "deadlock"},
+        {"type": "load_control_abort", "txn_id": 3, "detail": ""},
+        {"type": "commit", "txn_id": 9, "detail": ""},
+    ]
+    ranked = top_aborters(records)
+    assert ranked[0] == (2, 2, {"deadlock": 2})
+    assert [t[0] for t in ranked] == [2, 1, 3]
+    # An empty detail falls back to the event type as the reason.
+    assert ranked[2][2] == {"load_control_abort": 1}
+
+
+def test_render_run_report_end_to_end(tiny_params, tmp_path):
+    session = TelemetrySession(tmp_path / "run", probe_interval=1.0)
+    run_simulation(tiny_params, HalfAndHalfController(), telemetry=session)
+    text = render_run_report(tmp_path / "run")
+    assert "state3 frac" in text
+    assert "thrashing onset" in text
+    assert "event loop" in text
+    assert "seed=42" in text
+
+
+def test_render_report_walks_a_root(tiny_params, tmp_path):
+    session = TelemetrySession(tmp_path / "root" / "a")
+    run_simulation(tiny_params, HalfAndHalfController(), telemetry=session)
+    write_cache_hit_manifest(tmp_path / "root" / "b", seed=1)
+    text = render_report(tmp_path / "root")
+    assert "run a" in text
+    assert "run b" in text
+    assert "served from the result cache" in text
+
+
+def test_render_report_rejects_non_telemetry_dirs(tmp_path):
+    with pytest.raises(ExperimentError):
+        render_run_report(tmp_path)
+    with pytest.raises(ExperimentError):
+        render_report(tmp_path)  # exists but holds no runs
+    with pytest.raises(ExperimentError):
+        render_report(tmp_path / "missing")
