@@ -46,3 +46,33 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness (unknown figure id, bad sweep)."""
+
+
+class SpecExecutionError(ExperimentError):
+    """One or more runs in a batch failed for good.
+
+    Raised by the executor after a spec exhausts its retry attempts in
+    strict mode; the message names the failing spec(s), their cache
+    keys, and each attempt's error, so a crashed sweep is debuggable
+    without re-running it.  When raised at the end of a batch the
+    ``failures`` attribute (set by the executor, not pickled across
+    process boundaries) carries the typed
+    :class:`repro.resilience.FailedRun` records.
+    """
+
+    def __init__(self, message: str, failures=None):
+        super().__init__(message)
+        self.failures = list(failures) if failures else []
+
+    def __reduce__(self):
+        # FailedRun records hold arbitrary spec data; keep the exception
+        # picklable across process boundaries by dropping them.
+        return (type(self), (self.args[0],))
+
+
+class FaultInjectionError(ReproError):
+    """Raised (deliberately) by injected harness faults.
+
+    Fault-injection tests and chaos jobs recognise this type to tell
+    injected failures apart from genuine bugs.
+    """

@@ -65,6 +65,26 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         help=("simulated seconds between telemetry probe "
                               "samples (default: 1.0; only used with "
                               "--telemetry-dir)"))
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help=("retry each failed run up to N times with "
+                              "exponential backoff (default: 0, fail "
+                              "after the first attempt)"))
+    parser.add_argument("--run-timeout", type=_positive_float,
+                        default=None, metavar="SECONDS",
+                        help=("wall-clock watchdog per run attempt; hung "
+                              "workers are killed and the attempt counts "
+                              "as failed (default: no timeout)"))
+    parser.add_argument("--resume", action="store_true",
+                        help=("resume an interrupted sweep: with "
+                              "--cache-dir, completed runs are journaled "
+                              "and only the remainder executes"))
+    parser.add_argument("--inject", action="append", default=None,
+                        metavar="KIND@INDEX[:ATTEMPTS[:DELAY]]",
+                        help=("inject a deterministic harness fault at a "
+                              "spec index, e.g. 'crash@1' or "
+                              "'hang@0:2:1.5'; kinds: crash, hang, slow, "
+                              "error, sigint; repeatable (for testing "
+                              "the resilience machinery)"))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,6 +194,31 @@ def _telemetry_config(args):
                            probe_interval=args.probe_interval)
 
 
+def _resilience_policy(args):
+    """Build a ResiliencePolicy from CLI flags, or None for defaults."""
+    if not args.retries and args.run_timeout is None:
+        return None
+    from repro.resilience import ResiliencePolicy
+    return ResiliencePolicy(retries=args.retries,
+                            backoff_base=0.5 if args.retries else 0.0,
+                            run_timeout=args.run_timeout)
+
+
+def _fault_plan(args):
+    """Parse repeated ``--inject`` flags, or None when absent."""
+    if not args.inject:
+        return None
+    from repro.faultinject import HarnessFaultPlan
+    return HarnessFaultPlan.parse(args.inject)
+
+
+def _check_resume(args) -> None:
+    if args.resume and args.cache_dir is None:
+        raise ReproError(
+            "--resume needs --cache-dir: the sweep journal lives next "
+            "to the result cache")
+
+
 def _telemetry_run_dirs(root: Path) -> List[Path]:
     """Run directories under ``root`` (or ``root`` itself if it is one)."""
     if (root / "manifest.json").exists():
@@ -219,19 +264,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             print(format_figure_list(all_figures()))
         elif args.command == "run":
+            _check_resume(args)
             with execution_context(jobs=args.jobs, cache=args.cache_dir,
                                    progress=True,
-                                   telemetry=_telemetry_config(args)):
+                                   telemetry=_telemetry_config(args),
+                                   resilience=_resilience_policy(args),
+                                   faults=_fault_plan(args),
+                                   resume=args.resume):
                 _run_command(args)
         elif args.command == "report":
             from repro.experiments.report import generate_report
+            _check_resume(args)
             with execution_context(jobs=args.jobs, cache=args.cache_dir,
                                    progress=True,
-                                   telemetry=_telemetry_config(args)):
+                                   telemetry=_telemetry_config(args),
+                                   resilience=_resilience_policy(args),
+                                   faults=_fault_plan(args),
+                                   resume=args.resume):
                 path = generate_report(get_scale(args.scale), args.out)
             print(f"wrote {path}", file=sys.stderr)
         elif args.command == "telemetry":
             return _telemetry_command(args)
+    except KeyboardInterrupt:
+        print("interrupted (completed runs are journaled; re-run with "
+              "--resume to continue)", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

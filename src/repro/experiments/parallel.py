@@ -1,14 +1,14 @@
-"""Deterministic fan-out execution for independent simulation runs.
+"""Deterministic, fault-tolerant fan-out execution for independent runs.
 
 Every figure and study in this package reduces to the same shape of work:
 a list of completely independent ``(parameters, controller, options)``
 run specifications whose results are assembled afterwards.  Each run owns
 its own :class:`~repro.sim.rng.RandomStreams` seeded from its parameters,
-so executing the list serially, in a process pool, or partly from a cache
-yields *bit-identical* results — the only thing that changes is wall
-clock time.
+so executing the list serially, in a process pool, partly from a cache,
+or *again after a crash* yields bit-identical results — the only thing
+that changes is wall clock time.
 
-Three pieces live here:
+Four pieces live here:
 
 * :class:`RunSpec` — a picklable description of one simulation run.
   Controllers hold per-run state, so the spec carries a factory (class or
@@ -16,11 +16,24 @@ Three pieces live here:
 * :class:`ResultCache` — a content-addressed on-disk cache.  The key is a
   stable hash of the full run specification plus a fingerprint of the
   package sources, so results survive process restarts but never leak
-  across code or parameter changes.
-* :func:`run_specs` — the executor.  With ``jobs=1`` it runs in-process
-  (exactly the historical behaviour); with ``jobs>1`` it fans out over a
+  across code or parameter changes.  Every entry carries a sha256
+  integrity footer; corrupt or truncated entries are treated as misses
+  and moved aside to ``<key>.pkl.corrupt``.
+* :func:`run_specs` — the executor.  With ``jobs=1`` it runs in-process;
+  with ``jobs>1`` it fans out over a
   :class:`~concurrent.futures.ProcessPoolExecutor`.  Results always come
   back in input order.  Duplicate specs within one batch execute once.
+* The resilience layer (:mod:`repro.resilience`): a
+  :class:`~repro.resilience.ResiliencePolicy` gives each spec retries
+  with exponential backoff under a batch-wide retry budget, arms a
+  wall-clock watchdog that kills hung workers and restarts the pool,
+  recovers from :class:`~concurrent.futures.process.BrokenProcessPool`
+  by rebuilding the pool and eventually quarantining "poison" specs,
+  and — under partial delivery — returns
+  :class:`~repro.resilience.FailedRun` sentinels instead of raising.
+  With a cache attached, completed keys are journaled to a
+  :class:`~repro.resilience.SweepCheckpoint` (flushed on SIGINT too),
+  so a killed sweep resumes from the remainder.
 
 Callers normally do not pass ``jobs``/``cache`` explicitly: the CLI (and
 any other entry point) installs an ambient :class:`ExecutionContext` via
@@ -37,21 +50,29 @@ import hashlib
 import multiprocessing
 import os
 import pickle
+import signal
 import sys
 import tempfile
+import threading
 import time
 import types
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Any, Callable, Deque, Dict, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.dbms.config import SimulationParameters
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SpecExecutionError
 from repro.experiments.runner import WorkloadFactory, run_simulation
+from repro.faultinject.harness import (HarnessFault, HarnessFaultKind,
+                                       HarnessFaultPlan, apply_worker_fault)
 from repro.metrics.results import SimulationResults
+from repro.resilience import (AttemptRecord, FailedRun, FailureKind,
+                              ResiliencePolicy, SweepCheckpoint)
 from repro.telemetry.export import TelemetryConfig, write_cache_hit_manifest
 
 __all__ = [
@@ -63,11 +84,17 @@ __all__ = [
     "run_specs",
     "stable_token",
     "code_fingerprint",
+    "BatchStats",
+    "last_batch_stats",
 ]
 
-# Bump when the meaning of cached payloads changes (e.g. the pickle layout
-# of SimulationResults is reorganized without a source change).
-_CACHE_FORMAT = "repro-result-v1"
+# Bump when the meaning of cached payloads changes (v2: entries carry a
+# sha256 integrity footer).
+_CACHE_FORMAT = "repro-result-v2"
+
+# One simulation result, or the typed failure record that replaces it
+# under partial delivery.
+RunOutcome = Union[SimulationResults, FailedRun]
 
 
 # ----------------------------------------------------------------------
@@ -90,6 +117,9 @@ class RunSpec:
             cross process boundaries).
         wait_policy / maturity_rule / admission_order / deadlock_strategy:
             passed straight through to :func:`run_simulation`.
+        fault_schedule: optional :class:`repro.faultinject.FaultSchedule`
+            of simulated-resource disturbance windows; part of the cache
+            key (a disturbed run is a different experiment).
         tag: caller-chosen label carried through to progress output; not
             part of the cache key.
     """
@@ -103,6 +133,7 @@ class RunSpec:
     maturity_rule: Any = None
     admission_order: Any = None
     deadlock_strategy: Any = None
+    fault_schedule: Any = None
     tag: Any = None
 
     def make_controller(self):
@@ -126,6 +157,7 @@ class RunSpec:
             admission_order=self.admission_order,
             deadlock_strategy=self.deadlock_strategy,
             telemetry=telemetry,
+            fault_schedule=self.fault_schedule,
         )
 
     def describe(self) -> str:
@@ -222,6 +254,7 @@ def spec_key(spec: RunSpec) -> str:
         stable_token(spec.maturity_rule),
         stable_token(spec.admission_order),
         stable_token(spec.deadlock_strategy),
+        stable_token(spec.fault_schedule),
     ])
     return hashlib.sha256(token.encode()).hexdigest()
 
@@ -230,16 +263,26 @@ def spec_key(spec: RunSpec) -> str:
 # On-disk result cache
 # ----------------------------------------------------------------------
 
+# Entry layout: pickle payload || sha256(payload) (32 bytes) || magic.
+_FOOTER_MAGIC = b"RPCACHE1"
+_FOOTER_LEN = 32 + len(_FOOTER_MAGIC)
+
+
 class ResultCache:
     """Content-addressed pickle store for :class:`SimulationResults`.
 
     One file per result, named by the spec's key; writes are atomic
-    (temp file + rename) so a killed run never leaves a torn entry, and
-    unreadable entries are treated as misses.
+    (temp file + rename) so a killed run never leaves a torn entry.
+    Every entry ends with a sha256 integrity footer over the payload;
+    an entry that is unreadable, truncated, footer-less, or whose
+    digest mismatches is treated as a miss and quarantined to
+    ``<key>.pkl.corrupt`` so the bad bytes are preserved for diagnosis
+    but never consulted again.
     """
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        self.corrupt_entries = 0    # quarantined since construction
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except (FileExistsError, NotADirectoryError) as exc:
@@ -254,18 +297,38 @@ class ResultCache:
         return self.root / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[SimulationResults]:
+        path = self.path_for(key)
         try:
-            with self.path_for(key).open("rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError):
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        if (len(blob) <= _FOOTER_LEN
+                or not blob.endswith(_FOOTER_MAGIC)):
+            self._quarantine(path)
+            return None
+        payload = blob[:-_FOOTER_LEN]
+        digest = blob[-_FOOTER_LEN:-len(_FOOTER_MAGIC)]
+        if hashlib.sha256(payload).digest() != digest:
+            self._quarantine(path)
+            return None
+        try:
+            return pickle.loads(payload)
+        except (pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
+            # The digest matched, so the *file* is intact but the
+            # payload no longer unpickles (e.g. a class moved away
+            # between format bumps).  Quarantine it all the same.
+            self._quarantine(path)
             return None
 
     def put(self, key: str, result: SimulationResults) -> None:
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(payload)
+                fh.write(hashlib.sha256(payload).digest())
+                fh.write(_FOOTER_MAGIC)
             os.replace(tmp, self.path_for(key))
         except BaseException:
             try:
@@ -273,6 +336,14 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside (best-effort) and count it."""
+        self.corrupt_entries += 1
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.pkl"))
@@ -288,12 +359,16 @@ class ResultCache:
 @dataclass(frozen=True)
 class ExecutionContext:
     """How multi-run batches execute: worker count, cache, verbosity,
-    and (optionally) where per-run telemetry lands."""
+    (optionally) where per-run telemetry lands, and how failures are
+    handled (resilience policy, injected harness faults, resume)."""
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
     progress: bool = False
     telemetry: Optional["TelemetryConfig"] = None
+    resilience: Optional[ResiliencePolicy] = None
+    faults: Optional[HarnessFaultPlan] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -315,6 +390,10 @@ def execution_context(jobs: int = 1,
                       progress: bool = False,
                       telemetry: Union[TelemetryConfig, str, Path,
                                        None] = None,
+                      resilience: Optional[ResiliencePolicy] = None,
+                      faults: Union[HarnessFaultPlan, Sequence[str],
+                                    None] = None,
+                      resume: bool = False,
                       ) -> Iterator[ExecutionContext]:
     """Install an ambient :class:`ExecutionContext` for nested batches.
 
@@ -322,13 +401,20 @@ def execution_context(jobs: int = 1,
     ``telemetry`` accepts a :class:`repro.telemetry.TelemetryConfig` or
     a root directory path; every executed run then exports probes,
     decisions, trace, and a manifest into ``<root>/<spec key>/``.
+    ``resilience`` configures retries/timeouts for every nested batch;
+    ``faults`` (a plan or ``kind@index`` strings) injects harness
+    faults; ``resume`` announces that a previous invocation of the same
+    sweep was interrupted, so progress output reports journaled keys.
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
     if telemetry is not None and not isinstance(telemetry, TelemetryConfig):
         telemetry = TelemetryConfig(root=str(telemetry))
+    if faults is not None and not isinstance(faults, HarnessFaultPlan):
+        faults = HarnessFaultPlan.parse(faults)
     ctx = ExecutionContext(jobs=jobs, cache=cache, progress=progress,
-                           telemetry=telemetry)
+                           telemetry=telemetry, resilience=resilience,
+                           faults=faults, resume=resume)
     _CONTEXT_STACK.append(ctx)
     try:
         yield ctx
@@ -337,25 +423,72 @@ def execution_context(jobs: int = 1,
 
 
 # ----------------------------------------------------------------------
-# The executor
+# Batch statistics
 # ----------------------------------------------------------------------
+
+@dataclass
+class BatchStats:
+    """What one :func:`run_specs` invocation did (for tests/CI)."""
+
+    label: str = "batch"
+    total: int = 0            # specs requested
+    executed: int = 0         # runs that completed by executing
+    cached: int = 0           # served from the result cache
+    deduplicated: int = 0     # duplicates of an in-batch spec
+    retried: int = 0          # retry attempts granted
+    failed: int = 0           # specs that exhausted their attempts
+    resumed: int = 0          # keys already journaled at start
+    interrupted: bool = False  # SIGINT arrived mid-batch
+    wall: float = 0.0
+
+
+_LAST_STATS = BatchStats()
+
+
+def last_batch_stats() -> BatchStats:
+    """Statistics of the most recent :func:`run_specs` call."""
+    return _LAST_STATS
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+
+class _AttemptTimeout(BaseException):
+    """Raised by the serial watchdog.  BaseException so the worker-side
+    ``except Exception`` wrapping cannot swallow it."""
+
 
 def _execute_spec(spec: RunSpec,
                   telemetry: Optional[TelemetryConfig] = None,
-                  run_id: Optional[str] = None
+                  run_id: Optional[str] = None,
+                  fault: Optional[HarnessFault] = None,
+                  in_process: bool = False,
                   ) -> Tuple[float, SimulationResults]:
     """Process-pool worker: run one spec, returning (elapsed, result).
 
     With a telemetry config the worker opens its own session in
     ``<root>/<run_id>/`` — sessions hold live observers and cannot
     cross process boundaries, but the config (plain data) can.
+
+    Failures are wrapped in :class:`SpecExecutionError` naming the spec
+    and its cache key, so a dead run in a hundred-run sweep identifies
+    itself instead of surfacing a bare traceback.
     """
     start = time.perf_counter()
+    if fault is not None:
+        apply_worker_fault(fault, in_process)
     session = None
     if telemetry is not None and run_id is not None:
         session = telemetry.session_for(run_id)
         session.manifest_extra = _spec_provenance(spec, run_id)
-    result = spec.execute(telemetry=session)
+    try:
+        result = spec.execute(telemetry=session)
+    except Exception as exc:
+        key = (run_id or "")[:12]
+        raise SpecExecutionError(
+            f"run {spec.describe()} (key {key}…) failed: "
+            f"{type(exc).__name__}: {exc}") from exc
     return time.perf_counter() - start, result
 
 
@@ -378,25 +511,396 @@ def _progress(enabled: bool, message: str) -> None:
         print(message, file=sys.stderr, flush=True)
 
 
+@contextmanager
+def _serial_watchdog(timeout: Optional[float]) -> Iterator[None]:
+    """Arm SIGALRM to interrupt an in-process attempt after ``timeout``.
+
+    Only effective on the main thread of a Unix process; elsewhere the
+    watchdog is inert (pooled execution covers those cases).
+    """
+    if (timeout is None
+            or not hasattr(signal, "setitimer")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise _AttemptTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's worker processes and discard the pool.
+
+    Used when a worker hangs past its deadline (SIGTERM is the only way
+    to stop it) or after the pool broke; ``shutdown`` alone would wait
+    on the hung worker forever.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Pending:
+    """Executor-side state of one canonical spec awaiting completion."""
+
+    index: int                      # canonical index into the batch
+    key: str
+    attempt: int = 1                # next attempt number (1-based)
+    records: List[AttemptRecord] = field(default_factory=list)
+    not_before: float = 0.0         # monotonic time backoff expires
+
+
+class _BatchExecutor:
+    """Runs one batch's to-execute specs with the resilience policy."""
+
+    _TICK = 0.25   # max seconds between watchdog/backoff checks
+
+    def __init__(self, specs: List[RunSpec], keys: List[str],
+                 to_run: List[int], results: List[Optional[RunOutcome]],
+                 jobs: int, cache: Optional[ResultCache],
+                 progress: bool, label: str,
+                 telemetry: Optional[TelemetryConfig],
+                 policy: ResiliencePolicy,
+                 faults: Optional[HarnessFaultPlan],
+                 checkpoint: Optional[SweepCheckpoint],
+                 stats: BatchStats):
+        self.specs = specs
+        self.keys = keys
+        self.to_run = to_run
+        self.results = results
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.label = label
+        self.telemetry = telemetry
+        self.policy = policy
+        self.faults = faults
+        self.checkpoint = checkpoint
+        self.stats = stats
+        self.failures: List[FailedRun] = []
+        self._retries_granted = 0
+        self._done = 0
+
+    # -- shared bookkeeping --------------------------------------------
+
+    def _fault_for(self, pend: _Pending) -> Optional[HarnessFault]:
+        """The harness fault for this attempt; raises for ``sigint``."""
+        if self.faults is None:
+            return None
+        fault = self.faults.fault_for(pend.index, pend.attempt)
+        if fault is not None and fault.kind == HarnessFaultKind.SIGINT:
+            raise KeyboardInterrupt(
+                f"injected SIGINT before spec {pend.index}")
+        return fault
+
+    def _deliver(self, pend: _Pending, elapsed: float,
+                 result: SimulationResults) -> None:
+        self.results[pend.index] = result
+        self._done += 1
+        self.stats.executed += 1
+        retry_note = (f" (attempt {pend.attempt})"
+                      if pend.attempt > 1 else "")
+        _progress(self.progress,
+                  f"[{self.label} {self._done}/{len(self.to_run)}] "
+                  f"{self.specs[pend.index].describe()}: "
+                  f"{elapsed:.1f}s{retry_note}")
+        if self.cache is not None:
+            self.cache.put(pend.key, result)
+        if self.checkpoint is not None:
+            self.checkpoint.mark(pend.key)
+
+    def _record_failure(self, pend: _Pending, kind: str, error: str,
+                        elapsed: float) -> None:
+        pend.records.append(AttemptRecord(
+            attempt=pend.attempt, kind=kind, error=error,
+            elapsed=elapsed))
+
+    def _budget_left(self) -> bool:
+        budget = self.policy.retry_budget
+        return budget is None or self._retries_granted < budget
+
+    def _grant_retry(self, pend: _Pending) -> bool:
+        """Record the failed attempt's consequence: retry or give up."""
+        if pend.attempt >= self.policy.max_attempts or not self._budget_left():
+            self._give_up(pend)
+            return False
+        self._retries_granted += 1
+        self.stats.retried += 1
+        delay = self.policy.backoff_delay(len(pend.records))
+        pend.not_before = time.monotonic() + delay
+        pend.attempt += 1
+        last = pend.records[-1]
+        _progress(self.progress,
+                  f"[{self.label}] retrying "
+                  f"{self.specs[pend.index].describe()} "
+                  f"(attempt {last.attempt} {last.kind}: {last.error}"
+                  + (f"; backoff {delay:.1f}s)" if delay else ")"))
+        return True
+
+    def _give_up(self, pend: _Pending) -> None:
+        spec = self.specs[pend.index]
+        quarantined = (pend.attempt < self.policy.max_attempts)
+        failed = FailedRun(spec_label=spec.describe(),
+                           spec_key=pend.key,
+                           attempts=tuple(pend.records),
+                           tag=spec.tag,
+                           quarantined=quarantined)
+        self.failures.append(failed)
+        self.results[pend.index] = failed
+        self._done += 1
+        self.stats.failed += 1
+        _progress(self.progress,
+                  f"[{self.label}] giving up on {spec.describe()}: "
+                  f"{failed.error}")
+
+    # -- serial path ---------------------------------------------------
+
+    def run_serial(self) -> None:
+        for index in self.to_run:
+            self._run_serial_one(_Pending(index, self.keys[index]))
+
+    def _run_serial_one(self, pend: _Pending) -> None:
+        while True:
+            fault = self._fault_for(pend)
+            if pend.not_before:
+                delay = pend.not_before - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            start = time.perf_counter()
+            try:
+                with _serial_watchdog(self.policy.run_timeout):
+                    elapsed, result = _execute_spec(
+                        self.specs[pend.index], self.telemetry, pend.key,
+                        fault=fault, in_process=True)
+            except _AttemptTimeout:
+                self._record_failure(
+                    pend, FailureKind.TIMEOUT,
+                    f"attempt exceeded {self.policy.run_timeout:g}s "
+                    f"wall-clock timeout",
+                    time.perf_counter() - start)
+            except Exception as exc:
+                self._record_failure(
+                    pend, FailureKind.EXCEPTION,
+                    f"{type(exc).__name__}: {exc}",
+                    time.perf_counter() - start)
+            else:
+                self._deliver(pend, elapsed, result)
+                return
+            if not self._grant_retry(pend):
+                return
+
+    # -- pooled path ---------------------------------------------------
+
+    def run_pooled(self) -> None:
+        workers = min(self.jobs, len(self.to_run))
+        pending: Deque[_Pending] = deque(
+            _Pending(i, self.keys[i]) for i in self.to_run)
+        inflight: Dict[Any, Tuple[_Pending, Optional[float]]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while pending or inflight:
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers, mp_context=_mp_context())
+                pool_broke = self._top_up(pool, pending, inflight, workers)
+                if not inflight and not pool_broke:
+                    # Everything submittable is backing off; sleep until
+                    # the earliest becomes eligible.
+                    wake = min(p.not_before for p in pending)
+                    time.sleep(max(0.0, min(self._TICK,
+                                            wake - time.monotonic())))
+                    continue
+                if not pool_broke:
+                    done, _ = wait(set(inflight), timeout=self._TICK,
+                                   return_when=FIRST_COMPLETED)
+                    pool_broke = self._harvest(done, inflight, pending)
+                overdue = self._overdue(inflight)
+                if overdue or pool_broke:
+                    self._recover(pool, inflight, pending, overdue)
+                    pool = None
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _top_up(self, pool: ProcessPoolExecutor,
+                pending: Deque[_Pending],
+                inflight: Dict[Any, Tuple[_Pending, Optional[float]]],
+                workers: int) -> bool:
+        """Submit eligible pending specs up to the worker count.
+
+        Submission is capped at ``workers`` so every submitted attempt
+        starts immediately — that is what makes the per-attempt
+        deadline meaningful.  Returns True when the pool turned out to
+        be broken (a crash arrived between harvests).
+        """
+        now = time.monotonic()
+        skipped: List[_Pending] = []
+        while pending and len(inflight) < workers:
+            pend = pending.popleft()
+            if pend.not_before > now:
+                skipped.append(pend)
+                continue
+            fault = self._fault_for(pend)   # may raise KeyboardInterrupt
+            deadline = (now + self.policy.run_timeout
+                        if self.policy.run_timeout is not None else None)
+            try:
+                fut = pool.submit(
+                    _execute_spec, self.specs[pend.index], self.telemetry,
+                    pend.key, fault=fault, in_process=False)
+            except BrokenExecutor:
+                pending.appendleft(pend)
+                pending.extendleft(reversed(skipped))
+                return True
+            inflight[fut] = (pend, deadline)
+        pending.extendleft(reversed(skipped))
+        return False
+
+    def _harvest(self, done,
+                 inflight: Dict[Any, Tuple[_Pending, Optional[float]]],
+                 pending: Deque[_Pending]) -> bool:
+        """Collect finished futures; returns True if the pool broke."""
+        pool_broke = False
+        for fut in done:
+            pend, _deadline = inflight.pop(fut)
+            try:
+                elapsed, result = fut.result()
+            except BrokenExecutor as exc:
+                pool_broke = True
+                self._record_failure(
+                    pend, FailureKind.WORKER_CRASH,
+                    f"worker process died ({type(exc).__name__}: {exc})",
+                    0.0)
+                if self._grant_retry(pend):
+                    pending.append(pend)
+            except Exception as exc:
+                self._record_failure(
+                    pend, FailureKind.EXCEPTION,
+                    f"{type(exc).__name__}: {exc}", 0.0)
+                if self._grant_retry(pend):
+                    pending.append(pend)
+            else:
+                self._deliver(pend, elapsed, result)
+        return pool_broke
+
+    def _overdue(self, inflight) -> List[Any]:
+        now = time.monotonic()
+        return [fut for fut, (_pend, deadline) in inflight.items()
+                if deadline is not None and now >= deadline
+                and not fut.done()]
+
+    def _recover(self, pool: ProcessPoolExecutor,
+                 inflight: Dict[Any, Tuple[_Pending, Optional[float]]],
+                 pending: Deque[_Pending], overdue: List[Any]) -> None:
+        """Kill/restart the pool after a hang or crash.
+
+        Overdue attempts are charged a timeout failure.  Other in-flight
+        attempts are collateral damage: finished ones are harvested,
+        unfinished ones are resubmitted without consuming an attempt
+        (their worker was killed through no fault of their spec) —
+        except after a pool break, where the crashed worker cannot be
+        identified and every casualty is charged a crash failure (a
+        poison spec then exhausts its attempts within a few restarts
+        and is quarantined, while innocent specs retry clean).
+        """
+        overdue_set = set(overdue)
+        pool_broke = not overdue_set
+        _kill_pool(pool)
+        for fut, (pend, _deadline) in list(inflight.items()):
+            if fut in overdue_set:
+                self._record_failure(
+                    pend, FailureKind.TIMEOUT,
+                    f"attempt exceeded {self.policy.run_timeout:g}s "
+                    f"wall-clock timeout; worker killed",
+                    self.policy.run_timeout or 0.0)
+                if self._grant_retry(pend):
+                    pending.append(pend)
+                continue
+            harvested = False
+            if fut.done():
+                try:
+                    elapsed, result = fut.result(timeout=0)
+                except BaseException:
+                    pass
+                else:
+                    self._deliver(pend, elapsed, result)
+                    harvested = True
+            if harvested:
+                continue
+            if pool_broke:
+                self._record_failure(
+                    pend, FailureKind.WORKER_CRASH,
+                    "worker process died (pool broke; crash not "
+                    "attributable)", 0.0)
+                if self._grant_retry(pend):
+                    pending.append(pend)
+            else:
+                # Collateral of a timeout kill: retry free of charge.
+                _progress(self.progress,
+                          f"[{self.label}] resubmitting "
+                          f"{self.specs[pend.index].describe()} "
+                          f"(worker killed while recovering a hang)")
+                pending.append(pend)
+        inflight.clear()
+
+
 def run_specs(specs: Sequence[RunSpec],
               jobs: Optional[int] = None,
               cache: Union[ResultCache, str, Path, None] = None,
               progress: Optional[bool] = None,
               label: str = "batch",
               telemetry: Union[TelemetryConfig, str, Path, None] = None,
-              ) -> List[SimulationResults]:
+              resilience: Optional[ResiliencePolicy] = None,
+              faults: Union[HarnessFaultPlan, Sequence[str], None] = None,
+              ) -> List[RunOutcome]:
     """Execute a batch of independent runs; results come back in order.
 
     Arguments left as ``None`` fall back to the ambient
     :class:`ExecutionContext`.  Identical specs within the batch execute
     once and share their result object.  Output is bit-identical for any
-    ``jobs`` value: each run is self-contained and seeded by its params.
+    ``jobs`` value — and for any retry/crash history, since each run is
+    self-contained and seeded by its params.
 
     With ``telemetry`` set (config or root directory), every *executed*
     run exports its telemetry into ``<root>/<spec key>/`` — the key
     makes the layout identical for serial and pooled execution — and
     every cache hit records a provenance-only manifest there.
+
+    ``resilience`` (a :class:`~repro.resilience.ResiliencePolicy`)
+    governs failure handling.  Without one, failures still finish the
+    rest of the batch (completed runs are cached) before a
+    :class:`SpecExecutionError` describing every casualty is raised;
+    with retries configured, transient worker deaths, hangs, and
+    exceptions are retried with exponential backoff; with
+    ``deliver_partial`` set, exhausted specs come back as
+    :class:`~repro.resilience.FailedRun` sentinels in the result list.
+
+    With a cache attached, completed keys are journaled next to it
+    (:class:`~repro.resilience.SweepCheckpoint`), flushed per key and on
+    SIGINT, so re-invoking an interrupted sweep executes only the
+    remainder.
+
+    ``faults`` injects deterministic harness faults (see
+    :class:`repro.faultinject.HarnessFaultPlan`) for testing all of the
+    above.
     """
+    global _LAST_STATS
     ctx = current_context()
     if jobs is None:
         jobs = ctx.jobs
@@ -412,6 +916,14 @@ def run_specs(specs: Sequence[RunSpec],
         telemetry = ctx.telemetry
     elif not isinstance(telemetry, TelemetryConfig):
         telemetry = TelemetryConfig(root=str(telemetry))
+    if resilience is None:
+        resilience = ctx.resilience
+    if resilience is None:
+        resilience = ResiliencePolicy()
+    if faults is None:
+        faults = ctx.faults
+    elif not isinstance(faults, HarnessFaultPlan):
+        faults = HarnessFaultPlan.parse(faults)
 
     specs = list(specs)
     if not specs:
@@ -422,23 +934,31 @@ def run_specs(specs: Sequence[RunSpec],
                 f"run_specs expects RunSpec instances, got {type(spec)!r}")
 
     start = time.perf_counter()
-    results: List[Optional[SimulationResults]] = [None] * len(specs)
+    results: List[Optional[RunOutcome]] = [None] * len(specs)
+    stats = BatchStats(label=label, total=len(specs))
+    _LAST_STATS = stats
+
+    checkpoint = (SweepCheckpoint(cache.root)
+                  if cache is not None else None)
 
     # Deduplicate identical specs within the batch; the canonical index of
     # each distinct key does the work, everyone else shares the result.
     keys = [spec_key(spec) for spec in specs]
     canonical: Dict[str, int] = {}
     to_run: List[int] = []
-    cached = 0
     for i, key in enumerate(keys):
         if key in canonical:
             continue
         canonical[key] = i
+        if checkpoint is not None and key in checkpoint:
+            stats.resumed += 1
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
                 results[i] = hit
-                cached += 1
+                stats.cached += 1
+                if checkpoint is not None:
+                    checkpoint.mark(key)
                 if telemetry is not None:
                     write_cache_hit_manifest(
                         Path(telemetry.root) / key,
@@ -448,49 +968,60 @@ def run_specs(specs: Sequence[RunSpec],
                 continue
         to_run.append(i)
 
-    executed = len(to_run)
-    if executed:
-        if jobs == 1 or executed == 1:
-            for n, i in enumerate(to_run, start=1):
-                elapsed, results[i] = _execute_spec(
-                    specs[i], telemetry, keys[i])
-                _progress(progress,
-                          f"[{label} {n}/{executed}] "
-                          f"{specs[i].describe()}: {elapsed:.1f}s")
-                if cache is not None:
-                    cache.put(keys[i], results[i])
+    if ctx.resume and checkpoint is not None and stats.resumed:
+        _progress(progress,
+                  f"[{label}] resuming: {stats.resumed} of "
+                  f"{len(canonical)} runs already journaled")
+
+    executor = _BatchExecutor(
+        specs=specs, keys=keys, to_run=to_run, results=results,
+        jobs=jobs, cache=cache, progress=progress, label=label,
+        telemetry=telemetry, policy=resilience, faults=faults,
+        checkpoint=checkpoint, stats=stats)
+    try:
+        if to_run:
+            if jobs == 1 or len(to_run) == 1:
+                executor.run_serial()
+            else:
+                executor.run_pooled()
+    except KeyboardInterrupt:
+        stats.interrupted = True
+        stats.wall = time.perf_counter() - start
+        if checkpoint is not None:
+            checkpoint.close()
+            _progress(progress,
+                      f"[{label}] interrupted: checkpoint flushed "
+                      f"({len(checkpoint.completed)} keys journaled); "
+                      f"re-run with the same cache to resume")
         else:
-            workers = min(jobs, executed)
-            with ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=_mp_context()) as pool:
-                futures = {pool.submit(_execute_spec, specs[i],
-                                       telemetry, keys[i]): i
-                           for i in to_run}
-                done = 0
-                remaining = set(futures)
-                while remaining:
-                    finished, remaining = wait(
-                        remaining, return_when=FIRST_COMPLETED)
-                    for fut in finished:
-                        i = futures[fut]
-                        elapsed, results[i] = fut.result()
-                        done += 1
-                        _progress(progress,
-                                  f"[{label} {done}/{executed}] "
-                                  f"{specs[i].describe()}: {elapsed:.1f}s")
-                        if cache is not None:
-                            cache.put(keys[i], results[i])
+            _progress(progress,
+                      f"[{label}] interrupted (no cache attached: "
+                      f"completed runs are lost)")
+        raise
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
     # Fill in duplicates from their canonical runs.
     for i, key in enumerate(keys):
         if results[i] is None:
             results[i] = results[canonical[key]]
+            stats.deduplicated += 1
 
-    wall = time.perf_counter() - start
+    stats.wall = time.perf_counter() - start
     _progress(progress and len(specs) > 1,
-              f"[{label}] {len(specs)} runs: {executed} executed "
-              f"({jobs} job{'s' if jobs != 1 else ''}), {cached} from cache, "
-              f"{len(specs) - executed - cached} deduplicated, "
-              f"{wall:.1f}s wall")
+              f"[{label}] {len(specs)} runs: {stats.executed} executed "
+              f"({jobs} job{'s' if jobs != 1 else ''}), "
+              f"{stats.cached} from cache, "
+              f"{stats.deduplicated} deduplicated, "
+              f"{stats.retried} retried, {stats.failed} failed, "
+              f"{stats.wall:.1f}s wall")
+
+    if executor.failures and not resilience.deliver_partial:
+        details = "\n".join(f.describe() for f in executor.failures)
+        raise SpecExecutionError(
+            f"{len(executor.failures)} of {len(canonical)} runs in "
+            f"batch {label!r} failed for good (completed runs were "
+            f"delivered to the cache):\n{details}",
+            failures=executor.failures)
     return results  # type: ignore[return-value]

@@ -41,6 +41,7 @@ def run_simulation(params: SimulationParameters,
                    admission_order=None,
                    deadlock_strategy=None,
                    telemetry=None,
+                   fault_schedule=None,
                    ) -> SimulationResults:
     """Run one complete simulation and return its measured results.
 
@@ -61,6 +62,10 @@ def run_simulation(params: SimulationParameters,
             log, event-loop profiler) and exports JSONL + manifest into
             the session's directory when the run completes.  Mutually
             exclusive with ``tracer`` (the session brings its own).
+        fault_schedule: optional
+            :class:`repro.faultinject.FaultSchedule`; its disturbance
+            windows are installed on the simulation calendar before the
+            system starts, so the run is disturbed deterministically.
 
     Returns:
         A :class:`SimulationResults` with batch-means statistics over the
@@ -85,6 +90,8 @@ def run_simulation(params: SimulationParameters,
                            if deadlock_strategy is not None else {}))
     if telemetry is not None:
         telemetry.install(system)
+    if fault_schedule is not None:
+        fault_schedule.install(system)
     system.start()
 
     sim.run(until=params.warmup_time)

@@ -1,0 +1,197 @@
+"""Harness-level fault injection: break the executor on purpose.
+
+A :class:`HarnessFaultPlan` tells :func:`~repro.experiments.parallel.
+run_specs` to misbehave at chosen spec indices so the resilience layer
+can be tested end to end — in CI, against the *real* process pool:
+
+* ``crash`` — the worker process exits hard (``os._exit``), breaking
+  the pool exactly like a segfault or the OOM killer would;
+* ``hang``  — the worker sleeps far past any sane deadline, exercising
+  the watchdog timeout;
+* ``slow``  — the worker sleeps ``delay`` seconds, then runs normally
+  (a straggler, not a failure);
+* ``error`` — the worker raises :class:`FaultInjectionError` before
+  the run starts;
+* ``sigint`` — the *executor* raises :class:`KeyboardInterrupt` just
+  before launching the indexed spec, simulating a Ctrl-C between runs
+  (checkpoint flushing and resume are the behaviours under test).
+
+Faults address specs by their position among the batch's canonical
+(first-occurrence) specs and trigger while ``attempt <= attempts``, so
+"crash once, then succeed on retry" is the default and "poison spec
+that always crashes" is ``attempts=999``.  In serial (in-process) mode
+``crash`` and ``hang`` cannot take the test process down, so both
+degrade to raising :class:`FaultInjectionError` (``hang`` only after
+the sleep is interrupted by the serial watchdog, if one is armed).
+
+Everything here is deterministic: no randomness, no wall-clock
+triggers; the same plan against the same batch misbehaves identically
+every time.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.errors import ExperimentError, FaultInjectionError
+
+__all__ = ["HarnessFaultKind", "HarnessFault", "HarnessFaultPlan",
+           "apply_worker_fault"]
+
+# How long a "hang" sleeps.  Long enough that an unguarded hang is
+# unmistakable, short enough that a forgotten one eventually ends.
+HANG_SECONDS = 3600.0
+
+
+class HarnessFaultKind:
+    """The injectable harness misbehaviours (plain strings)."""
+
+    CRASH = "crash"
+    HANG = "hang"
+    SLOW = "slow"
+    ERROR = "error"
+    SIGINT = "sigint"
+
+    ALL = (CRASH, HANG, SLOW, ERROR, SIGINT)
+
+
+@dataclass(frozen=True)
+class HarnessFault:
+    """One injected misbehaviour: ``kind`` at spec ``index``.
+
+    Attributes:
+        kind: a :class:`HarnessFaultKind` value.
+        index: canonical spec index within the batch the fault targets.
+        attempts: the fault fires while ``attempt <= attempts`` — 1
+            (default) fails only the first try, so a retry succeeds.
+        delay: sleep seconds for ``slow`` (and cap for ``hang``).
+    """
+
+    kind: str
+    index: int
+    attempts: int = 1
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in HarnessFaultKind.ALL:
+            raise ExperimentError(
+                f"unknown harness fault kind {self.kind!r}; "
+                f"known: {', '.join(HarnessFaultKind.ALL)}")
+        if self.index < 0:
+            raise ExperimentError(
+                f"fault index must be >= 0, got {self.index}")
+        if self.attempts < 1:
+            raise ExperimentError(
+                f"fault attempts must be >= 1, got {self.attempts}")
+        if self.delay < 0.0:
+            raise ExperimentError(
+                f"fault delay must be >= 0, got {self.delay}")
+
+    def triggers(self, attempt: int) -> bool:
+        return attempt <= self.attempts
+
+    def __str__(self) -> str:
+        text = f"{self.kind}@{self.index}"
+        if self.attempts != 1:
+            text += f":{self.attempts}"
+        return text
+
+
+@dataclass(frozen=True)
+class HarnessFaultPlan:
+    """A set of harness faults for one batch (at most one per index)."""
+
+    faults: Tuple[HarnessFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for fault in self.faults:
+            if fault.index in seen:
+                raise ExperimentError(
+                    f"multiple harness faults target spec index "
+                    f"{fault.index}")
+            seen.add(fault.index)
+
+    def fault_for(self, index: int, attempt: int
+                  ) -> Optional[HarnessFault]:
+        """The fault to apply at (canonical index, attempt), if any."""
+        for fault in self.faults:
+            if fault.index == index and fault.triggers(attempt):
+                return fault
+        return None
+
+    @classmethod
+    def parse(cls, specs: Union[str, Sequence[str]]) -> "HarnessFaultPlan":
+        """Build a plan from ``kind@index[:attempts[:delay]]`` strings.
+
+        Examples: ``crash@1`` (worker for spec 1 dies on its first
+        attempt), ``hang@0:2`` (spec 0 hangs on attempts 1 and 2),
+        ``slow@3:1:0.5`` (spec 3's first attempt starts 0.5 s late).
+        """
+        if isinstance(specs, str):
+            specs = [specs]
+        faults = []
+        for text in specs:
+            kind, sep, rest = text.partition("@")
+            if not sep or not rest:
+                raise ExperimentError(
+                    f"bad fault spec {text!r}; expected "
+                    f"kind@index[:attempts[:delay]]")
+            parts = rest.split(":")
+            if len(parts) > 3:
+                raise ExperimentError(
+                    f"bad fault spec {text!r}; too many ':' fields")
+            try:
+                index = int(parts[0])
+                attempts = int(parts[1]) if len(parts) > 1 else 1
+                delay = float(parts[2]) if len(parts) > 2 else 1.0
+            except ValueError as exc:
+                raise ExperimentError(
+                    f"bad fault spec {text!r}: {exc}") from exc
+            faults.append(HarnessFault(kind=kind.strip(), index=index,
+                                       attempts=attempts, delay=delay))
+        return cls(faults=tuple(faults))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __str__(self) -> str:
+        return ",".join(str(f) for f in self.faults) or "no-faults"
+
+
+def apply_worker_fault(fault: HarnessFault, in_process: bool) -> None:
+    """Misbehave as instructed.  Runs inside the worker, before the run.
+
+    ``in_process`` distinguishes serial (executor process) from pooled
+    (disposable worker) execution: a real crash/endless hang in the
+    executor process would kill the caller, so both degrade to raising
+    there.
+    """
+    if fault.kind == HarnessFaultKind.SLOW:
+        time.sleep(fault.delay)
+        return
+    if fault.kind == HarnessFaultKind.ERROR:
+        raise FaultInjectionError(
+            f"injected worker error (fault {fault})")
+    if fault.kind == HarnessFaultKind.CRASH:
+        if in_process:
+            raise FaultInjectionError(
+                f"injected worker crash (fault {fault}, serial mode)")
+        os._exit(70)  # EX_SOFTWARE; abrupt, like a segfault
+    if fault.kind == HarnessFaultKind.HANG:
+        if in_process:
+            # The serial watchdog (SIGALRM) interrupts the sleep; with
+            # no watchdog armed the sleep ends and the fault reports
+            # itself rather than silently succeeding.
+            time.sleep(min(fault.delay, HANG_SECONDS))
+            raise FaultInjectionError(
+                f"injected worker hang (fault {fault}, serial mode)")
+        time.sleep(HANG_SECONDS)
+        raise FaultInjectionError(
+            f"injected worker hang outlived the watchdog (fault {fault})")
+    # SIGINT faults are handled by the executor, not the worker.
+    raise FaultInjectionError(
+        f"fault {fault} cannot run inside a worker")

@@ -1,0 +1,126 @@
+"""Simulated-system faults: transient resource-degradation windows.
+
+A :class:`FaultSchedule` injects disturbances *inside* the simulated
+DBMS — the disks transiently slow down, the CPUs transiently degrade —
+so the load controllers can be measured on the paper's real claim:
+holding the operating point through a disturbance, not just at steady
+state.  Windows are fixed simulated-time intervals, installed as
+ordinary calendar events, so a faulted run is exactly as deterministic
+(and cacheable) as a clean one.
+
+Mechanically a window scales the affected resource's
+``service_scale`` — every service demand issued while the window is
+open takes ``severity`` times longer.  Overlapping windows compose
+multiplicatively.  Window transitions are annotated in the telemetry
+decision log (actions ``fault_begin`` / ``fault_end``) so exported
+runs show exactly when the disturbance held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.errors import ExperimentError
+from repro.telemetry.decisions import DecisionAction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.system import DBMSSystem
+
+__all__ = ["SystemFaultKind", "FaultWindow", "FaultSchedule"]
+
+
+class SystemFaultKind:
+    """The injectable simulated-resource disturbances."""
+
+    DISK_SLOWDOWN = "disk_slowdown"
+    CPU_DEGRADATION = "cpu_degradation"
+
+    ALL = (DISK_SLOWDOWN, CPU_DEGRADATION)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One disturbance: ``kind`` at ``severity`` over [start, end).
+
+    ``severity`` is the service-time multiplier while the window is
+    open: 2.0 means disk accesses (or CPU bursts) take twice as long.
+    ``severity == 1.0`` is a no-op window (useful as a sweep baseline).
+    """
+
+    kind: str
+    start: float
+    duration: float
+    severity: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SystemFaultKind.ALL:
+            raise ExperimentError(
+                f"unknown system fault kind {self.kind!r}; "
+                f"known: {', '.join(SystemFaultKind.ALL)}")
+        if self.start < 0.0:
+            raise ExperimentError(
+                f"fault window start must be >= 0, got {self.start}")
+        if self.duration <= 0.0:
+            raise ExperimentError(
+                f"fault window duration must be > 0, got {self.duration}")
+        if self.severity <= 0.0:
+            raise ExperimentError(
+                f"fault severity must be > 0, got {self.severity}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __str__(self) -> str:
+        return (f"{self.kind}×{self.severity:g} "
+                f"@[{self.start:g},{self.end:g})")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A picklable set of fault windows, installed onto one system.
+
+    Carried by :class:`~repro.experiments.parallel.RunSpec` (and part
+    of its cache key), handed to
+    :func:`~repro.experiments.runner.run_simulation`, which calls
+    :meth:`install` after the system is built and before it starts.
+    """
+
+    windows: Tuple[FaultWindow, ...] = ()
+
+    def install(self, system: "DBMSSystem") -> None:
+        """Schedule begin/end events for every window."""
+        for window in self.windows:
+            system.sim.schedule_at(window.start, self._begin,
+                                   system, window)
+            system.sim.schedule_at(window.end, self._end, system, window)
+
+    def _resource(self, system: "DBMSSystem", window: FaultWindow):
+        return (system.disks
+                if window.kind == SystemFaultKind.DISK_SLOWDOWN
+                else system.cpu)
+
+    def _begin(self, system: "DBMSSystem", window: FaultWindow) -> None:
+        resource = self._resource(system, window)
+        resource.service_scale *= window.severity
+        system.controller.log_decision(
+            DecisionAction.FAULT_BEGIN,
+            measure=window.severity,
+            detail=f"{window} open; service_scale="
+                   f"{resource.service_scale:g}")
+
+    def _end(self, system: "DBMSSystem", window: FaultWindow) -> None:
+        resource = self._resource(system, window)
+        resource.service_scale /= window.severity
+        system.controller.log_decision(
+            DecisionAction.FAULT_END,
+            measure=window.severity,
+            detail=f"{window} closed; service_scale="
+                   f"{resource.service_scale:g}")
+
+    def __bool__(self) -> bool:
+        return bool(self.windows)
+
+    def __str__(self) -> str:
+        return "; ".join(str(w) for w in self.windows) or "no-faults"

@@ -1,0 +1,138 @@
+"""Workload-level disturbances: surges and contention spikes.
+
+The paper's time-varying experiments (Figs. 14–15) drift the workload
+smoothly; real systems also see *abrupt* disturbances — a batch job
+lands, a hot key emerges.  :class:`FaultyWorkload` wraps any base
+generator and, inside configured simulated-time windows, disturbs what
+it produces:
+
+* ``size_factor`` scales the mean transaction size — in the paper's
+  closed model (zero think time) a demand surge and an arrival surge
+  are the same thing: more offered page work per unit time;
+* ``hotspot_fraction`` concentrates page accesses on a prefix of the
+  database — a contention spike that multiplies conflicts without
+  changing the offered processing work.
+
+Outside every window the wrapper delegates to the base generator
+untouched.  Windows are fixed simulated times and all sampling uses
+the run's named random streams, so disturbed runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dbms.config import SimulationParameters
+from repro.dbms.transaction import Transaction
+from repro.errors import ExperimentError
+from repro.sim.rng import RandomStreams
+from repro.workload.base import WorkloadGenerator
+from repro.workload.homogeneous import HomogeneousWorkload
+
+__all__ = ["WorkloadDisturbance", "FaultyWorkload",
+           "FaultyWorkloadFactory"]
+
+
+@dataclass(frozen=True)
+class WorkloadDisturbance:
+    """One disturbance window over [start, start+duration)."""
+
+    start: float
+    duration: float
+    size_factor: float = 1.0
+    hotspot_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ExperimentError(
+                f"disturbance start must be >= 0, got {self.start}")
+        if self.duration <= 0.0:
+            raise ExperimentError(
+                f"disturbance duration must be > 0, got {self.duration}")
+        if self.size_factor <= 0.0:
+            raise ExperimentError(
+                f"size_factor must be > 0, got {self.size_factor}")
+        if not 0.0 < self.hotspot_fraction <= 1.0:
+            raise ExperimentError(
+                f"hotspot_fraction must be in (0, 1], "
+                f"got {self.hotspot_fraction}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def __str__(self) -> str:
+        parts = []
+        if self.size_factor != 1.0:
+            parts.append(f"size×{self.size_factor:g}")
+        if self.hotspot_fraction != 1.0:
+            parts.append(f"hotspot {self.hotspot_fraction:.0%}")
+        what = "+".join(parts) or "no-op"
+        return f"{what} @[{self.start:g},{self.end:g})"
+
+
+class FaultyWorkload(WorkloadGenerator):
+    """Wrap a base generator; disturb it inside configured windows."""
+
+    def __init__(self, streams: RandomStreams, base: WorkloadGenerator,
+                 params: SimulationParameters,
+                 disturbances: Tuple[WorkloadDisturbance, ...]):
+        super().__init__(streams)
+        self.base = base
+        self.params = params
+        self.disturbances = tuple(disturbances)
+        self.disturbed_transactions = 0
+
+    @property
+    def name(self) -> str:
+        windows = "; ".join(str(d) for d in self.disturbances)
+        return f"Faulty({self.base.name}; {windows})"
+
+    def active_disturbance(self, now: float
+                           ) -> Optional[WorkloadDisturbance]:
+        """The disturbance window covering ``now``, if any."""
+        for disturbance in self.disturbances:
+            if disturbance.covers(now):
+                return disturbance
+        return None
+
+    def make_transaction(self, txn_id: int, terminal_id: int,
+                         now: float) -> Transaction:
+        disturbance = self.active_disturbance(now)
+        if disturbance is None:
+            return self.base.make_transaction(txn_id, terminal_id, now)
+        self.disturbed_transactions += 1
+        p = self.params
+        mean_size = max(1, round(p.tran_size * disturbance.size_factor))
+        # A hotspot is a database prefix: sampling from fewer pages
+        # with the same per-page demand multiplies conflicts.
+        db_size = max(mean_size + mean_size // 2,
+                      round(p.db_size * disturbance.hotspot_fraction))
+        return self._build(txn_id, terminal_id, now,
+                           db_size=min(db_size, p.db_size),
+                           mean_size=mean_size,
+                           write_prob=p.write_prob,
+                           class_name="disturbed")
+
+
+@dataclass(frozen=True)
+class FaultyWorkloadFactory:
+    """Picklable factory: base homogeneous workload + disturbances.
+
+    Suitable as a :class:`~repro.experiments.parallel.RunSpec`
+    ``workload_factory`` — frozen dataclass, so it pickles across the
+    process pool and hashes into the result-cache key.
+    """
+
+    disturbances: Tuple[WorkloadDisturbance, ...] = ()
+
+    def __call__(self, streams: RandomStreams,
+                 params: SimulationParameters) -> WorkloadGenerator:
+        base = HomogeneousWorkload(streams, params)
+        if not self.disturbances:
+            return base
+        return FaultyWorkload(streams, base, params, self.disturbances)

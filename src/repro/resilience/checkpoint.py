@@ -1,0 +1,89 @@
+"""Sweep checkpoint journal: which spec keys have completed.
+
+The result cache already holds every completed run's payload; the
+journal adds the cheap, append-only record of *completion* that makes
+resumption legible: a killed sweep's second invocation can report "k of
+n runs already done" before the cache serves them, and an operator can
+tail the journal to watch a long batch progress.
+
+One line per completed key (``done <sha256>``), flushed and fsynced per
+append so a SIGKILL loses at most the in-flight runs.  Unrecognised or
+torn lines are ignored on load — the journal is advisory; the result
+cache (with its integrity footer) remains the source of truth.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Set, Union
+
+__all__ = ["SweepCheckpoint"]
+
+_DONE = "done"
+
+
+class SweepCheckpoint:
+    """Append-only journal of completed spec keys under a directory."""
+
+    FILENAME = "sweep-journal.txt"
+
+    def __init__(self, root: Union[str, Path]):
+        self.path = Path(root) / self.FILENAME
+        self.completed: Set[str] = self._load()
+        self._fh = None
+
+    def _load(self) -> Set[str]:
+        completed: Set[str] = set()
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return completed
+        for line in text.splitlines():
+            parts = line.split()
+            if len(parts) == 2 and parts[0] == _DONE:
+                completed.add(parts[1])
+        return completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def mark(self, key: str) -> None:
+        """Record one completed key (idempotent), durably."""
+        if key in self.completed:
+            return
+        self.completed.add(key)
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(f"{_DONE} {key}\n")
+        self.flush()
+
+    def flush(self) -> None:
+        """Flush buffered appends to disk (called on SIGINT too)."""
+        if self._fh is not None:
+            self._fh.flush()
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> Optional[bool]:
+        self.close()
+        return None
+
+    def __repr__(self) -> str:
+        return (f"SweepCheckpoint({str(self.path)!r}, "
+                f"{len(self.completed)} done)")

@@ -1,0 +1,96 @@
+"""Typed failure records for batch execution.
+
+A failed run is *data*, not just a raised exception: which spec died,
+under which cache key, and what happened on every attempt.  Under
+partial delivery (:attr:`ResiliencePolicy.deliver_partial`) these
+records come back in the result list where the
+:class:`~repro.metrics.results.SimulationResults` would have been, so
+callers can aggregate the survivors and report the casualties instead
+of losing the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import SpecExecutionError
+
+__all__ = ["FailureKind", "AttemptRecord", "FailedRun", "is_failed",
+           "split_results"]
+
+
+class FailureKind:
+    """Well-known attempt-failure categories (plain strings)."""
+
+    EXCEPTION = "exception"        # the run raised
+    TIMEOUT = "timeout"            # the watchdog cancelled the attempt
+    WORKER_CRASH = "worker-crash"  # the worker process died (pool broke)
+    INTERRUPTED = "interrupted"    # SIGINT arrived mid-attempt
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One failed attempt at executing a spec."""
+
+    attempt: int          # 1-based attempt number
+    kind: str             # a FailureKind value
+    error: str            # error type + message, or a watchdog note
+    elapsed: float        # wall-clock seconds the attempt consumed
+
+    def __str__(self) -> str:
+        return (f"attempt {self.attempt}: [{self.kind}] {self.error} "
+                f"({self.elapsed:.1f}s)")
+
+
+@dataclass
+class FailedRun:
+    """Sentinel delivered in place of a result for a given-up spec.
+
+    Truthiness is False so ``[r for r in results if r]`` keeps only the
+    survivors; :func:`split_results` separates the two populations with
+    the labels intact.
+    """
+
+    spec_label: str
+    spec_key: str
+    attempts: Tuple[AttemptRecord, ...] = ()
+    tag: Any = None
+    quarantined: bool = False   # given up before its own attempts ran
+    #                             out (batch retry budget exhausted)
+
+    ok = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    @property
+    def error(self) -> str:
+        """The final attempt's error (what ultimately killed the run)."""
+        return self.attempts[-1].error if self.attempts else "unknown"
+
+    def describe(self) -> str:
+        lines = [f"{self.spec_label} (key {self.spec_key[:12]}…) failed "
+                 f"after {len(self.attempts)} attempt(s)"
+                 + (" [budget exhausted]" if self.quarantined else "")]
+        lines.extend(f"  {a}" for a in self.attempts)
+        return "\n".join(lines)
+
+    def raise_(self) -> None:
+        """Re-raise this failure as a :class:`SpecExecutionError`."""
+        raise SpecExecutionError(self.describe(), failures=[self])
+
+
+def is_failed(result: Any) -> bool:
+    """True when a result-list entry is a :class:`FailedRun` sentinel."""
+    return isinstance(result, FailedRun)
+
+
+def split_results(results: Sequence[Any]
+                  ) -> Tuple[List[Any], List[FailedRun]]:
+    """Separate a mixed result list into (successes, failures)."""
+    ok: List[Any] = []
+    failed: List[FailedRun] = []
+    for result in results:
+        (failed if isinstance(result, FailedRun) else ok).append(result)
+    return ok, failed

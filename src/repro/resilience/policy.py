@@ -1,0 +1,84 @@
+"""Retry/timeout policy for batch execution.
+
+The policy is plain frozen data so it can live in the ambient
+:class:`~repro.experiments.parallel.ExecutionContext`, cross process
+boundaries, and be compared in tests.  All the mechanism lives in the
+executor; the policy only answers "may this spec try again, and after
+how long?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ExperimentError
+
+__all__ = ["ResiliencePolicy"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How a batch reacts to failing runs.
+
+    Attributes:
+        retries: extra attempts allowed per spec after its first
+            failure.  ``0`` (the default) preserves the historical
+            fail-fast behaviour, except that completed runs are still
+            delivered/cached before the batch raises.
+        backoff_base: delay in wall-clock seconds before the first
+            retry; subsequent retries double it (exponential backoff).
+            ``0`` retries immediately — the right setting for
+            deterministic tests.
+        backoff_cap: upper bound on any single backoff delay.
+        retry_budget: total retries allowed across the whole batch
+            (``None`` = unlimited).  Caps retry storms when many specs
+            fail for the same environmental reason.
+        run_timeout: wall-clock seconds one attempt may take before the
+            watchdog cancels it (``None`` = no timeout).  In pooled
+            mode the worker process is killed and the pool restarted;
+            in serial mode the attempt is interrupted via ``SIGALRM``
+            (main thread only — elsewhere the timeout is inert).
+        deliver_partial: when True, specs that exhaust their attempts
+            come back as :class:`~repro.resilience.FailedRun` sentinels
+            in the result list; when False (default) the batch finishes
+            the surviving specs and then raises
+            :class:`~repro.errors.SpecExecutionError`.
+    """
+
+    retries: int = 0
+    backoff_base: float = 0.0
+    backoff_cap: float = 30.0
+    retry_budget: Optional[int] = None
+    run_timeout: Optional[float] = None
+    deliver_partial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ExperimentError(
+                f"retries must be >= 0, got {self.retries}")
+        if self.backoff_base < 0.0:
+            raise ExperimentError(
+                f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_cap < 0.0:
+            raise ExperimentError(
+                f"backoff_cap must be >= 0, got {self.backoff_cap}")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ExperimentError(
+                f"retry_budget must be >= 0, got {self.retry_budget}")
+        if self.run_timeout is not None and self.run_timeout <= 0.0:
+            raise ExperimentError(
+                f"run_timeout must be > 0, got {self.run_timeout}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts one spec may consume (first try + retries)."""
+        return self.retries + 1
+
+    def backoff_delay(self, failures: int) -> float:
+        """Seconds to wait before the retry following ``failures``
+        failed attempts (``failures >= 1``)."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** (failures - 1)))

@@ -43,6 +43,11 @@ class CpuPool:
         self._free = num_cpus
         self._queues: Tuple[Deque[_Request], Deque[_Request]] = (
             deque(), deque())
+        # Transient degradation knob (see repro.faultinject.system):
+        # every service demand issued while the scale is s takes s times
+        # longer.  Applied at request time, so work already queued or in
+        # service keeps the demand it was issued with.
+        self.service_scale = 1.0
         # Statistics.
         self.busy_time = 0.0          # total server-busy seconds
         self.requests_served = 0
@@ -73,6 +78,7 @@ class CpuPool:
         if service_time < 0.0:
             raise ConfigurationError(
                 f"negative CPU service time: {service_time}")
+        service_time *= self.service_scale
         if self._free > 0:
             self._start(service_time, callback, args)
         else:

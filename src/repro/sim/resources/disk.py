@@ -44,6 +44,10 @@ class DiskArray:
         self._sim = sim
         self.num_disks = num_disks
         self._disks: List[_Disk] = [_Disk() for _ in range(num_disks)]
+        # Transient degradation knob (see repro.faultinject.system):
+        # accesses issued while the scale is s take s times longer.
+        # Applied at access time; queued/in-service work is unaffected.
+        self.service_scale = 1.0
 
     def choose_disk(self, rng: random.Random) -> int:
         """Pick a disk uniformly at random (the paper's declustering)."""
@@ -83,6 +87,7 @@ class DiskArray:
             raise ConfigurationError(
                 f"disk index {disk_index} out of range "
                 f"[0, {self.num_disks})")
+        service_time *= self.service_scale
         disk = self._disks[disk_index]
         if disk.busy:
             disk.queue.append((service_time, callback, args))

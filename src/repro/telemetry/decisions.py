@@ -33,6 +33,8 @@ class DecisionAction:
     ADMIT_ON_COMMIT = "admit_on_commit"  # replacement admitted at commit
     CARRY_ADMIT = "carry_admit"        # commit found the queue empty;
     #                                    next arrival pre-authorised
+    FAULT_BEGIN = "fault_begin"        # injected fault window opened
+    FAULT_END = "fault_end"            # injected fault window closed
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,8 @@ class ProbeSample:
     blocked_frac: float
     cpu_util: float
     disk_util: float
+    cpu_scale: float     # service_scale at sample time (1.0 = healthy;
+    disk_scale: float    # > 1.0 marks an injected degradation window)
     conflict_ratio: Optional[float]
     locks_held: int
     locked_pages: int
@@ -76,6 +78,8 @@ class ProbeSample:
             "blocked_frac": self.blocked_frac,
             "cpu_util": self.cpu_util,
             "disk_util": self.disk_util,
+            "cpu_scale": self.cpu_scale,
+            "disk_scale": self.disk_scale,
             "conflict_ratio": self.conflict_ratio,
             "locks_held": self.locks_held,
             "locked_pages": self.locked_pages,
@@ -184,6 +188,8 @@ class ProbeScheduler:
             blocked_frac=((n3 + n4) / n_active if n_active else 0.0),
             cpu_util=cpu_util,
             disk_util=disk_util,
+            cpu_scale=system.cpu.service_scale,
+            disk_scale=system.disks.service_scale,
             conflict_ratio=conflict_ratio,
             locks_held=total_held,
             locked_pages=lock_table.num_locked_pages(),

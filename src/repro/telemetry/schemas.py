@@ -40,7 +40,8 @@ PROBE_SCHEMA: Dict[str, Any] = {
         "time", "n_active", "ready_queue",
         "n_state1", "n_state2", "n_state3", "n_state4",
         "frac_state1", "frac_state3", "blocked_frac",
-        "cpu_util", "disk_util", "conflict_ratio",
+        "cpu_util", "disk_util", "cpu_scale", "disk_scale",
+        "conflict_ratio",
         "locks_held", "locked_pages",
         "cum_lock_requests", "cum_lock_blocks",
         "cum_commits", "cum_aborts", "cum_aborts_by_reason",
@@ -58,6 +59,8 @@ PROBE_SCHEMA: Dict[str, Any] = {
         "blocked_frac": {"type": "number"},
         "cpu_util": {"type": "number"},
         "disk_util": {"type": "number"},
+        "cpu_scale": {"type": "number"},
+        "disk_scale": {"type": "number"},
         "conflict_ratio": {"type": ["number", "null"]},
         "locks_held": {"type": "integer"},
         "locked_pages": {"type": "integer"},

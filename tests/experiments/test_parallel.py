@@ -221,3 +221,44 @@ def test_workload_factory_instance_crosses_processes(tiny_params):
     fanned = run_specs([spec, other], jobs=2)
     assert fanned[0] == serial[0]
     assert "Mixed" in fanned[0].workload_name
+
+
+# ----------------------------------------------------------------------
+# Cache integrity footer
+# ----------------------------------------------------------------------
+
+def test_truncated_cache_entry_is_quarantined(tiny_params, tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _specs(tiny_params)[0]
+    key = cache.key_for(spec)
+    [result] = run_specs([spec], jobs=1, cache=cache)
+    path = cache.path_for(key)
+    path.write_bytes(path.read_bytes()[:-10])      # torn write
+    assert cache.get(key) is None
+    assert cache.corrupt_entries == 1
+    assert path.with_name(path.name + ".corrupt").exists()
+    assert len(cache) == 0                         # *.pkl only
+    # The next batch recomputes and repairs the entry.
+    [again] = run_specs([spec], jobs=1, cache=cache)
+    assert again == result
+    assert cache.get(key) == result
+
+
+def test_bitflip_in_cache_payload_is_quarantined(tiny_params, tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _specs(tiny_params)[0]
+    key = cache.key_for(spec)
+    run_specs([spec], jobs=1, cache=cache)
+    path = cache.path_for(key)
+    blob = bytearray(path.read_bytes())
+    blob[20] ^= 0xFF                               # silent corruption
+    path.write_bytes(bytes(blob))
+    assert cache.get(key) is None
+    assert cache.corrupt_entries == 1
+    assert path.with_name(path.name + ".corrupt").exists()
+
+
+def test_missing_cache_entry_is_a_plain_miss(tiny_params, tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("0" * 64) is None
+    assert cache.corrupt_entries == 0              # absent != corrupt

@@ -1,0 +1,279 @@
+"""Tests for the resilience layer: retries, timeouts, crash recovery,
+checkpoint/resume, and partial delivery through ``run_specs``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.errors import ExperimentError, SpecExecutionError
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    ResultCache,
+    RunSpec,
+    last_batch_stats,
+    run_specs,
+    spec_key,
+)
+from repro.faultinject import HarnessFaultPlan
+from repro.resilience import (
+    FailedRun,
+    FailureKind,
+    ResiliencePolicy,
+    SweepCheckpoint,
+    is_failed,
+    split_results,
+)
+
+
+def _specs(params, mpls=(2, 5, 8)):
+    return [RunSpec(params=params, controller_factory=FixedMPLController,
+                    controller_args=(m,)) for m in mpls]
+
+
+# ----------------------------------------------------------------------
+# Policy
+# ----------------------------------------------------------------------
+
+def test_policy_validation():
+    with pytest.raises(ExperimentError):
+        ResiliencePolicy(retries=-1)
+    with pytest.raises(ExperimentError):
+        ResiliencePolicy(backoff_base=-0.1)
+    with pytest.raises(ExperimentError):
+        ResiliencePolicy(retry_budget=-1)
+    with pytest.raises(ExperimentError):
+        ResiliencePolicy(run_timeout=0.0)
+
+
+def test_backoff_doubles_and_caps():
+    policy = ResiliencePolicy(retries=5, backoff_base=1.0, backoff_cap=3.0)
+    assert policy.max_attempts == 6
+    assert [policy.backoff_delay(n) for n in (1, 2, 3, 4)] == \
+        [1.0, 2.0, 3.0, 3.0]
+    assert ResiliencePolicy().backoff_delay(1) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Retry after injected failures — determinism survives
+# ----------------------------------------------------------------------
+
+def test_pooled_crash_retry_bit_identical_to_serial(tiny_params):
+    specs = _specs(tiny_params)
+    serial = run_specs(specs, jobs=1)
+    # Spec 1's worker dies hard (os._exit) on its first attempt; the
+    # pool breaks, gets rebuilt, and every run still comes back.
+    fanned = run_specs(specs, jobs=2,
+                       resilience=ResiliencePolicy(retries=2),
+                       faults=["crash@1"])
+    assert serial == fanned
+    stats = last_batch_stats()
+    assert stats.failed == 0
+    assert stats.retried >= 1      # the crashed spec, plus collateral
+    assert stats.executed == len(specs)
+
+
+def test_serial_error_fault_is_retried(tiny_params):
+    specs = _specs(tiny_params, (2, 5))
+    clean = run_specs(specs)
+    results = run_specs(specs,
+                        resilience=ResiliencePolicy(retries=1),
+                        faults=["error@0"])
+    assert results == clean
+    assert last_batch_stats().retried == 1
+    assert last_batch_stats().failed == 0
+
+
+def test_serial_crash_fault_degrades_to_error(tiny_params):
+    # In-process "crash" cannot take the test process down; it raises
+    # instead, and the retry succeeds.
+    specs = _specs(tiny_params, (2,))
+    results = run_specs(specs,
+                        resilience=ResiliencePolicy(retries=1),
+                        faults=["crash@0"])
+    assert last_batch_stats().retried == 1
+    assert results == run_specs(specs)
+
+
+# ----------------------------------------------------------------------
+# Exhausted attempts: strict vs partial delivery
+# ----------------------------------------------------------------------
+
+def test_exhausted_retries_raise_with_attempt_history(tiny_params,
+                                                      tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = _specs(tiny_params, (2, 5))
+    with pytest.raises(SpecExecutionError) as excinfo:
+        run_specs(specs, cache=cache,
+                  resilience=ResiliencePolicy(retries=1),
+                  faults=["error@0:99"])       # never stops failing
+    [failure] = excinfo.value.failures
+    assert isinstance(failure, FailedRun)
+    assert len(failure.attempts) == 2
+    assert all(a.kind == FailureKind.EXCEPTION for a in failure.attempts)
+    assert [a.attempt for a in failure.attempts] == [1, 2]
+    assert "injected" in failure.error
+    # The surviving spec was still executed and cached before the raise.
+    assert cache.get(spec_key(specs[1])) is not None
+    assert cache.get(spec_key(specs[0])) is None
+
+
+def test_deliver_partial_returns_failed_run_sentinels(tiny_params):
+    specs = _specs(tiny_params, (2, 5))
+    policy = ResiliencePolicy(retries=1, deliver_partial=True)
+    results = run_specs(specs, resilience=policy, faults=["error@0:99"])
+    assert last_batch_stats().failed == 1
+    assert is_failed(results[0])
+    assert not results[0]                     # falsy sentinel
+    assert results[1] == run_specs([specs[1]])[0]
+    ok, failed = split_results(results)
+    assert len(ok) == 1 and len(failed) == 1
+    assert failed[0].spec_key == spec_key(specs[0])
+    with pytest.raises(SpecExecutionError):
+        failed[0].raise_()
+
+
+def test_retry_budget_quarantines_early(tiny_params):
+    specs = _specs(tiny_params, (2,))
+    policy = ResiliencePolicy(retries=5, retry_budget=1,
+                              deliver_partial=True)
+    [failure] = run_specs(specs, resilience=policy, faults=["error@0:99"])
+    assert is_failed(failure)
+    # 1 first attempt + 1 budgeted retry, though 6 attempts were allowed.
+    assert len(failure.attempts) == 2
+    assert failure.quarantined
+
+
+# ----------------------------------------------------------------------
+# Watchdog timeouts
+# ----------------------------------------------------------------------
+
+def test_serial_timeout_interrupts_hung_run(tiny_params):
+    specs = _specs(tiny_params, (2,))
+    policy = ResiliencePolicy(run_timeout=0.3, deliver_partial=True)
+    # The serial hang sleeps fault.delay seconds; SIGALRM cuts it short.
+    [failure] = run_specs(specs, resilience=policy,
+                          faults=["hang@0:99:30"])
+    assert is_failed(failure)
+    assert [a.kind for a in failure.attempts] == [FailureKind.TIMEOUT]
+    assert last_batch_stats().failed == 1
+
+
+def test_pooled_timeout_kills_hung_worker(tiny_params):
+    specs = _specs(tiny_params, (2, 5))
+    policy = ResiliencePolicy(run_timeout=1.0, deliver_partial=True)
+    results = run_specs(specs, jobs=2, resilience=policy,
+                        faults=["hang@0:99"])
+    assert is_failed(results[0])
+    assert [a.kind for a in results[0].attempts] == [FailureKind.TIMEOUT]
+    # The innocent spec completed (possibly after a collateral resubmit).
+    assert results[1] == run_specs([specs[1]])[0]
+
+
+def test_pooled_timeout_then_retry_succeeds(tiny_params):
+    specs = _specs(tiny_params, (2, 5))
+    clean = run_specs(specs)
+    # Hang only on the first attempt; the retry runs clean.
+    results = run_specs(specs, jobs=2,
+                        resilience=ResiliencePolicy(run_timeout=1.0,
+                                                    retries=1),
+                        faults=["hang@0:1"])
+    assert results == clean
+    assert last_batch_stats().failed == 0
+
+
+# ----------------------------------------------------------------------
+# Poison specs: pool restarts, batch survives
+# ----------------------------------------------------------------------
+
+def test_poison_spec_quarantined_while_batch_completes(tiny_params,
+                                                       tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = _specs(tiny_params)
+    clean = run_specs(specs)
+    policy = ResiliencePolicy(retries=2, deliver_partial=True)
+    results = run_specs(specs, jobs=2, cache=cache, resilience=policy,
+                        faults=["crash@0:99"])     # always crashes
+    assert is_failed(results[0])
+    assert len(results[0].attempts) == 3
+    assert all(a.kind == FailureKind.WORKER_CRASH
+               for a in results[0].attempts)
+    assert results[1:] == clean[1:]
+    # Failures are never cached or journaled; survivors are both.
+    assert cache.get(spec_key(specs[0])) is None
+    journal = SweepCheckpoint(cache.root)
+    assert spec_key(specs[0]) not in journal
+    assert spec_key(specs[1]) in journal
+    assert spec_key(specs[2]) in journal
+
+
+# ----------------------------------------------------------------------
+# SIGINT + checkpoint/resume
+# ----------------------------------------------------------------------
+
+def test_sigint_flushes_checkpoint_and_resume_skips_done(
+        tiny_params, tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    specs = _specs(tiny_params)
+    with pytest.raises(KeyboardInterrupt):
+        run_specs(specs, cache=cache, faults=["sigint@2"])
+    journal = SweepCheckpoint(cache.root)
+    assert len(journal) == 2
+    assert last_batch_stats().interrupted
+
+    # Re-invocation executes only the remainder.
+    calls = []
+    original = parallel.run_simulation
+
+    def counting(params, controller, **kwargs):
+        calls.append(controller.name)
+        return original(params, controller, **kwargs)
+
+    monkeypatch.setattr(parallel, "run_simulation", counting)
+    results = run_specs(specs, cache=cache)
+    assert len(calls) == 1
+    assert calls == ["FixedMPL(8)"]
+    assert last_batch_stats().cached == 2
+    assert last_batch_stats().resumed == 2
+    assert [r.controller_name for r in results] == \
+        ["FixedMPL(2)", "FixedMPL(5)", "FixedMPL(8)"]
+
+
+def test_checkpoint_journal_round_trip(tmp_path):
+    journal = SweepCheckpoint(tmp_path)
+    assert len(journal) == 0
+    journal.mark("a" * 64)
+    journal.mark("a" * 64)          # idempotent
+    journal.mark("b" * 64)
+    journal.close()
+    reloaded = SweepCheckpoint(tmp_path)
+    assert reloaded.completed == {"a" * 64, "b" * 64}
+    # Torn/garbage lines are ignored.
+    with (tmp_path / SweepCheckpoint.FILENAME).open("a") as fh:
+        fh.write("done\ngarbage line here\ndone " + "c" * 64 + "\n")
+    assert ("c" * 64) in SweepCheckpoint(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+
+def test_fault_plan_addresses_canonical_indices(tiny_params):
+    # Duplicates collapse to one canonical spec; the fault indexes the
+    # canonical batch positions, so "error@1" hits the second distinct
+    # spec even though it is the third list element.
+    a, b = _specs(tiny_params, (2, 5))
+    results = run_specs([a, a, b],
+                        resilience=ResiliencePolicy(retries=1),
+                        faults=HarnessFaultPlan.parse("error@2"))
+    assert last_batch_stats().retried == 1
+    assert results[0] is results[1]
+
+
+def test_worker_exception_names_spec_and_key(tiny_params):
+    specs = _specs(tiny_params, (2,))
+    with pytest.raises(SpecExecutionError) as excinfo:
+        run_specs(specs, faults=["error@0:99"])
+    message = str(excinfo.value)
+    assert "FixedMPLController(2)" in message
+    assert spec_key(specs[0])[:12] in message

@@ -59,6 +59,7 @@ def test_registry_covers_all_paper_figures():
                  16, 17, 18, 19, 20, 21, 22, 23)}
     expected.add("ext_write_prob")
     expected.add("ext_distributed")
+    expected.add("ext_fault_recovery")
     assert set(REGISTRY) == expected
 
 
@@ -73,7 +74,7 @@ def test_get_figure_lookup():
 def test_all_figures_in_order():
     ids = [s.figure_id for s in all_figures()]
     assert ids[0] == "fig01"
-    assert ids[-1] == "ext_distributed"
+    assert ids[-1] == "ext_fault_recovery"
     assert len(ids) == len(set(ids))
 
 

@@ -1,0 +1,268 @@
+"""Tests for deterministic fault injection: harness plans, simulated
+resource-degradation windows, and workload disturbances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.errors import ExperimentError
+from repro.experiments.parallel import RunSpec, spec_key
+from repro.experiments.runner import run_simulation
+from repro.faultinject import (
+    FaultSchedule,
+    FaultWindow,
+    FaultyWorkload,
+    FaultyWorkloadFactory,
+    HarnessFault,
+    HarnessFaultKind,
+    HarnessFaultPlan,
+    SystemFaultKind,
+    WorkloadDisturbance,
+)
+from repro.sim.engine import Simulator
+from repro.sim.resources.cpu import CpuPool
+from repro.sim.resources.disk import DiskArray
+from repro.sim.rng import RandomStreams
+from repro.telemetry.decisions import DecisionAction, DecisionLog
+
+
+# ----------------------------------------------------------------------
+# Harness fault plans
+# ----------------------------------------------------------------------
+
+def test_plan_parse_full_grammar():
+    plan = HarnessFaultPlan.parse(["crash@1", "hang@0:2", "slow@3:1:0.5"])
+    assert plan.fault_for(1, 1).kind == HarnessFaultKind.CRASH
+    assert plan.fault_for(1, 2) is None          # one attempt by default
+    assert plan.fault_for(0, 2).kind == HarnessFaultKind.HANG
+    assert plan.fault_for(0, 3) is None
+    assert plan.fault_for(3, 1).delay == 0.5
+    assert plan.fault_for(2, 1) is None
+    assert bool(plan)
+    assert not HarnessFaultPlan()
+
+
+@pytest.mark.parametrize("bad", [
+    "crash", "crash@", "@1", "nosuch@1", "crash@-1", "crash@x",
+    "crash@1:2:3:4", "crash@1:0",
+])
+def test_plan_parse_rejects_bad_specs(bad):
+    with pytest.raises(ExperimentError):
+        HarnessFaultPlan.parse(bad)
+
+
+def test_plan_rejects_duplicate_indices():
+    with pytest.raises(ExperimentError):
+        HarnessFaultPlan(faults=(HarnessFault("crash", 1),
+                                 HarnessFault("hang", 1)))
+
+
+# ----------------------------------------------------------------------
+# Resource degradation knobs
+# ----------------------------------------------------------------------
+
+def test_cpu_service_scale_stretches_bursts():
+    sim = Simulator()
+    cpu = CpuPool(sim, num_cpus=1)
+    done = []
+    cpu.service_scale = 2.0
+    cpu.request(1.0, done.append, "a")
+    sim.run()
+    assert done == ["a"]
+    assert sim.now == 2.0
+
+
+def test_disk_service_scale_stretches_accesses():
+    sim = Simulator()
+    disks = DiskArray(sim, num_disks=1)
+    done = []
+    disks.service_scale = 3.0
+    disks.access(0, 1.0, done.append, "a")
+    sim.run()
+    assert done == ["a"]
+    assert sim.now == 3.0
+
+
+# ----------------------------------------------------------------------
+# Fault windows and schedules
+# ----------------------------------------------------------------------
+
+def test_fault_window_validation():
+    with pytest.raises(ExperimentError):
+        FaultWindow(kind="nosuch", start=0.0, duration=1.0)
+    with pytest.raises(ExperimentError):
+        FaultWindow(kind=SystemFaultKind.DISK_SLOWDOWN, start=-1.0,
+                    duration=1.0)
+    with pytest.raises(ExperimentError):
+        FaultWindow(kind=SystemFaultKind.DISK_SLOWDOWN, start=0.0,
+                    duration=0.0)
+    with pytest.raises(ExperimentError):
+        FaultWindow(kind=SystemFaultKind.DISK_SLOWDOWN, start=0.0,
+                    duration=1.0, severity=0.0)
+    window = FaultWindow(kind=SystemFaultKind.CPU_DEGRADATION,
+                        start=2.0, duration=3.0)
+    assert window.end == 5.0
+
+
+def _disk_fault(tiny_params, severity):
+    measure = tiny_params.num_batches * tiny_params.batch_time
+    return FaultSchedule(windows=(
+        FaultWindow(kind=SystemFaultKind.DISK_SLOWDOWN,
+                    start=tiny_params.warmup_time,
+                    duration=measure, severity=severity),
+    ))
+
+
+def test_fault_schedule_is_deterministic_and_degrades(tiny_params):
+    schedule = _disk_fault(tiny_params, 8.0)
+    first = run_simulation(tiny_params, HalfAndHalfController(),
+                           fault_schedule=schedule)
+    again = run_simulation(tiny_params, HalfAndHalfController(),
+                           fault_schedule=schedule)
+    clean = run_simulation(tiny_params, HalfAndHalfController())
+    assert first == again
+    assert first.page_throughput.mean < clean.page_throughput.mean
+
+
+def test_fault_windows_annotate_decision_log(tiny_params):
+    controller = HalfAndHalfController()
+    controller.decision_log = DecisionLog()
+    run_simulation(tiny_params, controller,
+                   fault_schedule=_disk_fault(tiny_params, 2.0))
+    counts = controller.decision_log.counts()
+    assert counts[DecisionAction.FAULT_BEGIN] == 1
+    assert counts[DecisionAction.FAULT_END] == 1
+    [begin] = controller.decision_log.decisions(DecisionAction.FAULT_BEGIN)
+    assert begin.time == tiny_params.warmup_time
+    assert begin.measure == 2.0
+
+
+def test_overlapping_windows_compose_multiplicatively(tiny_params):
+    sim = Simulator()
+    disks = DiskArray(sim, num_disks=2)
+
+    class _Sys:           # minimal duck-typed system for install()
+        def __init__(self):
+            self.sim = sim
+            self.disks = disks
+            self.cpu = CpuPool(sim, num_cpus=1)
+            self.controller = HalfAndHalfController()
+
+    schedule = FaultSchedule(windows=(
+        FaultWindow(kind=SystemFaultKind.DISK_SLOWDOWN, start=1.0,
+                    duration=4.0, severity=2.0),
+        FaultWindow(kind=SystemFaultKind.DISK_SLOWDOWN, start=2.0,
+                    duration=1.0, severity=3.0),
+    ))
+    system = _Sys()
+    schedule.install(system)
+    scales = {}
+    for t in (0.5, 1.5, 2.5, 3.5, 5.5):
+        sim.schedule_at(t, lambda t=t: scales.update(
+            {t: disks.service_scale}))
+    sim.run()
+    assert scales == {0.5: 1.0, 1.5: 2.0, 2.5: 6.0, 3.5: 2.0, 5.5: 1.0}
+
+
+def test_fault_schedule_changes_spec_key(tiny_params):
+    clean = RunSpec(params=tiny_params,
+                    controller_factory=FixedMPLController,
+                    controller_args=(5,))
+    faulted = RunSpec(params=tiny_params,
+                      controller_factory=FixedMPLController,
+                      controller_args=(5,),
+                      fault_schedule=_disk_fault(tiny_params, 2.0))
+    assert spec_key(clean) != spec_key(faulted)
+    assert spec_key(faulted) == spec_key(
+        RunSpec(params=tiny_params,
+                controller_factory=FixedMPLController,
+                controller_args=(5,),
+                fault_schedule=_disk_fault(tiny_params, 2.0)))
+
+
+# ----------------------------------------------------------------------
+# Workload disturbances
+# ----------------------------------------------------------------------
+
+def test_disturbance_validation():
+    with pytest.raises(ExperimentError):
+        WorkloadDisturbance(start=-1.0, duration=1.0)
+    with pytest.raises(ExperimentError):
+        WorkloadDisturbance(start=0.0, duration=0.0)
+    with pytest.raises(ExperimentError):
+        WorkloadDisturbance(start=0.0, duration=1.0, size_factor=0.0)
+    with pytest.raises(ExperimentError):
+        WorkloadDisturbance(start=0.0, duration=1.0, hotspot_fraction=0.0)
+    window = WorkloadDisturbance(start=2.0, duration=3.0)
+    assert window.covers(2.0) and window.covers(4.9)
+    assert not window.covers(1.9) and not window.covers(5.0)
+
+
+def test_faulty_workload_disturbs_only_inside_windows(tiny_params):
+    factory = FaultyWorkloadFactory(disturbances=(
+        WorkloadDisturbance(start=10.0, duration=5.0, size_factor=3.0,
+                            hotspot_fraction=0.1),
+    ))
+    workload = factory(RandomStreams(tiny_params.seed), tiny_params)
+    assert isinstance(workload, FaultyWorkload)
+
+    outside = [workload.make_transaction(i, 0, now=5.0)
+               for i in range(50)]
+    inside = [workload.make_transaction(100 + i, 0, now=12.0)
+              for i in range(50)]
+    assert all(t.class_name == "default" for t in outside)
+    assert all(t.class_name == "disturbed" for t in inside)
+    assert workload.disturbed_transactions == 50
+
+    def mean_size(txns):
+        return sum(len(t.readset) for t in txns) / len(txns)
+
+    assert mean_size(inside) > 2.0 * mean_size(outside)
+    # Hotspot: disturbed accesses concentrate on a database prefix.
+    hot_limit = max(max(t.readset) for t in inside)
+    cold_limit = max(max(t.readset) for t in outside)
+    assert hot_limit < cold_limit
+
+
+def test_faulty_workload_factory_without_windows_is_plain(tiny_params):
+    workload = FaultyWorkloadFactory()(RandomStreams(1), tiny_params)
+    assert not isinstance(workload, FaultyWorkload)
+
+
+def test_faulty_workload_runs_end_to_end(tiny_params):
+    factory = FaultyWorkloadFactory(disturbances=(
+        WorkloadDisturbance(start=tiny_params.warmup_time,
+                            duration=tiny_params.batch_time,
+                            size_factor=2.0),
+    ))
+    result = run_simulation(tiny_params, HalfAndHalfController(),
+                            workload_factory=factory)
+    again = run_simulation(tiny_params, HalfAndHalfController(),
+                           workload_factory=factory)
+    assert result == again
+    assert "Faulty" in result.workload_name
+
+
+def test_probes_sample_service_scales_through_windows(tiny_params):
+    from repro.control.no_control import NoControlController
+    from repro.dbms.system import DBMSSystem
+    from repro.telemetry.probes import ProbeScheduler
+
+    sim = Simulator()
+    system = DBMSSystem(params=tiny_params,
+                        controller=NoControlController(),
+                        sim=sim, streams=RandomStreams(tiny_params.seed))
+    FaultSchedule(windows=(
+        FaultWindow(kind=SystemFaultKind.DISK_SLOWDOWN, start=3.0,
+                    duration=4.0, severity=2.0),
+    )).install(system)
+    probes = ProbeScheduler(system, interval=2.0)
+    probes.start()
+    system.start()
+    sim.run(until=10.0)
+    scales = {s.time: s.disk_scale for s in probes.samples}
+    assert scales == {2.0: 1.0, 4.0: 2.0, 6.0: 2.0, 8.0: 1.0, 10.0: 1.0}
+    assert all(s.cpu_scale == 1.0 for s in probes.samples)
+    assert all("disk_scale" in s.to_dict() for s in probes.samples)

@@ -240,3 +240,41 @@ def test_property_cancelled_events_never_fire(items):
     sim.run()
     expected = [i for i, (_d, cancel) in enumerate(items) if not cancel]
     assert sorted(fired) == expected
+
+
+# ----------------------------------------------------------------------
+# Callback failures carry simulation context
+# ----------------------------------------------------------------------
+
+def _explode():
+    raise ValueError("boom inside the model")
+
+
+def test_callback_exception_chains_into_simulation_error():
+    sim = Simulator()
+    sim.schedule(3.5, _explode)
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run()
+    message = str(excinfo.value)
+    assert "_explode" in message
+    assert "3.5" in message
+    assert "ValueError: boom inside the model" in message
+    assert isinstance(excinfo.value.__cause__, ValueError)
+    # The loop is reusable after the failure (not left marked running).
+    fired = []
+    sim.schedule(1.0, fired.append, "next")
+    sim.run()
+    assert fired == ["next"]
+
+
+def test_simulation_errors_from_callbacks_pass_through_unwrapped():
+    sim = Simulator()
+
+    def raise_sim_error():
+        raise SimulationError("already typed")
+
+    sim.schedule(1.0, raise_sim_error)
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run()
+    assert str(excinfo.value) == "already typed"
+    assert excinfo.value.__cause__ is None
