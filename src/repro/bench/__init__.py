@@ -1,0 +1,37 @@
+"""Wall-clock benchmark harness for the simulator.
+
+The ROADMAP's "fast as the hardware allows" goal needs a number:
+``python -m repro.bench run`` executes a pinned suite of simulator
+configurations (:mod:`repro.bench.suite`) with an
+:class:`~repro.telemetry.profiling.EngineProfiler` on the event loop
+and records wall-clock events/sec and sim-pages/sec per entry in
+``BENCH_<label>.json``; ``python -m repro.bench compare`` diffs two
+such files against a relative tolerance for CI regression gating
+(:mod:`repro.bench.compare`).
+
+The suite's *simulated* trajectories are deterministic; only the wall
+clock varies between machines, which is why comparisons check both
+(simulated drift is a different failure than a slowdown).
+"""
+
+from repro.bench.compare import (EntryComparison, compare_benches,
+                                 format_comparison)
+from repro.bench.harness import (BENCH_FORMAT, bench_path, load_bench,
+                                 run_bench, run_entry, write_bench)
+from repro.bench.suite import SCALES, BenchEntry, entry_names, suite_for
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BenchEntry",
+    "EntryComparison",
+    "SCALES",
+    "bench_path",
+    "compare_benches",
+    "entry_names",
+    "format_comparison",
+    "load_bench",
+    "run_bench",
+    "run_entry",
+    "suite_for",
+    "write_bench",
+]

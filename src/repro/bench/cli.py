@@ -1,0 +1,107 @@
+"""Command-line interface: ``python -m repro.bench``.
+
+Usage::
+
+    python -m repro.bench run [--label smoke] [--scale smoke|full]
+                              [--out DIR] [--entry NAME ...]
+    python -m repro.bench compare [BASELINE] [CANDIDATE]
+                                  [--tolerance 0.9]
+    python -m repro.bench list
+
+``run`` executes the pinned suite and writes ``BENCH_<label>.json``
+into ``--out`` (default: the current directory).  ``compare`` gates a
+candidate against a baseline (defaults: the committed
+``benchmarks/BENCH_baseline.json`` vs a fresh ``BENCH_smoke.json``)
+and exits non-zero when any entry regresses past the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_BASELINE = "benchmarks/BENCH_baseline.json"
+DEFAULT_CANDIDATE = "BENCH_smoke.json"
+
+
+def _tolerance(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"tolerance is a relative slowdown in [0, 1), got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=("Wall-clock benchmark harness: run the pinned "
+                     "simulator suite, gate against a baseline."))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run the suite, write BENCH_<label>.json")
+    run_p.add_argument("--label", default="smoke",
+                       help="output label: BENCH_<label>.json "
+                            "(default: smoke)")
+    run_p.add_argument("--scale", default="smoke",
+                       choices=["smoke", "full"],
+                       help="suite scale (default: smoke)")
+    run_p.add_argument("--out", default=".", metavar="DIR",
+                       help="output directory (default: .)")
+    run_p.add_argument("--entry", action="append", default=None,
+                       metavar="NAME",
+                       help="run only this suite entry (repeatable)")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress per-entry progress on stderr")
+
+    cmp_p = sub.add_parser("compare",
+                           help="diff two BENCH files, exit 1 on regression")
+    cmp_p.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                       help=f"baseline file (default: {DEFAULT_BASELINE})")
+    cmp_p.add_argument("candidate", nargs="?", default=DEFAULT_CANDIDATE,
+                       help=f"candidate file (default: {DEFAULT_CANDIDATE})")
+    cmp_p.add_argument("--tolerance", type=_tolerance, default=0.9,
+                       help=("allowed relative slowdown before failing "
+                             "(default: 0.9 — a cross-machine "
+                             "catastrophe gate; tighten for same-machine "
+                             "A/B runs)"))
+
+    sub.add_parser("list", help="list the pinned suite entries")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            from repro.bench.harness import run_bench
+            path = run_bench(args.label, scale=args.scale,
+                             entries=args.entry, out_dir=args.out,
+                             progress=not args.quiet)
+            print(f"wrote {path}")
+        elif args.command == "compare":
+            from repro.bench.compare import (compare_benches,
+                                             format_comparison)
+            comparisons = compare_benches(args.baseline, args.candidate,
+                                          tolerance=args.tolerance)
+            print(format_comparison(comparisons, args.tolerance))
+            if any(not c.ok for c in comparisons):
+                return 1
+        elif args.command == "list":
+            from repro.bench.suite import SCALES, entry_names
+            print("entries:", ", ".join(entry_names()))
+            print("scales: ", ", ".join(sorted(SCALES)))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Bench comparison: CI gating against a committed baseline.
+
+``bench compare`` diffs a candidate ``BENCH_*.json`` against a baseline
+with a *relative tolerance*: an entry fails when its wall-clock rate
+drops below ``(1 - tolerance)`` of the baseline's.  The default
+tolerance is deliberately generous (0.9 — a candidate merely has to
+stay above 10% of baseline speed) because CI runners and developer
+laptops differ wildly; the gate exists to catch *catastrophic*
+regressions (an accidentally quadratic loop, profiling left on), not
+single-digit drift.  Tighten it for same-machine A/B comparisons.
+
+Scale mismatches (different ``scale`` field, or entries whose simulated
+event/page counts moved even though the suite is pinned) are reported
+as failures of their own: comparing wall rates across different amounts
+of simulated work is meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.bench.harness import load_bench
+
+__all__ = ["EntryComparison", "compare_benches", "format_comparison"]
+
+# Wall-clock rate metrics gated by the tolerance.
+_RATE_METRICS = ("events_per_sec", "pages_per_sec")
+
+
+@dataclass(frozen=True)
+class EntryComparison:
+    """Verdict for one suite entry."""
+
+    name: str
+    ok: bool
+    detail: str
+    baseline_rate: float = 0.0
+    candidate_rate: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline events-per-second (0 when undefined)."""
+        if self.baseline_rate <= 0.0:
+            return 0.0
+        return self.candidate_rate / self.baseline_rate
+
+
+def compare_benches(baseline: Union[str, Path, Dict[str, Any]],
+                    candidate: Union[str, Path, Dict[str, Any]],
+                    tolerance: float = 0.9) -> List[EntryComparison]:
+    """Compare two bench results entry by entry.
+
+    ``tolerance`` is the allowed relative slowdown: 0.1 fails anything
+    more than 10% slower than baseline, 0.9 (the cross-machine default)
+    only fails order-of-magnitude collapses.  Returns one
+    :class:`EntryComparison` per baseline entry (extra candidate-only
+    entries are ignored — a grown suite must regenerate its baseline).
+    """
+    if not isinstance(baseline, dict):
+        baseline = load_bench(baseline)
+    if not isinstance(candidate, dict):
+        candidate = load_bench(candidate)
+
+    comparisons: List[EntryComparison] = []
+    if baseline.get("scale") != candidate.get("scale"):
+        comparisons.append(EntryComparison(
+            "<scale>", False,
+            f"scale mismatch: baseline {baseline.get('scale')!r} vs "
+            f"candidate {candidate.get('scale')!r}"))
+        return comparisons
+
+    for name, base in baseline["entries"].items():
+        cand = candidate["entries"].get(name)
+        if cand is None:
+            comparisons.append(EntryComparison(
+                name, False, "missing from candidate"))
+            continue
+        base_rate = float(base.get("events_per_sec", 0.0))
+        cand_rate = float(cand.get("events_per_sec", 0.0))
+        # The suite is pinned and deterministic, so simulated work must
+        # match exactly; drift means the two files measured different
+        # experiments.
+        drift = [f"{field} {base.get(field)} -> {cand.get(field)}"
+                 for field in ("events", "sim_pages", "commits")
+                 if base.get(field) != cand.get(field)]
+        if drift:
+            comparisons.append(EntryComparison(
+                name, False,
+                "simulated work drifted (different code or scale): "
+                + ", ".join(drift),
+                baseline_rate=base_rate, candidate_rate=cand_rate))
+            continue
+        failed = []
+        for metric in _RATE_METRICS:
+            base_value = float(base.get(metric, 0.0))
+            cand_value = float(cand.get(metric, 0.0))
+            if base_value <= 0.0:
+                continue
+            floor = base_value * (1.0 - tolerance)
+            if cand_value < floor:
+                failed.append(
+                    f"{metric} {cand_value:,.0f} < floor {floor:,.0f} "
+                    f"({cand_value / base_value:.2f}x of baseline "
+                    f"{base_value:,.0f})")
+        if failed:
+            comparisons.append(EntryComparison(
+                name, False, "; ".join(failed),
+                baseline_rate=base_rate, candidate_rate=cand_rate))
+        else:
+            comparisons.append(EntryComparison(
+                name, True,
+                f"{cand_rate / base_rate:.2f}x of baseline"
+                if base_rate > 0.0 else "ok",
+                baseline_rate=base_rate, candidate_rate=cand_rate))
+    return comparisons
+
+
+def format_comparison(comparisons: List[EntryComparison],
+                      tolerance: float) -> str:
+    """Human-readable comparison table with a PASS/FAIL verdict line."""
+    lines = [f"{'entry':<18} {'baseline ev/s':>14} {'candidate ev/s':>15} "
+             f"{'ratio':>7}  verdict"]
+    for c in comparisons:
+        ratio = f"{c.ratio:.2f}x" if c.baseline_rate > 0.0 else "-"
+        verdict = "ok" if c.ok else f"FAIL: {c.detail}"
+        lines.append(f"{c.name:<18} {c.baseline_rate:>14,.0f} "
+                     f"{c.candidate_rate:>15,.0f} {ratio:>7}  {verdict}")
+    failures = sum(1 for c in comparisons if not c.ok)
+    if failures:
+        lines.append(f"FAIL: {failures}/{len(comparisons)} entries "
+                     f"outside tolerance {tolerance:g}")
+    else:
+        lines.append(f"PASS: {len(comparisons)} entries within "
+                     f"tolerance {tolerance:g}")
+    return "\n".join(lines)

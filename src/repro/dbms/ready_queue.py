@@ -21,6 +21,11 @@ class ReadyQueue:
 
     def __init__(self) -> None:
         self._queue: Deque[Transaction] = deque()
+        # Optional observer (duck-typed; see
+        # repro.telemetry.spans.SpanRecorder): notified synchronously on
+        # enqueue/dequeue so ready-queue wait spans bracket exactly the
+        # queued interval.  Observers must be read-only.
+        self.observer = None
         # Statistics.
         self.total_enqueued = 0
         self.max_length = 0
@@ -41,12 +46,17 @@ class ReadyQueue:
         self.total_enqueued += 1
         if len(self._queue) > self.max_length:
             self.max_length = len(self._queue)
+        if self.observer is not None:
+            self.observer.on_ready_enqueued(txn)
 
     def pop(self) -> Optional[Transaction]:
         """Remove and return the head transaction, or None if empty."""
         if not self._queue:
             return None
-        return self._queue.popleft()
+        txn = self._queue.popleft()
+        if self.observer is not None:
+            self.observer.on_ready_dequeued(txn)
+        return txn
 
     def peek(self) -> Optional[Transaction]:
         """Return the head transaction without removing it."""
@@ -72,4 +82,6 @@ class ReadyQueue:
                 best_index, best_key = i, k
         txn = self._queue[best_index]
         del self._queue[best_index]
+        if self.observer is not None:
+            self.observer.on_ready_dequeued(txn)
         return txn

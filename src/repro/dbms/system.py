@@ -112,6 +112,10 @@ class DBMSSystem:
                          else HomogeneousWorkload(self.streams, params))
         self.controller = controller
         controller.attach(self)
+        # Optional per-transaction span recorder (see
+        # repro.telemetry.spans.SpanRecorder.attach); strictly
+        # observational, one None check per hook when disabled.
+        self.spans = None
         self._disk_rng = self.streams.stream("disk_choice")
         self._next_txn_id = 0
         self._started = False
@@ -165,6 +169,8 @@ class DBMSSystem:
             txn.estimated_locks)
 
     def _arrival(self, txn: Transaction) -> None:
+        if self.spans is not None:
+            self.spans.on_arrival(txn)
         if self.tracer is not None:
             kind = (TraceEventType.RESTART if txn.restarts
                     else TraceEventType.ARRIVAL)
@@ -240,6 +246,8 @@ class DBMSSystem:
     def _request_lock(self, txn: Transaction, page: int, mode: LockMode,
                       upgrade_purpose: bool) -> None:
         if self.params.cc_cpu > 0.0:
+            if self.spans is not None:
+                self.spans.begin_cpu(txn)
             self.cpu.request(self.params.cc_cpu, self._do_request_lock,
                              txn, page, mode, upgrade_purpose,
                              priority=Priority.CC)
@@ -248,6 +256,10 @@ class DBMSSystem:
 
     def _do_request_lock(self, txn: Transaction, page: int, mode: LockMode,
                          upgrade_purpose: bool) -> None:
+        if self.spans is not None:
+            # Closes the CC CPU span when one was opened (cc_cpu > 0);
+            # a no-op on the synchronous path.
+            self.spans.end_service(txn)
         if txn.wounded:
             # Wound-wait: a deferred wound takes effect at the next
             # scheduling checkpoint, which is here.
@@ -290,6 +302,8 @@ class DBMSSystem:
             # back in the ready queue).  Nothing more to do here.
             return
         self.tracker.set_blocked(txn, True, self.sim.now)
+        if self.spans is not None:
+            self.spans.on_block(txn, page)
         if self.tracer is not None:
             self.tracer.record(self.sim.now, TraceEventType.BLOCK,
                                txn.txn_id,
@@ -320,6 +334,8 @@ class DBMSSystem:
     def _lock_granted(self, txn: Transaction, was_upgrade: bool) -> None:
         if txn.is_blocked:
             self.tracker.set_blocked(txn, False, self.sim.now)
+            if self.spans is not None:
+                self.spans.on_unblock(txn)
             if self.tracer is not None:
                 self.tracer.record(self.sim.now, TraceEventType.UNBLOCK,
                                    txn.txn_id)
@@ -352,17 +368,26 @@ class DBMSSystem:
     def _start_page_read(self, txn: Transaction) -> None:
         page = txn.current_page()
         if self.buffer.access_read(page):
+            if self.spans is not None:
+                self.spans.begin_cpu(txn)
             self.cpu.request(self.params.page_cpu,
                              self._page_read_done, txn)
         else:
+            if self.spans is not None:
+                self.spans.begin_disk(txn)
             disk = self.disks.choose_disk(self._disk_rng)
             self.disks.access(disk, self.params.page_io,
                               self._page_io_done, txn)
 
     def _page_io_done(self, txn: Transaction) -> None:
+        if self.spans is not None:
+            self.spans.end_service(txn)
+            self.spans.begin_cpu(txn)
         self.cpu.request(self.params.page_cpu, self._page_read_done, txn)
 
     def _page_read_done(self, txn: Transaction) -> None:
+        if self.spans is not None:
+            self.spans.end_service(txn)
         txn.attempt_reads += 1
         self.collector.on_page_read()
         if txn.wounded:
@@ -390,9 +415,13 @@ class DBMSSystem:
         self._next_operation(txn)
 
     def _start_write_cpu(self, txn: Transaction) -> None:
+        if self.spans is not None:
+            self.spans.begin_cpu(txn)
         self.cpu.request(self.params.page_cpu, self._write_cpu_done, txn)
 
     def _write_cpu_done(self, txn: Transaction) -> None:
+        if self.spans is not None:
+            self.spans.end_service(txn)
         if txn.wounded:
             self.abort_transaction(txn, AbortReason.WOUND_WAIT)
             return
@@ -409,11 +438,15 @@ class DBMSSystem:
             return
         page = txn.pending_updates.pop()
         self.buffer.access_write(page)
+        if self.spans is not None:
+            self.spans.begin_disk(txn)
         disk = self.disks.choose_disk(self._disk_rng)
         self.disks.access(disk, self.params.page_io,
                           self._deferred_write_done, txn)
 
     def _deferred_write_done(self, txn: Transaction) -> None:
+        if self.spans is not None:
+            self.spans.end_service(txn)
         txn.attempt_writes += 1
         self.collector.on_page_written()
         self._next_deferred_write(txn)
@@ -426,6 +459,8 @@ class DBMSSystem:
             self.tracer.record(self.sim.now, TraceEventType.COMMIT,
                                txn.txn_id,
                                detail=f"{txn.restarts} restarts")
+        if self.spans is not None:
+            self.spans.on_commit(txn)
         self.collector.on_commit(
             pages=txn.attempt_reads + txn.attempt_writes,
             response_time=self.sim.now - txn.timestamp,
@@ -457,6 +492,8 @@ class DBMSSystem:
         self.tracker.remove(txn, self.sim.now)
         txn.phase = TxnPhase.ABORTED
         self.collector.on_abort(reason, class_name=txn.class_name)
+        if self.spans is not None:
+            self.spans.on_abort(txn, reason)
         if self.tracer is not None:
             self.tracer.record_abort(self.sim.now, txn.txn_id, reason)
         grants = self.lock_table.release_all(txn)

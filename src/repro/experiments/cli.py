@@ -65,6 +65,11 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                         help=("simulated seconds between telemetry probe "
                               "samples (default: 1.0; only used with "
                               "--telemetry-dir)"))
+    parser.add_argument("--spans", action="store_true",
+                        help=("also record per-transaction span timelines "
+                              "and latency analytics (spans.jsonl, "
+                              "latency.json per run; needs "
+                              "--telemetry-dir; trajectory-invariant)"))
     parser.add_argument("--retries", type=int, default=0, metavar="N",
                         help=("retry each failed run up to N times with "
                               "exponential backoff (default: 0, fail "
@@ -129,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate manifest + JSONL streams against schemas")
     tel_validate.add_argument("dir",
                               help="a run directory or telemetry root")
+    tel_latency = tel_sub.add_parser(
+        "latency",
+        help=("render the latency view (percentiles, critical path, "
+              "blame) for runs recorded with --spans"))
+    tel_latency.add_argument("dir",
+                             help="a run directory or telemetry root")
     return parser
 
 
@@ -188,10 +199,15 @@ def _run_command(args) -> None:
 def _telemetry_config(args):
     """Build a TelemetryConfig from CLI flags, or None when disabled."""
     if args.telemetry_dir is None:
+        if getattr(args, "spans", False):
+            raise ReproError(
+                "--spans needs --telemetry-dir: span timelines are "
+                "exported through the telemetry session")
         return None
     from repro.telemetry import TelemetryConfig
     return TelemetryConfig(root=str(args.telemetry_dir),
-                           probe_interval=args.probe_interval)
+                           probe_interval=args.probe_interval,
+                           spans=bool(getattr(args, "spans", False)))
 
 
 def _resilience_policy(args):
@@ -234,6 +250,10 @@ def _telemetry_command(args) -> int:
     if args.telemetry_command == "report":
         from repro.telemetry import render_report
         print(render_report(root))
+        return 0
+    if args.telemetry_command == "latency":
+        from repro.telemetry import render_latency_report
+        print(render_latency_report(root))
         return 0
     # validate
     from repro.telemetry import validate_run_dir

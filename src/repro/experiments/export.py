@@ -83,6 +83,8 @@ def results_to_dict(results: SimulationResults) -> dict:
         "aborts": results.aborts,
         "aborts_by_reason": dict(results.aborts_by_reason),
         "avg_response_time": results.avg_response_time,
+        "response_time": results.response_time.mean,
+        "response_time_ci": results.response_time.half_width,
         "avg_restarts_per_commit": results.avg_restarts_per_commit,
         "measurement_time": results.measurement_time,
         "per_class": {

@@ -33,6 +33,17 @@ Livny, *Load Control for Locking: The 'Half-and-Half' Approach* (1990).
   who-wins orderings — are the reproduction target and are asserted
   mechanically by ``pytest benchmarks/``.
 * Regenerate this file: ``repro-experiment report --scale {scale}``.
+* Digging into *why* a configuration thrashes: rerun it with
+  ``--telemetry-dir tel/ --spans`` and read the blame table
+  (``repro-experiment telemetry latency tel/``).  Interpretation: the
+  **top blockers** are transactions ranked by lock-wait seconds they
+  *induced in others* — in a thrashing run expect a few mature
+  (State-2) writers near the top holding hot X locks; the **hottest
+  pages** row shows whether waits concentrate on a handful of pages
+  (hot-spot contention) or spread thin (pure MPL overload); the **mean
+  chain depth** separates the two thrashing modes — depth near 1 means
+  independent pairwise conflicts (throughput-limited), while growing
+  depth means convoys are forming and admission control is late.
 
 """
 

@@ -42,6 +42,7 @@ def run_simulation(params: SimulationParameters,
                    deadlock_strategy=None,
                    telemetry=None,
                    fault_schedule=None,
+                   profiler=None,
                    ) -> SimulationResults:
     """Run one complete simulation and return its measured results.
 
@@ -66,6 +67,11 @@ def run_simulation(params: SimulationParameters,
             :class:`repro.faultinject.FaultSchedule`; its disturbance
             windows are installed on the simulation calendar before the
             system starts, so the run is disturbed deterministically.
+        profiler: optional
+            :class:`repro.telemetry.EngineProfiler` attached to the
+            event loop (the bench harness measures events/sec with
+            one).  Mutually exclusive with ``telemetry``, which brings
+            its own.
 
     Returns:
         A :class:`SimulationResults` with batch-means statistics over the
@@ -75,6 +81,10 @@ def run_simulation(params: SimulationParameters,
         raise ValueError(
             "pass either telemetry= or tracer=, not both: a telemetry "
             "session installs its own tracer")
+    if telemetry is not None and profiler is not None:
+        raise ValueError(
+            "pass either telemetry= or profiler=, not both: a telemetry "
+            "session installs its own profiler")
     wall_start = perf_counter()
     sim = Simulator()
     streams = RandomStreams(params.seed)
@@ -90,6 +100,8 @@ def run_simulation(params: SimulationParameters,
                            if deadlock_strategy is not None else {}))
     if telemetry is not None:
         telemetry.install(system)
+    if profiler is not None:
+        sim.profiler = profiler
     if fault_schedule is not None:
         fault_schedule.install(system)
     system.start()

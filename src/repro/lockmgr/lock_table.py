@@ -239,6 +239,32 @@ class LockTable:
                 _add(waiter)
         return ordered
 
+    def wait_chain_depth(self, txn: Txn, max_depth: int = 64) -> int:
+        """Length of the wait chain hanging off ``txn``, in edges.
+
+        Follows first-blocker edges (``blocking_order(...)[0]``) from
+        ``txn`` until an unblocked transaction is reached: a transaction
+        blocked directly behind a running holder has depth 1.  The walk
+        is purely observational — the same deterministic edges deadlock
+        detection uses — and stops at ``max_depth`` or on a cycle (a
+        deadlock that has not been detected yet), so it always
+        terminates.  Returns 0 if ``txn`` is not waiting.
+        """
+        depth = 0
+        seen: Set[int] = {id(txn)}
+        cur = txn
+        while depth < max_depth:
+            order = self.blocking_order(cur)
+            if not order:
+                break
+            depth += 1
+            nxt = order[0]
+            if id(nxt) in seen:
+                break
+            seen.add(id(nxt))
+            cur = nxt
+        return depth
+
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------

@@ -63,6 +63,7 @@ class MetricsSnapshot:
     commits: int
     aborts: int
     admissions: int
+    response_time_sum: float   # arrival → commit, committed txns
     active_integral: float     # ∫ n_active dt
     state1_integral: float     # ∫ (mature ∧ running) dt
     state2_integral: float     # ∫ (immature ∧ running) dt
@@ -165,6 +166,7 @@ class Collector:
             commits=self.commits,
             aborts=self.aborts,
             admissions=self.admissions,
+            response_time_sum=self.response_time_sum,
             active_integral=self.active.integral(now),
             state1_integral=self.state1.integral(now),
             state2_integral=self.state2.integral(now),

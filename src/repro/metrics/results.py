@@ -33,6 +33,9 @@ class SimulationResults:
     page_throughput: BatchStatistics
     raw_page_rate: BatchStatistics
     transaction_throughput: BatchStatistics
+    # Batch-means CI over per-batch mean response times (a batch with no
+    # commits contributes 0.0, keeping the batch count fixed).
+    response_time: BatchStatistics
     avg_mpl: float                 # time-average number of active txns
     max_mpl: float
     avg_state1: float              # mature & running population
@@ -102,6 +105,7 @@ def build_results(snapshots: Sequence[MetricsSnapshot],
     throughputs: List[float] = []
     raw_rates: List[float] = []
     txn_rates: List[float] = []
+    response_means: List[float] = []
     for prev, cur in zip(snapshots, snapshots[1:]):
         dt = cur.time - prev.time
         if dt <= 0.0:
@@ -109,6 +113,10 @@ def build_results(snapshots: Sequence[MetricsSnapshot],
         throughputs.append((cur.committed_pages - prev.committed_pages) / dt)
         raw_rates.append((cur.raw_pages - prev.raw_pages) / dt)
         txn_rates.append((cur.commits - prev.commits) / dt)
+        batch_commits = cur.commits - prev.commits
+        batch_response = cur.response_time_sum - prev.response_time_sum
+        response_means.append(batch_response / batch_commits
+                              if batch_commits else 0.0)
 
     def window_avg(get_integral) -> float:
         return (get_integral(last) - get_integral(first)) / elapsed
@@ -120,6 +128,7 @@ def build_results(snapshots: Sequence[MetricsSnapshot],
         page_throughput=summarize_batches(throughputs, confidence),
         raw_page_rate=summarize_batches(raw_rates, confidence),
         transaction_throughput=summarize_batches(txn_rates, confidence),
+        response_time=summarize_batches(response_means, confidence),
         avg_mpl=window_avg(lambda s: s.active_integral),
         max_mpl=max_mpl,
         avg_state1=window_avg(lambda s: s.state1_integral),

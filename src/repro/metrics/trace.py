@@ -15,7 +15,8 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterator, List, Optional
+from typing import (Callable, Deque, Dict, Iterable, Iterator, List,
+                    Optional)
 
 __all__ = ["TraceEventType", "TraceEvent", "Tracer"]
 
@@ -85,6 +86,11 @@ class Tracer:
         # A deque with maxlen evicts FIFO in O(1); a plain list's
         # pop(0) is O(n) per event once the bound is hit.
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        # Per-transaction index for history_of: within one transaction
+        # events arrive in global order, so the globally oldest event
+        # is also the head of its own bucket and FIFO eviction stays
+        # O(1) per append.
+        self._by_txn: Dict[int, Deque[TraceEvent]] = {}
         self.dropped = 0
 
     def __len__(self) -> int:
@@ -100,9 +106,21 @@ class Tracer:
         if self.event_filter is not None and not self.event_filter(event):
             return
         if self.capacity is not None and len(self._events) >= self.capacity:
-            # The deque evicts the oldest event itself; just count it.
+            # The deque evicts the oldest event itself; count it and
+            # drop it from its transaction's index bucket too.
             self.dropped += 1
+            if self.capacity > 0:
+                evicted = self._events[0]
+                bucket = self._by_txn[evicted.txn_id]
+                bucket.popleft()
+                if not bucket:
+                    del self._by_txn[evicted.txn_id]
+            else:
+                # maxlen=0: the deque discards every append, so the
+                # index must record nothing either.
+                return
         self._events.append(event)
+        self._by_txn.setdefault(txn_id, deque()).append(event)
 
     def record_abort(self, time: float, txn_id: int, reason: str) -> None:
         """Record an abort, mapping the collector reason string.
@@ -121,12 +139,13 @@ class Tracer:
     def events(self, event_type: Optional[TraceEventType] = None,
                txn_id: Optional[int] = None) -> List[TraceEvent]:
         """Events matching the given type and/or transaction."""
-        out: List[TraceEvent] = [
-            e for e in self._events
-            if (event_type is None or e.event_type is event_type)
-            and (txn_id is None or e.txn_id == txn_id)
-        ]
-        return out
+        # A txn_id query scans only that transaction's bucket (the
+        # per-txn index), not the whole trace.
+        source: Iterable[TraceEvent] = (
+            self._by_txn.get(txn_id, ()) if txn_id is not None
+            else self._events)
+        return [e for e in source
+                if event_type is None or e.event_type is event_type]
 
     def counts(self) -> Dict[TraceEventType, int]:
         """Event counts by type."""
@@ -136,8 +155,13 @@ class Tracer:
         return out
 
     def history_of(self, txn_id: int) -> List[TraceEvent]:
-        """The full recorded lifecycle of one transaction."""
-        return self.events(txn_id=txn_id)
+        """The full recorded lifecycle of one transaction.
+
+        O(k) in the transaction's own event count via the per-txn
+        index, not O(n) in the whole trace; events evicted by the
+        retention bound are gone from the history too.
+        """
+        return list(self._by_txn.get(txn_id, ()))
 
     def format(self, limit: Optional[int] = None) -> str:
         """Render the (tail of the) trace as text."""

@@ -11,11 +11,17 @@ system — as trajectories, not endpoints:
 * :class:`TelemetrySession` bundles both with the event
   :class:`~repro.metrics.trace.Tracer` and an event-loop profiler and
   exports everything as deterministic JSONL plus a provenance manifest;
+* :class:`SpanRecorder` accumulates per-transaction span timelines
+  (ready-queue wait, cpu/disk service, lock waits with blame, restart
+  gaps) and feeds :class:`LatencyAnalytics` — exact response-time
+  percentiles, critical-path breakdowns, and the wait-chain blame
+  table;
 * :mod:`repro.telemetry.report` renders exported runs as a terminal
-  dashboard (sparklines, thrashing onset, top aborters).
+  dashboard (sparklines, thrashing onset, top aborters, latency).
 
 Everything is zero-cost when disabled: one ``None`` check per hook, no
-allocations, no extra events.
+allocations, no extra events — and strictly observational when
+enabled, so turning telemetry on never changes a trajectory.
 """
 
 from repro.telemetry.decisions import (
@@ -32,10 +38,16 @@ from repro.telemetry.export import (
     trace_event_to_dict,
     write_cache_hit_manifest,
 )
+from repro.telemetry.latency import (
+    QUANTILE_LABELS,
+    LatencyAnalytics,
+    LatencyHistogram,
+)
 from repro.telemetry.probes import ProbeSample, ProbeScheduler
 from repro.telemetry.profiling import EngineProfiler, subsystem_of
 from repro.telemetry.report import (
     detect_thrashing_onset,
+    render_latency_report,
     render_report,
     render_run_report,
     sparkline,
@@ -43,13 +55,16 @@ from repro.telemetry.report import (
 )
 from repro.telemetry.schemas import (
     DECISION_SCHEMA,
+    LATENCY_SCHEMA,
     MANIFEST_SCHEMA,
     PROBE_SCHEMA,
+    SPAN_SCHEMA,
     TRACE_SCHEMA,
     validate_jsonl,
     validate_record,
     validate_run_dir,
 )
+from repro.telemetry.spans import Span, SpanKind, SpanRecorder
 
 __all__ = [
     "ControllerDecision",
@@ -66,14 +81,23 @@ __all__ = [
     "ProbeScheduler",
     "EngineProfiler",
     "subsystem_of",
+    "Span",
+    "SpanKind",
+    "SpanRecorder",
+    "LatencyAnalytics",
+    "LatencyHistogram",
+    "QUANTILE_LABELS",
     "detect_thrashing_onset",
+    "render_latency_report",
     "render_report",
     "render_run_report",
     "sparkline",
     "top_aborters",
     "DECISION_SCHEMA",
+    "LATENCY_SCHEMA",
     "MANIFEST_SCHEMA",
     "PROBE_SCHEMA",
+    "SPAN_SCHEMA",
     "TRACE_SCHEMA",
     "validate_jsonl",
     "validate_record",

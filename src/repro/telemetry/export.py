@@ -36,6 +36,7 @@ from repro.metrics.trace import TraceEvent, Tracer
 from repro.telemetry.decisions import DecisionLog
 from repro.telemetry.probes import ProbeScheduler
 from repro.telemetry.profiling import EngineProfiler
+from repro.telemetry.spans import SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dbms.system import DBMSSystem
@@ -101,6 +102,11 @@ class TelemetryConfig:
         trace_capacity / decision_capacity: retention bounds for the
             trace and decision log (``None`` = unbounded).
         profile: attach an :class:`EngineProfiler` to the event loop.
+        spans: attach a :class:`~repro.telemetry.spans.SpanRecorder`
+            (per-transaction span timelines + latency analytics); the
+            run directory gains ``spans.jsonl`` and ``latency.json``.
+        span_capacity: retention bound for closed spans (``None`` =
+            unbounded); the latency analytics see every span either way.
     """
 
     root: str
@@ -108,6 +114,8 @@ class TelemetryConfig:
     trace_capacity: Optional[int] = None
     decision_capacity: Optional[int] = None
     profile: bool = True
+    spans: bool = False
+    span_capacity: Optional[int] = None
 
     def session_for(self, run_id: str) -> "TelemetrySession":
         """Open a session writing into ``<root>/<run_id>/``."""
@@ -117,6 +125,8 @@ class TelemetryConfig:
             trace_capacity=self.trace_capacity,
             decision_capacity=self.decision_capacity,
             profile=self.profile,
+            spans=self.spans,
+            span_capacity=self.span_capacity,
         )
 
 
@@ -139,13 +149,17 @@ class TelemetrySession:
                  probe_interval: float = 1.0,
                  trace_capacity: Optional[int] = None,
                  decision_capacity: Optional[int] = None,
-                 profile: bool = True):
+                 profile: bool = True,
+                 spans: bool = False,
+                 span_capacity: Optional[int] = None):
         self.out_dir = Path(out_dir)
         self.probe_interval = probe_interval
         self.tracer = Tracer(capacity=trace_capacity)
         self.decisions = DecisionLog(capacity=decision_capacity)
         self.probes: Optional[ProbeScheduler] = None
         self.profiler = EngineProfiler() if profile else None
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(capacity=span_capacity) if spans else None)
         # Callers may add provenance fields (spec key, tag, ...) here
         # before the run finishes; merged into the manifest.
         self.manifest_extra: Dict[str, Any] = {}
@@ -164,6 +178,8 @@ class TelemetrySession:
         self.probes.start()
         if self.profiler is not None:
             system.sim.profiler = self.profiler
+        if self.spans is not None:
+            self.spans.attach(system)
 
     # ------------------------------------------------------------------
 
@@ -184,6 +200,11 @@ class TelemetrySession:
                    self.out_dir / "decisions.jsonl")
         jsonl_dump((trace_event_to_dict(e) for e in self.tracer),
                    self.out_dir / "trace.jsonl")
+        if self.spans is not None:
+            jsonl_dump((s.to_dict() for s in self.spans),
+                       self.out_dir / "spans.jsonl")
+            json_dump(self.spans.analytics.to_dict(),
+                      self.out_dir / "latency.json")
 
         manifest: Dict[str, Any] = {
             "format": TELEMETRY_FORMAT,
@@ -203,6 +224,9 @@ class TelemetrySession:
                 "trace_dropped": self.tracer.dropped,
             },
         }
+        if self.spans is not None:
+            manifest["records"]["spans"] = len(self.spans)
+            manifest["records"]["spans_dropped"] = self.spans.dropped
         manifest.update(self.manifest_extra)
         if extra:
             manifest.update(extra)

@@ -1,0 +1,240 @@
+"""Latency analytics: exact percentiles, critical paths, blame tables.
+
+OLTP performance is judged by response-time *tails*, not means — an SLA
+speaks of p95s and p99s — and thrashing is ultimately a latency story:
+a transaction slides into State 3 when lock-wait time comes to dominate
+its service time.  This module turns the span timelines of
+:mod:`repro.telemetry.spans` into three deterministic artifacts:
+
+* :class:`LatencyHistogram` — an exact streaming histogram.  Values
+  are retained (one float per committed transaction — bounded by the
+  run's commit count), so quantiles are *exact* nearest-rank order
+  statistics rather than sketch approximations, and byte-identical
+  run to run.
+* critical-path breakdown — what fraction of committed transactions'
+  lives went to lock waits vs CPU/disk service vs ready-queue time vs
+  restart gaps.
+* wait-chain blame — blocker→blocked edges aggregated into top
+  blockers (by induced wait seconds), hottest pages, and the mean
+  wait-chain depth at block time.
+
+Everything here is plain arithmetic over simulated-time quantities, so
+``latency.json`` is deterministic and byte-identical between serial
+and process-pool execution of the same spec.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["LatencyHistogram", "LatencyAnalytics", "QUANTILE_LABELS"]
+
+# The quantiles every summary reports, in rendering order.
+QUANTILE_LABELS: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99),
+)
+
+
+class LatencyHistogram:
+    """Exact, deterministic streaming histogram of a latency metric.
+
+    Values arrive one at a time (:meth:`add`); quantiles are exact
+    nearest-rank order statistics over everything seen so far.  The
+    sorted view is cached and invalidated on insert, so a read-heavy
+    phase (report rendering) sorts once.
+    """
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._sum = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(value)
+        self._sum += value
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self._sum / len(self._values) if self._values else 0.0
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
+
+    def quantile(self, q: float) -> float:
+        """Exact nearest-rank quantile (0 < q <= 1); 0.0 when empty."""
+        ordered = self._ordered()
+        if not ordered:
+            return 0.0
+        # Nearest-rank: the smallest value with at least ceil(q*n)
+        # observations at or below it.
+        rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+        return ordered[rank - 1]
+
+    @property
+    def min(self) -> float:
+        ordered = self._ordered()
+        return ordered[0] if ordered else 0.0
+
+    @property
+    def max(self) -> float:
+        ordered = self._ordered()
+        return ordered[-1] if ordered else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serializable summary: count, mean, extrema, quantiles."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            **{label: self.quantile(q) for label, q in QUANTILE_LABELS},
+        }
+
+
+class LatencyAnalytics:
+    """Aggregates span timelines into latency + blame statistics.
+
+    Fed by the :class:`~repro.telemetry.spans.SpanRecorder`:
+    :meth:`on_block` and :meth:`credit_wait` per lock wait,
+    :meth:`on_commit` once per committed transaction.
+    """
+
+    # Phase keys, in rendering order; "other" absorbs event-scheduling
+    # slack (zero-delay admission hops) so the fractions sum to 1.
+    PHASES = ("lock_wait", "cpu", "disk", "ready_wait", "restart_gap",
+              "other")
+
+    def __init__(self) -> None:
+        self.committed = 0
+        self.restarts_of_committed = 0
+        self.life_seconds = 0.0
+        self.phase_seconds: Dict[str, float] = {
+            phase: 0.0 for phase in self.PHASES}
+        self.response = LatencyHistogram()
+        self.lock_wait = LatencyHistogram()
+        self.service = LatencyHistogram()
+        self.ready_wait = LatencyHistogram()
+        # Blame: blocker txn id -> [block events, induced wait seconds].
+        self.blockers: Dict[int, List[float]] = {}
+        # Contested page -> [block events, wait seconds].
+        self.pages: Dict[int, List[float]] = {}
+        self.block_events = 0
+        self.depth_sum = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def on_block(self, blocker: Optional[int], page: int,
+                 depth: int) -> None:
+        """One blocked lock request, at block time."""
+        self.block_events += 1
+        self.depth_sum += depth
+        if depth > self.max_depth:
+            self.max_depth = depth
+        if blocker is not None:
+            self.blockers.setdefault(blocker, [0, 0.0])[0] += 1
+        self.pages.setdefault(page, [0, 0.0])[0] += 1
+
+    def credit_wait(self, blocker: Optional[int], page: Optional[int],
+                    seconds: float) -> None:
+        """Attribute a finished lock wait to its blocker and page."""
+        if blocker is not None:
+            self.blockers.setdefault(blocker, [0, 0.0])[1] += seconds
+        if page is not None:
+            self.pages.setdefault(page, [0, 0.0])[1] += seconds
+
+    def on_commit(self, life: float, lock_wait: float, cpu: float,
+                  disk: float, ready_wait: float, restart_gap: float,
+                  restarts: int) -> None:
+        """Fold one committed transaction's timeline into the totals."""
+        self.committed += 1
+        self.restarts_of_committed += restarts
+        self.life_seconds += life
+        accounted = lock_wait + cpu + disk + ready_wait + restart_gap
+        self.phase_seconds["lock_wait"] += lock_wait
+        self.phase_seconds["cpu"] += cpu
+        self.phase_seconds["disk"] += disk
+        self.phase_seconds["ready_wait"] += ready_wait
+        self.phase_seconds["restart_gap"] += restart_gap
+        self.phase_seconds["other"] += max(0.0, life - accounted)
+        self.response.add(life)
+        self.lock_wait.add(lock_wait)
+        self.service.add(cpu + disk)
+        self.ready_wait.add(ready_wait)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_chain_depth(self) -> float:
+        """Mean wait-chain depth observed at block time."""
+        return (self.depth_sum / self.block_events
+                if self.block_events else 0.0)
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Fraction of committed-transaction life spent in each phase."""
+        if self.life_seconds <= 0.0:
+            return {phase: 0.0 for phase in self.PHASES}
+        return {phase: self.phase_seconds[phase] / self.life_seconds
+                for phase in self.PHASES}
+
+    def top_blockers(self, limit: int = 10
+                     ) -> List[Tuple[int, int, float]]:
+        """``(txn_id, times_blocking, induced_wait_seconds)`` rows,
+        worst blocker (most induced wait, ties on id) first."""
+        ranked = sorted(
+            ((txn_id, int(count), seconds)
+             for txn_id, (count, seconds) in self.blockers.items()),
+            key=lambda row: (-row[2], -row[1], row[0]))
+        return ranked[:limit]
+
+    def hottest_pages(self, limit: int = 10
+                      ) -> List[Tuple[int, int, float]]:
+        """``(page, block_events, wait_seconds)`` rows, hottest first."""
+        ranked = sorted(
+            ((page, int(count), seconds)
+             for page, (count, seconds) in self.pages.items()),
+            key=lambda row: (-row[2], -row[1], row[0]))
+        return ranked[:limit]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The deterministic ``latency.json`` payload."""
+        return {
+            "committed": self.committed,
+            "restarts_of_committed": self.restarts_of_committed,
+            "response": self.response.summary(),
+            "lock_wait": self.lock_wait.summary(),
+            "service": self.service.summary(),
+            "ready_wait": self.ready_wait.summary(),
+            "phase_seconds": {phase: self.phase_seconds[phase]
+                              for phase in self.PHASES},
+            "phase_fractions": self.phase_fractions(),
+            "blame": {
+                "block_events": self.block_events,
+                "mean_chain_depth": self.mean_chain_depth,
+                "max_chain_depth": self.max_depth,
+                "top_blockers": [
+                    {"txn_id": txn_id, "blocks": count,
+                     "wait_seconds": seconds}
+                    for txn_id, count, seconds in self.top_blockers()],
+                "hottest_pages": [
+                    {"page": page, "blocks": count,
+                     "wait_seconds": seconds}
+                    for page, count, seconds in self.hottest_pages()],
+            },
+        }

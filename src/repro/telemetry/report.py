@@ -9,6 +9,9 @@
   threshold for several consecutive samples;
 * the top aborting transactions from the trace, with their abort
   reasons;
+* the latency picture (response-time percentiles, critical-path
+  breakdown, wait-chain blame) when the run recorded spans — also
+  available alone via ``telemetry latency``;
 * the event-loop profile (events/sec, time per subsystem) when one was
   recorded.
 
@@ -32,6 +35,7 @@ __all__ = [
     "top_aborters",
     "render_run_report",
     "render_report",
+    "render_latency_report",
 ]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
@@ -152,6 +156,44 @@ def _spark_row(label: str, values: Sequence[float],
             f"max={max(values):.2f}")
 
 
+def _latency_lines(latency: Dict[str, Any]) -> List[str]:
+    """The latency dashboard section, from a decoded latency.json."""
+    lines = [f"  latency ({latency['committed']} committed, "
+             f"{latency['restarts_of_committed']} restarts absorbed):"]
+    for label, key in (("response", "response"),
+                       ("lock wait", "lock_wait"),
+                       ("service", "service"),
+                       ("ready wait", "ready_wait")):
+        s = latency[key]
+        lines.append(
+            f"    {label:<12} mean={s['mean']:.3f}  p50={s['p50']:.3f}  "
+            f"p90={s['p90']:.3f}  p95={s['p95']:.3f}  p99={s['p99']:.3f}")
+    fractions = latency["phase_fractions"]
+    ranked = [(phase, frac) for phase, frac
+              in sorted(fractions.items(), key=lambda kv: (-kv[1], kv[0]))
+              if frac > 0.0]
+    if ranked:
+        lines.append("  critical path: " + " | ".join(
+            f"{phase} {100.0 * frac:.1f}%" for phase, frac in ranked))
+    else:
+        lines.append("  critical path: (no committed transactions)")
+    blame = latency["blame"]
+    lines.append(f"  blame: {blame['block_events']} block events, "
+                 f"mean chain depth {blame['mean_chain_depth']:.2f} "
+                 f"(max {blame['max_chain_depth']})")
+    if blame["top_blockers"]:
+        lines.append("    top blockers: " + "; ".join(
+            f"txn {row['txn_id']} ({row['blocks']} blocks, "
+            f"{row['wait_seconds']:.2f}s induced)"
+            for row in blame["top_blockers"][:5]))
+    if blame["hottest_pages"]:
+        lines.append("    hottest pages: " + "; ".join(
+            f"page {row['page']} ({row['blocks']} blocks, "
+            f"{row['wait_seconds']:.2f}s waited)"
+            for row in blame["hottest_pages"][:5]))
+    return lines
+
+
 def render_run_report(run_dir: Union[str, Path],
                       width: int = 60) -> str:
     """The dashboard for one telemetry run directory."""
@@ -202,6 +244,12 @@ def render_run_report(run_dir: Union[str, Path],
         lines.append(_spark_row("disk util",
                                 _series(samples, "disk_util"),
                                 lo=0.0, hi=1.0, width=width))
+        # conflict_ratio is null while every lock holder is blocked;
+        # _series drops the null samples, and an all-null run renders
+        # the "(no samples)" placeholder.
+        lines.append(_spark_row("conflict",
+                                _series(samples, "conflict_ratio"),
+                                width=width))
         onset = detect_thrashing_onset(samples)
         if onset is None:
             lines.append("  thrashing onset: none (State 3 fraction never "
@@ -224,6 +272,11 @@ def render_run_report(run_dir: Union[str, Path],
             lines.append("  top aborters: " + "; ".join(parts))
         else:
             lines.append("  top aborters: none (no aborts traced)")
+
+    latency_path = run_dir / "latency.json"
+    if latency_path.is_file():
+        latency = json.loads(latency_path.read_text(encoding="utf-8"))
+        lines.extend(_latency_lines(latency))
 
     profile_path = run_dir / "profile.json"
     if profile_path.is_file():
@@ -263,3 +316,33 @@ def render_report(root: Union[str, Path], width: int = 60) -> str:
             f"{root} contains no telemetry run directories")
     return "\n\n".join(render_run_report(p, width=width)
                        for p in run_dirs)
+
+
+def render_latency_report(root: Union[str, Path]) -> str:
+    """The latency-only view (``telemetry latency <dir>``).
+
+    ``root`` may be one run directory or a telemetry root; every run
+    that recorded spans (has a ``latency.json``) contributes a section.
+    Raises :class:`ExperimentError` when no run recorded spans.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ExperimentError(f"no such telemetry directory: {root}")
+    if (root / "manifest.json").is_file():
+        run_dirs = [root]
+    else:
+        run_dirs = sorted(p for p in root.iterdir()
+                          if (p / "manifest.json").is_file())
+    sections = []
+    for run_dir in run_dirs:
+        latency_path = run_dir / "latency.json"
+        if not latency_path.is_file():
+            continue
+        latency = json.loads(latency_path.read_text(encoding="utf-8"))
+        sections.append("\n".join(
+            [f"run {run_dir.name}"] + _latency_lines(latency)))
+    if not sections:
+        raise ExperimentError(
+            f"{root} holds no latency.json — re-run with span "
+            f"recording enabled (--spans)")
+    return "\n\n".join(sections)

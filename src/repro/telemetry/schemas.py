@@ -8,6 +8,11 @@ Each run directory holds four deterministic artifacts:
 * ``decisions.jsonl`` — one :data:`DECISION_SCHEMA` record per verdict;
 * ``trace.jsonl``     — one :data:`TRACE_SCHEMA` record per transition;
 
+and, when span recording is enabled, two more:
+
+* ``spans.jsonl``     — one :data:`SPAN_SCHEMA` record per closed span;
+* ``latency.json``    — the :data:`LATENCY_SCHEMA` analytics summary;
+
 plus the wall-clock ``profile.json``, which is deliberately *not*
 byte-deterministic and therefore not schema-pinned beyond being an
 object.
@@ -27,6 +32,8 @@ __all__ = [
     "PROBE_SCHEMA",
     "DECISION_SCHEMA",
     "TRACE_SCHEMA",
+    "SPAN_SCHEMA",
+    "LATENCY_SCHEMA",
     "MANIFEST_SCHEMA",
     "validate_record",
     "validate_jsonl",
@@ -105,6 +112,45 @@ TRACE_SCHEMA: Dict[str, Any] = {
         "type": {"type": "string"},
         "txn_id": {"type": "integer"},
         "detail": {"type": "string"},
+    },
+}
+
+SPAN_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["txn_id", "kind", "start", "end", "attempt",
+                 "page", "blocker", "depth"],
+    "properties": {
+        "txn_id": {"type": "integer"},
+        "kind": {"type": "string"},
+        "start": {"type": "number"},
+        "end": {"type": "number"},
+        "attempt": {"type": "integer"},
+        # Only lock_wait spans carry a page/blocker/depth; blocker is
+        # additionally null when the blocking order is empty at block
+        # time (the request raced a release inside one event).
+        "page": {"type": ["integer", "null"]},
+        "blocker": {"type": ["integer", "null"]},
+        "depth": {"type": ["integer", "null"]},
+    },
+}
+
+LATENCY_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "committed", "restarts_of_committed",
+        "response", "lock_wait", "service", "ready_wait",
+        "phase_seconds", "phase_fractions", "blame",
+    ],
+    "properties": {
+        "committed": {"type": "integer"},
+        "restarts_of_committed": {"type": "integer"},
+        "response": {"type": "object"},
+        "lock_wait": {"type": "object"},
+        "service": {"type": "object"},
+        "ready_wait": {"type": "object"},
+        "phase_seconds": {"type": "object"},
+        "phase_fractions": {"type": "object"},
+        "blame": {"type": "object"},
     },
 }
 
@@ -210,8 +256,19 @@ def validate_run_dir(run_dir: Union[str, Path]) -> List[str]:
 
     for filename, schema in (("probes.jsonl", PROBE_SCHEMA),
                              ("decisions.jsonl", DECISION_SCHEMA),
-                             ("trace.jsonl", TRACE_SCHEMA)):
+                             ("trace.jsonl", TRACE_SCHEMA),
+                             ("spans.jsonl", SPAN_SCHEMA)):
         path = run_dir / filename
         if path.is_file():
             errors.extend(validate_jsonl(path, schema))
+
+    latency_path = run_dir / "latency.json"
+    if latency_path.is_file():
+        try:
+            latency = json.loads(latency_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{latency_path}: invalid ({exc})")
+        else:
+            errors.extend(validate_record(latency, LATENCY_SCHEMA,
+                                          where=latency_path.name))
     return errors

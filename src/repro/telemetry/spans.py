@@ -1,0 +1,263 @@
+"""Per-transaction span timelines: where every microsecond went.
+
+The probes see the forest (population trajectories); spans see the
+trees.  A :class:`SpanRecorder` installed on a
+:class:`~repro.dbms.system.DBMSSystem` accumulates one typed
+:class:`Span` per contiguous stretch of a transaction's life:
+
+* ``ready_wait``  — parked in the external ready queue awaiting
+  admission (opened/closed through the queue's observer hooks);
+* ``cpu`` / ``disk`` — a service request at a physical resource,
+  measured from issue to completion so resource queueing is included;
+* ``lock_wait``   — blocked on a lock, annotated with the contested
+  page, the blocking transaction's id (the head of the deterministic
+  :meth:`~repro.lockmgr.lock_table.LockTable.blocking_order`), and the
+  wait-chain depth at block time;
+* ``restart_gap`` — the pause between an abort and the re-arrival of
+  the restarted transaction.
+
+Spans are strictly observational: the recorder never touches a random
+stream, never schedules an event, and never mutates system state, so a
+run with spans enabled follows exactly the same trajectory as the same
+run without them — and when no recorder is installed the system pays
+one ``None`` check per hook (the zero-cost-off property the rest of
+the telemetry layer shares).
+
+At commit time the transaction's accumulated per-kind totals are fed
+to a :class:`~repro.telemetry.latency.LatencyAnalytics`, which turns
+them into percentile histograms, critical-path breakdowns, and the
+wait-chain blame table.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Deque, Dict, Iterator, List,
+                    Optional)
+
+from repro.telemetry.latency import LatencyAnalytics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.system import DBMSSystem
+    from repro.dbms.transaction import Transaction
+
+__all__ = ["SpanKind", "Span", "SpanRecorder"]
+
+
+class SpanKind(enum.Enum):
+    """What a transaction was doing during one span."""
+
+    READY_WAIT = "ready_wait"    # external ready queue
+    CPU = "cpu"                  # CPU service (incl. resource queueing)
+    DISK = "disk"                # disk service (incl. resource queueing)
+    LOCK_WAIT = "lock_wait"      # blocked on a lock
+    RESTART_GAP = "restart_gap"  # between abort and re-arrival
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed stretch of a transaction's timeline.
+
+    ``attempt`` is 1-based (``restarts + 1`` at open time).  ``page``,
+    ``blocker``, and ``depth`` are only set for ``lock_wait`` spans:
+    the contested page, the id of the first transaction in the
+    deterministic blocking order, and the wait-chain depth measured
+    from the blocked transaction at block time.
+    """
+
+    txn_id: int
+    kind: SpanKind
+    start: float
+    end: float
+    attempt: int
+    page: Optional[int] = None
+    blocker: Optional[int] = None
+    depth: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spans.jsonl row."""
+        return {
+            "txn_id": self.txn_id,
+            "kind": self.kind.value,
+            "start": self.start,
+            "end": self.end,
+            "attempt": self.attempt,
+            "page": self.page,
+            "blocker": self.blocker,
+            "depth": self.depth,
+        }
+
+
+class _OpenSpan:
+    """Mutable record of the span a transaction is currently in."""
+
+    __slots__ = ("kind", "start", "attempt", "page", "blocker", "depth")
+
+    def __init__(self, kind: SpanKind, start: float, attempt: int,
+                 page: Optional[int] = None,
+                 blocker: Optional[int] = None,
+                 depth: Optional[int] = None):
+        self.kind = kind
+        self.start = start
+        self.attempt = attempt
+        self.page = page
+        self.blocker = blocker
+        self.depth = depth
+
+
+class SpanRecorder:
+    """Accumulates span timelines for every transaction in one run.
+
+    Args:
+        capacity: maximum closed spans retained for export; older spans
+            are dropped FIFO once the bound is hit (``None`` =
+            unbounded).  The latency analytics are fed from *every*
+            span regardless of the retention bound.
+
+    Install with :meth:`attach` before ``system.start()``; the recorder
+    hooks itself into the system (``system.spans``) and the ready queue
+    (``ready_queue.observer``).
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._open: Dict[int, _OpenSpan] = {}
+        self.analytics = LatencyAnalytics()
+        # Per-transaction per-kind running totals, cleared at commit.
+        self._totals: Dict[int, Dict[SpanKind, float]] = {}
+        self._system: Optional["DBMSSystem"] = None
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    def attach(self, system: "DBMSSystem") -> None:
+        """Hook the recorder into a freshly built system."""
+        self._system = system
+        system.spans = self
+        system.ready_queue.observer = self
+
+    @property
+    def _now(self) -> float:
+        return self._system.sim.now
+
+    # ------------------------------------------------------------------
+    # Span plumbing
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def spans_of(self, txn_id: int) -> List[Span]:
+        """All retained spans of one transaction, in order."""
+        return [s for s in self._spans if s.txn_id == txn_id]
+
+    def _open_span(self, txn: "Transaction", kind: SpanKind,
+                   page: Optional[int] = None,
+                   blocker: Optional[int] = None,
+                   depth: Optional[int] = None) -> None:
+        self._open[txn.txn_id] = _OpenSpan(
+            kind, self._now, txn.restarts + 1,
+            page=page, blocker=blocker, depth=depth)
+
+    def _close_span(self, txn: "Transaction") -> None:
+        """Close the transaction's open span, if any (tolerant)."""
+        open_span = self._open.pop(txn.txn_id, None)
+        if open_span is None:
+            return
+        end = self._now
+        span = Span(txn.txn_id, open_span.kind, open_span.start, end,
+                    open_span.attempt, page=open_span.page,
+                    blocker=open_span.blocker, depth=open_span.depth)
+        if (self.capacity is not None
+                and len(self._spans) >= self.capacity):
+            self.dropped += 1     # the deque evicts the oldest itself
+        self._spans.append(span)
+        totals = self._totals.setdefault(txn.txn_id, {})
+        totals[open_span.kind] = (totals.get(open_span.kind, 0.0)
+                                  + span.duration)
+        if open_span.kind is SpanKind.LOCK_WAIT:
+            self.analytics.credit_wait(open_span.blocker,
+                                       open_span.page, span.duration)
+
+    # ------------------------------------------------------------------
+    # System hooks (all called with the trajectory untouched)
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, txn: "Transaction") -> None:
+        """A transaction (re-)arrived: the restart gap, if any, ends."""
+        self._close_span(txn)
+
+    def on_ready_enqueued(self, txn: "Transaction") -> None:
+        """Ready-queue observer: parked awaiting admission."""
+        self._open_span(txn, SpanKind.READY_WAIT)
+
+    def on_ready_dequeued(self, txn: "Transaction") -> None:
+        """Ready-queue observer: leaving the queue (admission)."""
+        self._close_span(txn)
+
+    def begin_cpu(self, txn: "Transaction") -> None:
+        """A CPU service request was issued on the transaction's behalf."""
+        self._open_span(txn, SpanKind.CPU)
+
+    def begin_disk(self, txn: "Transaction") -> None:
+        """A disk access was issued on the transaction's behalf."""
+        self._open_span(txn, SpanKind.DISK)
+
+    def end_service(self, txn: "Transaction") -> None:
+        """A service request completed (no-op when none was recorded)."""
+        self._close_span(txn)
+
+    def on_block(self, txn: "Transaction", page: int) -> None:
+        """The transaction blocked on ``page``; attribute the wait.
+
+        The blocker recorded is the head of the lock table's
+        deterministic blocking order — the transaction that must make
+        progress before this one can.
+        """
+        lock_table = self._system.lock_table
+        order = lock_table.blocking_order(txn)
+        blocker = order[0].txn_id if order else None
+        depth = lock_table.wait_chain_depth(txn)
+        self._open_span(txn, SpanKind.LOCK_WAIT, page=page,
+                        blocker=blocker, depth=depth)
+        self.analytics.on_block(blocker, page, depth)
+
+    def on_unblock(self, txn: "Transaction") -> None:
+        """The blocked transaction's lock was granted."""
+        self._close_span(txn)
+
+    def on_abort(self, txn: "Transaction", reason: str) -> None:
+        """Abort: close whatever was open, start the restart gap.
+
+        Called after the system has torn the transaction down; the
+        re-arrival event is already scheduled, and :meth:`on_arrival`
+        will close the gap.
+        """
+        self._close_span(txn)
+        self._open_span(txn, SpanKind.RESTART_GAP)
+
+    def on_commit(self, txn: "Transaction") -> None:
+        """Commit: fold the transaction's timeline into the analytics."""
+        self._close_span(txn)    # defensive; nothing should be open
+        totals = self._totals.pop(txn.txn_id, {})
+        life = self._now - txn.timestamp
+        self.analytics.on_commit(
+            life=life,
+            lock_wait=totals.get(SpanKind.LOCK_WAIT, 0.0),
+            cpu=totals.get(SpanKind.CPU, 0.0),
+            disk=totals.get(SpanKind.DISK, 0.0),
+            ready_wait=totals.get(SpanKind.READY_WAIT, 0.0),
+            restart_gap=totals.get(SpanKind.RESTART_GAP, 0.0),
+            restarts=txn.restarts)

@@ -1,0 +1,188 @@
+"""Bench harness: suite pinning, measurement records, CI gating."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (BENCH_FORMAT, bench_path, compare_benches,
+                         entry_names, format_comparison, load_bench,
+                         run_bench, run_entry, suite_for, write_bench)
+from repro.errors import ExperimentError
+
+
+def test_suite_is_pinned():
+    assert entry_names() == ("base_hh", "fixed_mpl_50", "no_control",
+                             "buffered_hh", "high_contention")
+    smoke = suite_for("smoke")
+    full = suite_for("full")
+    assert [e.name for e in smoke] == [e.name for e in full]
+    # Scales differ only in the measurement window.
+    assert smoke[0].params.num_batches < full[0].params.num_batches
+    with pytest.raises(ExperimentError):
+        suite_for("galactic")
+
+
+def test_run_bench_unknown_entry_rejected(tmp_path):
+    with pytest.raises(ExperimentError):
+        run_bench("x", entries=["nonesuch"], out_dir=tmp_path,
+                  progress=False)
+
+
+def _tiny_entry():
+    """A cut-down suite entry so the measurement itself stays fast."""
+    entry = suite_for("smoke")[2]    # no_control: no controller state
+    params = entry.params.replace(num_terms=10, db_size=200,
+                                  warmup_time=2.0, num_batches=2,
+                                  batch_time=5.0)
+    return entry.__class__(entry.name, params, entry.controller_factory,
+                           entry.controller_args)
+
+
+def test_run_entry_measures_work():
+    record = run_entry(_tiny_entry())
+    assert record["events"] > 0
+    assert record["wall_seconds"] > 0.0
+    assert record["events_per_sec"] > 0.0
+    assert record["sim_pages"] > 0
+    assert record["pages_per_sec"] > 0.0
+    assert record["commits"] > 0
+    assert record["sim_time"] == _tiny_entry().params.total_time
+
+
+def test_run_entry_simulated_fields_deterministic():
+    a = run_entry(_tiny_entry())
+    b = run_entry(_tiny_entry())
+    for field in ("events", "sim_pages", "commits", "sim_time"):
+        assert a[field] == b[field], field
+
+
+def test_run_bench_writes_valid_file(tmp_path):
+    path = run_bench("unit", entries=["no_control"], out_dir=tmp_path,
+                     progress=False)
+    assert path == bench_path("unit", tmp_path)
+    payload = load_bench(path)
+    assert payload["format"] == BENCH_FORMAT
+    assert payload["label"] == "unit"
+    assert payload["scale"] == "smoke"
+    assert len(payload["code_fingerprint"]) == 16
+    assert set(payload["entries"]) == {"no_control"}
+
+
+def test_load_bench_rejects_garbage(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(ExperimentError):
+        load_bench(missing)
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(ExperimentError):
+        load_bench(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"format": "v0", "entries": {}}))
+    with pytest.raises(ExperimentError):
+        load_bench(wrong)
+
+
+def _payload(**entry_overrides):
+    entry = {
+        "wall_seconds": 1.0, "events": 1000, "events_per_sec": 1000.0,
+        "sim_pages": 500, "pages_per_sec": 500.0, "commits": 50,
+        "sim_time": 45.0,
+    }
+    entry.update(entry_overrides)
+    return {"format": BENCH_FORMAT, "label": "t", "scale": "smoke",
+            "code_fingerprint": "x" * 16, "python": "3",
+            "entries": {"base_hh": entry}}
+
+
+def test_compare_identical_passes_at_zero_tolerance():
+    base = _payload()
+    comparisons = compare_benches(base, copy.deepcopy(base), tolerance=0.0)
+    assert all(c.ok for c in comparisons)
+    assert "PASS" in format_comparison(comparisons, 0.0)
+
+
+def test_compare_flags_slowdown_beyond_tolerance():
+    base = _payload()
+    slow = _payload(events_per_sec=400.0, pages_per_sec=200.0)
+    comparisons = compare_benches(base, slow, tolerance=0.5)
+    (c,) = comparisons
+    assert not c.ok
+    assert "events_per_sec" in c.detail
+    assert c.ratio == pytest.approx(0.4)
+    assert "FAIL" in format_comparison(comparisons, 0.5)
+    # The generous cross-machine default lets the same slowdown pass.
+    assert all(x.ok for x in compare_benches(base, slow, tolerance=0.9))
+
+
+def test_compare_flags_simulated_drift_regardless_of_speed():
+    base = _payload()
+    drifted = _payload(events=1001)
+    (c,) = compare_benches(base, drifted, tolerance=0.9)
+    assert not c.ok
+    assert "drifted" in c.detail
+
+
+def test_compare_flags_missing_entry_and_scale_mismatch():
+    base = _payload()
+    empty = _payload()
+    empty["entries"] = {}
+    (c,) = compare_benches(base, empty)
+    assert not c.ok and "missing" in c.detail
+
+    other_scale = _payload()
+    other_scale["scale"] = "full"
+    (c,) = compare_benches(base, other_scale)
+    assert not c.ok and "scale mismatch" in c.detail
+
+
+def test_write_bench_is_stable(tmp_path):
+    payload = _payload()
+    a = write_bench(payload, tmp_path / "a.json")
+    b = write_bench(copy.deepcopy(payload), tmp_path / "b.json")
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_cli_run_compare_and_list(tmp_path, capsys):
+    from repro.bench.cli import main
+    path = bench_path("clitest", tmp_path)
+    assert main(["run", "--label", "clitest", "--out", str(tmp_path),
+                 "--entry", "no_control", "--quiet"]) == 0
+    assert path.is_file()
+    assert "wrote" in capsys.readouterr().out
+
+    # Self-compare passes even at a tight tolerance.
+    assert main(["compare", str(path), str(path),
+                 "--tolerance", "0.05"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    # A doctored slowdown fails and exits non-zero.
+    payload = load_bench(path)
+    payload["entries"]["no_control"]["events_per_sec"] /= 100.0
+    payload["entries"]["no_control"]["pages_per_sec"] /= 100.0
+    slow = tmp_path / "slow.json"
+    write_bench(payload, slow)
+    assert main(["compare", str(path), str(slow),
+                 "--tolerance", "0.5"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "no_control" in out and "smoke" in out
+
+
+def test_cli_rejects_bad_tolerance():
+    from repro.bench.cli import main
+    with pytest.raises(SystemExit):
+        main(["compare", "a", "b", "--tolerance", "1.5"])
+
+
+def test_committed_baseline_is_loadable():
+    from pathlib import Path
+    repo_root = Path(__file__).resolve().parents[2]
+    payload = load_bench(repo_root / "benchmarks" / "BENCH_baseline.json")
+    assert set(payload["entries"]) == set(entry_names())
+    for record in payload["entries"].values():
+        assert record["events"] > 0

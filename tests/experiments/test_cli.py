@@ -128,6 +128,51 @@ def test_telemetry_commands_reject_bad_dirs(capsys, tmp_path):
     assert "no telemetry runs" in capsys.readouterr().err
 
 
+def test_spans_flag_requires_telemetry_dir(capsys):
+    assert main(["run", "fig20", "--scale", "smoke", "--spans"]) == 1
+    assert "--telemetry-dir" in capsys.readouterr().err
+
+
+def test_run_figure_with_spans_then_latency_report(capsys, tmp_path):
+    tel = tmp_path / "tel"
+    assert main(["run", "fig20", "--scale", "smoke",
+                 "--telemetry-dir", str(tel), "--spans",
+                 "--probe-interval", "5"]) == 0
+    capsys.readouterr()
+    run_dirs = [d for d in tel.iterdir() if d.is_dir()]
+    assert run_dirs
+    for d in run_dirs:
+        assert (d / "spans.jsonl").is_file()
+        assert (d / "latency.json").is_file()
+
+    # spans.jsonl and latency.json validate with the rest of the run.
+    assert main(["telemetry", "validate", str(tel)]) == 0
+    capsys.readouterr()
+
+    # The latency report renders for the root and for a single run.
+    assert main(["telemetry", "latency", str(tel)]) == 0
+    out = capsys.readouterr().out
+    assert "latency" in out
+    assert "p99" in out
+    assert main(["telemetry", "latency", str(run_dirs[0])]) == 0
+    capsys.readouterr()
+
+    # The run report folds the latency section in too.
+    assert main(["telemetry", "report", str(run_dirs[0])]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+
+
+def test_latency_report_without_spans_suggests_flag(capsys, tmp_path):
+    tel = tmp_path / "tel"
+    assert main(["run", "fig20", "--scale", "smoke",
+                 "--telemetry-dir", str(tel),
+                 "--probe-interval", "5"]) == 0
+    capsys.readouterr()
+    assert main(["telemetry", "latency", str(tel)]) == 1
+    assert "--spans" in capsys.readouterr().err
+
+
 def test_run_all_exports_per_figure_files(capsys, tmp_path, monkeypatch):
     # Regression: `run all` used to silently drop --csv/--json.  With
     # `all` the flags name a directory that receives one file per figure.

@@ -58,6 +58,8 @@ def test_results_to_dict(tiny_params):
     assert d["controller"] == "NoControl"
     assert d["page_throughput"] > 0
     assert "default" in d["per_class"]
+    assert d["response_time"] == r.response_time.mean
+    assert d["response_time_ci"] == r.response_time.half_width
     json.dumps(d)   # fully serializable
 
 

@@ -81,6 +81,37 @@ def test_build_results_batch_rates():
     assert r.abort_ratio == pytest.approx(2 / 23)
 
 
+def test_build_results_response_time_batch_means():
+    c = Collector()
+    snaps = [c.snapshot(0.0)]
+    # batch 1: 8 commits totalling 16s of response time (mean 2.0)
+    c.commits, c.response_time_sum = 8, 16.0
+    snaps.append(c.snapshot(10.0))
+    # batch 2: +15 commits, +45s (mean 3.0)
+    c.commits, c.response_time_sum = 23, 61.0
+    snaps.append(c.snapshot(20.0))
+    r = build_results(snaps, "ctrl", "wl", commits=23, aborts=0,
+                      aborts_by_reason={}, response_time_sum=61.0,
+                      restarts_of_committed=0, max_mpl=12.0)
+    assert r.response_time.mean == pytest.approx(2.5)
+    assert r.response_time.num_batches == 2
+    assert r.response_time.half_width > 0.0
+
+
+def test_build_results_response_time_zero_commit_batch():
+    # A batch with no commits contributes a 0.0 mean rather than
+    # dividing by zero; the CI widens accordingly.
+    c = Collector()
+    snaps = [c.snapshot(0.0)]
+    snaps.append(c.snapshot(10.0))  # batch 1: nothing committed
+    c.commits, c.response_time_sum = 10, 40.0
+    snaps.append(c.snapshot(20.0))  # batch 2: mean 4.0
+    r = build_results(snaps, "ctrl", "wl", commits=10, aborts=0,
+                      aborts_by_reason={}, response_time_sum=40.0,
+                      restarts_of_committed=0, max_mpl=12.0)
+    assert r.response_time.mean == pytest.approx(2.0)
+
+
 def test_build_results_needs_two_snapshots():
     c = Collector()
     with pytest.raises(ReproError):

@@ -106,6 +106,49 @@ def test_format_limit():
     assert len(tracer.format(limit=3).splitlines()) == 3
 
 
+def test_history_index_matches_full_scan_under_eviction():
+    # Interleave three transactions past the retention bound; the
+    # per-txn index must agree with a filtered scan of the retained
+    # deque, and evicted transactions must vanish entirely.
+    tracer = Tracer(capacity=6)
+    for i in range(20):
+        tracer.record(float(i), TraceEventType.ADMIT, i % 3,
+                      detail=str(i))
+    retained = list(tracer)
+    assert len(retained) == 6 and tracer.dropped == 14
+    for txn_id in range(3):
+        expected = [e for e in retained if e.txn_id == txn_id]
+        assert tracer.history_of(txn_id) == expected
+        assert tracer.events(txn_id=txn_id) == expected
+
+
+def test_history_index_cleans_empty_buckets():
+    tracer = Tracer(capacity=2)
+    tracer.record(0.0, TraceEventType.ADMIT, 1)
+    tracer.record(1.0, TraceEventType.ADMIT, 2)
+    tracer.record(2.0, TraceEventType.ADMIT, 3)  # evicts txn 1's only event
+    assert tracer.history_of(1) == []
+    assert 1 not in tracer._by_txn
+    assert [e.txn_id for e in tracer] == [2, 3]
+
+
+def test_history_index_unbounded_and_missing_txn():
+    tracer = Tracer(capacity=None)
+    for i in range(100):
+        tracer.record(float(i), TraceEventType.ADMIT, i % 5)
+    assert len(tracer.history_of(0)) == 20
+    assert tracer.history_of(999) == []
+
+
+def test_history_index_zero_capacity_records_nothing():
+    tracer = Tracer(capacity=0)
+    tracer.record(0.0, TraceEventType.ADMIT, 1)
+    assert len(tracer) == 0
+    assert tracer.dropped == 1
+    assert tracer.history_of(1) == []
+    assert tracer._by_txn == {}
+
+
 def test_traced_simulation_records_lifecycle(tiny_params):
     from repro.control.no_control import NoControlController
     from repro.experiments.runner import run_simulation

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.core.half_and_half import HalfAndHalfController
@@ -75,6 +77,47 @@ def test_render_report_walks_a_root(tiny_params, tmp_path):
     assert "run a" in text
     assert "run b" in text
     assert "served from the result cache" in text
+
+
+def _write_probe_run(tmp_path, conflict_ratios):
+    """Synthesize a telemetry run dir with the given conflict series."""
+    run = tmp_path / "run"
+    run.mkdir()
+    (run / "manifest.json").write_text(json.dumps(
+        {"controller": "NoControl", "seed": 1, "sim_time": 5.0,
+         "code_fingerprint": "deadbeef",
+         "records": {"probes": len(conflict_ratios)}}),
+        encoding="utf-8")
+    with (run / "probes.jsonl").open("w", encoding="utf-8") as fh:
+        for i, ratio in enumerate(conflict_ratios):
+            fh.write(json.dumps(
+                {"time": float(i), "frac_state1": 0.5, "frac_state3": 0.1,
+                 "blocked_frac": 0.2, "n_active": 3, "ready_queue": 0,
+                 "cpu_util": 0.8, "disk_util": 0.4,
+                 "conflict_ratio": ratio}) + "\n")
+    return run
+
+
+def test_render_run_report_all_null_conflict_ratio(tmp_path):
+    # Every holder blocked at every probe: conflict_ratio is null
+    # throughout, and the row must degrade to a placeholder instead of
+    # crashing on min()/max() of an empty series.
+    run = _write_probe_run(tmp_path, [None, None, None])
+    text = render_run_report(run)
+    (conflict_line,) = [l for l in text.splitlines() if "conflict" in l]
+    assert "(no samples)" in conflict_line
+
+
+def test_render_run_report_partial_null_conflict_ratio(tmp_path):
+    # Null samples are dropped; the sparkline stats cover only the
+    # defined ones.
+    run = _write_probe_run(tmp_path, [None, 1.0, None, 3.0])
+    text = render_run_report(run)
+    (conflict_line,) = [l for l in text.splitlines() if "conflict" in l]
+    assert "(no samples)" not in conflict_line
+    assert "min=1.00" in conflict_line
+    assert "mean=2.00" in conflict_line
+    assert "max=3.00" in conflict_line
 
 
 def test_render_report_rejects_non_telemetry_dirs(tmp_path):

@@ -1,0 +1,250 @@
+"""Span timelines and latency analytics: correctness, invariance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.parallel import RunSpec, run_specs, spec_key
+from repro.experiments.runner import run_simulation
+from repro.telemetry import (LatencyAnalytics, LatencyHistogram,
+                             SpanKind, SpanRecorder, TelemetryConfig,
+                             TelemetrySession, validate_run_dir)
+
+
+# ----------------------------------------------------------------------
+# LatencyHistogram unit behaviour
+# ----------------------------------------------------------------------
+
+def test_histogram_empty_is_all_zero():
+    h = LatencyHistogram()
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.quantile(0.99) == 0.0
+    assert h.summary()["p50"] == 0.0
+
+
+def test_histogram_nearest_rank_quantiles_are_exact():
+    h = LatencyHistogram()
+    for v in [5.0, 1.0, 3.0, 2.0, 4.0]:   # unsorted on purpose
+        h.add(v)
+    # Nearest-rank over n=5: ceil(q*5) gives ranks 3, 5, 5, 5.
+    assert h.quantile(0.50) == 3.0
+    assert h.quantile(0.90) == 5.0
+    assert h.quantile(0.99) == 5.0
+    assert h.min == 1.0 and h.max == 5.0
+    assert h.mean == pytest.approx(3.0)
+    # Insert after a sort: the cached order must invalidate.
+    h.add(0.5)
+    assert h.quantile(0.50) == 2.0      # n=6: rank ceil(3.0)=3 → 2.0
+    assert h.min == 0.5
+
+
+def test_histogram_single_value():
+    h = LatencyHistogram()
+    h.add(7.0)
+    for q in (0.01, 0.5, 1.0):
+        assert h.quantile(q) == 7.0
+
+
+# ----------------------------------------------------------------------
+# LatencyAnalytics unit behaviour
+# ----------------------------------------------------------------------
+
+def test_analytics_phase_fractions_sum_to_one():
+    a = LatencyAnalytics()
+    a.on_commit(life=10.0, lock_wait=4.0, cpu=2.0, disk=1.0,
+                ready_wait=1.0, restart_gap=0.0, restarts=0)
+    fractions = a.phase_fractions()
+    assert fractions["lock_wait"] == pytest.approx(0.4)
+    assert fractions["other"] == pytest.approx(0.2)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_analytics_blame_ranking():
+    a = LatencyAnalytics()
+    a.on_block(blocker=1, page=10, depth=1)
+    a.on_block(blocker=2, page=10, depth=3)
+    a.on_block(blocker=2, page=20, depth=2)
+    a.credit_wait(blocker=1, page=10, seconds=5.0)
+    a.credit_wait(blocker=2, page=10, seconds=1.0)
+    a.credit_wait(blocker=2, page=20, seconds=1.0)
+    assert a.top_blockers()[0] == (1, 1, 5.0)      # most induced wait
+    assert a.hottest_pages()[0][0] == 10
+    assert a.mean_chain_depth == pytest.approx(2.0)
+    assert a.max_depth == 3
+    payload = a.to_dict()
+    assert payload["blame"]["block_events"] == 3
+    json.dumps(payload)
+
+
+def test_analytics_empty_to_dict_is_serializable():
+    payload = LatencyAnalytics().to_dict()
+    assert payload["committed"] == 0
+    assert payload["phase_fractions"]["lock_wait"] == 0.0
+    json.dumps(payload)
+
+
+# ----------------------------------------------------------------------
+# End-to-end span recording
+# ----------------------------------------------------------------------
+
+def _contended(params):
+    """A tiny but lock-contended workload (blocks and restarts occur)."""
+    return params.replace(db_size=50, write_prob=0.5)
+
+
+def _run_with_spans(params, out_dir, **kwargs):
+    session = TelemetrySession(out_dir, spans=True, **kwargs)
+    results = run_simulation(params, HalfAndHalfController(),
+                             telemetry=session)
+    return session, results
+
+
+def test_spans_export_and_schema(tiny_params, tmp_path):
+    run_dir = tmp_path / "run"
+    session, _ = _run_with_spans(_contended(tiny_params), run_dir)
+    assert (run_dir / "spans.jsonl").is_file()
+    assert (run_dir / "latency.json").is_file()
+    assert validate_run_dir(run_dir) == []
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["records"]["spans"] == len(session.spans)
+    assert manifest["records"]["spans"] > 0
+
+
+def test_span_timelines_are_well_formed(tiny_params, tmp_path):
+    session, _ = _run_with_spans(_contended(tiny_params), tmp_path / "run")
+    spans = list(session.spans)
+    assert spans
+    kinds_seen = {s.kind for s in spans}
+    assert SpanKind.CPU in kinds_seen
+    assert SpanKind.DISK in kinds_seen
+    assert SpanKind.LOCK_WAIT in kinds_seen
+    by_txn = {}
+    for s in spans:
+        assert s.end >= s.start
+        assert s.attempt >= 1
+        by_txn.setdefault(s.txn_id, []).append(s)
+    for txn_spans in by_txn.values():
+        # One open span at a time: a transaction's spans never overlap
+        # (export order is close order, which is start order per txn).
+        for prev, cur in zip(txn_spans, txn_spans[1:]):
+            assert cur.start >= prev.end - 1e-9
+
+
+def test_lock_wait_spans_carry_attribution(tiny_params, tmp_path):
+    session, _ = _run_with_spans(_contended(tiny_params), tmp_path / "run")
+    waits = [s for s in session.spans if s.kind is SpanKind.LOCK_WAIT]
+    assert waits
+    for s in waits:
+        assert s.page is not None
+        assert s.depth is not None and s.depth >= 1
+        assert s.blocker is not None and s.blocker != s.txn_id
+    # Non-wait spans carry no attribution fields.
+    for s in session.spans:
+        if s.kind is not SpanKind.LOCK_WAIT:
+            assert s.page is None and s.blocker is None and s.depth is None
+
+
+def test_restart_gap_spans_follow_aborts(tiny_params, tmp_path):
+    session, results = _run_with_spans(_contended(tiny_params),
+                                       tmp_path / "run")
+    gaps = [s for s in session.spans if s.kind is SpanKind.RESTART_GAP]
+    if results.aborts == 0:
+        pytest.skip("workload produced no aborts")
+    assert gaps
+    for s in gaps:
+        assert s.duration >= 0.0
+
+
+def test_spans_are_trajectory_invariant(tiny_params, tmp_path):
+    """Spans on vs off: identical results and identical probe stream."""
+    params = _contended(tiny_params)
+    off = TelemetrySession(tmp_path / "off")
+    r_off = run_simulation(params, HalfAndHalfController(), telemetry=off)
+    on = TelemetrySession(tmp_path / "on", spans=True)
+    r_on = run_simulation(params, HalfAndHalfController(), telemetry=on)
+    assert r_off == r_on
+    assert (tmp_path / "off" / "probes.jsonl").read_bytes() == \
+        (tmp_path / "on" / "probes.jsonl").read_bytes()
+    assert (tmp_path / "off" / "trace.jsonl").read_bytes() == \
+        (tmp_path / "on" / "trace.jsonl").read_bytes()
+
+
+def test_spans_deterministic_across_runs(tiny_params, tmp_path):
+    params = _contended(tiny_params)
+    _run_with_spans(params, tmp_path / "a")
+    _run_with_spans(params, tmp_path / "b")
+    for name in ("spans.jsonl", "latency.json"):
+        assert (tmp_path / "a" / name).read_bytes() == \
+            (tmp_path / "b" / name).read_bytes(), name
+
+
+def test_span_capacity_bounds_export_not_analytics(tiny_params, tmp_path):
+    params = _contended(tiny_params)
+    full, _ = _run_with_spans(params, tmp_path / "full")
+    capped, _ = _run_with_spans(params, tmp_path / "capped",
+                                span_capacity=10)
+    total = len(full.spans)
+    assert total > 10
+    assert len(capped.spans) == 10
+    assert capped.spans.dropped == total - 10
+    # The analytics see every span regardless of the retention bound.
+    assert capped.spans.analytics.to_dict() == \
+        full.spans.analytics.to_dict()
+    manifest = json.loads(
+        (tmp_path / "capped" / "manifest.json").read_text())
+    assert manifest["records"]["spans_dropped"] == total - 10
+
+
+def test_latency_json_accounts_for_commits(tiny_params, tmp_path):
+    session, results = _run_with_spans(_contended(tiny_params),
+                                       tmp_path / "run")
+    latency = json.loads((tmp_path / "run" / "latency.json").read_text())
+    # The analytics see the whole run (warmup included), so the commit
+    # count matches the per-class totals, not the measurement window.
+    total_commits = sum(cls.commits for cls in results.per_class.values())
+    assert latency["committed"] == total_commits
+    assert latency["response"]["count"] == total_commits
+    assert total_commits >= results.commits
+    assert latency["response"]["mean"] > 0.0
+    fractions = latency["phase_fractions"]
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_run_specs_spans_serial_pool_identical(tiny_params, tmp_path):
+    params = _contended(tiny_params)
+    specs = [RunSpec(params=params,
+                     controller_factory=HalfAndHalfController)]
+    config_a = TelemetryConfig(root=str(tmp_path / "serial"), spans=True)
+    config_b = TelemetryConfig(root=str(tmp_path / "pool"), spans=True)
+    serial = run_specs(specs, jobs=1, telemetry=config_a)
+    pooled = run_specs(specs, jobs=2, telemetry=config_b)
+    assert serial == pooled
+    key = spec_key(specs[0])
+    for name in ("spans.jsonl", "latency.json", "probes.jsonl"):
+        assert (tmp_path / "serial" / key / name).read_bytes() == \
+            (tmp_path / "pool" / key / name).read_bytes(), name
+
+
+def test_recorder_tolerates_unmatched_closes(tiny_params):
+    """_close_span with nothing open is a no-op, not an error."""
+
+    class FakeTxn:
+        txn_id = 1
+        restarts = 0
+        timestamp = 0.0
+
+    class FakeSim:
+        now = 1.0
+
+    class FakeSystem:
+        sim = FakeSim()
+
+    recorder = SpanRecorder()
+    recorder._system = FakeSystem()
+    recorder.end_service(FakeTxn())     # nothing open
+    recorder.on_unblock(FakeTxn())
+    assert len(recorder) == 0
