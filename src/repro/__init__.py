@@ -41,9 +41,12 @@ from repro.dbms import DBMSSystem, SimulationParameters, Transaction
 from repro.errors import (
     ConfigurationError,
     ExperimentError,
+    InvariantViolation,
     LockManagerError,
     ReproError,
+    ShadowDivergence,
     SimulationError,
+    VerificationError,
     WorkloadError,
 )
 from repro.experiments.runner import run_simulation
@@ -70,6 +73,13 @@ from repro.telemetry import (
     ProbeScheduler,
     TelemetryConfig,
     TelemetrySession,
+)
+from repro.verify import (
+    InvariantChecker,
+    ReferenceLockTable,
+    ShadowLockTable,
+    VerifyConfig,
+    reference_classify_region,
 )
 from repro.workload import (
     HomogeneousWorkload,
@@ -101,10 +111,18 @@ __all__ = [
     "Transaction",
     "ConfigurationError",
     "ExperimentError",
+    "InvariantViolation",
     "LockManagerError",
     "ReproError",
+    "ShadowDivergence",
     "SimulationError",
+    "VerificationError",
     "WorkloadError",
+    "VerifyConfig",
+    "InvariantChecker",
+    "ReferenceLockTable",
+    "ShadowLockTable",
+    "reference_classify_region",
     "run_simulation",
     "BoundedWaitPolicy",
     "NoWaitPolicy",

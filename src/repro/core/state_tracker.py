@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, Optional, Set
 
+from repro.errors import InvariantViolation
 from repro.metrics.collector import Collector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -78,7 +79,10 @@ class StateTracker:
 
     def add(self, txn: "Transaction", now: float) -> None:
         """Admit a transaction (enters running & immature by definition)."""
-        assert txn not in self._active, f"{txn!r} already active"
+        if txn in self._active:
+            raise InvariantViolation(
+                f"{txn!r} already active", invariant="tracker_membership",
+                sim_time=now)
         txn.is_blocked = False
         txn.is_mature = False
         self._active.add(txn)
@@ -87,7 +91,7 @@ class StateTracker:
 
     def remove(self, txn: "Transaction", now: float) -> None:
         """Remove a transaction from the active set (commit or abort)."""
-        assert txn in self._active, f"{txn!r} not active"
+        self._require_active(txn, now)
         self._active.remove(txn)
         self._bucket_delta(txn, -1)
         self._publish(now)
@@ -95,7 +99,7 @@ class StateTracker:
     def set_blocked(self, txn: "Transaction", blocked: bool,
                     now: float) -> None:
         """Flip the running/blocked axis."""
-        assert txn in self._active, f"{txn!r} not active"
+        self._require_active(txn, now)
         if txn.is_blocked == blocked:
             return
         self._bucket_delta(txn, -1)
@@ -105,7 +109,7 @@ class StateTracker:
 
     def set_mature(self, txn: "Transaction", now: float) -> None:
         """Mark a transaction mature (irreversible within an attempt)."""
-        assert txn in self._active, f"{txn!r} not active"
+        self._require_active(txn, now)
         if txn.is_mature:
             return
         self._bucket_delta(txn, -1)
@@ -114,6 +118,12 @@ class StateTracker:
         self._publish(now)
 
     # ------------------------------------------------------------------
+
+    def _require_active(self, txn: "Transaction", now: float) -> None:
+        if txn not in self._active:
+            raise InvariantViolation(
+                f"{txn!r} not active", invariant="tracker_membership",
+                sim_time=now)
 
     def _bucket_delta(self, txn: "Transaction", delta: int) -> None:
         if txn.is_blocked:
@@ -134,11 +144,29 @@ class StateTracker:
                 self.n_state3, self.n_state4)
 
     def check_invariants(self) -> None:
-        """Verify counters against a from-scratch recomputation."""
+        """Verify counters against a from-scratch recomputation.
+
+        Raises :class:`~repro.errors.InvariantViolation` (a real
+        exception, not a ``python -O``-stripped assert) when the
+        incrementally maintained bucket counters disagree with a
+        from-scratch classification of the active set.
+        """
         counts = [0, 0, 0, 0]
         for txn in self._active:
             counts[self.state_of(txn) - 1] += 1
-        assert counts == [self.n_state1, self.n_state2,
-                          self.n_state3, self.n_state4], (
-            f"tracker counters {[self.n_state1, self.n_state2, self.n_state3, self.n_state4]} "
-            f"disagree with recomputation {counts}")
+        counters = [self.n_state1, self.n_state2,
+                    self.n_state3, self.n_state4]
+        if counts != counters:
+            raise InvariantViolation(
+                f"tracker counters {counters} disagree with "
+                f"recomputation {counts}",
+                invariant="tracker_bucket_conservation",
+                evidence={"counters": counters, "recomputed": counts,
+                          "n_active": self.n_active})
+        if sum(counters) != self.n_active:
+            raise InvariantViolation(
+                f"bucket counters sum to {sum(counters)} but "
+                f"{self.n_active} transactions are active",
+                invariant="tracker_bucket_conservation",
+                evidence={"counters": counters,
+                          "n_active": self.n_active})

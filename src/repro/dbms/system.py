@@ -44,7 +44,7 @@ from repro.dbms.buffer import LRUBuffer, NullBuffer
 from repro.dbms.config import SimulationParameters
 from repro.dbms.ready_queue import ReadyQueue
 from repro.dbms.transaction import Transaction, TxnPhase
-from repro.errors import SimulationError
+from repro.errors import InvariantViolation, SimulationError
 from repro.lockmgr.deadlock import resolve_deadlocks
 from repro.lockmgr.lock_table import Grant, LockTable, RequestOutcome
 from repro.lockmgr.prevention import (
@@ -116,6 +116,12 @@ class DBMSSystem:
         # repro.telemetry.spans.SpanRecorder.attach); strictly
         # observational, one None check per hook when disabled.
         self.spans = None
+        # Optional runtime invariant checker (see
+        # repro.verify.InvariantChecker.attach); strictly
+        # observational, one None check per hook when disabled.  The
+        # on-commit cadence hooks here; per-event cadences hook the
+        # simulator's monitor slot instead.
+        self.invariants = None
         self._disk_rng = self.streams.stream("disk_choice")
         self._next_txn_id = 0
         self._started = False
@@ -474,6 +480,10 @@ class DBMSSystem:
         # The terminal thinks, then submits its next transaction.
         self.sim.schedule(self._think_delay(),
                           self._terminal_submits, terminal_id)
+        if self.invariants is not None:
+            # After the replacement arrival is scheduled, so the
+            # population-conservation law holds at the check point.
+            self.invariants.on_commit(txn)
 
     # ------------------------------------------------------------------
     # Aborts
@@ -518,11 +528,20 @@ class DBMSSystem:
         return list(self.tracker.blocked_transactions())
 
     def check_invariants(self) -> None:
-        """Cross-check lock table and tracker consistency (tests only)."""
+        """Cross-check lock table and tracker consistency.
+
+        Raises :class:`~repro.errors.InvariantViolation` on failure.
+        Historically a test-only helper; the runtime
+        :class:`repro.verify.InvariantChecker` now also calls it (among
+        deeper cross-subsystem checks) on live runs.
+        """
         self.lock_table.check_invariants()
         self.tracker.check_invariants()
         for txn in self.tracker.active_transactions():
             waiting = self.lock_table.is_waiting(txn)
-            assert waiting == txn.is_blocked, (
-                f"{txn!r}: blocked flag {txn.is_blocked} but "
-                f"lock-table waiting {waiting}")
+            if waiting != txn.is_blocked:
+                raise InvariantViolation(
+                    f"{txn!r}: blocked flag {txn.is_blocked} but "
+                    f"lock-table waiting {waiting}",
+                    invariant="blocked_flag_sync",
+                    sim_time=self.sim.now)

@@ -76,3 +76,65 @@ class FaultInjectionError(ReproError):
     Fault-injection tests and chaos jobs recognise this type to tell
     injected failures apart from genuine bugs.
     """
+
+
+class VerificationError(ReproError):
+    """Base class for failures raised by the verification subsystem
+    (:mod:`repro.verify`): broken runtime invariants, divergence from a
+    reference implementation, or golden-manifest drift."""
+
+
+class InvariantViolation(VerificationError):
+    """A cross-subsystem runtime invariant does not hold.
+
+    Unlike a bare ``assert`` (stripped under ``python -O``), this is a
+    real exception that always fires.  It carries everything needed to
+    diagnose the violation without re-running:
+
+    Attributes:
+        invariant: short name of the violated invariant
+            (e.g. ``"lock_conflict_freedom"``).
+        sim_time: simulated time at which the violation was detected,
+            when known.
+        context: free-form description of the event context.
+        evidence: JSON-serializable snapshot of the relevant state
+            (lock table dump, tracker counts, collector counters, ...).
+    """
+
+    def __init__(self, message: str, invariant: str = "unspecified",
+                 sim_time=None, context: str = "", evidence=None):
+        super().__init__(message)
+        self.invariant = invariant
+        self.sim_time = sim_time
+        self.context = context
+        self.evidence = dict(evidence) if evidence else {}
+
+    def __str__(self) -> str:
+        base = self.args[0] if self.args else ""
+        where = (f" at simulated time {self.sim_time:.6f}"
+                 if self.sim_time is not None else "")
+        return f"[invariant {self.invariant}{where}] {base}"
+
+
+class ShadowDivergence(VerificationError):
+    """The real implementation and its naive reference disagreed.
+
+    Raised by shadow-mode differential checking (e.g.
+    :class:`repro.verify.ShadowLockTable`) the moment an operation's
+    outcome, grant cascade, or resulting state differs between the
+    production implementation and the obviously-correct reference.
+
+    Attributes:
+        operation: the mutating operation that diverged.
+        evidence: JSON-serializable dump of both sides' views.
+    """
+
+    def __init__(self, message: str, operation: str = "unspecified",
+                 evidence=None):
+        super().__init__(message)
+        self.operation = operation
+        self.evidence = dict(evidence) if evidence else {}
+
+    def __str__(self) -> str:
+        base = self.args[0] if self.args else ""
+        return f"[shadow divergence in {self.operation}] {base}"

@@ -5,6 +5,8 @@ Usage::
     repro-experiment list
     repro-experiment run fig07 [--scale smoke|bench|paper] [--jobs N]
     repro-experiment run all   [--scale bench] [--cache-dir .repro-cache]
+    repro-experiment run fig07 --verify[=every|sampled|commit]
+    repro-experiment verify golden [--update]
 
 ``--jobs N`` fans independent simulation runs out over N worker
 processes; results are bit-identical to ``--jobs 1``.  ``--cache-dir``
@@ -90,6 +92,20 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                               "'hang@0:2:1.5'; kinds: crash, hang, slow, "
                               "error, sigint; repeatable (for testing "
                               "the resilience machinery)"))
+    parser.add_argument("--verify", nargs="?", const="sampled",
+                        default=None, metavar="CADENCE",
+                        choices=["every", "sampled", "commit"],
+                        help=("run every simulation under the runtime "
+                              "invariant checker and shadow lock table; "
+                              "optional cadence: every, sampled "
+                              "(default), or commit.  Observational: "
+                              "results are bit-identical to an "
+                              "unverified run, or the run fails with "
+                              "the violated invariant"))
+    parser.add_argument("--verify-evidence-dir", metavar="PATH",
+                        default=None,
+                        help=("with --verify: also write violation "
+                              "evidence snapshots (JSON) into PATH"))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
               "blame) for runs recorded with --spans"))
     tel_latency.add_argument("dir",
                              help="a run directory or telemetry root")
+
+    ver_p = sub.add_parser(
+        "verify",
+        help="correctness tooling: golden-run manifest management")
+    ver_sub = ver_p.add_subparsers(dest="verify_command", required=True)
+    ver_golden = ver_sub.add_parser(
+        "golden",
+        help=("re-run the pinned bench configurations and diff their "
+              "result/trace hashes against the golden manifest"))
+    ver_golden.add_argument(
+        "--update", action="store_true",
+        help=("regenerate the manifest from the current code instead of "
+              "checking (use after an intentional semantic change; "
+              "commit the updated file)"))
+    ver_golden.add_argument(
+        "--path", metavar="PATH", default=None,
+        help="manifest location (default: tests/goldens/golden_runs.json)")
     return parser
 
 
@@ -228,6 +261,42 @@ def _fault_plan(args):
     return HarnessFaultPlan.parse(args.inject)
 
 
+def _verify_config(args):
+    """Build a VerifyConfig from CLI flags, or None when disabled."""
+    if args.verify is None:
+        if args.verify_evidence_dir is not None:
+            raise ReproError(
+                "--verify-evidence-dir needs --verify: evidence "
+                "snapshots are written by the invariant checker")
+        return None
+    from repro.verify import VerifyConfig
+    return VerifyConfig.parse(args.verify,
+                              evidence_dir=args.verify_evidence_dir)
+
+
+def _verify_command(args) -> int:
+    from repro.verify import check_goldens, update_goldens
+    if args.update:
+        path = update_goldens(args.path)
+        print(f"wrote {path}", file=sys.stderr)
+        return 0
+    try:
+        problems = check_goldens(args.path)
+    except FileNotFoundError as exc:
+        raise ReproError(
+            f"golden manifest not found ({exc}); generate it with "
+            f"'verify golden --update'") from exc
+    if problems:
+        for problem in problems:
+            print(f"golden mismatch: {problem}", file=sys.stderr)
+        print(f"{len(problems)} golden mismatch(es); if the trajectory "
+              f"change is intentional, regenerate with "
+              f"'verify golden --update'", file=sys.stderr)
+        return 1
+    print("all golden runs reproduce bit-for-bit")
+    return 0
+
+
 def _check_resume(args) -> None:
     if args.resume and args.cache_dir is None:
         raise ReproError(
@@ -290,7 +359,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    telemetry=_telemetry_config(args),
                                    resilience=_resilience_policy(args),
                                    faults=_fault_plan(args),
-                                   resume=args.resume):
+                                   resume=args.resume,
+                                   verify=_verify_config(args)):
                 _run_command(args)
         elif args.command == "report":
             from repro.experiments.report import generate_report
@@ -300,11 +370,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    telemetry=_telemetry_config(args),
                                    resilience=_resilience_policy(args),
                                    faults=_fault_plan(args),
-                                   resume=args.resume):
+                                   resume=args.resume,
+                                   verify=_verify_config(args)):
                 path = generate_report(get_scale(args.scale), args.out)
             print(f"wrote {path}", file=sys.stderr)
         elif args.command == "telemetry":
             return _telemetry_command(args)
+        elif args.command == "verify":
+            return _verify_command(args)
     except KeyboardInterrupt:
         print("interrupted (completed runs are journaled; re-run with "
               "--resume to continue)", file=sys.stderr)

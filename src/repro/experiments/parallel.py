@@ -120,6 +120,15 @@ class RunSpec:
         fault_schedule: optional :class:`repro.faultinject.FaultSchedule`
             of simulated-resource disturbance windows; part of the cache
             key (a disturbed run is a different experiment).
+        verify: optional :class:`repro.verify.VerifyConfig` baked into
+            the spec.  ``None`` (the default) leaves the cache key
+            byte-identical to pre-verification specs; a non-None config
+            joins the key (a spec that *demands* verification is a
+            different artifact).  Context-level verification (the CLI's
+            ``--verify``) is applied at execution time instead and is
+            deliberately *not* part of the key: verification is
+            observational, so verified and unverified executions of the
+            same spec produce the same results.
         tag: caller-chosen label carried through to progress output; not
             part of the cache key.
     """
@@ -134,6 +143,7 @@ class RunSpec:
     admission_order: Any = None
     deadlock_strategy: Any = None
     fault_schedule: Any = None
+    verify: Any = None
     tag: Any = None
 
     def make_controller(self):
@@ -141,12 +151,15 @@ class RunSpec:
         return self.controller_factory(*self.controller_args,
                                        **dict(self.controller_kwargs))
 
-    def execute(self, telemetry=None) -> SimulationResults:
+    def execute(self, telemetry=None, verify=None) -> SimulationResults:
         """Run this spec in the current process.
 
         ``telemetry`` is an optional
         :class:`repro.telemetry.TelemetrySession`; the executor opens
         one per spec when a telemetry directory is configured.
+        ``verify`` is an optional :class:`repro.verify.VerifyConfig`
+        applied for this execution only; the spec's own ``verify`` field
+        wins when both are set.
         """
         return run_simulation(
             self.params,
@@ -158,6 +171,7 @@ class RunSpec:
             deadlock_strategy=self.deadlock_strategy,
             telemetry=telemetry,
             fault_schedule=self.fault_schedule,
+            verify=self.verify if self.verify is not None else verify,
         )
 
     def describe(self) -> str:
@@ -242,7 +256,7 @@ def code_fingerprint() -> str:
 
 def spec_key(spec: RunSpec) -> str:
     """Content-addressed cache key for one run spec."""
-    token = "\n".join([
+    parts = [
         _CACHE_FORMAT,
         code_fingerprint(),
         stable_token(spec.params),
@@ -255,8 +269,13 @@ def spec_key(spec: RunSpec) -> str:
         stable_token(spec.admission_order),
         stable_token(spec.deadlock_strategy),
         stable_token(spec.fault_schedule),
-    ])
-    return hashlib.sha256(token.encode()).hexdigest()
+    ]
+    if spec.verify is not None:
+        # Appended only when set, so every verify-free spec keeps the
+        # exact key it had before the verify field existed and old cache
+        # entries stay valid.
+        parts.append(stable_token(spec.verify))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -369,6 +388,7 @@ class ExecutionContext:
     resilience: Optional[ResiliencePolicy] = None
     faults: Optional[HarnessFaultPlan] = None
     resume: bool = False
+    verify: Any = None   # repro.verify.VerifyConfig, applied to every run
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -394,6 +414,7 @@ def execution_context(jobs: int = 1,
                       faults: Union[HarnessFaultPlan, Sequence[str],
                                     None] = None,
                       resume: bool = False,
+                      verify: Any = None,
                       ) -> Iterator[ExecutionContext]:
     """Install an ambient :class:`ExecutionContext` for nested batches.
 
@@ -405,6 +426,10 @@ def execution_context(jobs: int = 1,
     ``faults`` (a plan or ``kind@index`` strings) injects harness
     faults; ``resume`` announces that a previous invocation of the same
     sweep was interrupted, so progress output reports journaled keys.
+    ``verify`` (a :class:`repro.verify.VerifyConfig` or a cadence
+    string) runs every nested *executed* run under the invariant
+    checker and shadow lock table; cache hits are served as-is, since
+    verification never changes a run's results.
     """
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
@@ -412,9 +437,12 @@ def execution_context(jobs: int = 1,
         telemetry = TelemetryConfig(root=str(telemetry))
     if faults is not None and not isinstance(faults, HarnessFaultPlan):
         faults = HarnessFaultPlan.parse(faults)
+    if verify is not None and isinstance(verify, str):
+        from repro.verify.config import VerifyConfig
+        verify = VerifyConfig.parse(verify)
     ctx = ExecutionContext(jobs=jobs, cache=cache, progress=progress,
                            telemetry=telemetry, resilience=resilience,
-                           faults=faults, resume=resume)
+                           faults=faults, resume=resume, verify=verify)
     _CONTEXT_STACK.append(ctx)
     try:
         yield ctx
@@ -464,6 +492,7 @@ def _execute_spec(spec: RunSpec,
                   run_id: Optional[str] = None,
                   fault: Optional[HarnessFault] = None,
                   in_process: bool = False,
+                  verify=None,
                   ) -> Tuple[float, SimulationResults]:
     """Process-pool worker: run one spec, returning (elapsed, result).
 
@@ -483,7 +512,7 @@ def _execute_spec(spec: RunSpec,
         session = telemetry.session_for(run_id)
         session.manifest_extra = _spec_provenance(spec, run_id)
     try:
-        result = spec.execute(telemetry=session)
+        result = spec.execute(telemetry=session, verify=verify)
     except Exception as exc:
         key = (run_id or "")[:12]
         raise SpecExecutionError(
@@ -580,7 +609,8 @@ class _BatchExecutor:
                  policy: ResiliencePolicy,
                  faults: Optional[HarnessFaultPlan],
                  checkpoint: Optional[SweepCheckpoint],
-                 stats: BatchStats):
+                 stats: BatchStats,
+                 verify=None):
         self.specs = specs
         self.keys = keys
         self.to_run = to_run
@@ -594,6 +624,7 @@ class _BatchExecutor:
         self.faults = faults
         self.checkpoint = checkpoint
         self.stats = stats
+        self.verify = verify
         self.failures: List[FailedRun] = []
         self._retries_granted = 0
         self._done = 0
@@ -688,7 +719,8 @@ class _BatchExecutor:
                 with _serial_watchdog(self.policy.run_timeout):
                     elapsed, result = _execute_spec(
                         self.specs[pend.index], self.telemetry, pend.key,
-                        fault=fault, in_process=True)
+                        fault=fault, in_process=True,
+                        verify=self.verify)
             except _AttemptTimeout:
                 self._record_failure(
                     pend, FailureKind.TIMEOUT,
@@ -763,7 +795,8 @@ class _BatchExecutor:
             try:
                 fut = pool.submit(
                     _execute_spec, self.specs[pend.index], self.telemetry,
-                    pend.key, fault=fault, in_process=False)
+                    pend.key, fault=fault, in_process=False,
+                    verify=self.verify)
             except BrokenExecutor:
                 pending.appendleft(pend)
                 pending.extendleft(reversed(skipped))
@@ -868,6 +901,7 @@ def run_specs(specs: Sequence[RunSpec],
               telemetry: Union[TelemetryConfig, str, Path, None] = None,
               resilience: Optional[ResiliencePolicy] = None,
               faults: Union[HarnessFaultPlan, Sequence[str], None] = None,
+              verify=None,
               ) -> List[RunOutcome]:
     """Execute a batch of independent runs; results come back in order.
 
@@ -899,6 +933,15 @@ def run_specs(specs: Sequence[RunSpec],
     ``faults`` injects deterministic harness faults (see
     :class:`repro.faultinject.HarnessFaultPlan`) for testing all of the
     above.
+
+    ``verify`` (a :class:`repro.verify.VerifyConfig`, default: the
+    ambient context's) runs every *executed* spec under the runtime
+    invariant checker and shadow lock table.  Cache hits are served
+    without re-verification — verification is observational and cannot
+    change a result, so a cached result from an unverified run is the
+    same bytes a verified run would produce.  A violation surfaces as
+    that spec's failure (wrapped in :class:`SpecExecutionError` like any
+    other run error).
     """
     global _LAST_STATS
     ctx = current_context()
@@ -924,6 +967,8 @@ def run_specs(specs: Sequence[RunSpec],
         faults = ctx.faults
     elif not isinstance(faults, HarnessFaultPlan):
         faults = HarnessFaultPlan.parse(faults)
+    if verify is None:
+        verify = ctx.verify
 
     specs = list(specs)
     if not specs:
@@ -977,7 +1022,7 @@ def run_specs(specs: Sequence[RunSpec],
         specs=specs, keys=keys, to_run=to_run, results=results,
         jobs=jobs, cache=cache, progress=progress, label=label,
         telemetry=telemetry, policy=resilience, faults=faults,
-        checkpoint=checkpoint, stats=stats)
+        checkpoint=checkpoint, stats=stats, verify=verify)
     try:
         if to_run:
             if jobs == 1 or len(to_run) == 1:

@@ -43,6 +43,7 @@ def run_simulation(params: SimulationParameters,
                    telemetry=None,
                    fault_schedule=None,
                    profiler=None,
+                   verify=None,
                    ) -> SimulationResults:
     """Run one complete simulation and return its measured results.
 
@@ -72,6 +73,13 @@ def run_simulation(params: SimulationParameters,
             event loop (the bench harness measures events/sec with
             one).  Mutually exclusive with ``telemetry``, which brings
             its own.
+        verify: optional :class:`repro.verify.VerifyConfig`; installs
+            the runtime :class:`repro.verify.InvariantChecker` (and,
+            unless disabled, swaps the lock table for a
+            :class:`repro.verify.ShadowLockTable` diffed against the
+            naive reference on every operation).  Verification is
+            strictly observational — a verified run produces bit-for-bit
+            the same results as an unverified one, or raises.
 
     Returns:
         A :class:`SimulationResults` with batch-means statistics over the
@@ -104,6 +112,17 @@ def run_simulation(params: SimulationParameters,
         sim.profiler = profiler
     if fault_schedule is not None:
         fault_schedule.install(system)
+    if verify is not None:
+        # Imported lazily: repro.verify.golden drives this runner, so a
+        # top-level import would be circular — and unverified runs never
+        # pay the import.
+        from repro.verify.invariants import InvariantChecker
+        from repro.verify.shadow import ShadowLockTable
+        if verify.shadow_lock_table:
+            # Swap before start(): no lock activity has happened yet,
+            # and every later access goes through system.lock_table.
+            system.lock_table = ShadowLockTable()
+        InvariantChecker(verify).attach(system)
     system.start()
 
     sim.run(until=params.warmup_time)

@@ -27,13 +27,20 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.errors import LockProtocolError
+from repro.errors import InvariantViolation, LockProtocolError
 from repro.lockmgr.modes import LockMode, compatible
 
 __all__ = ["RequestOutcome", "Grant", "LockTable"]
 
 Txn = Any        # any hashable transaction token
 Page = Hashable
+
+
+def _dump_label(txn: "Txn"):
+    """Canonical transaction label for dump snapshots: ``txn_id`` when
+    it has an integer one, else ``repr``."""
+    tid = getattr(txn, "txn_id", None)
+    return tid if isinstance(tid, int) else repr(txn)
 
 
 class RequestOutcome(enum.Enum):
@@ -265,6 +272,44 @@ class LockTable:
             cur = nxt
         return depth
 
+    def dump_page(self, page: Page) -> Optional[Dict[str, Any]]:
+        """Canonical entry for one page, or ``None`` if it has no lock.
+
+        Same shape as one value of ``dump()["pages"]``; lets the shadow
+        table compare only the pages an operation touched instead of
+        re-serializing the whole table per operation.
+        """
+        lock = self._locks.get(page)
+        if lock is None:
+            return None
+        return {
+            "holders": {str(_dump_label(t)): m.name
+                        for t, m in lock.holders.items()},
+            "upgraders": [_dump_label(t) for t in lock.upgraders],
+            "queue": [[_dump_label(t), m.name] for t, m in lock.queue],
+        }
+
+    def dump(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the full lock-table state.
+
+        Pages map to their holders (txn label → mode name), the FIFO
+        upgrader queue, and the ordinary wait queue, all in structural
+        order.  Transactions are labelled by ``txn_id`` when they have
+        one, else by ``repr``.  Used by the verification layer both as
+        the canonical form for differential comparison against the
+        reference implementation and as the evidence snapshot attached
+        to :class:`~repro.errors.InvariantViolation`.
+        """
+        return {
+            "pages": {str(page): self.dump_page(page)
+                      for page in self._locks},
+            "waiting": sorted(
+                (str(_dump_label(t)) for t in self._waits), key=str),
+            "requests": self.requests,
+            "blocks": self.blocks,
+            "upgrades_requested": self.upgrades_requested,
+        }
+
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
@@ -423,7 +468,8 @@ class LockTable:
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Raise AssertionError if internal state is inconsistent.
+        """Raise :class:`~repro.errors.InvariantViolation` if internal
+        state is inconsistent.
 
         Checked invariants:
           * no two holders of one page have incompatible modes;
@@ -431,34 +477,56 @@ class LockTable:
           * every upgrader currently holds the page in S mode;
           * the head ordinary waiter is genuinely blocked (not grantable);
           * the ``_held`` index mirrors ``holders`` exactly.
+
+        Formerly these were bare ``assert`` statements, which vanish
+        under ``python -O``; real exceptions keep the oracle honest in
+        every interpreter mode.
         """
+        def violate(message: str) -> None:
+            raise InvariantViolation(
+                message, invariant="lock_table_consistency")
+
         seen_waiting: Set[Txn] = set()
         for page, lock in self._locks.items():
             modes = list(lock.holders.values())
             for i, m1 in enumerate(modes):
                 for m2 in modes[i + 1:]:
-                    assert compatible(m1, m2), (
-                        f"incompatible holders on page {page!r}")
+                    if not compatible(m1, m2):
+                        violate(f"incompatible holders on page {page!r}")
             for up in lock.upgraders:
-                assert lock.holders.get(up) is LockMode.S, (
-                    f"upgrader {up!r} does not hold S on page {page!r}")
-                assert up not in seen_waiting
+                if lock.holders.get(up) is not LockMode.S:
+                    violate(f"upgrader {up!r} does not hold S "
+                            f"on page {page!r}")
+                if up in seen_waiting:
+                    violate(f"upgrader {up!r} waits in more than "
+                            f"one queue")
                 seen_waiting.add(up)
-                assert self._waits[up].page == page
+                if up not in self._waits or self._waits[up].page != page:
+                    violate(f"wait record of upgrader {up!r} does not "
+                            f"name page {page!r}")
             if lock.queue and not lock.upgraders:
                 txn, mode = lock.queue[0]
-                assert not all(
-                    compatible(m, mode) for m in lock.holders.values()), (
-                    f"head waiter {txn!r} on page {page!r} is grantable")
+                if all(compatible(m, mode)
+                       for m in lock.holders.values()):
+                    violate(f"head waiter {txn!r} on page {page!r} "
+                            f"is grantable")
             for txn, _mode in lock.queue:
-                assert txn not in seen_waiting
+                if txn in seen_waiting:
+                    violate(f"waiter {txn!r} waits in more than "
+                            f"one queue")
                 seen_waiting.add(txn)
-                assert self._waits[txn].page == page
+                if txn not in self._waits or self._waits[txn].page != page:
+                    violate(f"wait record of waiter {txn!r} does not "
+                            f"name page {page!r}")
             for holder in lock.holders:
-                assert page in self._held.get(holder, set()), (
-                    f"held-index missing {page!r} for {holder!r}")
-        assert seen_waiting == set(self._waits), (
-            "wait-record index out of sync with queues")
+                if page not in self._held.get(holder, ()):
+                    violate(f"held-index missing {page!r} "
+                            f"for {holder!r}")
+        if seen_waiting != set(self._waits):
+            violate("wait-record index out of sync with queues")
         for txn, pages in self._held.items():
             for page in pages:
-                assert txn in self._locks[page].holders
+                lock = self._locks.get(page)
+                if lock is None or txn not in lock.holders:
+                    violate(f"held-index lists {page!r} for {txn!r} "
+                            f"but the lock entry disagrees")

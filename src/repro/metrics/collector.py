@@ -19,7 +19,7 @@ Key distinction (Section 4.1):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.metrics.timeweighted import TimeWeightedValue
 
@@ -152,6 +152,79 @@ class Collector:
 
     def set_ready_queue_length(self, now: float, length: int) -> None:
         self.ready_queue.update(length, now)
+
+    # ------------------------------------------------------------------
+    # Conservation laws (consumed by repro.verify.InvariantChecker)
+    # ------------------------------------------------------------------
+
+    def conservation_errors(self) -> List[str]:
+        """Violated accounting laws among the cumulative counters.
+
+        Returns human-readable descriptions (empty list = all laws
+        hold).  These are pure counter relations — no knowledge of the
+        live system is needed, so the list is checkable at any instant:
+
+        * every abort is attributed to exactly one reason;
+        * committed pages never exceed raw pages processed (wasted work
+          is non-negative);
+        * per-class commit/abort/page tallies sum to the global ones;
+        * commits never exceed admissions (every committed transaction
+          was admitted at least once);
+        * nothing is negative.
+        """
+        errors: List[str] = []
+        by_reason = sum(self.aborts_by_reason.values())
+        if by_reason != self.aborts:
+            errors.append(
+                f"aborts_by_reason sums to {by_reason} but "
+                f"{self.aborts} aborts were counted")
+        if self.committed_pages > self.raw_pages:
+            errors.append(
+                f"committed pages ({self.committed_pages}) exceed raw "
+                f"pages processed ({self.raw_pages})")
+        class_commits = sum(s.commits for s in self.per_class.values())
+        class_aborts = sum(s.aborts for s in self.per_class.values())
+        class_pages = sum(s.pages for s in self.per_class.values())
+        if class_commits != self.commits:
+            errors.append(
+                f"per-class commits sum to {class_commits}, "
+                f"global commits are {self.commits}")
+        if class_aborts != self.aborts:
+            errors.append(
+                f"per-class aborts sum to {class_aborts}, "
+                f"global aborts are {self.aborts}")
+        if class_pages != self.committed_pages:
+            errors.append(
+                f"per-class pages sum to {class_pages}, "
+                f"global committed pages are {self.committed_pages}")
+        if self.commits > self.admissions:
+            errors.append(
+                f"commits ({self.commits}) exceed admissions "
+                f"({self.admissions})")
+        for name, value in (("raw_pages", self.raw_pages),
+                            ("committed_pages", self.committed_pages),
+                            ("commits", self.commits),
+                            ("aborts", self.aborts),
+                            ("admissions", self.admissions),
+                            ("restarts_of_committed",
+                             self.restarts_of_committed)):
+            if value < 0:
+                errors.append(f"counter {name} is negative ({value})")
+        return errors
+
+    def counters_dict(self) -> Dict[str, float]:
+        """Cumulative counters as plain data (evidence snapshots)."""
+        return {
+            "raw_pages": self.raw_pages,
+            "committed_pages": self.committed_pages,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "aborts_by_reason": dict(self.aborts_by_reason),
+            "admissions": self.admissions,
+            "restarts_of_committed": self.restarts_of_committed,
+            "active": self.active.current,
+            "ready_queue": self.ready_queue.current,
+        }
 
     # ------------------------------------------------------------------
     # Snapshots

@@ -26,7 +26,7 @@ import heapq
 from time import perf_counter as _perf_counter
 from typing import Any, Callable, List, Optional
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, VerificationError
 
 __all__ = ["Event", "Simulator"]
 
@@ -82,6 +82,15 @@ class Simulator:
         # reported to profiler.record(callback, elapsed).  Costs one
         # None check per event when disabled.
         self.profiler = None
+        # Optional event monitor (duck-typed; see
+        # repro.verify.InvariantChecker): when set, monitor.on_event(cb)
+        # runs after every executed event, with the simulation quiescent
+        # between events — the point where cross-subsystem invariants
+        # must hold.  A monitor may raise (e.g. InvariantViolation) to
+        # abort the run; it must never mutate simulation state.  Same
+        # zero-cost-off contract as the profiler: one None check per
+        # event when disabled.
+        self.monitor = None
 
     @property
     def now(self) -> float:
@@ -136,6 +145,7 @@ class Simulator:
         hit_max = False
         heap = self._heap
         profiler = self.profiler
+        monitor = self.monitor
         perf_counter = _perf_counter
         try:
             while heap:
@@ -164,7 +174,10 @@ class Simulator:
                         start = perf_counter()
                         callback(*args)  # type: ignore[misc]
                         profiler.record(callback, perf_counter() - start)
-                except SimulationError:
+                except (SimulationError, VerificationError):
+                    # Verification failures (invariant violations,
+                    # shadow divergences) are first-class: wrapping them
+                    # would hide the typed evidence they carry.
                     raise
                 except Exception as exc:
                     # Chain with the simulated time and callback so an
@@ -178,6 +191,8 @@ class Simulator:
                         f"time {self._now:.6f} (event #{fired + 1}): "
                         f"{type(exc).__name__}: {exc}") from exc
                 fired += 1
+                if monitor is not None:
+                    monitor.on_event(callback)
         finally:
             self._running = False
         if (until is not None and self._now < until

@@ -1,0 +1,57 @@
+"""Verification subsystem: invariant oracles, differential references,
+and golden-run regression pinning.
+
+Three layers, all optional and zero-cost when off:
+
+1. **Runtime invariant oracles** — :class:`InvariantChecker` attaches to
+   a live run and asserts the cross-subsystem invariant catalog at a
+   configurable cadence; violations raise
+   :class:`~repro.errors.InvariantViolation` with an evidence snapshot.
+2. **Differential references** — :class:`ReferenceLockTable` and
+   :func:`reference_classify_region` are naive, obviously-correct
+   re-implementations; :class:`ShadowLockTable` runs the real lock
+   table and the reference side by side and raises
+   :class:`~repro.errors.ShadowDivergence` when they disagree.
+3. **Golden-run manifests** — :mod:`repro.verify.golden` pins sha256
+   hashes of the bench suite's results and traces, turning "the
+   simulated trajectory changed" into a test failure.
+
+Enable on a run with ``run_simulation(..., verify=VerifyConfig())`` or
+the CLI's ``--verify`` flag.
+"""
+
+from repro.errors import (
+    InvariantViolation,
+    ShadowDivergence,
+    VerificationError,
+)
+from repro.verify.config import CADENCES, VerifyConfig
+from repro.verify.golden import (
+    check_goldens,
+    compute_golden_manifest,
+    default_golden_path,
+    update_goldens,
+)
+from repro.verify.invariants import InvariantChecker
+from repro.verify.reference import (
+    ReferenceLockTable,
+    reference_classify_region,
+)
+from repro.verify.shadow import ShadowLockTable, canonical_grants
+
+__all__ = [
+    "CADENCES",
+    "VerifyConfig",
+    "InvariantChecker",
+    "ReferenceLockTable",
+    "reference_classify_region",
+    "ShadowLockTable",
+    "canonical_grants",
+    "check_goldens",
+    "compute_golden_manifest",
+    "default_golden_path",
+    "update_goldens",
+    "VerificationError",
+    "InvariantViolation",
+    "ShadowDivergence",
+]

@@ -1,0 +1,84 @@
+"""Verification configuration: the picklable recipe for checked runs.
+
+A :class:`VerifyConfig` is to the verification subsystem what
+:class:`~repro.telemetry.TelemetryConfig` is to telemetry — plain data
+that crosses process boundaries and deterministically reconstructs the
+same observers on the other side.  It controls
+
+* whether and how often the :class:`~repro.verify.InvariantChecker`
+  asserts the cross-subsystem invariant catalog (every event, every
+  ``sample_events`` events, or at every commit);
+* whether the real :class:`~repro.lockmgr.lock_table.LockTable` is
+  replaced by a :class:`~repro.verify.ShadowLockTable` that diffs every
+  mutation against the naive
+  :class:`~repro.verify.ReferenceLockTable`;
+* whether the 50%-rule classifier is shadow-checked against the
+  brute-force :func:`~repro.verify.reference_classify_region`;
+* where violation evidence snapshots are written (``None`` = attached
+  to the exception only).
+
+Verification is strictly observational: a verified run follows exactly
+the same trajectory as an unverified one, it just fails loudly the
+moment the simulation's semantics break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["VerifyConfig", "CADENCES"]
+
+# Legal values of VerifyConfig.cadence.
+CADENCES = ("every", "sampled", "commit")
+
+# Default stride for the "sampled" cadence: frequent enough to localise
+# a corruption to a small event window, cheap enough for sweeps.
+DEFAULT_SAMPLE_EVENTS = 256
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """Picklable recipe for run verification.
+
+    Attributes:
+        cadence: when the invariant catalog runs — ``"every"`` (after
+            every simulation event; exhaustive, slow), ``"sampled"``
+            (every ``sample_events`` events; the default), or
+            ``"commit"`` (at each transaction commit).
+        sample_events: event stride for the ``"sampled"`` cadence.
+        shadow_lock_table: diff every lock-table mutation against the
+            naive reference implementation.
+        shadow_regions: diff every region classification against the
+            brute-force classifier.
+        evidence_dir: directory for violation evidence snapshots
+            (``None`` = carry evidence only on the raised exception).
+    """
+
+    cadence: str = "sampled"
+    sample_events: int = DEFAULT_SAMPLE_EVENTS
+    shadow_lock_table: bool = True
+    shadow_regions: bool = True
+    evidence_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cadence not in CADENCES:
+            raise ConfigurationError(
+                f"unknown verify cadence {self.cadence!r}; "
+                f"choose from {CADENCES}")
+        if self.sample_events < 1:
+            raise ConfigurationError(
+                f"sample_events must be >= 1, got {self.sample_events}")
+
+    @classmethod
+    def parse(cls, text: Optional[str],
+              evidence_dir: Optional[str] = None) -> "VerifyConfig":
+        """Build a config from the CLI's ``--verify[=MODE]`` value.
+
+        ``None`` or ``""`` selects the default (sampled) cadence; any
+        other value must be one of :data:`CADENCES`.
+        """
+        cadence = text if text else "sampled"
+        return cls(cadence=cadence, evidence_dir=evidence_dir)

@@ -1,0 +1,326 @@
+"""Naive reference implementations for differential testing.
+
+Each reference here trades every efficiency concern for obviousness: the
+:class:`ReferenceLockTable` keeps flat lists and rescans them on every
+operation, and :func:`reference_classify_region` does exact rational
+arithmetic.  They exist to be *diffed against* the optimised
+implementations (:class:`repro.lockmgr.lock_table.LockTable`,
+:func:`repro.core.regions.classify_region`) — a divergence means one of
+the two sides is wrong, and the loser is almost always the clever one.
+
+The reference lock table implements the paper's locking semantics from
+the prose, not from the optimised code:
+
+* S is compatible with S; X is compatible with nothing (Section 1);
+* X locks are acquired by upgrading a held S lock (footnote 1); an
+  upgrade is immediate iff the upgrader is the sole holder, otherwise
+  the upgrader waits with priority over ordinary waiters;
+* ordinary requests are FCFS: grantable only when no waiter of any kind
+  is queued on the page and the mode is compatible with every holder;
+* a transaction waits for at most one lock at a time.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, Hashable, List, Optional, Set
+
+from repro.core.regions import DEFAULT_DELTA, Region
+from repro.errors import LockProtocolError
+from repro.lockmgr.lock_table import Grant, RequestOutcome
+from repro.lockmgr.modes import LockMode
+
+__all__ = ["ReferenceLockTable", "reference_classify_region"]
+
+Txn = Any
+Page = Hashable
+
+
+def _label(txn: Txn):
+    tid = getattr(txn, "txn_id", None)
+    return tid if isinstance(tid, int) else repr(txn)
+
+
+class _Hold:
+    __slots__ = ("txn", "page", "mode")
+
+    def __init__(self, txn: Txn, page: Page, mode: LockMode):
+        self.txn = txn
+        self.page = page
+        self.mode = mode
+
+
+class _Wait:
+    __slots__ = ("txn", "page", "mode", "is_upgrade")
+
+    def __init__(self, txn: Txn, page: Page, mode: LockMode,
+                 is_upgrade: bool):
+        self.txn = txn
+        self.page = page
+        self.mode = mode
+        self.is_upgrade = is_upgrade
+
+
+class ReferenceLockTable:
+    """List-scan lock table: slow, simple, and trusted.
+
+    Holds two flat lists — current holds and waiting requests in global
+    arrival order — and answers every question by scanning them.  The
+    public surface mirrors the subset of
+    :class:`~repro.lockmgr.lock_table.LockTable` the DBMS uses:
+    ``request`` / ``release`` / ``release_all`` / ``cancel_wait`` plus
+    read-only views, and the same ``requests`` / ``blocks`` /
+    ``upgrades_requested`` statistics.
+    """
+
+    def __init__(self) -> None:
+        self._holds: List[_Hold] = []
+        self._waits: List[_Wait] = []
+        self.requests = 0
+        self.blocks = 0
+        self.upgrades_requested = 0
+
+    # ------------------------------------------------------------------
+    # Scans (the only "data structures" this class has)
+    # ------------------------------------------------------------------
+
+    def _holds_on(self, page: Page) -> List[_Hold]:
+        return [h for h in self._holds if h.page == page]
+
+    def _waits_on(self, page: Page) -> List[_Wait]:
+        return [w for w in self._waits if w.page == page]
+
+    def _hold_of(self, txn: Txn, page: Page) -> Optional[_Hold]:
+        for h in self._holds:
+            if h.txn is txn and h.page == page:
+                return h
+        return None
+
+    def _wait_of(self, txn: Txn) -> Optional[_Wait]:
+        for w in self._waits:
+            if w.txn is txn:
+                return w
+        return None
+
+    @staticmethod
+    def _modes_compatible(held: LockMode, requested: LockMode) -> bool:
+        # Spelled out from the paper's compatibility matrix on purpose:
+        # importing repro.lockmgr.modes.compatible here would let a bug
+        # (or a test-injected corruption) in that function infect the
+        # reference and hide the divergence.
+        return held is LockMode.S and requested is LockMode.S
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def holders(self, page: Page) -> Dict[Txn, LockMode]:
+        return {h.txn: h.mode for h in self._holds_on(page)}
+
+    def held_pages(self, txn: Txn) -> Set[Page]:
+        return {h.page for h in self._holds if h.txn is txn}
+
+    def total_held(self) -> int:
+        return len(self._holds)
+
+    def holds(self, txn: Txn, page: Page, mode: LockMode = None) -> bool:
+        h = self._hold_of(txn, page)
+        if h is None:
+            return False
+        return mode is None or h.mode is mode
+
+    def is_waiting(self, txn: Txn) -> bool:
+        return self._wait_of(txn) is not None
+
+    def waiting_on(self, txn: Txn) -> Optional[Page]:
+        w = self._wait_of(txn)
+        return w.page if w else None
+
+    def blocking_set(self, txn: Txn) -> Set[Txn]:
+        """Waits-for adjacency of ``txn``, recomputed from first
+        principles (same definition as the real table's docstring)."""
+        rec = self._wait_of(txn)
+        if rec is None:
+            return set()
+        blockers: Set[Txn] = set()
+        if rec.is_upgrade:
+            blockers.update(h.txn for h in self._holds_on(rec.page)
+                            if h.txn is not txn)
+            for w in self._waits_on(rec.page):
+                if w.txn is txn:
+                    break
+                if w.is_upgrade:
+                    blockers.add(w.txn)
+            return blockers
+        for h in self._holds_on(rec.page):
+            if not self._modes_compatible(h.mode, rec.mode):
+                blockers.add(h.txn)
+        ahead = True
+        for w in self._waits_on(rec.page):
+            if w.txn is txn:
+                ahead = False
+            elif w.is_upgrade:
+                # Every upgrader blocks an ordinary waiter, even one that
+                # arrived later: upgraders suppress all ordinary grants.
+                blockers.add(w.txn)
+            elif ahead and not (
+                    self._modes_compatible(w.mode, rec.mode)
+                    and self._modes_compatible(rec.mode, w.mode)):
+                blockers.add(w.txn)
+        blockers.discard(txn)
+        return blockers
+
+    def snapshot_page(self, page: Page) -> Optional[Dict[str, Any]]:
+        """Canonical entry for one page (same shape as
+        :meth:`LockTable.dump_page`), or ``None`` when nothing holds or
+        waits on it."""
+        holds = self._holds_on(page)
+        waits = self._waits_on(page)
+        if not holds and not waits:
+            return None
+        return {
+            "holders": {str(_label(h.txn)): h.mode.name for h in holds},
+            "upgraders": [_label(w.txn) for w in waits if w.is_upgrade],
+            "queue": [[_label(w.txn), w.mode.name]
+                      for w in waits if not w.is_upgrade],
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Same canonical form as :meth:`LockTable.dump` — the two are
+        directly comparable with ``==``."""
+        pages: Dict[str, Any] = {}
+        seen_pages = []
+        for h in self._holds:
+            if h.page not in seen_pages:
+                seen_pages.append(h.page)
+        for w in self._waits:
+            if w.page not in seen_pages:
+                seen_pages.append(w.page)
+        for page in seen_pages:
+            pages[str(page)] = self.snapshot_page(page)
+        return {
+            "pages": pages,
+            "waiting": sorted(
+                (str(_label(w.txn)) for w in self._waits), key=str),
+            "requests": self.requests,
+            "blocks": self.blocks,
+            "upgrades_requested": self.upgrades_requested,
+        }
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def request(self, txn: Txn, page: Page,
+                mode: LockMode) -> RequestOutcome:
+        if self._wait_of(txn) is not None:
+            raise LockProtocolError(
+                f"transaction {txn!r} issued a lock request while "
+                f"already waiting")
+        self.requests += 1
+        held = self._hold_of(txn, page)
+        if held is not None:
+            if mode is LockMode.S or held.mode is LockMode.X:
+                return RequestOutcome.GRANTED
+            # Upgrade path.
+            self.upgrades_requested += 1
+            if len(self._holds_on(page)) == 1:
+                held.mode = LockMode.X
+                return RequestOutcome.GRANTED
+            self._waits.append(_Wait(txn, page, LockMode.X,
+                                     is_upgrade=True))
+            self.blocks += 1
+            return RequestOutcome.BLOCKED
+        if (not self._waits_on(page)
+                and all(self._modes_compatible(h.mode, mode)
+                        for h in self._holds_on(page))):
+            self._holds.append(_Hold(txn, page, mode))
+            return RequestOutcome.GRANTED
+        self._waits.append(_Wait(txn, page, mode, is_upgrade=False))
+        self.blocks += 1
+        return RequestOutcome.BLOCKED
+
+    def release(self, txn: Txn, page: Page) -> List[Grant]:
+        h = self._hold_of(txn, page)
+        if h is None:
+            raise LockProtocolError(
+                f"transaction {txn!r} released page {page!r} "
+                f"which it does not hold")
+        self._holds.remove(h)
+        return self._promote(page)
+
+    def release_all(self, txn: Txn) -> List[Grant]:
+        grants = list(self.cancel_wait(txn))
+        pages = []
+        for h in self._holds:
+            if h.txn is txn:
+                pages.append(h.page)
+        for page in pages:
+            self._holds.remove(self._hold_of(txn, page))
+            grants.extend(self._promote(page))
+        return grants
+
+    def cancel_wait(self, txn: Txn) -> List[Grant]:
+        w = self._wait_of(txn)
+        if w is None:
+            return []
+        self._waits.remove(w)
+        return self._promote(w.page)
+
+    def _promote(self, page: Page) -> List[Grant]:
+        """Grant everything the FCFS + upgrade rules now allow on
+        ``page``, by repeated full rescans until a fixed point."""
+        grants: List[Grant] = []
+        while True:
+            waiters = self._waits_on(page)
+            if not waiters:
+                return grants
+            holds = self._holds_on(page)
+            upgraders = [w for w in waiters if w.is_upgrade]
+            if upgraders:
+                up = upgraders[0]
+                if len(holds) == 1 and holds[0].txn is up.txn:
+                    holds[0].mode = LockMode.X
+                    self._waits.remove(up)
+                    grants.append(Grant(up.txn, page, LockMode.X,
+                                        was_upgrade=True))
+                    continue
+                # A waiting upgrader suppresses all ordinary grants.
+                return grants
+            head = waiters[0]
+            if all(self._modes_compatible(h.mode, head.mode)
+                   for h in holds):
+                self._waits.remove(head)
+                self._holds.append(_Hold(head.txn, page, head.mode))
+                grants.append(Grant(head.txn, page, head.mode,
+                                    was_upgrade=False))
+                continue
+            return grants
+
+
+def reference_classify_region(n_active: int, n_state1: int,
+                              n_state3: int,
+                              delta: float = DEFAULT_DELTA) -> Region:
+    """Brute-force 50%-rule classifier using exact rational arithmetic.
+
+    Mirrors :func:`repro.core.regions.classify_region` but compares the
+    exact fraction ``n_state1 / n_active`` against ``1/2 + delta``
+    computed in rational arithmetic, so no intermediate rounding can
+    flip a boundary case.  ``delta`` arrives as a binary double that
+    merely *approximates* the decimal the caller wrote (``0.3`` is
+    really 0.299999...988), so the reference first snaps it back to the
+    simplest nearby rational with ``limit_denominator``; summing the raw
+    double value instead would misclassify exact-boundary cells such as
+    a ratio of 4/5 against ``delta=0.3``.  (The production classifier
+    divides in binary floating point; on the integer grids the simulator
+    produces the two agree everywhere, and this reference exists to
+    prove it.)
+    """
+    if n_active <= 0:
+        return Region.UNDERLOADED
+    threshold = Fraction(1, 2) + Fraction(delta).limit_denominator(10**6)
+    if Fraction(n_state1, n_active) > threshold:
+        return Region.UNDERLOADED
+    if Fraction(n_state3, n_active) > threshold:
+        return Region.OVERLOADED
+    return Region.COMFORTABLE

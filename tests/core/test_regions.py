@@ -64,3 +64,71 @@ def test_regions_mutually_exclusive():
             for s3 in range(n_active + 1 - s1):
                 region = classify_region(n_active, s1, s3)
                 assert isinstance(region, Region)
+
+
+# ----------------------------------------------------------------------
+# Boundary algebra: exact threshold arithmetic
+# ----------------------------------------------------------------------
+
+def test_ratio_exactly_at_threshold_is_comfortable():
+    # 21/40 == 0.525 == 0.5 + DEFAULT_DELTA exactly; the rule is a
+    # strict >, so sitting *on* the threshold is still Comfortable.
+    assert classify_region(40, 21, 0) is Region.COMFORTABLE
+    assert classify_region(40, 0, 21) is Region.COMFORTABLE
+    # One transaction past the threshold tips the region.
+    assert classify_region(40, 22, 0) is Region.UNDERLOADED
+    assert classify_region(40, 0, 22) is Region.OVERLOADED
+
+
+def test_threshold_boundary_at_zero_delta():
+    # delta=0: threshold is exactly one half, which is representable, so
+    # the boundary algebra is exact for every even n_active.
+    for n_active in (2, 10, 64, 100):
+        half = n_active // 2
+        assert (classify_region(n_active, half, 0, delta=0.0)
+                is Region.COMFORTABLE)
+        assert (classify_region(n_active, half + 1, 0, delta=0.0)
+                is Region.UNDERLOADED)
+        assert (classify_region(n_active, 0, half + 1, delta=0.0)
+                is Region.OVERLOADED)
+
+
+def test_empty_system_is_underloaded_for_any_delta():
+    for delta in (0.0, DEFAULT_DELTA, 0.49):
+        assert classify_region(0, 0, 0, delta=delta) is Region.UNDERLOADED
+    # Negative populations cannot occur, but the <= 0 guard makes the
+    # classifier total anyway.
+    assert classify_region(-1, 0, 0) is Region.UNDERLOADED
+
+
+def test_exactly_one_region_over_swept_grid():
+    """Every (n_active, s1, s3) cell lands in exactly one region, and
+    the underload/overload conditions are mutually exclusive: the State-1
+    and State-3 fractions cannot both exceed 0.5 + delta."""
+    threshold = 0.5 + DEFAULT_DELTA
+    for n_active in range(1, 41):
+        for s1 in range(n_active + 1):
+            for s3 in range(n_active + 1 - s1):
+                region = classify_region(n_active, s1, s3)
+                over_s1 = s1 / n_active > threshold
+                over_s3 = s3 / n_active > threshold
+                assert not (over_s1 and over_s3)
+                if over_s1:
+                    assert region is Region.UNDERLOADED
+                elif over_s3:
+                    assert region is Region.OVERLOADED
+                else:
+                    assert region is Region.COMFORTABLE
+
+
+def test_agrees_with_exact_rational_reference_on_grid():
+    """Differential check against the brute-force Fraction classifier:
+    no float-rounding artifact flips any cell up to n_active = 80."""
+    from repro.verify.reference import reference_classify_region
+    for delta in (0.0, DEFAULT_DELTA, 0.1):
+        for n_active in range(0, 81):
+            for s1 in range(n_active + 1):
+                s3 = n_active - s1    # densest boundary: s1 + s3 == n
+                assert (classify_region(n_active, s1, s3, delta=delta)
+                        is reference_classify_region(n_active, s1, s3,
+                                                     delta=delta))

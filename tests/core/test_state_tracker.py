@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.state_tracker import StateTracker
 from repro.dbms.transaction import Transaction
+from repro.errors import InvariantViolation
 from repro.metrics.collector import Collector
 
 
@@ -71,18 +72,65 @@ def test_redundant_transitions_are_noops():
     tracker.check_invariants()
 
 
-def test_add_twice_asserts():
+def test_add_twice_raises_typed_violation():
+    # Formerly a bare assert (stripped under python -O); now a real
+    # InvariantViolation that survives every interpreter mode.
     tracker = StateTracker()
     t = _txn(1)
     tracker.add(t, 0.0)
-    with pytest.raises(AssertionError):
+    with pytest.raises(InvariantViolation) as exc_info:
         tracker.add(t, 1.0)
+    assert exc_info.value.invariant == "tracker_membership"
+    assert exc_info.value.sim_time == 1.0
+    assert "already active" in str(exc_info.value)
 
 
-def test_remove_unknown_asserts():
+def test_remove_unknown_raises_typed_violation():
     tracker = StateTracker()
-    with pytest.raises(AssertionError):
-        tracker.remove(_txn(1), 0.0)
+    with pytest.raises(InvariantViolation) as exc_info:
+        tracker.remove(_txn(1), 0.5)
+    assert exc_info.value.invariant == "tracker_membership"
+    assert exc_info.value.sim_time == 0.5
+    assert "not active" in str(exc_info.value)
+
+
+def test_set_blocked_unknown_raises_typed_violation():
+    tracker = StateTracker()
+    with pytest.raises(InvariantViolation, match="not active"):
+        tracker.set_blocked(_txn(1), True, 0.0)
+
+
+def test_set_mature_unknown_raises_typed_violation():
+    tracker = StateTracker()
+    with pytest.raises(InvariantViolation, match="not active"):
+        tracker.set_mature(_txn(1), 0.0)
+
+
+def test_corrupted_bucket_counter_is_detected_with_evidence():
+    tracker = StateTracker()
+    t = _txn(1)
+    tracker.add(t, 0.0)
+    tracker.n_state2 -= 1        # simulate a lost decrement
+    tracker.n_state1 += 1
+    with pytest.raises(InvariantViolation) as exc_info:
+        tracker.check_invariants()
+    violation = exc_info.value
+    assert violation.invariant == "tracker_bucket_conservation"
+    assert violation.evidence["counters"] == [1, 0, 0, 0]
+    assert violation.evidence["recomputed"] == [0, 1, 0, 0]
+    assert "disagree with" in str(violation)
+
+
+def test_bucket_sum_mismatch_is_detected():
+    tracker = StateTracker()
+    t = _txn(1)
+    tracker.add(t, 0.0)
+    # Both flag buckets can agree with the recomputation yet fail to sum
+    # to n_active if the active set itself is corrupted.
+    tracker._active.add(_txn(2))
+    with pytest.raises(InvariantViolation) as exc_info:
+        tracker.check_invariants()
+    assert exc_info.value.invariant == "tracker_bucket_conservation"
 
 
 def test_invariants_across_admit_block_abort_readmit_lifecycle():

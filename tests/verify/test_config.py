@@ -1,0 +1,58 @@
+"""Unit tests for VerifyConfig validation and CLI parsing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.verify import VerifyConfig
+from repro.verify.config import CADENCES, DEFAULT_SAMPLE_EVENTS
+
+
+def test_defaults():
+    config = VerifyConfig()
+    assert config.cadence == "sampled"
+    assert config.sample_events == DEFAULT_SAMPLE_EVENTS
+    assert config.shadow_lock_table is True
+    assert config.shadow_regions is True
+    assert config.evidence_dir is None
+
+
+def test_all_cadences_accepted():
+    for cadence in CADENCES:
+        assert VerifyConfig(cadence=cadence).cadence == cadence
+
+
+def test_unknown_cadence_rejected():
+    with pytest.raises(ConfigurationError, match="cadence"):
+        VerifyConfig(cadence="sometimes")
+
+
+def test_nonpositive_sample_events_rejected():
+    for bad in (0, -1):
+        with pytest.raises(ConfigurationError, match="sample_events"):
+            VerifyConfig(sample_events=bad)
+
+
+def test_config_is_frozen():
+    config = VerifyConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.cadence = "every"
+
+
+def test_parse_defaults_to_sampled():
+    assert VerifyConfig.parse(None).cadence == "sampled"
+    assert VerifyConfig.parse("").cadence == "sampled"
+
+
+def test_parse_explicit_cadence_and_evidence_dir(tmp_path):
+    config = VerifyConfig.parse("every", evidence_dir=str(tmp_path))
+    assert config.cadence == "every"
+    assert config.evidence_dir == str(tmp_path)
+
+
+def test_parse_rejects_unknown_mode():
+    with pytest.raises(ConfigurationError):
+        VerifyConfig.parse("always")

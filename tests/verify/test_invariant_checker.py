@@ -1,0 +1,177 @@
+"""Runtime invariant oracle: clean runs stay silent, corruption is caught.
+
+Includes the PR's acceptance-criterion test: an intentionally corrupted
+grant path (test-injected ``compatible`` that approves everything) must
+be detected by *both* independent oracles — the invariant checker's
+conflict-freedom scan and the shadow ``ReferenceLockTable``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.lockmgr.lock_table as lock_table_module
+from repro.control.fixed_mpl import FixedMPLController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.dbms.system import DBMSSystem
+from repro.errors import (InvariantViolation, ReproError, ShadowDivergence,
+                          VerificationError)
+from repro.experiments.runner import run_simulation
+from repro.verify import InvariantChecker, VerifyConfig
+
+
+def _verified_system(params, cadence, **overrides):
+    config = VerifyConfig(cadence=cadence, sample_events=64, **overrides)
+    system = DBMSSystem(params=params,
+                        controller=HalfAndHalfController())
+    checker = InvariantChecker(config)
+    checker.attach(system)
+    return system, checker
+
+
+# ----------------------------------------------------------------------
+# Clean runs: silent at every cadence
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("cadence", ["every", "sampled", "commit"])
+def test_clean_run_has_zero_violations(tiny_params, cadence):
+    system, checker = _verified_system(tiny_params, cadence)
+    system.start()
+    system.sim.run(until=tiny_params.total_time)
+    assert checker.violations == 0
+    assert checker.checks_run > 0
+    if cadence in ("every", "sampled"):
+        assert checker.events_seen > 0
+        assert system.sim.monitor is checker
+    assert system.invariants is checker
+
+
+def test_commit_cadence_only_checks_at_commits(tiny_params):
+    system, checker = _verified_system(tiny_params, "commit")
+    system.start()
+    system.sim.run(until=tiny_params.total_time)
+    # No per-event hook installed, so no events were counted.
+    assert system.sim.monitor is None
+    assert checker.events_seen == 0
+    assert checker.checks_run == system.collector.commits
+
+
+def test_end_to_end_verified_run_is_clean(tiny_params):
+    results = run_simulation(tiny_params, HalfAndHalfController(),
+                             verify=VerifyConfig(sample_events=64))
+    assert results.commits > 0
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+
+def test_verification_errors_are_repro_errors():
+    assert issubclass(InvariantViolation, VerificationError)
+    assert issubclass(ShadowDivergence, VerificationError)
+    assert issubclass(VerificationError, ReproError)
+
+
+# ----------------------------------------------------------------------
+# Detection: injected corruption cannot survive a check
+# ----------------------------------------------------------------------
+
+def test_corrupted_tracker_bucket_is_caught_with_context(tiny_params):
+    system, checker = _verified_system(tiny_params, "sampled")
+    system.start()
+    system.sim.run(until=2.0)
+    system.tracker.n_state1 += 1      # lose/duplicate a state transition
+    with pytest.raises(InvariantViolation) as exc_info:
+        checker.check_all(context="injected corruption")
+    violation = exc_info.value
+    assert violation.invariant == "tracker_bucket_conservation"
+    assert violation.context == "injected corruption"
+    assert checker.violations == 1
+    # The enriched evidence carries the full cross-subsystem snapshot.
+    state = violation.evidence["state"]
+    assert state["sim_time"] == system.sim.now
+    assert "populations" in state and "lock_table" in state
+
+
+def test_corrupted_collector_gauge_is_caught(tiny_params):
+    system, checker = _verified_system(tiny_params, "sampled")
+    system.start()
+    system.sim.run(until=2.0)
+    system.collector.active.update(99, system.sim.now)
+    with pytest.raises(InvariantViolation) as exc_info:
+        checker.check_all()
+    assert exc_info.value.invariant == "ready_queue_accounting"
+
+
+def test_population_leak_is_caught(tiny_params):
+    system, checker = _verified_system(tiny_params, "sampled")
+    system.start()
+    system.sim.run(until=2.0)
+    # Vanish an active transaction without scheduling its terminal's
+    # next submission: the closed system now undercounts.  Pick one that
+    # is neither waiting nor blocking anyone, so removing it perturbs
+    # only the population count (set iteration order is hash-randomized,
+    # hence the deterministic min-by-id over the eligible ones).
+    table = system.lock_table
+    txn = min((t for t in system.tracker.active_transactions()
+               if not table.is_waiting(t)
+               and not table.is_blocking_others(t)),
+              key=lambda t: t.txn_id)
+    table.release_all(txn)
+    system.tracker.remove(txn, system.sim.now)
+    with pytest.raises(InvariantViolation) as exc_info:
+        checker.check_all()
+    assert exc_info.value.invariant == "population_conservation"
+
+
+def test_evidence_snapshot_written_to_dir(tiny_params, tmp_path):
+    system, checker = _verified_system(tiny_params, "sampled",
+                                       evidence_dir=str(tmp_path))
+    system.start()
+    system.sim.run(until=2.0)
+    system.tracker.n_state1 += 1
+    with pytest.raises(InvariantViolation) as exc_info:
+        checker.check_all(context="evidence test")
+    files = list(tmp_path.glob("violation-*.json"))
+    assert len(files) == 1
+    assert "tracker_bucket_conservation" in files[0].name
+    payload = json.loads(files[0].read_text())
+    assert payload["invariant"] == "tracker_bucket_conservation"
+    assert payload["context"] == "evidence test"
+    assert payload["sim_time"] == system.sim.now
+    assert "evidence" in payload
+    assert exc_info.value.evidence["evidence_path"] == str(files[0])
+
+
+# ----------------------------------------------------------------------
+# Acceptance criterion: corrupted grant path caught by BOTH oracles
+# ----------------------------------------------------------------------
+
+def _corrupt_grant_path(monkeypatch):
+    """Make the real lock table approve every mode combination.  The
+    reference table and the checker's conflict-freedom scan both spell
+    out their own mode logic, so neither inherits the corruption."""
+    monkeypatch.setattr(lock_table_module, "compatible",
+                        lambda held, requested: True)
+
+
+def test_corrupted_grant_path_caught_by_invariant_checker(
+        tiny_params, monkeypatch):
+    _corrupt_grant_path(monkeypatch)
+    config = VerifyConfig(cadence="every", shadow_lock_table=False)
+    with pytest.raises(InvariantViolation) as exc_info:
+        run_simulation(tiny_params, FixedMPLController(8), verify=config)
+    assert exc_info.value.invariant == "lock_conflict_freedom"
+    assert exc_info.value.sim_time is not None
+
+
+def test_corrupted_grant_path_caught_by_shadow_reference(
+        tiny_params, monkeypatch):
+    _corrupt_grant_path(monkeypatch)
+    config = VerifyConfig(cadence="sampled", shadow_lock_table=True)
+    with pytest.raises(ShadowDivergence) as exc_info:
+        run_simulation(tiny_params, FixedMPLController(8), verify=config)
+    assert "real" in exc_info.value.evidence
+    assert "reference" in exc_info.value.evidence

@@ -1,0 +1,132 @@
+"""Metamorphic relations: transformations that must not change a run.
+
+Verification is observational, execution strategy is irrelevant, and
+simulated time has no intrinsic unit — each property below transforms a
+run in a way that provably should not alter its semantics and requires
+the results to match bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.parallel import (RunSpec, execution_context,
+                                        run_specs, spec_key)
+from repro.experiments.runner import run_simulation
+from repro.metrics.trace import Tracer
+from repro.telemetry.export import trace_event_to_dict
+from repro.verify import VerifyConfig
+from repro.verify.config import CADENCES
+
+
+# ----------------------------------------------------------------------
+# Verification is observational: verify-on == verify-off, bit for bit
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("cadence", CADENCES)
+def test_verified_run_bit_identical_to_unverified(tiny_params, cadence):
+    plain = run_simulation(tiny_params, HalfAndHalfController())
+    checked = run_simulation(
+        tiny_params, HalfAndHalfController(),
+        verify=VerifyConfig(cadence=cadence, sample_events=64))
+    assert plain == checked
+
+
+def test_verified_run_trace_identical_to_unverified(tiny_params):
+    plain_tracer, checked_tracer = Tracer(capacity=None), Tracer(capacity=None)
+    run_simulation(tiny_params, HalfAndHalfController(),
+                   tracer=plain_tracer)
+    run_simulation(tiny_params, HalfAndHalfController(),
+                   tracer=checked_tracer, verify=VerifyConfig())
+    plain = [trace_event_to_dict(e) for e in plain_tracer]
+    checked = [trace_event_to_dict(e) for e in checked_tracer]
+    assert plain == checked
+
+
+# ----------------------------------------------------------------------
+# Simulated time has no unit: scaling every time parameter by a power
+# of two (exact in binary floating point) preserves counts exactly and
+# scales rates inversely
+# ----------------------------------------------------------------------
+
+def _scale_times(params, k):
+    return params.replace(
+        think_time=params.think_time * k,
+        page_io=params.page_io * k,
+        page_cpu=params.page_cpu * k,
+        cc_cpu=params.cc_cpu * k,
+        warmup_time=params.warmup_time * k,
+        batch_time=params.batch_time * k,
+        restart_delay=(None if params.restart_delay is None
+                       else params.restart_delay * k))
+
+
+@pytest.mark.parametrize("k", [2.0, 4.0])
+def test_time_unit_scaling_preserves_counts(tiny_params, k):
+    base = run_simulation(tiny_params, HalfAndHalfController())
+    scaled = run_simulation(_scale_times(tiny_params, k),
+                            HalfAndHalfController())
+    assert scaled.commits == base.commits
+    assert scaled.aborts == base.aborts
+    assert scaled.aborts_by_reason == base.aborts_by_reason
+    # Rates scale by exactly 1/k (power-of-two scaling is exact).
+    assert scaled.page_throughput.mean * k == base.page_throughput.mean
+    assert scaled.raw_page_rate.mean * k == base.raw_page_rate.mean
+
+
+# ----------------------------------------------------------------------
+# Execution strategy is irrelevant: serial == parallel, order-free
+# ----------------------------------------------------------------------
+
+def _specs(params, mpls):
+    return [RunSpec(params=params, controller_factory=FixedMPLController,
+                    controller_args=(m,)) for m in mpls]
+
+
+def test_verified_batch_serial_equals_parallel(tiny_params):
+    specs = _specs(tiny_params, (2, 5, 8))
+    with execution_context(verify=VerifyConfig(sample_events=128)):
+        serial = run_specs(specs, jobs=1)
+        fanned = run_specs(specs, jobs=2)
+    assert serial == fanned
+
+
+def test_spec_permutation_exchangeability(tiny_params):
+    """Batch order is not an input: each spec's result depends only on
+    the spec, never on its position or its neighbours."""
+    forward = _specs(tiny_params, (2, 5, 8))
+    backward = list(reversed(forward))
+    by_spec_fwd = dict(zip((2, 5, 8), run_specs(forward, jobs=2)))
+    by_spec_bwd = dict(zip((8, 5, 2), run_specs(backward, jobs=2)))
+    assert by_spec_fwd == by_spec_bwd
+
+
+# ----------------------------------------------------------------------
+# Cache-key semantics: context-level verification never forks the cache
+# ----------------------------------------------------------------------
+
+def test_context_verify_does_not_change_cache_keys(tiny_params):
+    spec = _specs(tiny_params, (5,))[0]
+    bare_key = spec_key(spec)
+    with execution_context(verify=VerifyConfig()):
+        assert spec_key(spec) == bare_key
+
+
+def test_spec_level_verify_forks_the_cache_key(tiny_params):
+    bare = _specs(tiny_params, (5,))[0]
+    verified = RunSpec(params=tiny_params,
+                       controller_factory=FixedMPLController,
+                       controller_args=(5,),
+                       verify=VerifyConfig())
+    assert spec_key(bare) != spec_key(verified)
+
+
+def test_verified_batch_with_cache_round_trips(tiny_params, tmp_path):
+    specs = _specs(tiny_params, (2, 5))
+    with execution_context(cache=tmp_path / "cache",
+                           verify=VerifyConfig(sample_events=128)):
+        cold = run_specs(specs, jobs=1)
+        warm = run_specs(specs, jobs=1)
+    assert cold == warm

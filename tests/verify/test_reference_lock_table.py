@@ -1,0 +1,221 @@
+"""Scripted scenarios for the naive ReferenceLockTable.
+
+Every scenario drives the real :class:`LockTable` and the reference in
+lockstep and requires identical outcomes and identical canonical state
+(``dump() == snapshot()``) at every step — the same comparison the
+shadow table performs, but over hand-picked corner cases with the
+expected intermediate states spelled out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LockProtocolError
+from repro.lockmgr.lock_table import LockTable, RequestOutcome
+from repro.lockmgr.modes import LockMode
+from repro.verify.reference import ReferenceLockTable
+from repro.verify.shadow import canonical_grants
+
+S, X = LockMode.S, LockMode.X
+GRANTED, BLOCKED = RequestOutcome.GRANTED, RequestOutcome.BLOCKED
+
+
+class _Txn:
+    __slots__ = ("txn_id",)
+
+    def __init__(self, txn_id: int):
+        self.txn_id = txn_id
+
+    def __repr__(self):
+        return f"T{self.txn_id}"
+
+
+@pytest.fixture
+def txns():
+    return [_Txn(i) for i in range(6)]
+
+
+class _Pair:
+    """Real table and reference driven in lockstep."""
+
+    def __init__(self):
+        self.real = LockTable()
+        self.ref = ReferenceLockTable()
+
+    def request(self, txn, page, mode):
+        a = self.real.request(txn, page, mode)
+        b = self.ref.request(txn, page, mode)
+        assert a is b
+        self._check()
+        return a
+
+    def release(self, txn, page):
+        a = self.real.release(txn, page)
+        b = self.ref.release(txn, page)
+        assert canonical_grants(a) == canonical_grants(b)
+        self._check()
+        return a
+
+    def release_all(self, txn):
+        a = self.real.release_all(txn)
+        b = self.ref.release_all(txn)
+        assert canonical_grants(a) == canonical_grants(b)
+        self._check()
+        return a
+
+    def cancel_wait(self, txn):
+        a = self.real.cancel_wait(txn)
+        b = self.ref.cancel_wait(txn)
+        assert canonical_grants(a) == canonical_grants(b)
+        self._check()
+        return a
+
+    def _check(self):
+        assert self.real.dump() == self.ref.snapshot()
+
+
+@pytest.fixture
+def pair():
+    return _Pair()
+
+
+def test_shared_locks_are_shared(pair, txns):
+    t0, t1, t2 = txns[:3]
+    assert pair.request(t0, "p", S) is GRANTED
+    assert pair.request(t1, "p", S) is GRANTED
+    assert pair.request(t2, "p", S) is GRANTED
+    assert pair.ref.holders("p") == {t0: S, t1: S, t2: S}
+
+
+def test_exclusive_conflicts_and_fcfs_promotion(pair, txns):
+    t0, t1, t2 = txns[:3]
+    assert pair.request(t0, "p", X) is GRANTED
+    assert pair.request(t1, "p", S) is BLOCKED
+    assert pair.request(t2, "p", S) is BLOCKED
+    assert pair.ref.is_waiting(t1) and pair.ref.is_waiting(t2)
+    assert pair.ref.blocking_set(t1) == {t0}
+    # Releasing the X lock grants both queued S requests at once.
+    grants = pair.release(t0, "p")
+    assert {g.txn for g in grants} == {t1, t2}
+    assert all(g.mode is S and not g.was_upgrade for g in grants)
+
+
+def test_rerequest_of_held_lock_is_granted_noop(pair, txns):
+    t0 = txns[0]
+    assert pair.request(t0, "p", S) is GRANTED
+    assert pair.request(t0, "p", S) is GRANTED
+    assert pair.ref.requests == 2
+    assert pair.ref.total_held() == 1
+    # S after X is covered by the X hold.
+    assert pair.request(t0, "q", X) is GRANTED
+    assert pair.request(t0, "q", S) is GRANTED
+    assert pair.ref.holds(t0, "q", X)
+
+
+def test_upgrade_immediate_when_sole_holder(pair, txns):
+    t0 = txns[0]
+    assert pair.request(t0, "p", S) is GRANTED
+    assert pair.request(t0, "p", X) is GRANTED
+    assert pair.ref.holds(t0, "p", X)
+    assert pair.ref.upgrades_requested == 1
+
+
+def test_upgrade_waits_until_other_holders_leave(pair, txns):
+    t0, t1 = txns[:2]
+    pair.request(t0, "p", S)
+    pair.request(t1, "p", S)
+    assert pair.request(t0, "p", X) is BLOCKED
+    assert pair.ref.is_waiting(t0)
+    # The co-holder blocks the upgrader.
+    assert pair.ref.blocking_set(t0) == {t1}
+    grants = pair.release(t1, "p")
+    assert canonical_grants(grants) == [("0", "p", "X", True)]
+    assert pair.ref.holds(t0, "p", X)
+
+
+def test_waiting_upgrader_suppresses_ordinary_grants(pair, txns):
+    t0, t1, t2 = txns[:3]
+    pair.request(t0, "p", S)
+    pair.request(t1, "p", S)
+    assert pair.request(t0, "p", X) is BLOCKED       # upgrader queued
+    assert pair.request(t2, "p", S) is BLOCKED       # would be grantable
+    # The late-arriving upgrader still blocks the ordinary S waiter.
+    assert t0 in pair.ref.blocking_set(t2)
+    # t1 leaving grants the upgrade; t2 stays blocked behind the new X.
+    grants = pair.release(t1, "p")
+    assert canonical_grants(grants) == [("0", "p", "X", True)]
+    assert pair.ref.is_waiting(t2)
+    # The upgrader finishing finally lets t2 in.
+    grants = pair.release_all(t0)
+    assert canonical_grants(grants) == [("2", "p", "S", False)]
+
+
+def test_cancel_wait_mid_queue_promotes_successor(pair, txns):
+    t0, t1, t2 = txns[:3]
+    pair.request(t0, "p", X)
+    assert pair.request(t1, "p", X) is BLOCKED
+    assert pair.request(t2, "p", S) is BLOCKED
+    # t2 sits behind the incompatible t1 in the FCFS queue.
+    assert pair.ref.blocking_set(t2) == {t0, t1}
+    # Cancelling t1's wait does not grant t2 yet: t0 still holds X.
+    assert pair.cancel_wait(t1) == []
+    assert pair.ref.blocking_set(t2) == {t0}
+    grants = pair.release_all(t0)
+    assert canonical_grants(grants) == [("2", "p", "S", False)]
+
+
+def test_release_all_cascades_across_pages(pair, txns):
+    t0, t1, t2 = txns[:3]
+    pair.request(t0, "p", X)
+    pair.request(t0, "q", X)
+    assert pair.request(t1, "p", S) is BLOCKED
+    assert pair.request(t2, "q", S) is BLOCKED
+    grants = pair.release_all(t0)
+    assert canonical_grants(grants) == [("1", "p", "S", False),
+                                        ("2", "q", "S", False)]
+    assert pair.ref.total_held() == 2
+
+
+def test_release_all_of_waiter_cancels_its_wait(pair, txns):
+    t0, t1 = txns[:2]
+    pair.request(t0, "p", X)
+    pair.request(t1, "q", S)
+    assert pair.request(t1, "p", S) is BLOCKED
+    pair.release_all(t1)
+    assert not pair.ref.is_waiting(t1)
+    assert pair.ref.held_pages(t1) == set()
+
+
+def test_request_while_waiting_is_a_protocol_error(pair, txns):
+    t0, t1 = txns[:2]
+    pair.request(t0, "p", X)
+    assert pair.request(t1, "p", S) is BLOCKED
+    with pytest.raises(LockProtocolError):
+        pair.real.request(t1, "q", S)
+    with pytest.raises(LockProtocolError):
+        pair.ref.request(t1, "q", S)
+
+
+def test_release_of_unheld_page_is_a_protocol_error(pair, txns):
+    t0 = txns[0]
+    with pytest.raises(LockProtocolError):
+        pair.real.release(t0, "p")
+    with pytest.raises(LockProtocolError):
+        pair.ref.release(t0, "p")
+
+
+def test_empty_tables_have_identical_snapshots(pair):
+    assert pair.real.dump() == pair.ref.snapshot()
+
+
+def test_stats_track_the_real_table(pair, txns):
+    t0, t1 = txns[:2]
+    pair.request(t0, "p", X)
+    pair.request(t1, "p", S)          # blocked
+    pair.request(t0, "q", S)
+    pair.request(t0, "q", X)          # immediate upgrade
+    assert pair.ref.requests == pair.real.requests == 4
+    assert pair.ref.blocks == pair.real.blocks == 1
+    assert (pair.ref.upgrades_requested
+            == pair.real.upgrades_requested == 1)

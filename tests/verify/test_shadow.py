@@ -1,0 +1,174 @@
+"""Shadow lock table: divergence detection and the randomized soak test.
+
+The soak test is the satellite property test: a seeded stdlib-``random``
+driver issues thousands of request/upgrade/release/cancel operations
+against a :class:`ShadowLockTable`, which diffs every single one against
+the naive :class:`ReferenceLockTable`.  The fast pinned-seed variant is
+tier-1; the multi-seed long variant is marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.lockmgr.lock_table as lock_table_module
+from repro.errors import LockProtocolError, ShadowDivergence
+from repro.lockmgr.lock_table import Grant, RequestOutcome
+from repro.lockmgr.modes import LockMode
+from repro.verify.shadow import ShadowLockTable, canonical_grants
+
+S, X = LockMode.S, LockMode.X
+
+
+class _Txn:
+    __slots__ = ("txn_id",)
+
+    def __init__(self, txn_id: int):
+        self.txn_id = txn_id
+
+    def __repr__(self):
+        return f"T{self.txn_id}"
+
+
+# ----------------------------------------------------------------------
+# canonical_grants
+# ----------------------------------------------------------------------
+
+def test_canonical_grants_is_order_insensitive():
+    a, b = _Txn(1), _Txn(2)
+    forward = [Grant(a, "p", S, False), Grant(b, "q", X, True)]
+    backward = list(reversed(forward))
+    assert canonical_grants(forward) == canonical_grants(backward)
+    assert canonical_grants([]) == []
+
+
+# ----------------------------------------------------------------------
+# Clean operation: the shadow is transparent
+# ----------------------------------------------------------------------
+
+def test_shadow_passes_through_outcomes_and_counts_checks():
+    table = ShadowLockTable()
+    t0, t1 = _Txn(0), _Txn(1)
+    assert table.request(t0, "p", X) is RequestOutcome.GRANTED
+    assert table.request(t1, "p", S) is RequestOutcome.BLOCKED
+    grants = table.release_all(t0)
+    assert canonical_grants(grants) == [("1", "p", "S", False)]
+    assert table.ops_checked >= 3
+    assert table.dump() == table.reference.snapshot()
+
+
+def test_shadow_checks_protocol_errors_on_both_sides():
+    table = ShadowLockTable()
+    t0, t1 = _Txn(0), _Txn(1)
+    table.request(t0, "p", X)
+    table.request(t1, "p", S)
+    before = table.ops_checked
+    with pytest.raises(LockProtocolError):
+        table.request(t1, "q", S)
+    # The matched rejection still counts as a compared operation.
+    assert table.ops_checked == before + 1
+    assert table.dump() == table.reference.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Divergence: a corrupted real table cannot hide
+# ----------------------------------------------------------------------
+
+def test_corrupted_compatibility_matrix_diverges(monkeypatch):
+    # Corrupt the *real* grant path only: the reference spells out its
+    # own compatibility matrix precisely so this cannot infect it.
+    monkeypatch.setattr(lock_table_module, "compatible",
+                        lambda held, requested: True)
+    table = ShadowLockTable()
+    t0, t1 = _Txn(0), _Txn(1)
+    table.request(t0, "p", X)
+    with pytest.raises(ShadowDivergence) as exc_info:
+        table.request(t1, "p", X)       # real grants it; reference blocks
+    divergence = exc_info.value
+    assert divergence.operation == "request"
+    assert "real" in divergence.evidence
+    assert "reference" in divergence.evidence
+    assert (divergence.evidence["real"]
+            != divergence.evidence["reference"])
+
+
+def test_desynced_page_state_diverges_on_next_op():
+    table = ShadowLockTable()
+    t0 = _Txn(0)
+    table.request(t0, "p", S)
+    # Desync the reference's view of page p: the next operation touching
+    # p must notice the two tables disagree.
+    table.reference._holds[0].mode = X
+    with pytest.raises(ShadowDivergence) as exc_info:
+        table.request(t0, "p", S)       # covered re-request, still checked
+    assert exc_info.value.evidence["page"] == "p"
+
+
+def test_untouched_page_desync_caught_by_periodic_full_compare():
+    from repro.verify.shadow import FULL_COMPARE_STRIDE
+    table = ShadowLockTable()
+    t0 = _Txn(0)
+    table.request(t0, "p", S)
+    # Corrupt a page that no later operation touches: only the periodic
+    # full-table comparison can see it.
+    table.reference._holds.clear()
+    with pytest.raises(ShadowDivergence, match="full comparison"):
+        for i in range(FULL_COMPARE_STRIDE + 1):
+            table.request(t0, "q%d" % i, S)
+
+
+# ----------------------------------------------------------------------
+# Randomized soak (satellite): thousands of shadowed operations
+# ----------------------------------------------------------------------
+
+PAGES = ["p%d" % i for i in range(8)]
+
+
+def _soak(seed: int, ops: int) -> ShadowLockTable:
+    """Drive a ShadowLockTable through a random protocol-respecting
+    workload: transactions never issue a request while waiting, and
+    blocked transactions either keep waiting, give up their wait, or
+    abort (release everything)."""
+    rng = random.Random(seed)
+    table = ShadowLockTable()
+    txns = [_Txn(i) for i in range(10)]
+    for _ in range(ops):
+        txn = rng.choice(txns)
+        if table.is_waiting(txn):
+            roll = rng.random()
+            if roll < 0.30:
+                table.cancel_wait(txn)
+            elif roll < 0.45:
+                table.release_all(txn)      # abort while blocked
+            continue                        # else: stay waiting
+        roll = rng.random()
+        held = sorted(table.held_pages(txn), key=str)
+        if roll < 0.60:
+            mode = S if rng.random() < 0.7 else X
+            table.request(txn, rng.choice(PAGES), mode)
+        elif roll < 0.85 and held:
+            table.release(txn, rng.choice(held))
+        else:
+            table.release_all(txn)
+    return table
+
+
+def test_soak_fast_pinned_seed():
+    table = _soak(seed=0xC0FFEE, ops=2000)
+    # Some iterations are idle (a blocked transaction keeps waiting),
+    # so the checked-op count is a bit below the iteration count; the
+    # floor still proves the driver exercised the interesting paths.
+    assert table.ops_checked >= 1000
+    assert table.blocks > 0
+    assert table.upgrades_requested > 0
+    assert table.dump() == table.reference.snapshot()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 7, 20260806])
+def test_soak_long_multi_seed(seed):
+    table = _soak(seed=seed, ops=12000)
+    assert table.ops_checked >= 6000
+    assert table.dump() == table.reference.snapshot()
