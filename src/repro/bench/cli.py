@@ -5,7 +5,7 @@ Usage::
     python -m repro.bench run [--label smoke] [--scale smoke|full]
                               [--out DIR] [--entry NAME ...]
     python -m repro.bench compare [BASELINE] [CANDIDATE]
-                                  [--tolerance 0.9]
+                                  [--tolerance 0.9] [--min-speedup 1.2]
     python -m repro.bench list
 
 ``run`` executes the pinned suite and writes ``BENCH_<label>.json``
@@ -34,6 +34,14 @@ def _tolerance(text: str) -> float:
     if not 0.0 <= value < 1.0:
         raise argparse.ArgumentTypeError(
             f"tolerance is a relative slowdown in [0, 1), got {value}")
+    return value
+
+
+def _min_speedup(text: str) -> float:
+    value = float(text)
+    if value < 0.0:
+        raise argparse.ArgumentTypeError(
+            f"min-speedup is a non-negative rate ratio, got {value}")
     return value
 
 
@@ -70,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 0.9 — a cross-machine "
                              "catastrophe gate; tighten for same-machine "
                              "A/B runs)"))
+    cmp_p.add_argument("--min-speedup", type=_min_speedup, default=0.0,
+                       metavar="RATIO",
+                       help=("require each entry's events/sec to reach "
+                             "RATIO times the baseline's (e.g. 1.2 "
+                             "demands a 20%% speedup; default: 0 — "
+                             "no improvement required)"))
 
     sub.add_parser("list", help="list the pinned suite entries")
     return parser
@@ -89,7 +103,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.bench.compare import (compare_benches,
                                              format_comparison)
             comparisons = compare_benches(args.baseline, args.candidate,
-                                          tolerance=args.tolerance)
+                                          tolerance=args.tolerance,
+                                          min_speedup=args.min_speedup)
             print(format_comparison(comparisons, args.tolerance))
             if any(not c.ok for c in comparisons):
                 return 1

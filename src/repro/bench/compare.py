@@ -49,12 +49,16 @@ class EntryComparison:
 
 def compare_benches(baseline: Union[str, Path, Dict[str, Any]],
                     candidate: Union[str, Path, Dict[str, Any]],
-                    tolerance: float = 0.9) -> List[EntryComparison]:
+                    tolerance: float = 0.9,
+                    min_speedup: float = 0.0) -> List[EntryComparison]:
     """Compare two bench results entry by entry.
 
     ``tolerance`` is the allowed relative slowdown: 0.1 fails anything
     more than 10% slower than baseline, 0.9 (the cross-machine default)
-    only fails order-of-magnitude collapses.  Returns one
+    only fails order-of-magnitude collapses.  ``min_speedup``, when
+    positive, additionally *requires* improvement: an entry fails
+    unless its events-per-second reach ``min_speedup`` times the
+    baseline's (e.g. 1.2 demands a 20% speedup).  Returns one
     :class:`EntryComparison` per baseline entry (extra candidate-only
     entries are ignored — a grown suite must regenerate its baseline).
     """
@@ -104,6 +108,12 @@ def compare_benches(baseline: Union[str, Path, Dict[str, Any]],
                     f"{metric} {cand_value:,.0f} < floor {floor:,.0f} "
                     f"({cand_value / base_value:.2f}x of baseline "
                     f"{base_value:,.0f})")
+        if (min_speedup > 0.0 and base_rate > 0.0
+                and cand_rate < base_rate * min_speedup):
+            failed.append(
+                f"events_per_sec {cand_rate:,.0f} is only "
+                f"{cand_rate / base_rate:.2f}x of baseline "
+                f"{base_rate:,.0f}; required >= {min_speedup:g}x")
         if failed:
             comparisons.append(EntryComparison(
                 name, False, "; ".join(failed),

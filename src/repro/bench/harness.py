@@ -1,8 +1,8 @@
 """Bench execution: wall-clock measurement of the pinned suite.
 
-Each suite entry runs once with an
-:class:`~repro.telemetry.profiling.EngineProfiler` on the event loop;
-the harness reports, per entry:
+Each suite entry runs once, hook-free, with events counted by the
+kernel's native ``Simulator.events_executed`` counter; the harness
+reports, per entry:
 
 * ``wall_seconds``    — wall time of the whole run;
 * ``events`` / ``events_per_sec`` — executed calendar events and their
@@ -33,7 +33,7 @@ from repro.bench.suite import BenchEntry, suite_for
 from repro.errors import ExperimentError
 from repro.experiments.parallel import code_fingerprint
 from repro.experiments.runner import run_simulation
-from repro.telemetry.profiling import EngineProfiler
+from repro.sim.engine import Simulator
 
 __all__ = ["BENCH_FORMAT", "bench_path", "run_entry", "run_bench",
            "write_bench", "load_bench"]
@@ -47,19 +47,27 @@ def bench_path(label: str, out_dir: Union[str, Path] = ".") -> Path:
 
 
 def run_entry(entry: BenchEntry) -> Dict[str, Any]:
-    """Run one suite entry and measure it; returns its result record."""
-    profiler = EngineProfiler()
+    """Run one suite entry and measure it; returns its result record.
+
+    Events are counted by the kernel's own ``Simulator.events_executed``
+    counter rather than an attached :class:`EngineProfiler`: a profiler
+    hook costs microseconds per event, which at these rates dwarfs the
+    thing being measured, and it also disables the system's hook-free
+    fast dispatch — the configuration the bench exists to measure.
+    """
+    sim = Simulator()
     start = time.perf_counter()
     results = run_simulation(entry.params, entry.make_controller(),
-                             profiler=profiler)
+                             sim=sim)
     wall = time.perf_counter() - start
+    events = sim.events_executed
     # Simulated pages processed in the measurement window (raw rate ×
     # window length); deterministic, unlike everything wall-clock.
     sim_pages = results.raw_page_rate.mean * results.measurement_time
     return {
         "wall_seconds": wall,
-        "events": profiler.events,
-        "events_per_sec": (profiler.events / wall if wall > 0.0 else 0.0),
+        "events": events,
+        "events_per_sec": (events / wall if wall > 0.0 else 0.0),
         "sim_pages": round(sim_pages),
         "pages_per_sec": (sim_pages / wall if wall > 0.0 else 0.0),
         "commits": results.commits,

@@ -51,7 +51,7 @@ class LoadController:
         construction, so ``__init__``/``attach`` are too early."""
 
     def log_decision(self, action: str,
-                     txn: "Transaction" = None,
+                     txn: Optional["Transaction"] = None,
                      region=None,
                      measure: Optional[float] = None,
                      threshold: Optional[float] = None,

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from typing import List, Optional
 
 from repro.control.base import LoadController
-from repro.core.regions import DEFAULT_DELTA, Region, classify_region
+from repro.core.regions import DEFAULT_DELTA, Region
 from repro.errors import ConfigurationError
 from repro.metrics.collector import AbortReason
 
@@ -84,10 +84,24 @@ class HalfAndHalfController(LoadController):
     # ------------------------------------------------------------------
 
     def region(self) -> Region:
-        """The current operating region of the system."""
+        """The current operating region of the system.
+
+        This is :func:`~repro.core.regions.classify_region` unrolled
+        inline (same comparisons, same division form — the float
+        arithmetic must stay bit-identical to the reference): the
+        controller consults the region on every grant, block, and
+        arrival, and the extra call is measurable at bench scale.
+        """
         tracker = self.system.tracker
-        return classify_region(tracker.n_active, tracker.n_state1,
-                               tracker.n_state3, self.delta)
+        n_active = tracker.n_active
+        if n_active <= 0:
+            return Region.UNDERLOADED
+        threshold = 0.5 + self.delta
+        if tracker.n_state1 / n_active > threshold:
+            return Region.UNDERLOADED
+        if tracker.n_state3 / n_active > threshold:
+            return Region.OVERLOADED
+        return Region.COMFORTABLE
 
     # ------------------------------------------------------------------
     # Hooks
@@ -111,11 +125,15 @@ class HalfAndHalfController(LoadController):
                                   region=self.region(),
                                   detail="pre-authorised at commit")
             return True
-        region = self.region()
-        admit = region is Region.UNDERLOADED
+        # region() is Region.UNDERLOADED, inlined (same comparisons,
+        # same division form): this hook runs on every arrival.
+        tracker = self.system.tracker
+        n_active = tracker.n_active
+        admit = (n_active <= 0
+                 or tracker.n_state1 / n_active > 0.5 + self.delta)
         if self.decision_log is not None:
             self.log_decision("admit" if admit else "defer", txn=txn,
-                              region=region,
+                              region=self.region(),
                               measure=self._frac_state1(),
                               threshold=0.5 + self.delta)
         return admit
@@ -123,8 +141,15 @@ class HalfAndHalfController(LoadController):
     def on_lock_granted(self, txn: "Transaction") -> None:
         # "New transactions will be admitted from the external ready queue
         # until either the system leaves the Underloaded region or the
-        # ready queue is exhausted."
-        while self.region() is Region.UNDERLOADED:
+        # ready queue is exhausted."  The loop condition is region() is
+        # Region.UNDERLOADED, inlined: this hook runs on every grant.
+        tracker = self.system.tracker
+        threshold = 0.5 + self.delta
+        while True:
+            n_active = tracker.n_active
+            if (n_active > 0
+                    and not tracker.n_state1 / n_active > threshold):
+                break
             if not self.system.try_admit_one():
                 break
             self.admissions_on_grant += 1
@@ -137,8 +162,16 @@ class HalfAndHalfController(LoadController):
 
     def on_block(self, txn: "Transaction") -> None:
         # "Blocked transactions will be aborted until the system leaves
-        # this region of operation."
-        while self.region() is Region.OVERLOADED:
+        # this region of operation."  The loop condition is region() is
+        # Region.OVERLOADED, inlined: this hook runs on every block.
+        tracker = self.system.tracker
+        threshold = 0.5 + self.delta
+        while True:
+            n_active = tracker.n_active
+            if (n_active <= 0
+                    or tracker.n_state1 / n_active > threshold
+                    or not tracker.n_state3 / n_active > threshold):
+                break
             victim = self._choose_victim()
             if victim is None:
                 break

@@ -35,6 +35,12 @@ class StateTracker:
 
     def __init__(self, collector: Optional[Collector] = None):
         self._active: Set["Transaction"] = set()
+        # Number of admitted (active) transactions.  Maintained as a
+        # plain attribute (== len(self._active), enforced by
+        # :meth:`check_invariants`): controllers read it on every
+        # decision, and a property call per read is measurable at bench
+        # scale.
+        self.n_active = 0
         self.n_state1 = 0   # running, mature
         self.n_state2 = 0   # running, immature
         self.n_state3 = 0   # blocked, mature
@@ -42,11 +48,6 @@ class StateTracker:
         self._collector = collector
 
     # ------------------------------------------------------------------
-
-    @property
-    def n_active(self) -> int:
-        """Number of admitted (active) transactions."""
-        return len(self._active)
 
     @property
     def n_running(self) -> int:
@@ -86,6 +87,7 @@ class StateTracker:
         txn.is_blocked = False
         txn.is_mature = False
         self._active.add(txn)
+        self.n_active += 1
         self.n_state2 += 1
         self._publish(now)
 
@@ -93,6 +95,7 @@ class StateTracker:
         """Remove a transaction from the active set (commit or abort)."""
         self._require_active(txn, now)
         self._active.remove(txn)
+        self.n_active -= 1
         self._bucket_delta(txn, -1)
         self._publish(now)
 
@@ -170,3 +173,10 @@ class StateTracker:
                 invariant="tracker_bucket_conservation",
                 evidence={"counters": counters,
                           "n_active": self.n_active})
+        if self.n_active != len(self._active):
+            raise InvariantViolation(
+                f"n_active counter {self.n_active} disagrees with the "
+                f"active set of {len(self._active)}",
+                invariant="tracker_bucket_conservation",
+                evidence={"n_active": self.n_active,
+                          "set_size": len(self._active)})

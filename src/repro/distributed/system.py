@@ -263,6 +263,7 @@ class DistributedSystem:
         # between the calls, so mirror manually.
         view = self._view_of(txn)
         view.tracker._active.add(txn)
+        view.tracker.n_active += 1
         view.tracker.n_state2 += 1
 
     def _track_remove(self, txn: Transaction) -> None:

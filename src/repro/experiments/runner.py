@@ -44,6 +44,7 @@ def run_simulation(params: SimulationParameters,
                    fault_schedule=None,
                    profiler=None,
                    verify=None,
+                   sim: Optional[Simulator] = None,
                    ) -> SimulationResults:
     """Run one complete simulation and return its measured results.
 
@@ -73,6 +74,10 @@ def run_simulation(params: SimulationParameters,
             event loop (the bench harness measures events/sec with
             one).  Mutually exclusive with ``telemetry``, which brings
             its own.
+        sim: optional pre-built :class:`repro.sim.engine.Simulator` to
+            run on.  Callers that need kernel-level counters afterwards
+            (e.g. the bench harness reading ``sim.events_executed``)
+            pass their own; everyone else lets the runner build one.
         verify: optional :class:`repro.verify.VerifyConfig`; installs
             the runtime :class:`repro.verify.InvariantChecker` (and,
             unless disabled, swaps the lock table for a
@@ -94,7 +99,8 @@ def run_simulation(params: SimulationParameters,
             "pass either telemetry= or profiler=, not both: a telemetry "
             "session installs its own profiler")
     wall_start = perf_counter()
-    sim = Simulator()
+    if sim is None:
+        sim = Simulator()
     streams = RandomStreams(params.seed)
     collector = Collector()
     workload = (workload_factory(streams, params)

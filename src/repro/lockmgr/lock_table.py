@@ -61,14 +61,24 @@ class Grant:
 
 
 class _Lock:
-    """State for one page: holders plus two-tier wait queue."""
+    """State for one page: holders plus two-tier wait queue.
 
-    __slots__ = ("holders", "upgraders", "queue")
+    ``num_s``/``num_x`` count current holders by mode.  They exist so
+    grant checks are O(1) — the S/X matrix is tiny and static, so a
+    request's compatibility with *every* holder collapses to a counter
+    test (see :meth:`LockTable.request`) instead of a scan.  Invariant,
+    enforced by :meth:`LockTable.check_invariants`: ``num_s + num_x ==
+    len(holders)`` and each counter equals the recount of its mode.
+    """
+
+    __slots__ = ("holders", "upgraders", "queue", "num_s", "num_x")
 
     def __init__(self) -> None:
         self.holders: Dict[Txn, LockMode] = {}
         self.upgraders: Deque[Txn] = deque()
         self.queue: Deque[Tuple[Txn, LockMode]] = deque()
+        self.num_s = 0
+        self.num_x = 0
 
     def empty(self) -> bool:
         return not self.holders and not self.upgraders and not self.queue
@@ -126,7 +136,8 @@ class LockTable:
         held = self._held.get(txn)
         return len(held) if held else 0
 
-    def holds(self, txn: Txn, page: Page, mode: LockMode = None) -> bool:
+    def holds(self, txn: Txn, page: Page,
+              mode: Optional[LockMode] = None) -> bool:
         """True if ``txn`` holds ``page`` (optionally in exactly ``mode``)."""
         lock = self._locks.get(page)
         if lock is None or txn not in lock.holders:
@@ -346,10 +357,22 @@ class LockTable:
             return self._request_upgrade(txn, page, lock)
 
         # Fresh request: FCFS — grant only if nothing is queued ahead and
-        # the mode is compatible with every current holder.
+        # the mode is compatible with every current holder.  With only
+        # S/X modes that compatibility collapses to a counter test: S
+        # coexists with anything but an X holder, X needs the page free.
         if (not lock.upgraders and not lock.queue
-                and all(compatible(m, mode) for m in lock.holders.values())):
-            self._grant(txn, page, lock, mode)
+                and (lock.num_x == 0 if mode is LockMode.S
+                     else not lock.holders)):
+            # _grant(), inlined: most requests take this branch.
+            lock.holders[txn] = mode
+            if mode is LockMode.S:
+                lock.num_s += 1
+            else:
+                lock.num_x += 1
+            held = self._held.get(txn)
+            if held is None:
+                held = self._held[txn] = {}
+            held[page] = None
             return RequestOutcome.GRANTED
         lock.queue.append((txn, mode))
         self._waits[txn] = _WaitRecord(page, mode, is_upgrade=False)
@@ -361,6 +384,8 @@ class LockTable:
         self.upgrades_requested += 1
         if len(lock.holders) == 1:
             lock.holders[txn] = LockMode.X
+            lock.num_s -= 1
+            lock.num_x += 1
             return RequestOutcome.GRANTED
         lock.upgraders.append(txn)
         self._waits[txn] = _WaitRecord(page, LockMode.X, is_upgrade=True)
@@ -370,6 +395,10 @@ class LockTable:
     def _grant(self, txn: Txn, page: Page, lock: _Lock,
                mode: LockMode) -> None:
         lock.holders[txn] = mode
+        if mode is LockMode.S:
+            lock.num_s += 1
+        else:
+            lock.num_x += 1
         self._held.setdefault(txn, {})[page] = None
 
     # ------------------------------------------------------------------
@@ -386,7 +415,7 @@ class LockTable:
             raise LockProtocolError(
                 f"transaction {txn!r} released page {page!r} "
                 f"which it does not hold")
-        del lock.holders[txn]
+        self._drop_holder(lock, txn)
         held = self._held.get(txn)
         if held is not None:
             held.pop(page, None)
@@ -406,7 +435,7 @@ class LockTable:
         grants.extend(self.cancel_wait(txn))
         for page in list(self._held.get(txn, ())):
             lock = self._locks[page]
-            del lock.holders[txn]
+            self._drop_holder(lock, txn)
             grants.extend(self._promote_waiters(page, lock))
             self._gc(page, lock)
         self._held.pop(txn, None)
@@ -443,6 +472,8 @@ class LockTable:
             if len(lock.holders) == 1 and up in lock.holders:
                 lock.upgraders.popleft()
                 lock.holders[up] = LockMode.X
+                lock.num_s -= 1
+                lock.num_x += 1
                 del self._waits[up]
                 grants.append(Grant(up, page, LockMode.X, was_upgrade=True))
             else:
@@ -450,7 +481,10 @@ class LockTable:
                 return grants
         while lock.queue:
             txn, mode = lock.queue[0]
-            if all(compatible(m, mode) for m in lock.holders.values()):
+            # Counter form of "compatible with every holder" (see
+            # request()): O(1) per head-of-queue test.
+            if (lock.num_x == 0 if mode is LockMode.S
+                    else not lock.holders):
                 lock.queue.popleft()
                 self._grant(txn, page, lock, mode)
                 del self._waits[txn]
@@ -458,6 +492,14 @@ class LockTable:
             else:
                 break
         return grants
+
+    @staticmethod
+    def _drop_holder(lock: _Lock, txn: Txn) -> None:
+        """Remove ``txn`` from a lock's holders, keeping the counters."""
+        if lock.holders.pop(txn) is LockMode.S:
+            lock.num_s -= 1
+        else:
+            lock.num_x -= 1
 
     def _gc(self, page: Page, lock: _Lock) -> None:
         if lock.empty():
@@ -493,6 +535,13 @@ class LockTable:
                 for m2 in modes[i + 1:]:
                     if not compatible(m1, m2):
                         violate(f"incompatible holders on page {page!r}")
+            num_s = sum(1 for m in modes if m is LockMode.S)
+            num_x = len(modes) - num_s
+            if lock.num_s != num_s or lock.num_x != num_x:
+                violate(
+                    f"holder-mode counters ({lock.num_s}S, {lock.num_x}X)"
+                    f" disagree with a recount ({num_s}S, {num_x}X) "
+                    f"on page {page!r}")
             for up in lock.upgraders:
                 if lock.holders.get(up) is not LockMode.S:
                     violate(f"upgrader {up!r} does not hold S "

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["LockMode", "compatible"]
+__all__ = ["LockMode", "COMPATIBLE", "compatible"]
 
 
 class LockMode(enum.IntEnum):
@@ -20,9 +20,20 @@ class LockMode(enum.IntEnum):
     X = 1   # exclusive (write)
 
 
+# The compatibility matrix, precomputed: ``COMPATIBLE[held][requested]``.
+# The matrix is tiny and static (only S/S coexists), so hot paths index
+# it — or better, consult the per-lock holder-mode counters maintained
+# by the lock table (see ``LockTable``) — instead of re-deriving
+# compatibility per holder.
+COMPATIBLE = (
+    (True, False),    # held S: requested S ok, requested X conflicts
+    (False, False),   # held X: conflicts with everything
+)
+
+
 def compatible(held: LockMode, requested: LockMode) -> bool:
     """True if a lock in ``requested`` mode can coexist with ``held``.
 
     Only S/S is compatible; every combination involving X conflicts.
     """
-    return held is LockMode.S and requested is LockMode.S
+    return COMPATIBLE[held][requested]

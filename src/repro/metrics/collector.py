@@ -143,12 +143,43 @@ class Collector:
     def set_populations(self, now: float, n_active: int,
                         n_state1: int, n_state2: int,
                         n_state3: int, n_state4: int) -> None:
-        """Record the current transaction-state populations."""
-        self.active.update(n_active, now)
-        self.state1.update(n_state1, now)
-        self.state2.update(n_state2, now)
-        self.state3.update(n_state3, now)
-        self.state4.update(n_state4, now)
+        """Record the current transaction-state populations.
+
+        This runs on every tracker mutation — several times per
+        simulated page — so the five ``TimeWeightedValue.update`` calls
+        are unrolled inline (same arithmetic, same order; see
+        :meth:`TimeWeightedValue.update`).
+        """
+        tw = self.active
+        tw._integral += tw._value * (now - tw._last_time)
+        tw._value = n_active
+        tw._last_time = now
+        if n_active > tw.max_value:
+            tw.max_value = n_active
+        tw = self.state1
+        tw._integral += tw._value * (now - tw._last_time)
+        tw._value = n_state1
+        tw._last_time = now
+        if n_state1 > tw.max_value:
+            tw.max_value = n_state1
+        tw = self.state2
+        tw._integral += tw._value * (now - tw._last_time)
+        tw._value = n_state2
+        tw._last_time = now
+        if n_state2 > tw.max_value:
+            tw.max_value = n_state2
+        tw = self.state3
+        tw._integral += tw._value * (now - tw._last_time)
+        tw._value = n_state3
+        tw._last_time = now
+        if n_state3 > tw.max_value:
+            tw.max_value = n_state3
+        tw = self.state4
+        tw._integral += tw._value * (now - tw._last_time)
+        tw._value = n_state4
+        tw._last_time = now
+        if n_state4 > tw.max_value:
+            tw.max_value = n_state4
 
     def set_ready_queue_length(self, now: float, length: int) -> None:
         self.ready_queue.update(length, now)

@@ -80,25 +80,34 @@ class CpuPool:
                 f"negative CPU service time: {service_time}")
         service_time *= self.service_scale
         if self._free > 0:
-            self._start(service_time, callback, args)
+            self._free -= 1
+            self.busy_time += service_time
+            # post(): completions are never cancelled, so no handle.
+            self._sim.post(service_time, self._complete, callback, args)
         else:
-            self._queues[int(priority)].append((service_time, callback, args))
-
-    def _start(self, service_time: float,
-               callback: Callable[..., Any], args: tuple) -> None:
-        self._free -= 1
-        self.busy_time += service_time
-        self._sim.schedule(service_time, self._complete, callback, args)
+            # Priority is an IntEnum, so it indexes the queue pair
+            # directly.
+            self._queues[priority].append((service_time, callback, args))
 
     def _complete(self, callback: Callable[..., Any], args: tuple) -> None:
         self._free += 1
         self.requests_served += 1
         # Hand the freed server to the next waiter before running the
         # completion callback: the callback may itself issue a new request,
-        # and FCFS requires existing waiters to be served first.
+        # and FCFS requires existing waiters to be served first.  The
+        # start bookkeeping is spelled out inline — this runs once per
+        # CPU-bound calendar event.
         cc_queue, normal_queue = self._queues
         if cc_queue:
-            self._start(*cc_queue.popleft())
+            service_time, queued_callback, queued_args = cc_queue.popleft()
         elif normal_queue:
-            self._start(*normal_queue.popleft())
+            service_time, queued_callback, queued_args = (
+                normal_queue.popleft())
+        else:
+            callback(*args)
+            return
+        self._free -= 1
+        self.busy_time += service_time
+        self._sim.post(service_time, self._complete,
+                       queued_callback, queued_args)
         callback(*args)

@@ -92,21 +92,50 @@ class DiskArray:
         if disk.busy:
             disk.queue.append((service_time, callback, args))
         else:
-            self._start(disk, service_time, callback, args)
+            disk.busy = True
+            disk.busy_time += service_time
+            # post(): completions are never cancelled, so no handle.
+            self._sim.post(service_time, self._complete,
+                           disk, callback, args)
 
-    def _start(self, disk: _Disk, service_time: float,
-               callback: Callable[..., Any], args: tuple) -> None:
-        disk.busy = True
-        disk.busy_time += service_time
-        self._sim.schedule(service_time, self._complete, disk, callback, args)
+    def access_random(self, rng: random.Random, service_time: float,
+                      callback: Callable[..., Any], *args: Any) -> None:
+        """``choose_disk`` + ``access`` fused for the per-page hot path.
+
+        Draws exactly one disk index from ``rng`` — the same stream
+        consumption as the two-call form — and skips the index range
+        check (the index is generated in range by construction).
+        ``randrange(n)`` for a positive int n is a validating wrapper
+        around ``Random._randbelow(n)``; calling the latter directly
+        consumes identical random bits, so trajectories stay
+        bit-identical to :meth:`choose_disk`.
+        """
+        if service_time < 0.0:
+            raise ConfigurationError(
+                f"negative disk service time: {service_time}")
+        service_time *= self.service_scale
+        disk = self._disks[rng._randbelow(self.num_disks)]
+        if disk.busy:
+            disk.queue.append((service_time, callback, args))
+        else:
+            disk.busy = True
+            disk.busy_time += service_time
+            self._sim.post(service_time, self._complete,
+                           disk, callback, args)
 
     def _complete(self, disk: _Disk,
                   callback: Callable[..., Any], args: tuple) -> None:
         disk.requests_served += 1
         if disk.queue:
             # Start the next waiter before running the completion callback
-            # so FCFS order is preserved if the callback re-enters.
-            self._start(disk, *disk.queue.popleft())
+            # so FCFS order is preserved if the callback re-enters.  The
+            # start bookkeeping is spelled out inline — this runs once
+            # per I/O-bound calendar event.
+            service_time, queued_callback, queued_args = (
+                disk.queue.popleft())
+            disk.busy_time += service_time
+            self._sim.post(service_time, self._complete,
+                           disk, queued_callback, queued_args)
         else:
             disk.busy = False
         callback(*args)

@@ -235,10 +235,8 @@ class InvariantChecker:
         system = self.system
         pending_submits = 0
         pending_arrivals = 0
-        for ev in system.sim._heap:
-            if ev.cancelled or ev.callback is None:
-                continue
-            name = getattr(ev.callback, "__name__", "")
+        for callback in system.sim.iter_pending_callbacks():
+            name = getattr(callback, "__name__", "")
             if name == "_terminal_submits":
                 pending_submits += 1
             elif name == "_arrival":

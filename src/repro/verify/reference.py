@@ -123,7 +123,8 @@ class ReferenceLockTable:
     def total_held(self) -> int:
         return len(self._holds)
 
-    def holds(self, txn: Txn, page: Page, mode: LockMode = None) -> bool:
+    def holds(self, txn: Txn, page: Page,
+              mode: Optional[LockMode] = None) -> bool:
         h = self._hold_of(txn, page)
         if h is None:
             return False

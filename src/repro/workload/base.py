@@ -49,6 +49,13 @@ class WorkloadGenerator:
 
     def __init__(self, streams: RandomStreams):
         self.streams = streams
+        # Prebound substreams: ``_build`` runs once per generated
+        # transaction and would otherwise pay three name-hash lookups
+        # each time.  Drawing through these produces the exact variate
+        # sequences of the module-level sampling helpers above.
+        self._size_rng = streams.stream("readset_size")
+        self._page_rng = streams.stream("page_choice")
+        self._write_rng = streams.stream("write_choice")
 
     def make_transaction(self, txn_id: int, terminal_id: int,
                          now: float) -> Transaction:
@@ -64,9 +71,21 @@ class WorkloadGenerator:
                protocol: LockProtocol = LockProtocol.TWO_PHASE,
                class_name: str = "default") -> Transaction:
         """Shared construction path used by the concrete generators."""
-        size = sample_readset_size(self.streams, mean_size)
-        readset, writeset = sample_page_sets(
-            self.streams, db_size, size, write_prob)
+        size = self._size_rng.randint(
+            max(1, mean_size - mean_size // 2),
+            mean_size + mean_size // 2)
+        if size > db_size:
+            raise WorkloadError(
+                f"readset of {size} pages exceeds database "
+                f"of {db_size} pages")
+        readset = self._page_rng.sample(range(db_size), size)
+        if write_prob <= 0.0:
+            writeset: Set[int] = set()
+        elif write_prob >= 1.0:
+            writeset = set(readset)
+        else:
+            rand = self._write_rng.random
+            writeset = {page for page in readset if rand() < write_prob}
         return Transaction(
             txn_id=txn_id, terminal_id=terminal_id, timestamp=now,
             readset=readset, writeset=writeset,

@@ -186,3 +186,19 @@ def test_committed_baseline_is_loadable():
     assert set(payload["entries"]) == set(entry_names())
     for record in payload["entries"].values():
         assert record["events"] > 0
+
+
+def test_compare_min_speedup_requires_improvement():
+    base = _payload()
+    same_speed = copy.deepcopy(base)
+    # Identical speed passes the regression gate but fails a demanded
+    # 1.2x improvement.
+    (c,) = compare_benches(base, same_speed, tolerance=0.9,
+                           min_speedup=1.2)
+    assert not c.ok
+    assert "required >= 1.2x" in c.detail
+
+    faster = _payload(events_per_sec=1300.0, pages_per_sec=650.0)
+    (c,) = compare_benches(base, faster, tolerance=0.9, min_speedup=1.2)
+    assert c.ok
+    assert c.ratio == pytest.approx(1.3)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import LockProtocolError
+from repro.errors import InvariantViolation, LockProtocolError
 from repro.lockmgr.lock_table import LockTable, RequestOutcome
 from repro.lockmgr.modes import LockMode
 
@@ -293,3 +293,39 @@ def test_lock_entry_garbage_collected(table, txns):
     table.release_all(t1)
     assert table.holders(1) == {}
     assert table._locks == {}  # internal: entry truly removed
+
+
+# ----------------------------------------------------------------------
+# O(1) holder-mode counters
+# ----------------------------------------------------------------------
+
+def test_holder_counters_track_grants_and_releases(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.S)
+    lock = table._locks[1]
+    assert (lock.num_s, lock.num_x) == (2, 0)
+    table.release_all(t2)
+    assert (lock.num_s, lock.num_x) == (1, 0)
+    table.check_invariants()
+
+
+def test_holder_counters_track_upgrades(table, txns):
+    t1, t2, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table.request(t2, 1, LockMode.S)
+    table.request(t1, 1, LockMode.X)           # waits behind t2
+    lock = table._locks[1]
+    assert (lock.num_s, lock.num_x) == (2, 0)
+    table.release_all(t2)                      # upgrade granted
+    assert (lock.num_s, lock.num_x) == (0, 1)
+    assert table.holds(t1, 1, LockMode.X)
+    table.check_invariants()
+
+
+def test_invariant_checker_catches_desynced_counters(table, txns):
+    t1, _, _ = txns
+    table.request(t1, 1, LockMode.S)
+    table._locks[1].num_s += 1                 # corrupt the counter
+    with pytest.raises(InvariantViolation, match="holder-mode counters"):
+        table.check_invariants()

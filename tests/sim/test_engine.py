@@ -113,6 +113,83 @@ def test_schedule_at_absolute_time():
     assert times == [4.0]
 
 
+def test_schedule_at_clamps_float_roundoff_to_now():
+    # Regression: scheduling at the mathematically current instant used
+    # to raise when the delta computation rounded to a tiny negative
+    # (0.3 - (0.1 + 0.2) == -5.6e-17).  Such round-off clamps to "now".
+    sim = Simulator()
+    fired = []
+
+    def at_roundoff_now():
+        assert 0.3 - sim.now < 0.0     # genuinely negative round-off
+        sim.schedule_at(0.3, lambda: fired.append(sim.now))
+
+    sim.schedule(0.1 + 0.2, at_roundoff_now)
+    sim.run()
+    assert fired == [0.1 + 0.2]
+
+
+def test_schedule_at_genuinely_past_time_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_post_shares_tie_order_with_schedule():
+    # post() and schedule() draw from the same sequence counter, so
+    # same-time events fire in submission order regardless of which
+    # entry point scheduled them.
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.post(1.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_post_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.post(-0.001, lambda: None)
+
+
+def test_mass_cancellation_compacts_the_calendar():
+    # Regression: cancelled slots were lazily deleted but never
+    # compacted, so a cancel-heavy workload grew the heap without
+    # bound.  Once cancelled slots outnumber live ones the calendar
+    # re-heapifies, and survivors still fire in order.
+    sim = Simulator()
+    kept = []
+    handles = []
+    for i in range(1000):
+        if i % 100 == 0:
+            sim.schedule(float(i), kept.append, i)
+        else:
+            handles.append(sim.schedule(float(i), lambda: None))
+    for handle in handles:
+        handle.cancel()
+    assert sim.pending() == 10
+    # Compaction ran: dead slots never exceed max(live, threshold), so
+    # nearly all of the 990 cancelled slots are gone.
+    assert len(sim._heap) <= 2 * sim.pending() + 8
+    assert sim.run() == 10
+    assert kept == list(range(0, 1000, 100))
+
+
+def test_cancel_heavy_workload_keeps_heap_bounded():
+    sim = Simulator()
+    for _ in range(10_000):
+        sim.schedule(1.0, lambda: None).cancel()
+    assert sim.pending() == 0
+    # Compaction keeps the calendar's footprint constant, not linear in
+    # the number of cancellations.
+    assert len(sim._heap) < 32
+    assert sim.run() == 0
+
+
 def test_events_scheduled_during_run_fire():
     sim = Simulator()
     fired = []

@@ -150,11 +150,32 @@ def test_evidence_snapshot_written_to_dir(tiny_params, tmp_path):
 # ----------------------------------------------------------------------
 
 def _corrupt_grant_path(monkeypatch):
-    """Make the real lock table approve every mode combination.  The
-    reference table and the checker's conflict-freedom scan both spell
-    out their own mode logic, so neither inherits the corruption."""
+    """Make the real lock table approve every mode combination.
+
+    The hot-path grant predicate is the O(1) holder-counter test inside
+    ``LockTable.request``, so the corruption replaces the fresh-request
+    path with one that grants regardless of holder modes (with coherent
+    counter bookkeeping, so the table's own counter recount stays
+    blind).  ``compatible`` is corrupted too, blinding the table's
+    pairwise structural self-checks.  The reference table and the
+    checker's conflict-freedom scan both spell out their own mode
+    logic, so neither inherits either corruption."""
     monkeypatch.setattr(lock_table_module, "compatible",
                         lambda held, requested: True)
+    real_request = lock_table_module.LockTable.request
+
+    def corrupted_request(self, txn, page, mode):
+        lock = self._locks.get(page)
+        if (lock is not None and lock.holders
+                and txn not in lock.holders
+                and not lock.upgraders and not lock.queue):
+            self.requests += 1
+            self._grant(txn, page, lock, mode)
+            return lock_table_module.RequestOutcome.GRANTED
+        return real_request(self, txn, page, mode)
+
+    monkeypatch.setattr(lock_table_module.LockTable, "request",
+                        corrupted_request)
 
 
 def test_corrupted_grant_path_caught_by_invariant_checker(

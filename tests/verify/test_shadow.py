@@ -78,9 +78,24 @@ def test_shadow_checks_protocol_errors_on_both_sides():
 
 def test_corrupted_compatibility_matrix_diverges(monkeypatch):
     # Corrupt the *real* grant path only: the reference spells out its
-    # own compatibility matrix precisely so this cannot infect it.
-    monkeypatch.setattr(lock_table_module, "compatible",
-                        lambda held, requested: True)
+    # own compatibility matrix precisely so this cannot infect it.  The
+    # real grant predicate is the O(1) holder-counter test inside
+    # ``LockTable.request``, so the corruption swaps in a fresh-request
+    # path that grants regardless of holder modes.
+    real_request = lock_table_module.LockTable.request
+
+    def corrupted_request(self, txn, page, mode):
+        lock = self._locks.get(page)
+        if (lock is not None and lock.holders
+                and txn not in lock.holders
+                and not lock.upgraders and not lock.queue):
+            self.requests += 1
+            self._grant(txn, page, lock, mode)
+            return lock_table_module.RequestOutcome.GRANTED
+        return real_request(self, txn, page, mode)
+
+    monkeypatch.setattr(lock_table_module.LockTable, "request",
+                        corrupted_request)
     table = ShadowLockTable()
     t0, t1 = _Txn(0), _Txn(1)
     table.request(t0, "p", X)
