@@ -116,6 +116,10 @@ class DBMSSystem:
         # repro.telemetry.spans.SpanRecorder.attach); strictly
         # observational, one None check per hook when disabled.
         self.spans = None
+        # Optional per-page contention monitor (see
+        # repro.telemetry.contention.ContentionMonitor.attach); same
+        # contract: strictly observational, one None check per hook.
+        self.contention = None
         # Optional runtime invariant checker (see
         # repro.verify.InvariantChecker.attach); strictly
         # observational, one None check per hook when disabled.  The
@@ -140,17 +144,17 @@ class DBMSSystem:
         """Schedule the first arrival from every terminal.
 
         This is also the fast-dispatch binding point: observability
-        hooks (``tracer``, ``spans``, ``invariants``) must be attached
-        *before* ``start()``.  When all three are absent the state
-        machine rebinds its per-event methods to hook-free variants, so
-        a plain run pays zero ``is not None`` checks per transition (see
-        DESIGN.md, "kernel fast path").
+        hooks (``tracer``, ``spans``, ``contention``, ``invariants``)
+        must be attached *before* ``start()``.  When all four are
+        absent the state machine rebinds its per-event methods to
+        hook-free variants, so a plain run pays zero ``is not None``
+        checks per transition (see DESIGN.md, "kernel fast path").
         """
         if self._started:
             raise SimulationError("DBMSSystem.start() called twice")
         self._started = True
         if (self.tracer is None and self.spans is None
-                and self.invariants is None):
+                and self.contention is None and self.invariants is None):
             self._bind_fast_dispatch()
         for terminal_id in range(self.params.num_terms):
             self.sim.post(self._think_delay(),
@@ -363,6 +367,8 @@ class DBMSSystem:
         self.tracker.set_blocked(txn, True, self.sim.now)
         if self.spans is not None:
             self.spans.on_block(txn, page)
+        if self.contention is not None:
+            self.contention.on_block(txn, page)
         if self.tracer is not None:
             self.tracer.record(self.sim.now, TraceEventType.BLOCK,
                                txn.txn_id,
@@ -395,6 +401,8 @@ class DBMSSystem:
             self.tracker.set_blocked(txn, False, self.sim.now)
             if self.spans is not None:
                 self.spans.on_unblock(txn)
+            if self.contention is not None:
+                self.contention.on_unblock(txn)
             if self.tracer is not None:
                 self.tracer.record(self.sim.now, TraceEventType.UNBLOCK,
                                    txn.txn_id)
@@ -557,6 +565,10 @@ class DBMSSystem:
         self.collector.on_abort(reason, class_name=txn.class_name)
         if self.spans is not None:
             self.spans.on_abort(txn, reason)
+        if self.contention is not None:
+            # Before release_all, while the monitor's open-wait record
+            # still names the page the victim died waiting on.
+            self.contention.on_abort(txn, reason)
         if self.tracer is not None:
             self.tracer.record_abort(self.sim.now, txn.txn_id, reason)
         grants = self.lock_table.release_all(txn)
@@ -576,7 +588,8 @@ class DBMSSystem:
     # Hook-free fast dispatch
     # ------------------------------------------------------------------
     # Line-for-line twins of the hooked methods above with every
-    # ``if self.tracer/spans/invariants is not None`` branch removed.
+    # ``if self.tracer/spans/contention/invariants is not None`` branch
+    # removed.
     # ``_bind_fast_dispatch`` shadows the originals with these when no
     # hook is attached at ``start()``; they must produce bit-identical
     # trajectories (the hooks are strictly observational).  Any change

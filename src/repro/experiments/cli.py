@@ -72,6 +72,18 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                               "and latency analytics (spans.jsonl, "
                               "latency.json per run; needs "
                               "--telemetry-dir; trajectory-invariant)"))
+    parser.add_argument("--contention", action="store_true",
+                        help=("also record per-page contention heat and "
+                              "wait-for-graph statistics "
+                              "(contention.jsonl, contention.json per "
+                              "run; needs --telemetry-dir; "
+                              "trajectory-invariant)"))
+    parser.add_argument("--online", action="store_true",
+                        help=("also run the streaming regime detectors "
+                              "(EWMA/CUSUM) over the probe stream "
+                              "(regimes.json per run plus regime_change "
+                              "decision rows; needs --telemetry-dir; "
+                              "trajectory-invariant)"))
     parser.add_argument("--retries", type=int, default=0, metavar="N",
                         help=("retry each failed run up to N times with "
                               "exponential backoff (default: 0, fail "
@@ -156,6 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
               "blame) for runs recorded with --spans"))
     tel_latency.add_argument("dir",
                              help="a run directory or telemetry root")
+    tel_sweep = tel_sub.add_parser(
+        "sweep",
+        help=("aggregate every run under a telemetry root into "
+              "sweep_summary.json plus an ASCII report (per-run "
+              "onsets, per-curve knees, sweep-wide hot pages)"))
+    tel_sweep.add_argument("dir", help="a telemetry root (sweep output)")
+    tel_sweep.add_argument("--jobs", type=_positive_int, default=1,
+                           metavar="N",
+                           help=("aggregate run directories in up to N "
+                                 "worker processes; output is "
+                                 "byte-identical to serial (default: 1)"))
+    tel_sweep.add_argument("--out", metavar="PATH", default=None,
+                           help=("where to write the summary JSON "
+                                 "(default: <dir>/sweep_summary.json)"))
 
     ver_p = sub.add_parser(
         "verify",
@@ -232,15 +258,19 @@ def _run_command(args) -> None:
 def _telemetry_config(args):
     """Build a TelemetryConfig from CLI flags, or None when disabled."""
     if args.telemetry_dir is None:
-        if getattr(args, "spans", False):
-            raise ReproError(
-                "--spans needs --telemetry-dir: span timelines are "
-                "exported through the telemetry session")
+        for flag in ("spans", "contention", "online"):
+            if getattr(args, flag, False):
+                raise ReproError(
+                    f"--{flag} needs --telemetry-dir: its artifacts "
+                    f"are exported through the telemetry session")
         return None
     from repro.telemetry import TelemetryConfig
     return TelemetryConfig(root=str(args.telemetry_dir),
                            probe_interval=args.probe_interval,
-                           spans=bool(getattr(args, "spans", False)))
+                           spans=bool(getattr(args, "spans", False)),
+                           contention=bool(
+                               getattr(args, "contention", False)),
+                           online=bool(getattr(args, "online", False)))
 
 
 def _resilience_policy(args):
@@ -324,25 +354,42 @@ def _telemetry_command(args) -> int:
         from repro.telemetry import render_latency_report
         print(render_latency_report(root))
         return 0
-    # validate
-    from repro.telemetry import validate_run_dir
+    if args.telemetry_command == "sweep":
+        from repro.telemetry import (render_sweep_report, summarize_sweep)
+        from repro.telemetry.export import json_dump
+        summary = summarize_sweep(root, jobs=args.jobs)
+        out = (Path(args.out) if args.out
+               else root / "sweep_summary.json")
+        json_dump(summary, out)
+        print(render_sweep_report(summary))
+        print(f"wrote {out}", file=sys.stderr)
+        return 0
+    # validate: check every run directory (and, at a sweep root, the
+    # sweep summary), reporting *all* failing files before exiting
+    # non-zero.
+    from repro.telemetry import validate_run_dir, validate_sweep_summary
     run_dirs = _telemetry_run_dirs(root)
     if not run_dirs:
         raise ReproError(f"no telemetry runs (manifest.json) under {root}")
+    targets = [(run_dir.name, validate_run_dir(run_dir))
+               for run_dir in run_dirs]
+    sweep_path = root / "sweep_summary.json"
+    if sweep_path.is_file():
+        targets.append((sweep_path.name,
+                        validate_sweep_summary(sweep_path)))
     failures = 0
-    for run_dir in run_dirs:
-        errors = validate_run_dir(run_dir)
+    for name, errors in targets:
         if errors:
             failures += 1
             for error in errors:
-                print(f"{run_dir.name}: {error}", file=sys.stderr)
+                print(f"{name}: {error}", file=sys.stderr)
         else:
-            print(f"{run_dir.name}: ok")
+            print(f"{name}: ok")
     if failures:
-        print(f"{failures}/{len(run_dirs)} run(s) failed validation",
+        print(f"{failures}/{len(targets)} target(s) failed validation",
               file=sys.stderr)
         return 1
-    print(f"{len(run_dirs)} run(s) valid")
+    print(f"{len(targets)} target(s) valid")
     return 0
 
 

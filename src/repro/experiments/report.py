@@ -44,6 +44,15 @@ Livny, *Load Control for Locking: The 'Half-and-Half' Approach* (1990).
   chain depth** separates the two thrashing modes — depth near 1 means
   independent pairwise conflicts (throughput-limited), while growing
   depth means convoys are forming and admission control is late.
+* Watching a thrashing transition *as it happens*: rerun with
+  ``--telemetry-dir tel/ --contention --online``.  ``--contention``
+  exports the per-page hot-page table and per-probe-tick wait-for-graph
+  statistics (``contention.jsonl``); ``--online`` runs streaming
+  detectors (EWMA + CUSUM) over the live state fractions and logs
+  typed ``regime_change`` decisions (stable → pre_thrash → thrashing).
+  Roll a whole sweep up with ``repro-experiment telemetry sweep tel/``:
+  one ``sweep_summary.json`` with per-run onset estimates, the knee of
+  each MPL→throughput curve, and the sweep-wide hottest pages.
 
 """
 

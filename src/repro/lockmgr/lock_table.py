@@ -153,6 +153,24 @@ class LockTable:
         """True if ``txn`` has a pending (blocked) lock request."""
         return txn in self._waits
 
+    def waiting_transactions(self) -> List[Txn]:
+        """Every transaction with a pending (blocked) request.
+
+        Deterministic: wait records are kept in insertion order, so two
+        runs of the same seed enumerate waiters identically.  Used by
+        the contention monitor to walk the waits-for graph per probe
+        tick without reaching into private state.
+        """
+        return list(self._waits)
+
+    def locked_pages(self) -> List[Page]:
+        """Every page with a live lock entry (holders or waiters).
+
+        Deterministic (entry-creation order); the per-tick queue-depth
+        statistics iterate this instead of the private lock index.
+        """
+        return list(self._locks)
+
     def num_waiters(self, page: Page) -> int:
         """Total waiters (upgraders + ordinary) on one page."""
         lock = self._locks.get(page)

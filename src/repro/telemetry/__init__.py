@@ -16,6 +16,16 @@ system — as trajectories, not endpoints:
   gaps) and feeds :class:`LatencyAnalytics` — exact response-time
   percentiles, critical-path breakdowns, and the wait-chain blame
   table;
+* :class:`ContentionMonitor` maintains per-page conflict/wait/abort
+  heat and per-probe-tick wait-for-graph statistics (the hot-page
+  table and ``contention.jsonl``);
+* :mod:`repro.telemetry.online` hosts the streaming detectors —
+  :class:`Welford`, :class:`EWMA`, :class:`Cusum` — and the
+  :class:`OnlineRegimeMonitor` that turns them into typed
+  :class:`RegimeChange` events (stable → pre_thrash → thrashing);
+* :mod:`repro.telemetry.sweep` rolls every run directory under a sweep
+  root into one ``sweep_summary.json`` (per-run onsets, per-curve
+  knees, sweep-wide hot pages);
 * :mod:`repro.telemetry.report` renders exported runs as a terminal
   dashboard (sparklines, thrashing onset, top aborters, latency).
 
@@ -24,6 +34,11 @@ allocations, no extra events — and strictly observational when
 enabled, so turning telemetry on never changes a trajectory.
 """
 
+from repro.telemetry.contention import (
+    ContentionMonitor,
+    ContentionSample,
+    PageHeat,
+)
 from repro.telemetry.decisions import (
     ControllerDecision,
     DecisionAction,
@@ -43,6 +58,15 @@ from repro.telemetry.latency import (
     LatencyAnalytics,
     LatencyHistogram,
 )
+from repro.telemetry.online import (
+    EWMA,
+    Cusum,
+    OnlineRegimeMonitor,
+    RegimeChange,
+    RegimeDetector,
+    Welford,
+    detect_onset_cusum,
+)
 from repro.telemetry.probes import ProbeSample, ProbeScheduler
 from repro.telemetry.profiling import EngineProfiler, subsystem_of
 from repro.telemetry.report import (
@@ -54,17 +78,28 @@ from repro.telemetry.report import (
     top_aborters,
 )
 from repro.telemetry.schemas import (
+    CONTENTION_SCHEMA,
+    CONTENTION_SUMMARY_SCHEMA,
     DECISION_SCHEMA,
     LATENCY_SCHEMA,
     MANIFEST_SCHEMA,
     PROBE_SCHEMA,
+    REGIMES_SCHEMA,
     SPAN_SCHEMA,
+    SWEEP_SUMMARY_SCHEMA,
     TRACE_SCHEMA,
     validate_jsonl,
     validate_record,
     validate_run_dir,
+    validate_sweep_summary,
 )
 from repro.telemetry.spans import Span, SpanKind, SpanRecorder
+from repro.telemetry.sweep import (
+    find_knee,
+    render_sweep_report,
+    summarize_sweep,
+    write_sweep_summary,
+)
 
 __all__ = [
     "ControllerDecision",
@@ -93,13 +128,32 @@ __all__ = [
     "render_run_report",
     "sparkline",
     "top_aborters",
+    "ContentionMonitor",
+    "ContentionSample",
+    "PageHeat",
+    "Welford",
+    "EWMA",
+    "Cusum",
+    "RegimeChange",
+    "RegimeDetector",
+    "OnlineRegimeMonitor",
+    "detect_onset_cusum",
+    "find_knee",
+    "render_sweep_report",
+    "summarize_sweep",
+    "write_sweep_summary",
+    "CONTENTION_SCHEMA",
+    "CONTENTION_SUMMARY_SCHEMA",
     "DECISION_SCHEMA",
     "LATENCY_SCHEMA",
     "MANIFEST_SCHEMA",
     "PROBE_SCHEMA",
+    "REGIMES_SCHEMA",
     "SPAN_SCHEMA",
+    "SWEEP_SUMMARY_SCHEMA",
     "TRACE_SCHEMA",
     "validate_jsonl",
     "validate_record",
     "validate_run_dir",
+    "validate_sweep_summary",
 ]

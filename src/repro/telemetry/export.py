@@ -33,7 +33,9 @@ from typing import (TYPE_CHECKING, Any, Dict, Iterable, Mapping, Optional,
                     Union)
 
 from repro.metrics.trace import TraceEvent, Tracer
+from repro.telemetry.contention import ContentionMonitor
 from repro.telemetry.decisions import DecisionLog
+from repro.telemetry.online import OnlineRegimeMonitor
 from repro.telemetry.probes import ProbeScheduler
 from repro.telemetry.profiling import EngineProfiler
 from repro.telemetry.spans import SpanRecorder
@@ -107,6 +109,15 @@ class TelemetryConfig:
             run directory gains ``spans.jsonl`` and ``latency.json``.
         span_capacity: retention bound for closed spans (``None`` =
             unbounded); the latency analytics see every span either way.
+        contention: attach a
+            :class:`~repro.telemetry.contention.ContentionMonitor`
+            (per-page heat + wait-for-graph statistics); the run
+            directory gains ``contention.jsonl`` and ``contention.json``.
+        online: attach an
+            :class:`~repro.telemetry.online.OnlineRegimeMonitor`
+            (streaming regime detection over the probe stream); the
+            run directory gains ``regimes.json`` and the decision log
+            gains ``regime_change`` rows.
     """
 
     root: str
@@ -116,6 +127,8 @@ class TelemetryConfig:
     profile: bool = True
     spans: bool = False
     span_capacity: Optional[int] = None
+    contention: bool = False
+    online: bool = False
 
     def session_for(self, run_id: str) -> "TelemetrySession":
         """Open a session writing into ``<root>/<run_id>/``."""
@@ -127,6 +140,8 @@ class TelemetryConfig:
             profile=self.profile,
             spans=self.spans,
             span_capacity=self.span_capacity,
+            contention=self.contention,
+            online=self.online,
         )
 
 
@@ -151,7 +166,9 @@ class TelemetrySession:
                  decision_capacity: Optional[int] = None,
                  profile: bool = True,
                  spans: bool = False,
-                 span_capacity: Optional[int] = None):
+                 span_capacity: Optional[int] = None,
+                 contention: bool = False,
+                 online: bool = False):
         self.out_dir = Path(out_dir)
         self.probe_interval = probe_interval
         self.tracer = Tracer(capacity=trace_capacity)
@@ -160,6 +177,11 @@ class TelemetrySession:
         self.profiler = EngineProfiler() if profile else None
         self.spans: Optional[SpanRecorder] = (
             SpanRecorder(capacity=span_capacity) if spans else None)
+        self.contention: Optional[ContentionMonitor] = (
+            ContentionMonitor() if contention else None)
+        self.online: Optional[OnlineRegimeMonitor] = (
+            OnlineRegimeMonitor(decision_log=self.decisions)
+            if online else None)
         # Callers may add provenance fields (spec key, tag, ...) here
         # before the run finishes; merged into the manifest.
         self.manifest_extra: Dict[str, Any] = {}
@@ -180,6 +202,11 @@ class TelemetrySession:
             system.sim.profiler = self.profiler
         if self.spans is not None:
             self.spans.attach(system)
+        if self.contention is not None:
+            self.contention.attach(system)
+            self.probes.listeners.append(self.contention)
+        if self.online is not None:
+            self.probes.listeners.append(self.online)
 
     # ------------------------------------------------------------------
 
@@ -205,6 +232,14 @@ class TelemetrySession:
                        self.out_dir / "spans.jsonl")
             json_dump(self.spans.analytics.to_dict(),
                       self.out_dir / "latency.json")
+        if self.contention is not None:
+            jsonl_dump((s.to_dict() for s in self.contention.samples),
+                       self.out_dir / "contention.jsonl")
+            json_dump(self.contention.summary(),
+                      self.out_dir / "contention.json")
+        if self.online is not None:
+            json_dump(self.online.summary(),
+                      self.out_dir / "regimes.json")
 
         manifest: Dict[str, Any] = {
             "format": TELEMETRY_FORMAT,
@@ -227,6 +262,12 @@ class TelemetrySession:
         if self.spans is not None:
             manifest["records"]["spans"] = len(self.spans)
             manifest["records"]["spans_dropped"] = self.spans.dropped
+        if self.contention is not None:
+            manifest["records"]["contention"] = len(
+                self.contention.samples)
+        if self.online is not None:
+            manifest["records"]["regime_changes"] = len(
+                self.online.changes)
         manifest.update(self.manifest_extra)
         if extra:
             manifest.update(extra)

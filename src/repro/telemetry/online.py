@@ -1,0 +1,383 @@
+"""Streaming detectors: Welford, EWMA, CUSUM, and regime tracking.
+
+``detect_thrashing_onset`` (the offline dashboard rule) needs the whole
+probe series and a hand-tuned consecutive-sample count.  This module
+provides the principled online counterparts the ROADMAP's
+model-predictive admission work needs — statistics that update in O(1)
+per sample and never look backwards:
+
+* :class:`Welford` — numerically stable running mean/variance;
+* :class:`EWMA` — exponentially weighted moving average, the standard
+  low-pass filter for noisy fractions;
+* :class:`Cusum` — a one-sided CUSUM change-point detector that both
+  *detects* a sustained upward shift and *estimates when it began*
+  (the first sample of the excursion that tripped it), so the reported
+  onset lands within one probe interval of the real crossing even when
+  detection itself lags;
+* :class:`RegimeDetector` — a small hysteresis state machine over the
+  paper's operating regions (stable → pre_thrash → thrashing), driven
+  by an EWMA of the State 1 fraction and a CUSUM over the State 3
+  fraction;
+* :class:`OnlineRegimeMonitor` — a probe listener that runs the
+  detectors over the live blocked fraction, conflict ratio, and
+  throughput, and emits typed :class:`RegimeChange` events into the
+  decision log.
+
+Everything here is strictly observational and allocation-light: the
+monitor reads finished :class:`~repro.telemetry.probes.ProbeSample`
+rows, never touches a random stream, and never schedules an event, so
+enabling it cannot change a trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.regions import DEFAULT_DELTA
+from repro.errors import ConfigurationError
+from repro.telemetry.decisions import ControllerDecision, DecisionLog
+from repro.telemetry.probes import ProbeSample
+
+__all__ = [
+    "Welford",
+    "EWMA",
+    "Cusum",
+    "RegimeChange",
+    "RegimeDetector",
+    "OnlineRegimeMonitor",
+    "detect_onset_cusum",
+    "REGIME_STABLE",
+    "REGIME_PRE_THRASH",
+    "REGIME_THRASHING",
+]
+
+REGIME_STABLE = "stable"
+REGIME_PRE_THRASH = "pre_thrash"
+REGIME_THRASHING = "thrashing"
+
+
+class Welford:
+    """Running mean and variance (Welford's online algorithm)."""
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two samples)."""
+        return self._m2 / self.n if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def summary(self) -> Dict[str, Any]:
+        return {"n": self.n, "mean": self.mean, "std": self.std}
+
+
+class EWMA:
+    """Exponentially weighted moving average.
+
+    ``alpha`` is the weight of the newest sample; the first sample
+    initializes the average directly.  ``value`` is ``None`` until the
+    first update.
+    """
+
+    __slots__ = ("alpha", "value")
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"EWMA alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value: Optional[float] = None
+
+    def update(self, x: float) -> float:
+        if self.value is None:
+            self.value = x
+        else:
+            self.value += self.alpha * (x - self.value)
+        return self.value
+
+
+class Cusum:
+    """One-sided (upper) CUSUM change-point detector.
+
+    Accumulates ``S = max(0, S + (x - target - slack))`` and fires once
+    ``S`` exceeds ``threshold``.  Because ``S`` resets to zero whenever
+    the signal sits at or below ``target + slack``, the start of the
+    excursion that eventually trips the detector — the time of the
+    first sample for which ``S`` became positive — is a natural
+    change-point estimate.  :attr:`onset` reports that estimate, not
+    the (later) detection time, so a sustained crossing is located to
+    within one sample period regardless of how long confirmation took.
+    """
+
+    __slots__ = ("target", "slack", "threshold", "statistic",
+                 "fired", "fired_at", "_run_start")
+
+    def __init__(self, target: float, threshold: float,
+                 slack: float = 0.0):
+        if threshold <= 0.0:
+            raise ConfigurationError(
+                f"CUSUM threshold must be positive, got {threshold}")
+        self.target = target
+        self.slack = slack
+        self.threshold = threshold
+        self.statistic = 0.0
+        self.fired = False
+        self.fired_at: Optional[float] = None
+        self._run_start: Optional[float] = None
+
+    def update(self, time: float, x: float) -> bool:
+        """Feed one sample; returns True on the tick the detector fires."""
+        self.statistic = max(
+            0.0, self.statistic + (x - self.target - self.slack))
+        if self.statistic <= 0.0:
+            self._run_start = None
+            return False
+        if self._run_start is None:
+            self._run_start = time
+        if not self.fired and self.statistic > self.threshold:
+            self.fired = True
+            self.fired_at = time
+            return True
+        return False
+
+    @property
+    def onset(self) -> Optional[float]:
+        """Change-point estimate: start of the excursion that fired."""
+        return self._run_start if self.fired else None
+
+    def reset(self) -> None:
+        self.statistic = 0.0
+        self.fired = False
+        self.fired_at = None
+        self._run_start = None
+
+    def reset_excursion(self) -> None:
+        """Abandon the current excursion (e.g. across a sample gap)
+        without clearing a detection that already fired."""
+        self.statistic = 0.0
+        self._run_start = None
+
+
+@dataclass(frozen=True)
+class RegimeChange:
+    """One typed regime transition emitted by the online detectors."""
+
+    time: float
+    old_regime: str
+    new_regime: str
+    signal: str              # the measure that drove the transition
+    measure: Optional[float]
+    threshold: Optional[float]
+    n_active: int = 0
+    n_state1: int = 0
+    n_state3: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "old_regime": self.old_regime,
+            "new_regime": self.new_regime,
+            "signal": self.signal,
+            "measure": self.measure,
+            "threshold": self.threshold,
+            "n_active": self.n_active,
+            "n_state1": self.n_state1,
+            "n_state3": self.n_state3,
+        }
+
+    def to_decision(self) -> ControllerDecision:
+        """The decisions.jsonl row for this transition.
+
+        Regime changes ride the decision log (never the trace) so a
+        monitored run's trace stays byte-identical to an unmonitored
+        one.
+        """
+        return ControllerDecision(
+            time=self.time,
+            controller="online-regime",
+            action="regime_change",
+            region=self.new_regime,
+            n_active=self.n_active,
+            n_state1=self.n_state1,
+            n_state3=self.n_state3,
+            measure=self.measure,
+            threshold=self.threshold,
+            detail=(f"{self.old_regime}->{self.new_regime} "
+                    f"via {self.signal}"),
+        )
+
+
+class RegimeDetector:
+    """Hysteresis state machine over the paper's operating regions.
+
+    The paper's regions are half-planes over the State 1 (running &
+    mature) and State 3 (blocked & mature) fractions: the system is
+    healthy while more than half the transactions are running, and
+    thrashing once more than half are blocked.  The detector tracks
+
+    * ``stable``     — EWMA(frac_state1) at or above ``0.5 - delta``;
+    * ``pre_thrash`` — the smoothed State 1 fraction has left the safe
+      half-running region but the State 3 CUSUM has not confirmed a
+      sustained crossing yet;
+    * ``thrashing``  — the CUSUM over frac_state3 (target ``0.5 +
+      delta``) fired.
+
+    Recovery is hysteresis-guarded: thrashing only ends once the
+    smoothed State 3 fraction falls back below ``0.5 - delta`` (the
+    CUSUM is reset so a relapse re-fires), and pre_thrash only returns
+    to stable once the smoothed State 1 fraction clears ``0.5``.
+    """
+
+    def __init__(self, delta: float = DEFAULT_DELTA,
+                 alpha: float = 0.3,
+                 cusum_threshold: float = 0.05):
+        self.delta = delta
+        self.regime = REGIME_STABLE
+        self._ewma_state1 = EWMA(alpha)
+        self._ewma_state3 = EWMA(alpha)
+        self.cusum = Cusum(target=0.5 + delta,
+                           threshold=cusum_threshold)
+        self.onset: Optional[float] = None
+
+    def update(self, time: float, frac_state1: float,
+               frac_state3: float) -> Optional[tuple]:
+        """Feed one sample; returns ``(old, new, signal, measure,
+        threshold)`` on a transition, else ``None``."""
+        s1 = self._ewma_state1.update(frac_state1)
+        s3 = self._ewma_state3.update(frac_state3)
+        fired = self.cusum.update(time, frac_state3)
+        old = self.regime
+
+        if old != REGIME_THRASHING and fired:
+            self.regime = REGIME_THRASHING
+            if self.onset is None:
+                self.onset = self.cusum.onset
+            return (old, self.regime, "cusum_frac_state3",
+                    self.cusum.statistic, self.cusum.threshold)
+        if old == REGIME_STABLE:
+            if s1 < 0.5 - self.delta:
+                self.regime = REGIME_PRE_THRASH
+                return (old, self.regime, "ewma_frac_state1",
+                        s1, 0.5 - self.delta)
+        elif old == REGIME_PRE_THRASH:
+            if s1 > 0.5:
+                self.regime = REGIME_STABLE
+                return (old, self.regime, "ewma_frac_state1", s1, 0.5)
+        elif old == REGIME_THRASHING:
+            if s3 < 0.5 - self.delta:
+                self.cusum.reset()
+                self.regime = (REGIME_STABLE if s1 >= 0.5 - self.delta
+                               else REGIME_PRE_THRASH)
+                return (old, self.regime, "ewma_frac_state3",
+                        s3, 0.5 - self.delta)
+        return None
+
+
+class OnlineRegimeMonitor:
+    """Probe listener running the streaming detectors over a live run.
+
+    Attach by appending to
+    :attr:`~repro.telemetry.probes.ProbeScheduler.listeners`; each
+    probe tick feeds the Welford trackers (blocked fraction, conflict
+    ratio, throughput), advances the regime state machine, and records
+    any transition both locally (:attr:`changes`, exported as
+    ``regimes.json``) and as a ``regime_change`` row in the decision
+    log when one is attached.
+    """
+
+    def __init__(self, decision_log: Optional[DecisionLog] = None,
+                 delta: float = DEFAULT_DELTA,
+                 alpha: float = 0.3):
+        self.decision_log = decision_log
+        self.detector = RegimeDetector(delta=delta, alpha=alpha)
+        self.changes: List[RegimeChange] = []
+        self.signals: Dict[str, Welford] = {
+            "blocked_frac": Welford(),
+            "conflict_ratio": Welford(),
+            "throughput": Welford(),
+        }
+        self._last_time: Optional[float] = None
+        self._last_commits = 0
+
+    def on_sample(self, sample: ProbeSample) -> None:
+        self.signals["blocked_frac"].update(sample.blocked_frac)
+        if sample.conflict_ratio is not None:
+            self.signals["conflict_ratio"].update(sample.conflict_ratio)
+        if self._last_time is not None:
+            dt = sample.time - self._last_time
+            if dt > 0.0:
+                self.signals["throughput"].update(
+                    (sample.cum_commits - self._last_commits) / dt)
+        self._last_time = sample.time
+        self._last_commits = sample.cum_commits
+
+        transition = self.detector.update(
+            sample.time, sample.frac_state1, sample.frac_state3)
+        if transition is None:
+            return
+        old, new, signal, measure, threshold = transition
+        change = RegimeChange(
+            time=sample.time, old_regime=old, new_regime=new,
+            signal=signal, measure=measure, threshold=threshold,
+            n_active=sample.n_active, n_state1=sample.n_state1,
+            n_state3=sample.n_state3)
+        self.changes.append(change)
+        if self.decision_log is not None:
+            self.decision_log.record(change.to_decision())
+
+    def summary(self) -> Dict[str, Any]:
+        """The regimes.json document (deterministic)."""
+        return {
+            "format": "repro-regimes-v1",
+            "final_regime": self.detector.regime,
+            "onset_cusum": self.detector.onset,
+            "changes": [c.to_dict() for c in self.changes],
+            "signals": {name: w.summary()
+                        for name, w in sorted(self.signals.items())},
+        }
+
+
+def detect_onset_cusum(samples: Sequence[Any],
+                       delta: float = DEFAULT_DELTA,
+                       threshold: float = 0.05) -> Optional[float]:
+    """Offline CUSUM thrashing onset over exported probe records.
+
+    The hysteresis-robust counterpart of
+    :func:`repro.telemetry.report.detect_thrashing_onset`: runs the
+    same one-sided CUSUM the online monitor uses over the
+    ``frac_state3`` series and returns its change-point estimate (the
+    start of the excursion that confirmed the shift), or ``None`` when
+    the State 3 fraction never sustains above ``0.5 + delta``.
+
+    Tolerates records missing ``frac_state3`` or ``time`` (truncated
+    probes.jsonl from a killed run): such rows are treated as gaps and
+    reset the current excursion, since continuity across them cannot
+    be established.
+    """
+    cusum = Cusum(target=0.5 + delta, threshold=threshold)
+    for sample in samples:
+        frac = sample.get("frac_state3")
+        time = sample.get("time")
+        if frac is None or time is None:
+            cusum.reset_excursion()
+            continue
+        cusum.update(time, frac)
+        if cusum.fired:
+            return cusum.onset
+    return cusum.onset

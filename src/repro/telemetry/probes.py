@@ -62,6 +62,9 @@ class ProbeSample:
     cum_commits: int
     cum_aborts: int
     cum_aborts_by_reason: Dict[str, int]
+    # Raw pages processed by all transactions (the sweep rollup derives
+    # per-interval page throughput — the paper's y-axis — from this).
+    cum_pages: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """A flat JSON-serializable record."""
@@ -89,6 +92,7 @@ class ProbeSample:
             "cum_aborts": self.cum_aborts,
             "cum_aborts_by_reason": dict(
                 sorted(self.cum_aborts_by_reason.items())),
+            "cum_pages": self.cum_pages,
         }
 
 
@@ -104,6 +108,13 @@ class ProbeScheduler:
     :attr:`samples`.  Exactly one probe event is pending at any time —
     each firing schedules its successor — so the calendar never fills
     with probes.
+
+    Other observers may register in :attr:`listeners`: each finished
+    sample is handed to every listener's ``on_sample(sample)`` in
+    registration order.  Listeners piggyback on the existing probe
+    event, so adding one never changes the calendar — the contention
+    monitor and the online regime detectors ride this slot.  Listeners
+    must be read-only, like the probes themselves.
     """
 
     def __init__(self, system: "DBMSSystem", interval: float = 1.0):
@@ -113,6 +124,7 @@ class ProbeScheduler:
         self.system = system
         self.interval = interval
         self.samples: List[ProbeSample] = []
+        self.listeners: List[Any] = []
         self._started = False
         # Busy-time high-water marks for per-interval utilization.
         self._last_time = system.sim.now
@@ -127,7 +139,10 @@ class ProbeScheduler:
         self.system.sim.schedule(self.interval, self._fire)
 
     def _fire(self) -> None:
-        self.samples.append(self.sample())
+        sample = self.sample()
+        self.samples.append(sample)
+        for listener in self.listeners:
+            listener.on_sample(sample)
         self.system.sim.schedule(self.interval, self._fire)
 
     # ------------------------------------------------------------------
@@ -198,4 +213,5 @@ class ProbeScheduler:
             cum_commits=collector.commits,
             cum_aborts=collector.aborts,
             cum_aborts_by_reason=dict(collector.aborts_by_reason),
+            cum_pages=int(collector.raw_pages),
         )

@@ -43,15 +43,23 @@ _BLOCKS = "▁▂▃▄▅▆▇█"
 
 def sparkline(values: Sequence[float], width: int = 60,
               lo: Optional[float] = None,
-              hi: Optional[float] = None) -> str:
+              hi: Optional[float] = None,
+              mode: str = "mean") -> str:
     """Render a numeric series as one line of block characters.
 
-    Values are bucketed down to ``width`` cells (bucket mean) and scaled
-    between ``lo`` and ``hi`` (defaults: the series' own min/max).
+    Values are bucketed down to ``width`` cells and scaled between
+    ``lo`` and ``hi`` (defaults: the series' own min/max).  ``mode``
+    picks the bucket statistic: ``"mean"`` (default) shows the trend,
+    ``"max"`` preserves single-sample spikes — a one-tick abort burst
+    or queue-depth excursion survives downsampling instead of being
+    averaged into the floor.
     """
     if not values:
         return ""
-    # Downsample: cell i averages the slice [i*n/width, (i+1)*n/width).
+    if mode not in ("mean", "max"):
+        raise ValueError(
+            f"sparkline mode must be 'mean' or 'max', got {mode!r}")
+    # Downsample: cell i reduces the slice [i*n/width, (i+1)*n/width).
     n = len(values)
     if n > width:
         cells = []
@@ -59,7 +67,8 @@ def sparkline(values: Sequence[float], width: int = 60,
             start = i * n // width
             end = max(start + 1, (i + 1) * n // width)
             chunk = values[start:end]
-            cells.append(sum(chunk) / len(chunk))
+            cells.append(max(chunk) if mode == "max"
+                         else sum(chunk) / len(chunk))
     else:
         cells = list(values)
     floor = min(cells) if lo is None else lo
@@ -94,14 +103,21 @@ def detect_thrashing_onset(samples: Sequence[Dict[str, Any]],
     Returns the simulated time of the first sample of the first run of
     ``consecutive`` samples all above the threshold, or ``None`` if the
     system never (sustainedly) enters the overloaded region.
+
+    Samples missing ``frac_state3`` or ``time`` (a truncated
+    probes.jsonl from a killed run) are tolerated: they break the
+    current consecutive run — continuity cannot be established across
+    a gap — but never raise.
     """
     threshold = 0.5 + delta
     run_start: Optional[float] = None
     run_length = 0
     for sample in samples:
-        if sample["frac_state3"] > threshold:
+        frac = sample.get("frac_state3")
+        time = sample.get("time")
+        if frac is not None and time is not None and frac > threshold:
             if run_length == 0:
-                run_start = sample["time"]
+                run_start = time
             run_length += 1
             if run_length >= consecutive:
                 return run_start
@@ -147,13 +163,24 @@ def _series(samples: Sequence[Dict[str, Any]],
 def _spark_row(label: str, values: Sequence[float],
                lo: Optional[float] = None,
                hi: Optional[float] = None,
-               width: int = 60) -> str:
+               width: int = 60,
+               mode: str = "mean") -> str:
     if not values:
         return f"  {label:<14} (no samples)"
-    line = sparkline(values, width=width, lo=lo, hi=hi)
+    line = sparkline(values, width=width, lo=lo, hi=hi, mode=mode)
     return (f"  {label:<14} {line}  "
             f"min={min(values):.2f} mean={sum(values) / len(values):.2f} "
             f"max={max(values):.2f}")
+
+
+def _deltas(values: Sequence[float]) -> List[float]:
+    """Per-sample increments of a cumulative counter series."""
+    out: List[float] = []
+    prev = 0.0
+    for v in values:
+        out.append(v - prev)
+        prev = v
+    return out
 
 
 def _latency_lines(latency: Dict[str, Any]) -> List[str]:
@@ -191,6 +218,48 @@ def _latency_lines(latency: Dict[str, Any]) -> List[str]:
             f"page {row['page']} ({row['blocks']} blocks, "
             f"{row['wait_seconds']:.2f}s waited)"
             for row in blame["hottest_pages"][:5]))
+    return lines
+
+
+def _contention_lines(run_dir: Path, width: int = 60) -> List[str]:
+    """The contention dashboard section (contention.jsonl + .json)."""
+    samples = load_jsonl(run_dir / "contention.jsonl")
+    lines = ["  contention:"]
+    if samples:
+        lines.append("  " + _spark_row(
+            "waiters", _series(samples, "waiters"), width=width - 2))
+        lines.append("  " + _spark_row(
+            "chain depth", _series(samples, "max_chain_depth"),
+            width=width - 2, mode="max"))
+        lines.append("  " + _spark_row(
+            "queue depth", _series(samples, "max_queue_depth"),
+            width=width - 2, mode="max"))
+    summary_path = run_dir / "contention.json"
+    if summary_path.is_file():
+        summary = json.loads(summary_path.read_text(encoding="utf-8"))
+        lines.append(
+            f"    {summary['conflicts']} conflicts on "
+            f"{summary['contended_pages']} pages, "
+            f"{summary['wait_seconds']:.2f}s waited, "
+            f"{summary['aborts_while_waiting']} aborts while waiting")
+        if summary["hot_pages"]:
+            lines.append("    hot pages: " + "; ".join(
+                f"page {row['page']} ({row['conflicts']} conflicts, "
+                f"{row['wait_seconds']:.2f}s, {row['aborts']} aborts)"
+                for row in summary["hot_pages"][:5]))
+    return lines
+
+
+def _regime_lines(regimes: Dict[str, Any]) -> List[str]:
+    """The online-regime dashboard section (regimes.json)."""
+    onset = regimes.get("onset_cusum")
+    lines = [f"  regimes: final={regimes['final_regime']}  "
+             + (f"cusum onset t={onset:g}" if onset is not None
+                else "cusum onset: none")]
+    for change in regimes.get("changes", []):
+        lines.append(
+            f"    t={change['time']:g}: {change['old_regime']} -> "
+            f"{change['new_regime']} (via {change['signal']})")
     return lines
 
 
@@ -236,9 +305,14 @@ def render_run_report(run_dir: Union[str, Path],
                                 lo=0.0, hi=1.0, width=width))
         lines.append(_spark_row("mpl", _series(samples, "n_active"),
                                 width=width))
+        # Queue depths and abort bursts downsample by bucket *max*: a
+        # single-tick spike is the signal, and a mean would bury it.
         lines.append(_spark_row("ready queue",
                                 _series(samples, "ready_queue"),
-                                width=width))
+                                width=width, mode="max"))
+        lines.append(_spark_row("aborts/tick",
+                                _deltas(_series(samples, "cum_aborts")),
+                                width=width, mode="max"))
         lines.append(_spark_row("cpu util", _series(samples, "cpu_util"),
                                 lo=0.0, hi=1.0, width=width))
         lines.append(_spark_row("disk util",
@@ -258,6 +332,15 @@ def render_run_report(run_dir: Union[str, Path],
             lines.append(f"  thrashing onset: t={onset:g} (State 3 "
                          f"fraction sustained above "
                          f"{0.5 + DEFAULT_DELTA})")
+
+    contention_path = run_dir / "contention.jsonl"
+    if contention_path.is_file():
+        lines.extend(_contention_lines(run_dir, width=width))
+
+    regimes_path = run_dir / "regimes.json"
+    if regimes_path.is_file():
+        regimes = json.loads(regimes_path.read_text(encoding="utf-8"))
+        lines.extend(_regime_lines(regimes))
 
     trace_path = run_dir / "trace.jsonl"
     if trace_path.is_file():

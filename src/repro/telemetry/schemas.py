@@ -13,13 +13,29 @@ and, when span recording is enabled, two more:
 * ``spans.jsonl``     — one :data:`SPAN_SCHEMA` record per closed span;
 * ``latency.json``    — the :data:`LATENCY_SCHEMA` analytics summary;
 
+when contention monitoring is enabled:
+
+* ``contention.jsonl`` — one :data:`CONTENTION_SCHEMA` record per
+  probe tick (wait-for-graph statistics);
+* ``contention.json``  — the :data:`CONTENTION_SUMMARY_SCHEMA` hot-page
+  rollup;
+
+when online regime detection is enabled:
+
+* ``regimes.json``    — the :data:`REGIMES_SCHEMA` transition record;
+
+and, at the *root* of a sweep directory after ``telemetry sweep``:
+
+* ``sweep_summary.json`` — the :data:`SWEEP_SUMMARY_SCHEMA` rollup;
+
 plus the wall-clock ``profile.json``, which is deliberately *not*
 byte-deterministic and therefore not schema-pinned beyond being an
 object.
 
 The validator implements the subset of JSON Schema the schemas use
-(``type`` with unions, ``required``, ``properties``) so CI can check
-emitted files without a third-party ``jsonschema`` dependency.
+(``type`` with unions, ``required``, ``properties``, and ``items``
+for arrays) so CI can check emitted files without a third-party
+``jsonschema`` dependency.
 """
 
 from __future__ import annotations
@@ -35,9 +51,14 @@ __all__ = [
     "SPAN_SCHEMA",
     "LATENCY_SCHEMA",
     "MANIFEST_SCHEMA",
+    "CONTENTION_SCHEMA",
+    "CONTENTION_SUMMARY_SCHEMA",
+    "REGIMES_SCHEMA",
+    "SWEEP_SUMMARY_SCHEMA",
     "validate_record",
     "validate_jsonl",
     "validate_run_dir",
+    "validate_sweep_summary",
 ]
 
 
@@ -52,6 +73,7 @@ PROBE_SCHEMA: Dict[str, Any] = {
         "locks_held", "locked_pages",
         "cum_lock_requests", "cum_lock_blocks",
         "cum_commits", "cum_aborts", "cum_aborts_by_reason",
+        "cum_pages",
     ],
     "properties": {
         "time": {"type": "number"},
@@ -76,6 +98,7 @@ PROBE_SCHEMA: Dict[str, Any] = {
         "cum_commits": {"type": "integer"},
         "cum_aborts": {"type": "integer"},
         "cum_aborts_by_reason": {"type": "object"},
+        "cum_pages": {"type": "integer"},
     },
 }
 
@@ -174,11 +197,139 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
 }
 
 
+CONTENTION_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "time", "waiters", "wait_edges",
+        "max_chain_depth", "mean_chain_depth",
+        "max_queue_depth", "mean_queue_depth",
+        "contested_pages", "locked_pages",
+        "cum_conflicts", "cum_wait_seconds", "cum_contention_aborts",
+    ],
+    "properties": {
+        "time": {"type": "number"},
+        "waiters": {"type": "integer"},
+        "wait_edges": {"type": "integer"},
+        "max_chain_depth": {"type": "integer"},
+        "mean_chain_depth": {"type": "number"},
+        "max_queue_depth": {"type": "integer"},
+        "mean_queue_depth": {"type": "number"},
+        "contested_pages": {"type": "integer"},
+        "locked_pages": {"type": "integer"},
+        "cum_conflicts": {"type": "integer"},
+        "cum_wait_seconds": {"type": "number"},
+        "cum_contention_aborts": {"type": "integer"},
+    },
+}
+
+_HOT_PAGE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["page", "conflicts", "wait_seconds", "aborts"],
+    "properties": {
+        "page": {"type": ["integer", "string"]},
+        "conflicts": {"type": "integer"},
+        "wait_seconds": {"type": "number"},
+        "aborts": {"type": "integer"},
+    },
+}
+
+CONTENTION_SUMMARY_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["format", "conflicts", "wait_seconds",
+                 "aborts_while_waiting", "contended_pages", "hot_pages"],
+    "properties": {
+        "format": {"type": "string"},
+        "conflicts": {"type": "integer"},
+        "wait_seconds": {"type": "number"},
+        "aborts_while_waiting": {"type": "integer"},
+        "contended_pages": {"type": "integer"},
+        "hot_pages": {"type": "array", "items": _HOT_PAGE_SCHEMA},
+    },
+}
+
+REGIMES_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["format", "final_regime", "onset_cusum",
+                 "changes", "signals"],
+    "properties": {
+        "format": {"type": "string"},
+        "final_regime": {"type": "string"},
+        "onset_cusum": {"type": ["number", "null"]},
+        "changes": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["time", "old_regime", "new_regime",
+                             "signal", "measure", "threshold"],
+                "properties": {
+                    "time": {"type": "number"},
+                    "old_regime": {"type": "string"},
+                    "new_regime": {"type": "string"},
+                    "signal": {"type": "string"},
+                    "measure": {"type": ["number", "null"]},
+                    "threshold": {"type": ["number", "null"]},
+                    "n_active": {"type": "integer"},
+                    "n_state1": {"type": "integer"},
+                    "n_state3": {"type": "integer"},
+                },
+            },
+        },
+        "signals": {"type": "object"},
+    },
+}
+
+SWEEP_SUMMARY_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["format", "runs", "curves", "hot_pages"],
+    "properties": {
+        "format": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["run", "cache_hit"],
+                "properties": {
+                    "run": {"type": "string"},
+                    "cache_hit": {"type": "boolean"},
+                    "controller": {"type": ["string", "null"]},
+                    "workload": {"type": ["string", "null"]},
+                    "locking_enabled": {"type": ["boolean", "null"]},
+                    "num_terms": {"type": ["integer", "null"]},
+                    "seed": {"type": ["integer", "null"]},
+                    "sim_time": {"type": ["number", "null"]},
+                    "throughput": {"type": ["number", "null"]},
+                    "page_throughput": {"type": ["number", "null"]},
+                    "onset_threshold": {"type": ["number", "null"]},
+                    "onset_cusum": {"type": ["number", "null"]},
+                    "final_regime": {"type": ["string", "null"]},
+                    "hot_pages": {"type": "array",
+                                  "items": _HOT_PAGE_SCHEMA},
+                },
+            },
+        },
+        "curves": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["label", "points", "knee"],
+                "properties": {
+                    "label": {"type": "string"},
+                    "points": {"type": "array"},
+                    "knee": {"type": ["object", "null"]},
+                },
+            },
+        },
+        "hot_pages": {"type": "array", "items": _HOT_PAGE_SCHEMA},
+    },
+}
+
+
 _TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
     "string": lambda v: isinstance(v, str),
     "boolean": lambda v: isinstance(v, bool),
     "null": lambda v: v is None,
+    "array": lambda v: isinstance(v, list),
     # bool is an int subclass; a schema saying integer/number means a
     # real number, so booleans are rejected explicitly.
     "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
@@ -204,11 +355,18 @@ def validate_record(record: Any, schema: Dict[str, Any],
     for name, spec in schema.get("properties", {}).items():
         if name not in record:
             continue
+        value = record[name]
         expected = spec.get("type")
-        if expected is not None and not _type_ok(record[name], expected):
+        if expected is not None and not _type_ok(value, expected):
             errors.append(
                 f"{where}: field {name!r} has type "
-                f"{type(record[name]).__name__}, expected {expected}")
+                f"{type(value).__name__}, expected {expected}")
+            continue
+        items = spec.get("items")
+        if items is not None and isinstance(value, list):
+            for index, item in enumerate(value):
+                errors.extend(validate_record(
+                    item, items, where=f"{where}.{name}[{index}]"))
     return errors
 
 
@@ -234,41 +392,55 @@ def validate_jsonl(path: Union[str, Path],
     return errors
 
 
+def _validate_json_file(path: Path, schema: Dict[str, Any],
+                        errors: List[str]) -> None:
+    """Validate one single-document JSON file if it exists."""
+    if not path.is_file():
+        return
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{path}: invalid ({exc})")
+        return
+    errors.extend(validate_record(document, schema, where=path.name))
+
+
 def validate_run_dir(run_dir: Union[str, Path]) -> List[str]:
     """Validate one telemetry run directory; returns error strings.
 
     The manifest is mandatory.  The JSONL streams are validated when
     present; a cache-hit run records provenance only, so their absence
-    is not an error.
+    is not an error.  Every file is checked even when an earlier one
+    failed — a broken manifest (e.g. from a killed run) must not mask
+    problems in the streams next to it.
     """
     run_dir = Path(run_dir)
     errors: List[str] = []
 
     manifest_path = run_dir / "manifest.json"
     if not manifest_path.is_file():
-        return [f"{run_dir}: missing manifest.json"]
-    try:
-        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        return [f"{manifest_path}: invalid ({exc})"]
-    errors.extend(validate_record(manifest, MANIFEST_SCHEMA,
-                                  where=manifest_path.name))
+        errors.append(f"{run_dir}: missing manifest.json")
+    else:
+        _validate_json_file(manifest_path, MANIFEST_SCHEMA, errors)
 
     for filename, schema in (("probes.jsonl", PROBE_SCHEMA),
                              ("decisions.jsonl", DECISION_SCHEMA),
                              ("trace.jsonl", TRACE_SCHEMA),
-                             ("spans.jsonl", SPAN_SCHEMA)):
+                             ("spans.jsonl", SPAN_SCHEMA),
+                             ("contention.jsonl", CONTENTION_SCHEMA)):
         path = run_dir / filename
         if path.is_file():
             errors.extend(validate_jsonl(path, schema))
 
-    latency_path = run_dir / "latency.json"
-    if latency_path.is_file():
-        try:
-            latency = json.loads(latency_path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
-            errors.append(f"{latency_path}: invalid ({exc})")
-        else:
-            errors.extend(validate_record(latency, LATENCY_SCHEMA,
-                                          where=latency_path.name))
+    _validate_json_file(run_dir / "latency.json", LATENCY_SCHEMA, errors)
+    _validate_json_file(run_dir / "contention.json",
+                        CONTENTION_SUMMARY_SCHEMA, errors)
+    _validate_json_file(run_dir / "regimes.json", REGIMES_SCHEMA, errors)
+    return errors
+
+
+def validate_sweep_summary(path: Union[str, Path]) -> List[str]:
+    """Validate a ``sweep_summary.json`` written by ``telemetry sweep``."""
+    errors: List[str] = []
+    _validate_json_file(Path(path), SWEEP_SUMMARY_SCHEMA, errors)
     return errors

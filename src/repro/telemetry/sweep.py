@@ -1,0 +1,309 @@
+"""Sweep-level rollup: one summary artifact for a whole telemetry root.
+
+A figure sweep leaves one run directory per spec under the telemetry
+root; the artifact that matters — the thrashing knee in the
+MPL→throughput curve — lives *across* those directories.  ``telemetry
+sweep`` aggregates them into a single deterministic
+``sweep_summary.json`` plus an ASCII report:
+
+* per run: throughput, both thrashing-onset estimates (the offline
+  threshold rule and the CUSUM change-point detector), and the run's
+  hottest pages when contention monitoring was on;
+* per curve (runs grouped by controller/workload/locking, ordered by
+  MPL): the knee — the MPL of the running throughput peak at the point
+  where a CUSUM over the normalized post-peak drop confirms a
+  sustained decline;
+* sweep-wide: the hottest pages merged across every run.
+
+Aggregation is read-only over exported files and carries no wall-clock
+or absolute paths, so the summary is byte-identical between serial and
+``--jobs N`` aggregation (run directories are processed in sorted
+order either way; a process pool only parallelizes the reads).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ExperimentError
+from repro.telemetry.online import Cusum, detect_onset_cusum
+from repro.telemetry.report import (detect_thrashing_onset, load_jsonl,
+                                    sparkline)
+
+__all__ = [
+    "SWEEP_FORMAT",
+    "load_run_summary",
+    "find_knee",
+    "summarize_sweep",
+    "write_sweep_summary",
+    "render_sweep_report",
+]
+
+SWEEP_FORMAT = "repro-sweep-summary-v1"
+
+# Knee confirmation: the post-peak drop fraction must sustain above
+# the slack until its CUSUM clears the threshold.  On coarse grids a
+# single deep drop confirms immediately; shallow noise never does.
+_KNEE_SLACK = 0.05
+_KNEE_THRESHOLD = 0.25
+
+
+def load_run_summary(run_dir: Union[str, Path]) -> Dict[str, Any]:
+    """The per-run slice of the sweep summary (picklable worker fn)."""
+    run_dir = Path(run_dir)
+    manifest_path = run_dir / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(
+            f"{run_dir} is not a readable telemetry run directory "
+            f"({exc})") from exc
+    params = manifest.get("params") or {}
+    row: Dict[str, Any] = {
+        "run": run_dir.name,
+        "cache_hit": bool(manifest.get("cache_hit")),
+        "controller": manifest.get("controller"),
+        "workload": manifest.get("workload"),
+        "locking_enabled": params.get("locking_enabled"),
+        "num_terms": params.get("num_terms"),
+        "seed": manifest.get("seed"),
+        "sim_time": manifest.get("sim_time"),
+        "throughput": None,
+        "page_throughput": None,
+        "onset_threshold": None,
+        "onset_cusum": None,
+        "final_regime": None,
+        "hot_pages": [],
+    }
+
+    probes_path = run_dir / "probes.jsonl"
+    if probes_path.is_file():
+        samples = load_jsonl(probes_path)
+        if samples:
+            last = samples[-1]
+            time = last.get("time")
+            if time:
+                commits = last.get("cum_commits")
+                pages = last.get("cum_pages")
+                if commits is not None:
+                    row["throughput"] = commits / time
+                if pages is not None:
+                    row["page_throughput"] = pages / time
+            row["onset_threshold"] = detect_thrashing_onset(samples)
+            row["onset_cusum"] = detect_onset_cusum(samples)
+
+    regimes_path = run_dir / "regimes.json"
+    if regimes_path.is_file():
+        try:
+            regimes = json.loads(
+                regimes_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            regimes = {}
+        row["final_regime"] = regimes.get("final_regime")
+
+    contention_path = run_dir / "contention.json"
+    if contention_path.is_file():
+        try:
+            contention = json.loads(
+                contention_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            contention = {}
+        row["hot_pages"] = contention.get("hot_pages") or []
+    return row
+
+
+def find_knee(points: List[Tuple[float, float]]) -> Optional[Dict[str, Any]]:
+    """Locate the knee of one MPL→throughput curve.
+
+    ``points`` are (mpl, throughput) pairs in increasing-MPL order.
+    Walks the curve keeping the running peak and feeds the normalized
+    drop from that peak into a one-sided CUSUM (the same detector the
+    online monitor uses over time): the knee is the MPL of the peak at
+    the moment the accumulated drop confirms a sustained decline.  A
+    curve that never confirms falls back to its argmax with
+    ``confirmed: false`` — on a short smoke grid the decline may not
+    accumulate enough evidence even when the peak is real.  Returns
+    ``None`` for degenerate curves (fewer than two usable points).
+    """
+    usable = [(mpl, y) for mpl, y in points if y is not None]
+    if len(usable) < 2:
+        return None
+    peak_mpl, peak_y = usable[0]
+    cusum = Cusum(target=0.0, slack=_KNEE_SLACK,
+                  threshold=_KNEE_THRESHOLD)
+    for mpl, y in usable:
+        if y > peak_y:
+            peak_mpl, peak_y = mpl, y
+            # A new peak invalidates the decline accumulated so far.
+            cusum.reset_excursion()
+            continue
+        drop = (peak_y - y) / peak_y if peak_y > 0.0 else 0.0
+        if cusum.update(mpl, drop):
+            return {"mpl": peak_mpl, "throughput": peak_y,
+                    "confirmed": True, "detected_at_mpl": mpl}
+    return {"mpl": peak_mpl, "throughput": peak_y,
+            "confirmed": False, "detected_at_mpl": None}
+
+
+def _curve_label(controller: Optional[str], workload: Optional[str],
+                 locking_enabled: Any) -> str:
+    label = f"{controller or '?'} / {workload or '?'}"
+    if locking_enabled is False:
+        label += " (locking off)"
+    return label
+
+
+def _merge_hot_pages(runs: List[Dict[str, Any]],
+                     limit: int) -> List[Dict[str, Any]]:
+    merged: Dict[Any, Dict[str, Any]] = {}
+    for run in runs:
+        for row in run["hot_pages"]:
+            entry = merged.setdefault(
+                row["page"], {"page": row["page"], "conflicts": 0,
+                              "wait_seconds": 0.0, "aborts": 0})
+            entry["conflicts"] += row["conflicts"]
+            entry["wait_seconds"] += row["wait_seconds"]
+            entry["aborts"] += row["aborts"]
+    ranked = sorted(merged.values(),
+                    key=lambda e: (-e["conflicts"], -e["wait_seconds"],
+                                   str(e["page"])))
+    return ranked[:limit]
+
+
+def _sweep_run_dirs(root: Path) -> List[Path]:
+    if not root.is_dir():
+        raise ExperimentError(f"no such telemetry directory: {root}")
+    run_dirs = sorted(p for p in root.iterdir()
+                      if p.is_dir() and (p / "manifest.json").is_file())
+    if not run_dirs:
+        raise ExperimentError(
+            f"{root} contains no telemetry run directories")
+    return run_dirs
+
+
+def summarize_sweep(root: Union[str, Path], jobs: int = 1,
+                    hot_page_limit: int = 10) -> Dict[str, Any]:
+    """Aggregate every run directory under ``root`` into one summary.
+
+    ``jobs > 1`` fans the per-run file reads out over a process pool;
+    the merged document is byte-identical to the serial one because
+    runs are keyed and ordered by directory name either way.
+    """
+    root = Path(root)
+    run_dirs = _sweep_run_dirs(root)
+    if jobs > 1 and len(run_dirs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            runs = list(pool.map(load_run_summary,
+                                 [str(p) for p in run_dirs]))
+    else:
+        runs = [load_run_summary(p) for p in run_dirs]
+
+    curves: Dict[Tuple, List[Dict[str, Any]]] = {}
+    for run in runs:
+        if run["cache_hit"] or run["num_terms"] is None:
+            continue
+        key = (str(run["controller"]), str(run["workload"]),
+               str(run["locking_enabled"]))
+        curves.setdefault(key, []).append(run)
+
+    curve_docs: List[Dict[str, Any]] = []
+    for key in sorted(curves):
+        members = sorted(curves[key],
+                         key=lambda r: (r["num_terms"], r["run"]))
+        points = [{"mpl": r["num_terms"],
+                   "throughput": r["throughput"],
+                   "page_throughput": r["page_throughput"],
+                   "run": r["run"]}
+                  for r in members]
+        knee = find_knee([(p["mpl"], p["page_throughput"])
+                          for p in points])
+        first = members[0]
+        curve_docs.append({
+            "label": _curve_label(first["controller"],
+                                  first["workload"],
+                                  first["locking_enabled"]),
+            "points": points,
+            "knee": knee,
+        })
+
+    return {
+        "format": SWEEP_FORMAT,
+        "runs": runs,
+        "curves": curve_docs,
+        "hot_pages": _merge_hot_pages(runs, hot_page_limit),
+    }
+
+
+def write_sweep_summary(root: Union[str, Path], jobs: int = 1,
+                        out: Union[str, Path, None] = None) -> Path:
+    """Write ``sweep_summary.json`` (deterministic bytes); returns it."""
+    from repro.telemetry.export import json_dump
+    root = Path(root)
+    summary = summarize_sweep(root, jobs=jobs)
+    path = Path(out) if out is not None else root / "sweep_summary.json"
+    return json_dump(summary, path)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def render_sweep_report(summary: Dict[str, Any],
+                        width: int = 40) -> str:
+    """ASCII report over a sweep summary document."""
+    runs = summary["runs"]
+    lines = [f"sweep: {len(runs)} runs, "
+             f"{len(summary['curves'])} curves"]
+
+    for curve in summary["curves"]:
+        lines.append(f"curve {curve['label']}:")
+        points = curve["points"]
+        usable = [p for p in points
+                  if p["page_throughput"] is not None]
+        if usable:
+            lines.append("  mpl:      "
+                         + " ".join(f"{p['mpl']:>8}" for p in usable))
+            lines.append("  pages/s:  "
+                         + " ".join(f"{p['page_throughput']:>8.1f}"
+                                    for p in usable))
+            lines.append(
+                "  curve:    "
+                + sparkline([p["page_throughput"] for p in usable],
+                            width=width))
+        knee = curve["knee"]
+        if knee is None:
+            lines.append("  knee: (not enough points)")
+        elif knee["confirmed"]:
+            lines.append(
+                f"  knee: mpl={knee['mpl']:g} "
+                f"({knee['throughput']:.1f} pages/s peak; decline "
+                f"confirmed at mpl={knee['detected_at_mpl']:g})")
+        else:
+            lines.append(
+                f"  knee: mpl={knee['mpl']:g} "
+                f"({knee['throughput']:.1f} pages/s peak; decline "
+                f"unconfirmed)")
+
+    onset_rows = [r for r in runs if not r["cache_hit"]]
+    if onset_rows:
+        lines.append("onsets (per run):")
+        lines.append(f"  {'run':<18} {'mpl':>5} {'thresh':>8} "
+                     f"{'cusum':>8}  regime")
+        for r in onset_rows:
+            t1 = (f"{r['onset_threshold']:g}"
+                  if r["onset_threshold"] is not None else "-")
+            t2 = (f"{r['onset_cusum']:g}"
+                  if r["onset_cusum"] is not None else "-")
+            mpl = r["num_terms"] if r["num_terms"] is not None else "-"
+            lines.append(f"  {r['run']:<18} {mpl:>5} {t1:>8} {t2:>8}  "
+                         f"{r['final_regime'] or '-'}")
+
+    if summary["hot_pages"]:
+        lines.append("hottest pages (sweep-wide): " + "; ".join(
+            f"page {row['page']} ({row['conflicts']} conflicts, "
+            f"{row['wait_seconds']:.2f}s, {row['aborts']} aborts)"
+            for row in summary["hot_pages"][:5]))
+    return "\n".join(lines)

@@ -47,6 +47,32 @@ def test_fast_dispatch_bound_only_without_hooks(dispatch_params):
     assert "_arrival" not in traced.__dict__
 
 
+def test_contention_monitor_disables_fast_dispatch(dispatch_params):
+    from repro.telemetry.contention import ContentionMonitor
+    monitored = DBMSSystem(params=dispatch_params,
+                           controller=HalfAndHalfController())
+    ContentionMonitor().attach(monitored)
+    monitored.start()
+    # The contention slot participates in the fast-dispatch decision:
+    # with a monitor attached, the hooked class methods stay bound.
+    assert "_commit" not in monitored.__dict__
+    assert "_arrival" not in monitored.__dict__
+
+
+def test_contention_monitored_results_identical_to_fast_path(
+        dispatch_params, tmp_path):
+    """Bit-equivalence regression: contention monitoring on follows the
+    exact trajectory of the hook-free fast path."""
+    from repro.telemetry import TelemetrySession
+    fast = run_simulation(dispatch_params, HalfAndHalfController())
+    session = TelemetrySession(tmp_path / "run", contention=True)
+    monitored = run_simulation(dispatch_params, HalfAndHalfController(),
+                               telemetry=session)
+    assert fast == monitored
+    # ... and the monitor genuinely observed the run.
+    assert session.contention.total_conflicts > 0
+
+
 def test_hooks_off_results_identical_to_traced_run(dispatch_params):
     fast = run_simulation(dispatch_params, HalfAndHalfController())
     tracer = Tracer()

@@ -105,7 +105,7 @@ def test_run_figure_with_telemetry_then_validate_and_report(capsys,
 
     assert main(["telemetry", "validate", str(tel)]) == 0
     out = capsys.readouterr().out
-    assert f"{len(run_dirs)} run(s) valid" in out
+    assert f"{len(run_dirs)} target(s) valid" in out
 
     assert main(["telemetry", "report", str(tel)]) == 0
     out = capsys.readouterr().out
@@ -131,6 +131,61 @@ def test_telemetry_commands_reject_bad_dirs(capsys, tmp_path):
 def test_spans_flag_requires_telemetry_dir(capsys):
     assert main(["run", "fig20", "--scale", "smoke", "--spans"]) == 1
     assert "--telemetry-dir" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("flag", ["--contention", "--online"])
+def test_monitor_flags_require_telemetry_dir(capsys, flag):
+    assert main(["run", "fig20", "--scale", "smoke", flag]) == 1
+    err = capsys.readouterr().err
+    assert "--telemetry-dir" in err
+    assert flag in err
+
+
+def test_telemetry_sweep_end_to_end(capsys, tmp_path):
+    tel = tmp_path / "tel"
+    assert main(["run", "fig20", "--scale", "smoke",
+                 "--telemetry-dir", str(tel),
+                 "--contention", "--online",
+                 "--probe-interval", "5"]) == 0
+    capsys.readouterr()
+
+    assert main(["telemetry", "sweep", str(tel)]) == 0
+    out = capsys.readouterr().out
+    assert "sweep:" in out
+    assert "onsets (per run)" in out
+    summary_path = tel / "sweep_summary.json"
+    assert summary_path.is_file()
+
+    # validate now covers the run dirs plus the sweep summary.
+    run_dirs = [d for d in tel.iterdir() if d.is_dir()]
+    assert main(["telemetry", "validate", str(tel)]) == 0
+    out = capsys.readouterr().out
+    assert f"{len(run_dirs) + 1} target(s) valid" in out
+
+    # --out redirects; --jobs writes identical bytes.
+    alt = tmp_path / "alt.json"
+    assert main(["telemetry", "sweep", str(tel), "--jobs", "2",
+                 "--out", str(alt)]) == 0
+    capsys.readouterr()
+    assert alt.read_bytes() == summary_path.read_bytes()
+
+
+def test_telemetry_sweep_rejects_bad_dirs(capsys, tmp_path):
+    assert main(["telemetry", "sweep", str(tmp_path / "nope")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_telemetry_validate_reports_all_failing_targets(capsys, tmp_path):
+    for name in ("run-a", "run-b"):
+        run = tmp_path / name
+        run.mkdir()
+        (run / "manifest.json").write_text("{}")  # missing required
+    assert main(["telemetry", "validate", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    # Every broken target is reported before the non-zero exit.
+    assert "run-a" in err
+    assert "run-b" in err
+    assert "2/2 target(s) failed" in err
 
 
 def test_run_figure_with_spans_then_latency_report(capsys, tmp_path):

@@ -1,0 +1,153 @@
+"""Wait-chain depth, waits-for edges, and the deterministic blocking
+order under S→X upgrades and victim aborts."""
+
+from __future__ import annotations
+
+from repro.lockmgr.lock_table import LockTable, RequestOutcome
+from repro.lockmgr.modes import LockMode
+
+
+class T:
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+def test_accessors_on_empty_table():
+    table = LockTable()
+    assert table.waiting_transactions() == []
+    assert table.locked_pages() == []
+    assert table.wait_chain_depth(T("a")) == 0
+
+
+def test_waiting_transactions_and_locked_pages_track_state():
+    table = LockTable()
+    a, b, c = T("a"), T("b"), T("c")
+    table.request(a, 1, LockMode.X)
+    table.request(a, 2, LockMode.S)
+    assert table.waiting_transactions() == []
+    assert table.locked_pages() == [1, 2]
+
+    assert table.request(b, 1, LockMode.S) is RequestOutcome.BLOCKED
+    assert table.request(c, 1, LockMode.S) is RequestOutcome.BLOCKED
+    # Insertion order pins the enumeration run to run.
+    assert table.waiting_transactions() == [b, c]
+
+    table.release_all(a)
+    assert table.waiting_transactions() == []
+    assert table.locked_pages() == [1]  # page 2 entry was GC'd
+
+
+def test_chain_depth_is_one_behind_a_running_holder():
+    table = LockTable()
+    a, b = T("a"), T("b")
+    table.request(a, 1, LockMode.X)
+    table.request(b, 1, LockMode.X)   # b -> a
+    assert table.wait_chain_depth(b) == 1
+    assert table.wait_chain_depth(a) == 0
+
+
+def test_chain_depth_follows_first_blocker_transitively():
+    table = LockTable()
+    a, b, c = T("a"), T("b"), T("c")
+    table.request(a, 1, LockMode.X)
+    table.request(b, 2, LockMode.X)
+    table.request(b, 1, LockMode.X)   # b -> a
+    table.request(c, 2, LockMode.X)   # c -> b -> a
+    assert table.blocking_order(c) == [b]
+    assert table.blocking_order(b) == [a]
+    assert table.wait_chain_depth(c) == 2
+    assert table.wait_chain_depth(b) == 1
+
+
+def test_chain_depth_terminates_on_deadlock_cycle():
+    table = LockTable()
+    a, b = T("a"), T("b")
+    table.request(a, 1, LockMode.X)
+    table.request(b, 2, LockMode.X)
+    table.request(a, 2, LockMode.X)   # a -> b
+    table.request(b, 1, LockMode.X)   # b -> a: cycle
+    # The walk stops at the cycle instead of spinning.
+    assert table.wait_chain_depth(a) == 2
+    assert table.wait_chain_depth(b) == 2
+    assert table.wait_chain_depth(a, max_depth=1) == 1
+
+
+def test_upgrade_wait_edges_and_blocking_order():
+    """S→X upgrade: the upgrader waits on its co-holders, with priority
+    over ordinary waiters; blocking_order pins holder grant order."""
+    table = LockTable()
+    a, b, c, d = T("a"), T("b"), T("c"), T("d")
+    table.request(a, 1, LockMode.S)
+    table.request(b, 1, LockMode.S)
+    table.request(c, 1, LockMode.S)
+    assert table.request(b, 1, LockMode.X) is RequestOutcome.BLOCKED
+
+    # The upgrader's blockers are exactly the other holders, in grant
+    # order — never itself.
+    assert table.blocking_set(b) == {a, c}
+    assert table.blocking_order(b) == [a, c]
+    assert table.wait_chain_depth(b) == 1
+
+    # An ordinary waiter behind a pending upgrade is blocked by the
+    # compatible holders' upgrader too (upgrades suppress new grants).
+    assert table.request(d, 1, LockMode.S) is RequestOutcome.BLOCKED
+    assert b in table.blocking_set(d)
+    assert table.blocking_order(d) == [b]
+    assert table.wait_chain_depth(d) == 2  # d -> b -> a
+
+    # Releasing the co-holders grants the upgrade and collapses chains.
+    table.release_all(a)
+    assert table.blocking_order(b) == [c]
+    grants = table.release_all(c)
+    assert [(g.txn, g.mode, g.was_upgrade) for g in grants] == \
+        [(b, LockMode.X, True)]
+    assert table.wait_chain_depth(b) == 0
+    assert table.waiting_transactions() == [d]
+    assert table.blocking_order(d) == [b]
+
+
+def test_victim_abort_rewires_the_chain():
+    """Aborting a mid-chain victim (release_all) re-grants its lock and
+    rewires the waiters behind it — the depth and edges must follow."""
+    table = LockTable()
+    a, b, c = T("a"), T("b"), T("c")
+    table.request(a, 1, LockMode.X)
+    table.request(b, 1, LockMode.X)   # b -> a
+    table.request(c, 1, LockMode.X)   # c -> {a, b}
+    assert table.blocking_order(c) == [a, b]
+    # Depth follows the *first* blocker edge — the holder a, depth 1.
+    assert table.wait_chain_depth(c) == 1
+
+    # b is chosen as a victim while blocked: its wait is cancelled and
+    # its (zero) locks released in one call, exactly like abort does.
+    table.release_all(b)
+    assert table.waiting_transactions() == [c]
+    assert table.blocking_set(c) == {a}
+    assert table.blocking_order(c) == [a]
+    assert table.wait_chain_depth(c) == 1
+    table.check_invariants()
+
+    # Aborting the holder grants c.
+    grants = table.release_all(a)
+    assert [(g.txn, g.mode) for g in grants] == [(c, LockMode.X)]
+    assert table.wait_chain_depth(c) == 0
+
+
+def test_victim_abort_of_waiting_upgrader_unblocks_queue():
+    table = LockTable()
+    a, b, c = T("a"), T("b"), T("c")
+    table.request(a, 1, LockMode.S)
+    table.request(b, 1, LockMode.S)
+    table.request(b, 1, LockMode.X)   # b upgrades, waits on a
+    assert table.request(c, 1, LockMode.S) is RequestOutcome.BLOCKED
+
+    # Abort the upgrader: c's suppressed S request becomes grantable
+    # (S is compatible with a's S hold).
+    grants = table.release_all(b)
+    assert [(g.txn, g.mode) for g in grants] == [(c, LockMode.S)]
+    assert table.waiting_transactions() == []
+    assert table.wait_chain_depth(c) == 0
+    table.check_invariants()

@@ -1,0 +1,109 @@
+"""Contention monitor: hot pages, graph stats, trajectory invariance."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.runner import run_simulation
+from repro.telemetry import (ContentionMonitor, TelemetrySession,
+                             validate_run_dir)
+
+
+def _contended_params(tiny_params):
+    """Crank write probability so the tiny run actually conflicts."""
+    return tiny_params.replace(db_size=30, write_prob=0.8)
+
+
+def test_monitor_accumulates_heat_on_a_real_run(tiny_params, tmp_path):
+    params = _contended_params(tiny_params)
+    session = TelemetrySession(tmp_path / "run", contention=True)
+    run_simulation(params, HalfAndHalfController(), telemetry=session)
+    monitor = session.contention
+    assert monitor is not None
+    assert monitor.total_conflicts > 0
+    assert monitor.total_wait_seconds > 0.0
+    assert monitor.samples  # one per probe tick
+
+    hot = monitor.hot_pages(limit=5)
+    assert hot
+    assert len(hot) <= 5
+    # Ranked by conflicts, ties by wait time.
+    conflicts = [row["conflicts"] for row in hot]
+    assert conflicts == sorted(conflicts, reverse=True)
+    for row in hot:
+        assert row["wait_seconds"] >= 0.0
+        assert row["aborts"] >= 0
+
+    summary = monitor.summary()
+    assert summary["format"] == "repro-contention-v1"
+    assert summary["conflicts"] == monitor.total_conflicts
+    assert summary["contended_pages"] == len(monitor.pages)
+
+
+def test_samples_are_consistent(tiny_params, tmp_path):
+    params = _contended_params(tiny_params)
+    session = TelemetrySession(tmp_path / "run", contention=True)
+    run_simulation(params, HalfAndHalfController(), telemetry=session)
+    samples = session.contention.samples
+    prev_conflicts = 0
+    for s in samples:
+        # Graph stats are internally consistent at every tick.
+        assert s.max_chain_depth >= (1 if s.waiters else 0)
+        assert s.mean_chain_depth <= s.max_chain_depth
+        assert s.wait_edges >= s.waiters  # each waiter has >= 1 blocker
+        assert s.contested_pages <= s.locked_pages
+        assert s.max_queue_depth >= (1 if s.contested_pages else 0)
+        assert s.mean_queue_depth <= s.max_queue_depth
+        # Cumulative counters never decrease.
+        assert s.cum_conflicts >= prev_conflicts
+        prev_conflicts = s.cum_conflicts
+        assert s.cum_wait_seconds >= 0.0
+
+
+def test_contention_files_exported_and_valid(tiny_params, tmp_path):
+    params = _contended_params(tiny_params)
+    run_dir = tmp_path / "run"
+    session = TelemetrySession(run_dir, contention=True)
+    run_simulation(params, HalfAndHalfController(), telemetry=session)
+
+    assert (run_dir / "contention.jsonl").is_file()
+    assert (run_dir / "contention.json").is_file()
+    assert validate_run_dir(run_dir) == []
+
+    rows = [json.loads(line) for line in
+            (run_dir / "contention.jsonl").read_text().splitlines()]
+    assert len(rows) == len(session.contention.samples)
+    summary = json.loads((run_dir / "contention.json").read_text())
+    assert summary["hot_pages"]
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["records"]["contention"] == len(rows)
+
+
+def test_monitoring_never_changes_the_trajectory(tiny_params, tmp_path):
+    """The tentpole's core contract: results AND trace are byte-identical
+    with contention + online monitoring on vs off."""
+    params = _contended_params(tiny_params)
+    plain = TelemetrySession(tmp_path / "plain")
+    results_plain = run_simulation(params, HalfAndHalfController(),
+                                   telemetry=plain)
+    monitored = TelemetrySession(tmp_path / "mon", contention=True,
+                                 online=True)
+    results_mon = run_simulation(params, HalfAndHalfController(),
+                                 telemetry=monitored)
+    assert results_plain == results_mon
+    for name in ("trace.jsonl", "probes.jsonl"):
+        assert (tmp_path / "plain" / name).read_bytes() == \
+            (tmp_path / "mon" / name).read_bytes(), name
+
+
+def test_abort_without_open_wait_is_ignored():
+    monitor = ContentionMonitor()
+
+    class _Txn:
+        txn_id = 1
+
+    monitor.on_abort(_Txn(), "wait_policy")
+    assert monitor.total_aborts_while_waiting == 0
+    monitor.on_unblock(_Txn())  # likewise a no-op
+    assert monitor.total_wait_seconds == 0.0

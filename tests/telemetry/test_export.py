@@ -134,11 +134,39 @@ def test_run_specs_cache_hits_record_provenance(tiny_params, tmp_path):
     assert validate_run_dir(run_dir) == []
 
 
+def test_session_with_monitors_emits_their_files(tiny_params, tmp_path):
+    _run_session(tiny_params, tmp_path / "run",
+                 contention=True, online=True)
+    assert sorted(p.name for p in (tmp_path / "run").iterdir()) == \
+        sorted(RUN_FILES + ["contention.jsonl", "contention.json",
+                            "regimes.json"])
+    assert validate_run_dir(tmp_path / "run") == []
+    manifest = json.loads(
+        (tmp_path / "run" / "manifest.json").read_text())
+    assert "contention" in manifest["records"]
+    assert "regime_changes" in manifest["records"]
+
+
+def test_monitored_runs_keep_deterministic_bytes(tiny_params, tmp_path):
+    _run_session(tiny_params, tmp_path / "a", contention=True, online=True)
+    _run_session(tiny_params, tmp_path / "b", contention=True, online=True)
+    for name in RUN_FILES + ["contention.jsonl", "contention.json",
+                             "regimes.json"]:
+        if name == "profile.json":
+            continue
+        assert (tmp_path / "a" / name).read_bytes() == \
+            (tmp_path / "b" / name).read_bytes(), name
+
+
 def test_telemetry_config_round_trips_through_pickle(tmp_path):
     import pickle
     config = TelemetryConfig(root=str(tmp_path), probe_interval=0.5,
-                             trace_capacity=100)
+                             trace_capacity=100, contention=True,
+                             online=True)
     assert pickle.loads(pickle.dumps(config)) == config
+    session = config.session_for("run-id")
+    assert session.contention is not None
+    assert session.online is not None
 
 
 def test_schema_validator_flags_bad_records(tmp_path):

@@ -1,0 +1,278 @@
+"""Streaming detectors: Welford, EWMA, CUSUM, regime tracking."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.regions import DEFAULT_DELTA
+from repro.errors import ConfigurationError
+from repro.telemetry import (EWMA, Cusum, OnlineRegimeMonitor,
+                             RegimeDetector, Welford, detect_onset_cusum)
+from repro.telemetry.decisions import DecisionLog
+from repro.telemetry.online import (REGIME_PRE_THRASH, REGIME_STABLE,
+                                    REGIME_THRASHING)
+from repro.telemetry.probes import ProbeSample
+
+
+# ----------------------------------------------------------------------
+# Welford
+# ----------------------------------------------------------------------
+
+def test_welford_matches_batch_statistics():
+    xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    w = Welford()
+    for x in xs:
+        w.update(x)
+    mean = sum(xs) / len(xs)
+    var = sum((x - mean) ** 2 for x in xs) / len(xs)
+    assert w.n == len(xs)
+    assert w.mean == pytest.approx(mean)
+    assert w.variance == pytest.approx(var)
+    assert w.std == pytest.approx(math.sqrt(var))
+
+
+def test_welford_degenerate_cases():
+    w = Welford()
+    assert w.n == 0 and w.mean == 0.0 and w.variance == 0.0
+    w.update(3.0)
+    assert w.mean == 3.0
+    assert w.variance == 0.0  # one sample: variance defined as 0
+    assert w.summary() == {"n": 1, "mean": 3.0, "std": 0.0}
+
+
+# ----------------------------------------------------------------------
+# EWMA
+# ----------------------------------------------------------------------
+
+def test_ewma_first_sample_initializes():
+    e = EWMA(alpha=0.5)
+    assert e.value is None
+    assert e.update(4.0) == 4.0
+    assert e.update(0.0) == 2.0
+    assert e.update(0.0) == 1.0
+
+
+def test_ewma_alpha_one_tracks_input_exactly():
+    e = EWMA(alpha=1.0)
+    for x in [1.0, 9.0, 3.0]:
+        assert e.update(x) == x
+
+
+def test_ewma_rejects_bad_alpha():
+    with pytest.raises(ConfigurationError):
+        EWMA(alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        EWMA(alpha=1.5)
+
+
+# ----------------------------------------------------------------------
+# Cusum
+# ----------------------------------------------------------------------
+
+def test_cusum_fires_on_sustained_shift_and_estimates_onset():
+    cusum = Cusum(target=0.5, threshold=0.3)
+    # Below target: never accumulates.
+    for t in range(5):
+        assert not cusum.update(float(t), 0.4)
+    assert cusum.statistic == 0.0
+    # Sustained excursion starting at t=5: +0.1 per tick, fires once
+    # the statistic clears 0.3 — but the onset is the excursion start.
+    fired_at = None
+    for t in range(5, 15):
+        if cusum.update(float(t), 0.6):
+            fired_at = float(t)
+            break
+    assert cusum.fired
+    assert fired_at == cusum.fired_at
+    assert fired_at > 5.0        # detection lags...
+    assert cusum.onset == 5.0    # ...but the change-point estimate doesn't.
+
+
+def test_cusum_isolated_spike_does_not_fire():
+    cusum = Cusum(target=0.5, threshold=0.3)
+    assert not cusum.update(1.0, 0.7)   # +0.2, below threshold
+    assert not cusum.update(2.0, 0.1)   # resets to 0
+    assert cusum.statistic == 0.0
+    assert cusum.onset is None
+
+
+def test_cusum_slack_absorbs_small_drift():
+    cusum = Cusum(target=0.5, threshold=0.3, slack=0.15)
+    for t in range(100):
+        assert not cusum.update(float(t), 0.6)  # within slack
+    assert not cusum.fired
+
+
+def test_cusum_update_returns_true_only_on_firing_tick():
+    cusum = Cusum(target=0.0, threshold=0.5)
+    assert not cusum.update(1.0, 0.3)
+    assert cusum.update(2.0, 0.3)       # crosses 0.5
+    assert not cusum.update(3.0, 0.3)   # already fired: no re-fire
+
+
+def test_cusum_reset_and_reset_excursion():
+    cusum = Cusum(target=0.0, threshold=0.1)
+    cusum.update(1.0, 1.0)
+    assert cusum.fired and cusum.onset == 1.0
+    cusum.reset_excursion()
+    assert cusum.fired                  # detection survives
+    assert cusum.statistic == 0.0
+    cusum.reset()
+    assert not cusum.fired and cusum.onset is None
+
+
+def test_cusum_rejects_nonpositive_threshold():
+    with pytest.raises(ConfigurationError):
+        Cusum(target=0.5, threshold=0.0)
+
+
+# ----------------------------------------------------------------------
+# RegimeDetector
+# ----------------------------------------------------------------------
+
+def test_regime_detector_walks_stable_to_thrashing():
+    det = RegimeDetector(alpha=1.0)  # no smoothing: direct fractions
+    assert det.regime == REGIME_STABLE
+
+    # Healthy: most transactions running.
+    assert det.update(1.0, 0.8, 0.1) is None
+    assert det.regime == REGIME_STABLE
+
+    # State 1 fraction collapses below 0.5 - delta → pre_thrash.
+    change = det.update(2.0, 0.3, 0.4)
+    assert change is not None
+    old, new, signal, _measure, _threshold = change
+    assert (old, new) == (REGIME_STABLE, REGIME_PRE_THRASH)
+    assert signal == "ewma_frac_state1"
+
+    # State 3 fraction sustains above 0.5 + delta → thrashing.
+    transitions = []
+    for t in range(3, 10):
+        change = det.update(float(t), 0.2, 0.8)
+        if change:
+            transitions.append(change)
+    assert len(transitions) == 1
+    old, new, signal, _measure, _threshold = transitions[0]
+    assert (old, new) == (REGIME_PRE_THRASH, REGIME_THRASHING)
+    assert signal == "cusum_frac_state3"
+    assert det.onset == 3.0  # excursion started at the first t=3 sample
+
+
+def test_regime_detector_recovers_with_hysteresis():
+    det = RegimeDetector(alpha=1.0)
+    for t in range(5):
+        det.update(float(t), 0.2, 0.9)
+    assert det.regime == REGIME_THRASHING
+    # Sitting just under the upper threshold is NOT recovery.
+    det.update(5.0, 0.2, 0.5)
+    assert det.regime == REGIME_THRASHING
+    # Dropping below 0.5 - delta is.
+    change = det.update(6.0, 0.7, 0.2)
+    assert change is not None
+    assert change[1] == REGIME_STABLE
+    # And a relapse re-fires the (reset) CUSUM.
+    for t in range(7, 15):
+        det.update(float(t), 0.2, 0.9)
+    assert det.regime == REGIME_THRASHING
+
+
+def _sample(time, frac_state1, frac_state3, cum_commits=0):
+    n_active = 10
+    n1 = int(frac_state1 * n_active)
+    n3 = int(frac_state3 * n_active)
+    return ProbeSample(
+        time=time, n_active=n_active, ready_queue=0,
+        n_state1=n1, n_state2=n_active - n1 - n3, n_state3=n3, n_state4=0,
+        frac_state1=frac_state1, frac_state3=frac_state3,
+        blocked_frac=frac_state3, cpu_util=0.5, disk_util=0.5,
+        cpu_scale=1.0, disk_scale=1.0, conflict_ratio=1.5,
+        locks_held=5, locked_pages=5, cum_lock_requests=10,
+        cum_lock_blocks=2, cum_commits=cum_commits, cum_aborts=0,
+        cum_aborts_by_reason={}, cum_pages=4 * cum_commits)
+
+
+def test_online_monitor_emits_regime_changes_into_decision_log():
+    log = DecisionLog()
+    monitor = OnlineRegimeMonitor(decision_log=log, alpha=1.0)
+    for t in range(5):
+        monitor.on_sample(_sample(float(t), 0.8, 0.1, cum_commits=t))
+    # State 1 collapses while State 3 is still below target: pre_thrash.
+    for t in range(5, 8):
+        monitor.on_sample(_sample(float(t), 0.3, 0.4, cum_commits=5))
+    # Then State 3 sustains above target: thrashing.
+    for t in range(8, 12):
+        monitor.on_sample(_sample(float(t), 0.1, 0.9, cum_commits=5))
+    regimes = [c.new_regime for c in monitor.changes]
+    assert regimes == [REGIME_PRE_THRASH, REGIME_THRASHING]
+    decisions = log.decisions(action="regime_change")
+    assert len(decisions) == 2
+    assert decisions[0].controller == "online-regime"
+    assert "->" in decisions[0].detail
+
+    summary = monitor.summary()
+    assert summary["format"] == "repro-regimes-v1"
+    assert summary["final_regime"] == REGIME_THRASHING
+    assert summary["onset_cusum"] == 8.0
+    assert summary["signals"]["blocked_frac"]["n"] == 12
+    assert summary["signals"]["throughput"]["n"] == 11  # needs a delta
+    assert len(summary["changes"]) == 2
+
+
+def test_online_monitor_tolerates_null_conflict_ratio():
+    monitor = OnlineRegimeMonitor()
+    sample = ProbeSample(**{**_sample(1.0, 0.8, 0.1).to_dict(),
+                            "conflict_ratio": None})
+    monitor.on_sample(sample)
+    assert monitor.signals["conflict_ratio"].n == 0
+    assert monitor.signals["blocked_frac"].n == 1
+
+
+# ----------------------------------------------------------------------
+# detect_onset_cusum (the offline counterpart)
+# ----------------------------------------------------------------------
+
+def _probe(time, frac):
+    return {"time": time, "frac_state3": frac}
+
+
+def test_detect_onset_cusum_finds_sustained_crossing():
+    threshold = 0.5 + DEFAULT_DELTA
+    samples = [_probe(float(t), 0.2) for t in range(5)]
+    samples += [_probe(float(t), threshold + 0.1) for t in range(5, 15)]
+    assert detect_onset_cusum(samples) == 5.0
+
+
+def test_detect_onset_cusum_onset_within_one_sample_of_crossing():
+    # Acceptance criterion: the reported onset lands within one probe
+    # interval of the true State-3 threshold crossing, even though
+    # CUSUM *detection* necessarily lags the crossing by several ticks.
+    interval = 1.0
+    crossing = 8.0
+    samples = [_probe(t * interval, 0.1) for t in range(int(crossing))]
+    samples += [_probe(crossing + i * interval, 0.62) for i in range(20)]
+    onset = detect_onset_cusum(samples)
+    assert onset is not None
+    assert abs(onset - crossing) <= interval
+
+
+def test_detect_onset_cusum_edge_cases():
+    assert detect_onset_cusum([]) is None
+    below = [_probe(float(t), 0.2) for t in range(20)]
+    assert detect_onset_cusum(below) is None
+    # Isolated spikes below the evidence threshold never fire.
+    spiky = [_probe(float(t), 0.9 if t % 5 == 0 else 0.1)
+             for t in range(20)]
+    assert detect_onset_cusum(spiky, threshold=0.5) is None
+
+
+def test_detect_onset_cusum_tolerates_missing_keys():
+    # A truncated/killed run can leave rows without frac_state3 or
+    # time; these are gaps that reset the excursion, not crashes.
+    samples = [_probe(1.0, 0.6), {"time": 2.0}, {"frac_state3": 0.6}]
+    samples += [_probe(float(t), 0.62) for t in range(3, 20)]
+    onset = detect_onset_cusum(samples, threshold=0.5)
+    assert onset == 3.0  # excursion restarted after the gap
+    # All-gap series: no crash, no onset.
+    assert detect_onset_cusum([{}, {"time": 1.0}]) is None

@@ -30,6 +30,28 @@ def test_sparkline_flat_series_and_empty():
     assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
 
 
+def test_sparkline_max_mode_preserves_spikes():
+    # One spike in a long flat series: mean-mode downsampling averages
+    # it into the floor, max-mode keeps it at full height.
+    values = [0.0] * 1000
+    values[500] = 1.0
+    mean_line = sparkline(values, width=10, lo=0.0, hi=1.0)
+    max_line = sparkline(values, width=10, lo=0.0, hi=1.0, mode="max")
+    assert "█" not in mean_line
+    assert max_line.count("█") == 1
+    assert len(max_line) == 10
+
+
+def test_sparkline_modes_agree_without_downsampling():
+    values = [0.0, 0.5, 1.0]
+    assert sparkline(values, mode="max") == sparkline(values, mode="mean")
+
+
+def test_sparkline_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        sparkline([1.0], mode="median")
+
+
 def _probe(time, frac):
     return {"time": time, "frac_state3": frac}
 
@@ -42,6 +64,23 @@ def test_thrashing_onset_requires_consecutive_samples():
     assert detect_thrashing_onset(samples, consecutive=3) == 3.0
     assert detect_thrashing_onset(samples, consecutive=4) is None
     assert detect_thrashing_onset([_probe(1.0, below)]) is None
+
+
+def test_thrashing_onset_edge_cases():
+    assert detect_thrashing_onset([]) is None
+    below = [_probe(float(t), 0.2) for t in range(10)]
+    assert detect_thrashing_onset(below) is None
+
+
+def test_thrashing_onset_tolerates_missing_keys():
+    # A truncated run can leave rows without frac_state3 or time; they
+    # must break the consecutive run, not raise KeyError.
+    above = 0.9
+    samples = [_probe(1.0, above), _probe(2.0, above), {"time": 3.0},
+               _probe(4.0, above), _probe(5.0, above), _probe(6.0, above)]
+    assert detect_thrashing_onset(samples, consecutive=3) == 4.0
+    gappy = [{"frac_state3": above}, {}, {"time": 1.0}]
+    assert detect_thrashing_onset(gappy) is None
 
 
 def test_top_aborters_ranks_and_breaks_ties_stably():
@@ -65,8 +104,23 @@ def test_render_run_report_end_to_end(tiny_params, tmp_path):
     text = render_run_report(tmp_path / "run")
     assert "state3 frac" in text
     assert "thrashing onset" in text
+    assert "aborts/tick" in text
     assert "event loop" in text
     assert "seed=42" in text
+    # No monitors: the optional sections stay out of the report.
+    assert "contention:" not in text
+    assert "regimes:" not in text
+
+
+def test_render_run_report_includes_monitor_sections(tiny_params, tmp_path):
+    params = tiny_params.replace(db_size=30, write_prob=0.8)
+    session = TelemetrySession(tmp_path / "run", probe_interval=1.0,
+                               contention=True, online=True)
+    run_simulation(params, HalfAndHalfController(), telemetry=session)
+    text = render_run_report(tmp_path / "run")
+    assert "contention:" in text
+    assert "hot pages:" in text
+    assert "regimes: final=" in text
 
 
 def test_render_report_walks_a_root(tiny_params, tmp_path):

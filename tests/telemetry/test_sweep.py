@@ -1,0 +1,131 @@
+"""Sweep rollup: per-run summaries, knee detection, determinism."""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.core.half_and_half import HalfAndHalfController
+from repro.errors import ExperimentError
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.telemetry import (TelemetryConfig, find_knee,
+                             render_sweep_report, summarize_sweep,
+                             validate_sweep_summary, write_sweep_summary)
+
+
+# ----------------------------------------------------------------------
+# find_knee (pure function)
+# ----------------------------------------------------------------------
+
+def test_find_knee_confirms_a_clear_peak():
+    # Classic thrashing curve: rises to a peak, then collapses.
+    points = [(5, 10.0), (10, 20.0), (15, 25.0), (20, 12.0), (25, 6.0)]
+    knee = find_knee(points)
+    assert knee == {"mpl": 15, "throughput": 25.0,
+                    "confirmed": True, "detected_at_mpl": 20}
+
+
+def test_find_knee_monotone_rise_is_unconfirmed_argmax():
+    points = [(5, 10.0), (10, 20.0), (15, 30.0)]
+    knee = find_knee(points)
+    assert knee["mpl"] == 15 and knee["throughput"] == 30.0
+    assert knee["confirmed"] is False
+    assert knee["detected_at_mpl"] is None
+
+
+def test_find_knee_shallow_noise_never_confirms():
+    # Post-peak wobble inside the slack band is not a decline.
+    points = [(5, 100.0), (10, 98.0), (15, 97.0), (20, 99.0)]
+    knee = find_knee(points)
+    assert knee["confirmed"] is False
+    assert knee["mpl"] == 5
+
+
+def test_find_knee_later_peak_resets_the_decline():
+    # A shallow dip followed by a higher peak must not count toward
+    # the decline confirmed after the real (second) peak.
+    points = [(5, 10.0), (10, 8.5), (15, 20.0), (20, 8.0)]
+    knee = find_knee(points)
+    assert knee["mpl"] == 15
+    assert knee["confirmed"] is True
+
+
+def test_find_knee_degenerate_inputs():
+    assert find_knee([]) is None
+    assert find_knee([(5, 10.0)]) is None
+    assert find_knee([(5, None), (10, None)]) is None
+    # None throughputs (cache hits without probes) are skipped.
+    knee = find_knee([(5, 10.0), (10, None), (15, 2.0)])
+    assert knee["mpl"] == 5
+
+
+# ----------------------------------------------------------------------
+# End-to-end over real telemetry runs
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def sweep_root(tiny_params, tmp_path):
+    """Two runs at different MPLs: one curve with two points."""
+    specs = [
+        RunSpec(params=tiny_params.replace(num_terms=5),
+                controller_factory=HalfAndHalfController),
+        RunSpec(params=tiny_params.replace(num_terms=10),
+                controller_factory=HalfAndHalfController),
+    ]
+    run_specs(specs, telemetry=TelemetryConfig(
+        root=str(tmp_path / "sweep"), contention=True, online=True))
+    return tmp_path / "sweep"
+
+
+def test_summarize_sweep_builds_runs_and_curves(sweep_root):
+    summary = summarize_sweep(sweep_root)
+    assert summary["format"] == "repro-sweep-summary-v1"
+    assert len(summary["runs"]) == 2
+    for run in summary["runs"]:
+        assert run["throughput"] > 0.0
+        assert run["page_throughput"] > 0.0
+        assert run["final_regime"] is not None
+    (curve,) = summary["curves"]
+    assert [p["mpl"] for p in curve["points"]] == [5, 10]
+    assert summary["hot_pages"]
+
+
+def test_sweep_summary_serial_and_jobs_byte_identical(sweep_root):
+    serial = write_sweep_summary(sweep_root, jobs=1,
+                                 out=sweep_root / "serial.json")
+    pooled = write_sweep_summary(sweep_root, jobs=2,
+                                 out=sweep_root / "pooled.json")
+    assert serial.read_bytes() == pooled.read_bytes()
+
+
+def test_sweep_summary_validates_and_renders(sweep_root):
+    path = write_sweep_summary(sweep_root)
+    assert path == sweep_root / "sweep_summary.json"
+    assert validate_sweep_summary(path) == []
+    summary = json.loads(path.read_text())
+    report = render_sweep_report(summary)
+    assert "curve" in report
+    assert "knee" in report
+    assert "onsets (per run)" in report
+    assert "hottest pages" in report
+
+
+def test_summarize_sweep_rejects_bad_roots(tmp_path):
+    with pytest.raises(ExperimentError):
+        summarize_sweep(tmp_path / "missing")
+    with pytest.raises(ExperimentError):
+        summarize_sweep(tmp_path)  # exists, holds no runs
+
+
+def test_summarize_sweep_skips_cache_hits_in_curves(tiny_params, tmp_path):
+    specs = [RunSpec(params=tiny_params,
+                     controller_factory=partial(FixedMPLController, 4))]
+    run_specs(specs, cache=tmp_path / "cache")  # populate the cache
+    run_specs(specs, cache=tmp_path / "cache", telemetry=tmp_path / "tel")
+    summary = summarize_sweep(tmp_path / "tel")
+    (run,) = summary["runs"]
+    assert run["cache_hit"] is True
+    assert summary["curves"] == []  # cache hits carry no probe series
