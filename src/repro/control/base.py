@@ -38,6 +38,12 @@ class LoadController:
         # single ``is not None`` check so the disabled path allocates
         # nothing (same discipline as the system's tracer).
         self.decision_log: Optional["DecisionLog"] = None
+        # Display-only disambiguator appended to ``name`` (the
+        # distributed telemetry layer tags each site's controller
+        # ``@siteN`` so shared decision logs stay attributable).  It
+        # must never feed back into results: anything that keys on the
+        # controller identity uses ``base_name``.
+        self.name_suffix: str = ""
 
     def attach(self, system: "DBMSSystem") -> None:
         """Bind to the system before the simulation starts."""
@@ -86,8 +92,16 @@ class LoadController:
         ))
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
+        """The controller's identity, independent of any display suffix.
+
+        Subclasses override this (not ``name``) so the suffix
+        composition in ``name`` applies uniformly."""
         return type(self).__name__
+
+    @property
+    def name(self) -> str:
+        return self.base_name + self.name_suffix
 
     # ------------------------------------------------------------------
     # Decision hooks

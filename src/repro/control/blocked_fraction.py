@@ -42,7 +42,7 @@ class BlockedFractionController(LoadController):
         self.load_control_aborts = 0
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         return f"BlockedFraction(δ={self.delta})"
 
     def region(self) -> Region:

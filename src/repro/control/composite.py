@@ -38,7 +38,7 @@ class CompositeController(LoadController):
         self.children: List[LoadController] = list(children)
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         return "Composite(" + " + ".join(c.name for c in self.children) + ")"
 
     def attach(self, system) -> None:
@@ -106,7 +106,7 @@ class BufferAwareAdmission(LoadController):
         self.capacity_fraction = capacity_fraction
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         return f"BufferAware(pool={self.buf_size})"
 
     def _active_working_set(self) -> int:

@@ -58,7 +58,7 @@ class ConflictRatioController(LoadController):
         self.load_control_aborts = 0
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         return f"ConflictRatio(crit={self.critical_ratio})"
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ class FixedMPLController(LoadController):
         self.mpl = mpl
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         return f"FixedMPL({self.mpl})"
 
     def want_admit(self, txn: "Transaction") -> bool:

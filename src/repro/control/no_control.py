@@ -21,7 +21,7 @@ class NoControlController(LoadController):
     """Unlimited admission (the thrashing baseline)."""
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         return "NoControl"
 
     def want_admit(self, txn: "Transaction") -> bool:

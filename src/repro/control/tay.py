@@ -79,5 +79,5 @@ class TayRuleController(FixedMPLController):
                    max_mpl=params.num_terms)
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         return f"TayRule(mpl={self.mpl})"

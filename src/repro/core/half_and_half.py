@@ -73,7 +73,7 @@ class HalfAndHalfController(LoadController):
         self.admissions_on_grant = 0
 
     @property
-    def name(self) -> str:
+    def base_name(self) -> str:
         suffix = ""
         if self.victim_policy != "youngest":
             suffix += f", victims={self.victim_policy}"

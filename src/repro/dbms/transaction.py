@@ -42,7 +42,7 @@ class Transaction:
         "readset", "writeset", "lock_protocol",
         "estimated_locks", "maturity_threshold",
         "phase", "step_index", "locks_completed", "is_mature", "is_blocked",
-        "waiting_for_upgrade", "pending_updates", "wounded",
+        "waiting_for_upgrade", "pending_updates", "wounded", "doomed",
         "restarts", "admitted_at", "attempt_reads", "attempt_writes",
     )
 
@@ -69,6 +69,8 @@ class Transaction:
         self.is_blocked = False
         self.waiting_for_upgrade = False
         self.wounded = False                # wound-wait: abort at checkpoint
+        self.doomed: Optional[str] = None   # failure model: abort at
+        #                                     checkpoint with this reason
         self.pending_updates: List[int] = []  # dirty pages left to flush
         self.restarts = 0
         self.admitted_at: Optional[float] = None
@@ -121,6 +123,7 @@ class Transaction:
         self.is_blocked = False
         self.waiting_for_upgrade = False
         self.wounded = False
+        self.doomed = None
         self.pending_updates = []
         self.restarts += 1
         self.admitted_at = None

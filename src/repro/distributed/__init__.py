@@ -13,6 +13,14 @@ network, and each site runs its *own* Half-and-Half controller over the
 transactions homed there.  See :mod:`repro.distributed.system` for the
 modelling decisions and :mod:`repro.distributed.controllers` for how
 admission stays deadlock-free.
+
+The failure-realistic layer (:mod:`repro.distributed.failures`,
+:mod:`repro.distributed.network`) adds deterministic site crashes and
+network partitions, a lossy message transport with timeout/retry, a
+real two-phase commit with in-doubt participant state, and
+degraded-mode admission — all zero-cost when off: a run without a
+fault plan and with ``failure_model=False`` is byte-identical to the
+constant-delay model.
 """
 
 from repro.distributed.config import DistributedParameters
@@ -20,9 +28,16 @@ from repro.distributed.partition import RangePartition
 from repro.distributed.workload import DistributedWorkload
 from repro.distributed.controllers import (
     PerSiteControllerSet,
+    make_fixed_mpl_sites,
     make_half_and_half_sites,
     make_no_control_sites,
 )
+from repro.distributed.failures import (
+    NetworkPartition,
+    SiteCrash,
+    SiteFaultPlan,
+)
+from repro.distributed.network import Network, ReliableCall
 from repro.distributed.system import DistributedSystem
 from repro.distributed.runner import run_distributed_simulation
 
@@ -31,8 +46,14 @@ __all__ = [
     "RangePartition",
     "DistributedWorkload",
     "PerSiteControllerSet",
+    "make_fixed_mpl_sites",
     "make_half_and_half_sites",
     "make_no_control_sites",
+    "NetworkPartition",
+    "SiteCrash",
+    "SiteFaultPlan",
+    "Network",
+    "ReliableCall",
     "DistributedSystem",
     "run_distributed_simulation",
 ]

@@ -32,12 +32,13 @@ from __future__ import annotations
 from typing import Callable, List, Sequence
 
 from repro.control.base import LoadController
+from repro.control.fixed_mpl import FixedMPLController
 from repro.control.no_control import NoControlController
 from repro.core.half_and_half import HalfAndHalfController
 from repro.errors import ConfigurationError
 
 __all__ = ["PerSiteControllerSet", "make_half_and_half_sites",
-           "make_no_control_sites"]
+           "make_no_control_sites", "make_fixed_mpl_sites"]
 
 ControllerFactory = Callable[[], LoadController]
 
@@ -58,10 +59,13 @@ class PerSiteControllerSet:
 
     @property
     def name(self) -> str:
-        names = {c.name for c in self.controllers}
+        # base_name, not name: telemetry tags each instance with an
+        # ``@siteN`` display suffix, which must not leak into the
+        # result-identifying controller name.
+        names = {c.base_name for c in self.controllers}
         if len(names) == 1:
             return f"PerSite({names.pop()} x{len(self.controllers)})"
-        return "PerSite(" + ", ".join(c.name
+        return "PerSite(" + ", ".join(c.base_name
                                       for c in self.controllers) + ")"
 
 
@@ -76,3 +80,10 @@ def make_no_control_sites(num_sites: int) -> PerSiteControllerSet:
     """Unlimited admission at every site (the thrashing baseline)."""
     return PerSiteControllerSet(
         [NoControlController() for _ in range(num_sites)])
+
+
+def make_fixed_mpl_sites(num_sites: int, mpl: int) -> PerSiteControllerSet:
+    """A fixed per-site MPL limit (the static baseline the failure
+    figure compares degraded-mode H&H against)."""
+    return PerSiteControllerSet(
+        [FixedMPLController(mpl) for _ in range(num_sites)])

@@ -1,0 +1,224 @@
+"""Deterministic site fault plans: crashes and network partitions.
+
+A :class:`SiteFaultPlan` is a frozen, picklable schedule — *when* a
+site crashes and for how long, *when* a partition severs which site
+groups — mirroring :class:`repro.faultinject.harness.HarnessFaultPlan`'s
+idiom: a pure-data plan, a ``parse`` constructor for CLI specs, and an
+``install`` step that turns the plan into calendar events.  Because
+the plan is pure data and every fault fires at a fixed simulated time,
+the same seed + the same plan yields bit-identical runs.
+
+Crash semantics (implemented by ``DistributedSystem._crash_site``):
+
+* home transactions of the crashed site abort (their execution state
+  lived there) — waiting ones immediately, running ones at their next
+  checkpoint;
+* **prepared/in-doubt participant locks survive the crash** — that is
+  the whole point of 2PC's prepared state — and are resolved after
+  recovery from the coordinator's durable decision record, or by the
+  presumed-abort timeout;
+* every other lock held *at* the crashed site is released, and
+  transactions waiting there abort and restart at their home sites.
+
+Spec grammar for :meth:`SiteFaultPlan.parse` (entries joined by ``;``):
+
+* ``crash@SITE:AT:DURATION`` — site ``SITE`` crashes at simulated time
+  ``AT`` and recovers ``DURATION`` later;
+* ``part@AT:DURATION:G|G`` — the site groups ``G`` (``-``-joined site
+  lists, e.g. ``0-1|2-3``) cannot exchange messages during the window.
+
+Example: ``crash@1:40:15; part@40:15:0-1|2-3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SiteCrash", "NetworkPartition", "SiteFaultPlan"]
+
+
+@dataclass(frozen=True)
+class SiteCrash:
+    """One site failure window: down at ``at``, back at ``at+duration``."""
+
+    site: int
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.site < 0:
+            raise ConfigurationError(
+                f"crash site must be >= 0, got {self.site}")
+        if self.at < 0.0:
+            raise ConfigurationError(
+                f"crash time must be >= 0, got {self.at}")
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"crash duration must be positive, got {self.duration}")
+
+    @property
+    def recover_at(self) -> float:
+        return self.at + self.duration
+
+    def __str__(self) -> str:
+        return f"crash@{self.site}:{self.at:g}:{self.duration:g}"
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A window during which two site groups cannot exchange messages.
+
+    Sites in neither group are unaffected; traffic *within* each group
+    also flows normally — only cross-group pairs are severed.
+    """
+
+    start: float
+    duration: float
+    group_a: Tuple[int, ...]
+    group_b: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_a", tuple(self.group_a))
+        object.__setattr__(self, "group_b", tuple(self.group_b))
+        if self.start < 0.0:
+            raise ConfigurationError(
+                f"partition start must be >= 0, got {self.start}")
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"partition duration must be positive, "
+                f"got {self.duration}")
+        if not self.group_a or not self.group_b:
+            raise ConfigurationError(
+                "both partition groups must be non-empty")
+        if set(self.group_a) & set(self.group_b):
+            raise ConfigurationError(
+                "partition groups must be disjoint")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def severs(self, a: int, b: int, now: float) -> bool:
+        """Is the (a, b) pair cut at simulated time ``now``?"""
+        if not self.start <= now < self.end:
+            return False
+        return ((a in self.group_a and b in self.group_b)
+                or (a in self.group_b and b in self.group_a))
+
+    def __str__(self) -> str:
+        ga = "-".join(str(s) for s in self.group_a)
+        gb = "-".join(str(s) for s in self.group_b)
+        return f"part@{self.start:g}:{self.duration:g}:{ga}|{gb}"
+
+
+@dataclass(frozen=True)
+class SiteFaultPlan:
+    """A deterministic schedule of site crashes and partitions."""
+
+    crashes: Tuple[SiteCrash, ...] = ()
+    partitions: Tuple[NetworkPartition, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        # Overlapping crash windows for one site would double-fire the
+        # recovery handler; forbid them outright.
+        by_site: dict = {}
+        for crash in self.crashes:
+            by_site.setdefault(crash.site, []).append(crash)
+        for site, crashes in by_site.items():
+            ordered = sorted(crashes, key=lambda c: c.at)
+            for prev, cur in zip(ordered, ordered[1:]):
+                if cur.at < prev.recover_at:
+                    raise ConfigurationError(
+                        f"overlapping crash windows for site {site}: "
+                        f"{prev} and {cur}")
+
+    def __bool__(self) -> bool:
+        return bool(self.crashes or self.partitions)
+
+    def validate_for(self, num_sites: int) -> None:
+        """Reject plans referencing sites the system does not have."""
+        for crash in self.crashes:
+            if crash.site >= num_sites:
+                raise ConfigurationError(
+                    f"{crash} targets site {crash.site}; the system "
+                    f"has {num_sites} sites")
+        for part in self.partitions:
+            for site in part.group_a + part.group_b:
+                if site >= num_sites:
+                    raise ConfigurationError(
+                        f"{part} references site {site}; the system "
+                        f"has {num_sites} sites")
+
+    @classmethod
+    def parse(cls, specs: Union[str, Sequence[str]]) -> "SiteFaultPlan":
+        """Build a plan from spec strings (see module docstring)."""
+        if isinstance(specs, str):
+            specs = specs.split(";")
+        crashes = []
+        partitions = []
+        for text in specs:
+            text = text.strip()
+            if not text:
+                continue
+            kind, sep, rest = text.partition("@")
+            kind = kind.strip()
+            if not sep or kind not in ("crash", "part"):
+                raise ConfigurationError(
+                    f"bad fault spec {text!r}; expected "
+                    f"crash@SITE:AT:DURATION or part@AT:DURATION:G|G")
+            parts = rest.split(":")
+            try:
+                if kind == "crash":
+                    if len(parts) != 3:
+                        raise ValueError("need SITE:AT:DURATION")
+                    crashes.append(SiteCrash(site=int(parts[0]),
+                                             at=float(parts[1]),
+                                             duration=float(parts[2])))
+                else:
+                    if len(parts) != 3:
+                        raise ValueError("need AT:DURATION:G|G")
+                    ga, sep2, gb = parts[2].partition("|")
+                    if not sep2:
+                        raise ValueError("groups must be G|G")
+                    partitions.append(NetworkPartition(
+                        start=float(parts[0]),
+                        duration=float(parts[1]),
+                        group_a=tuple(int(s) for s in ga.split("-")),
+                        group_b=tuple(int(s) for s in gb.split("-"))))
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad fault spec {text!r}: {exc}") from exc
+        return cls(crashes=tuple(crashes), partitions=tuple(partitions))
+
+    def install(self, system) -> None:
+        """Schedule the plan's events on ``system``'s calendar.
+
+        ``system`` is a started-or-not ``DistributedSystem`` whose
+        ``failure_mode`` is on (constructing the system with a plan
+        turns it on).  Partition windows need no begin/end events of
+        their own — the network consults them by time comparison — but
+        begin/end markers are scheduled so the DecisionLog records
+        them.
+        """
+        self.validate_for(system.params.num_sites)
+        sim = system.sim
+        for crash in self.crashes:
+            sim.schedule_at(crash.at, system._crash_site, crash.site)
+            sim.schedule_at(crash.recover_at, system._recover_site,
+                            crash.site)
+        system.network.partitions.extend(self.partitions)
+        for part in self.partitions:
+            sim.schedule_at(part.start, system._partition_event,
+                            part, True)
+            sim.schedule_at(part.end, system._partition_event,
+                            part, False)
+
+    def __str__(self) -> str:
+        entries = [str(c) for c in self.crashes]
+        entries += [str(p) for p in self.partitions]
+        return "; ".join(entries) or "no-faults"

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional
 
 from repro.core.maturity import MaturityRule
 from repro.distributed.config import DistributedParameters
 from repro.distributed.controllers import PerSiteControllerSet
+from repro.distributed.failures import SiteFaultPlan
 from repro.distributed.system import DistributedSystem
 from repro.lockmgr.prevention import DeadlockStrategy
 from repro.metrics.collector import Collector
@@ -22,8 +24,43 @@ def run_distributed_simulation(
         controllers: PerSiteControllerSet,
         maturity_rule: Optional[MaturityRule] = None,
         deadlock_strategy: DeadlockStrategy = DeadlockStrategy.DETECTION,
-        admission_order=None) -> SimulationResults:
-    """Run one multi-site simulation and return batch-means results."""
+        admission_order=None,
+        fault_plan: Optional[SiteFaultPlan] = None,
+        fault_schedule=None,
+        telemetry=None,
+        profiler=None,
+        verify=None) -> SimulationResults:
+    """Run one multi-site simulation and return batch-means results.
+
+    Args:
+        fault_plan: optional
+            :class:`repro.distributed.failures.SiteFaultPlan`; installs
+            deterministic site crash/recovery and partition windows and
+            switches the system into failure-realistic mode.
+        fault_schedule: optional
+            :class:`repro.faultinject.FaultSchedule`; its windows scale
+            per-site (``site=N``) or cluster-wide (``site=None``)
+            CPU/disk service times.  Orthogonal to ``fault_plan`` —
+            degradation vs. outage — and usable without failure mode.
+        telemetry: optional :class:`repro.telemetry.TelemetrySession`;
+            installed via its distributed entry point (aggregate +
+            per-site probes, one decision log shared by the site
+            controllers and the system's failure events, event-loop
+            profiler), exported as the standard JSONL session plus
+            ``site_probes.jsonl``.  Mutually exclusive with
+            ``profiler`` (the session brings its own).
+        profiler: optional :class:`repro.telemetry.EngineProfiler`
+            attached to the event loop.
+        verify: optional :class:`repro.verify.VerifyConfig`; attaches
+            the :class:`repro.verify.DistributedInvariantChecker`
+            (purely observational — no shadow lock table in the
+            distributed model).
+    """
+    if telemetry is not None and profiler is not None:
+        raise ValueError(
+            "pass either telemetry= or profiler=, not both: a telemetry "
+            "session installs its own profiler")
+    wall_start = perf_counter()
     sim = Simulator()
     streams = RandomStreams(params.seed)
     collector = Collector()
@@ -31,7 +68,18 @@ def run_distributed_simulation(
         params=params, controllers=controllers,
         maturity_rule=maturity_rule, collector=collector,
         sim=sim, streams=streams, deadlock_strategy=deadlock_strategy,
-        admission_order=admission_order)
+        admission_order=admission_order, fault_plan=fault_plan)
+    if telemetry is not None:
+        telemetry.install_distributed(system)
+    if profiler is not None:
+        sim.profiler = profiler
+    if verify is not None:
+        # Lazy import: repro.verify pulls in the golden-run machinery,
+        # which drives runners — a top-level import would be circular.
+        from repro.verify.distributed import DistributedInvariantChecker
+        DistributedInvariantChecker(verify).attach(system)
+    if fault_schedule is not None:
+        fault_schedule.install(system)
     system.start()
 
     sim.run(until=params.warmup_time)
@@ -46,7 +94,7 @@ def run_distributed_simulation(
         reason: count - reasons_at_start.get(reason, 0)
         for reason, count in collector.aborts_by_reason.items()
     }
-    return build_results(
+    results = build_results(
         snapshots=snapshots,
         controller_name=controllers.name,
         workload_name=system.workload.name,
@@ -58,3 +106,18 @@ def run_distributed_simulation(
         max_mpl=collector.active.max_value,
         per_class=collector.per_class,
     )
+    if verify is not None:
+        # Quiesce-time sweep: with every site up, nothing may remain
+        # in doubt forever.
+        from repro.verify.distributed import check_quiesce
+        check_quiesce(system)
+    if telemetry is not None:
+        telemetry.finalize(
+            params=params,
+            controller_name=controllers.name,
+            workload_name=system.workload.name,
+            sim_time=sim.now,
+            wall_time=perf_counter() - wall_start,
+            extra={"fault_plan": str(fault_plan)} if fault_plan else None,
+        )
+    return results

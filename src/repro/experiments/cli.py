@@ -21,6 +21,7 @@ single figure they name the output file, as before.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -168,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
               "blame) for runs recorded with --spans"))
     tel_latency.add_argument("dir",
                              help="a run directory or telemetry root")
+    tel_sites = tel_sub.add_parser(
+        "sites",
+        help=("render the per-site view (availability timeline, "
+              "per-site throughput, in-doubt 2PC counts) for "
+              "distributed runs"))
+    tel_sites.add_argument("dir",
+                           help="a run directory or telemetry root")
     tel_sweep = tel_sub.add_parser(
         "sweep",
         help=("aggregate every run under a telemetry root into "
@@ -354,6 +362,10 @@ def _telemetry_command(args) -> int:
         from repro.telemetry import render_latency_report
         print(render_latency_report(root))
         return 0
+    if args.telemetry_command == "sites":
+        from repro.telemetry import render_sites_report
+        print(render_sites_report(root))
+        return 0
     if args.telemetry_command == "sweep":
         from repro.telemetry import (render_sweep_report, summarize_sweep)
         from repro.telemetry.export import json_dump
@@ -429,6 +441,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("interrupted (completed runs are journaled; re-run with "
               "--resume to continue)", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # Reports piped into `head` close stdout early; exit quietly
+        # instead of tracing back.  The dup2 stops the interpreter's
+        # shutdown flush from raising a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

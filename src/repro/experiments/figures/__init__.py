@@ -13,6 +13,7 @@ from typing import Dict, List
 from repro.errors import ExperimentError
 from repro.experiments.figures import (
     ext_distributed,
+    ext_distributed_failures,
     ext_fault_recovery,
     ext_write_prob,
     fig01_thrashing,
@@ -66,6 +67,7 @@ _MODULES = [
     fig23_buffer_full,
     ext_write_prob,
     ext_distributed,
+    ext_distributed_failures,
     ext_fault_recovery,
 ]
 

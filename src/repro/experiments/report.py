@@ -53,6 +53,16 @@ Livny, *Load Control for Locking: The 'Half-and-Half' Approach* (1990).
   Roll a whole sweep up with ``repro-experiment telemetry sweep tel/``:
   one ``sweep_summary.json`` with per-run onset estimates, the knee of
   each MPL→throughput curve, and the sweep-wide hottest pages.
+* ``ext_distributed_failures`` is a *time series*, not a sweep: a
+  four-site cluster under the failure-realistic model (lossy messages
+  with retries, real 2PC with in-doubt participants) rides through a
+  deterministic site-crash + partition window.  Rerunning it with
+  ``--telemetry-dir tel/ --verify`` checks the distributed invariant
+  catalog (population conservation across parked/limbo/in-doubt
+  states, network and 2PC decision-record accounting) and exports the
+  per-site probe stream; ``repro-experiment telemetry sites tel/``
+  renders the per-site story — who was down, who ran degraded, where
+  in-doubt participants piled up, and each site's recovery.
 
 """
 

@@ -14,12 +14,19 @@ open takes ``severity`` times longer.  Overlapping windows compose
 multiplicatively.  Window transitions are annotated in the telemetry
 decision log (actions ``fault_begin`` / ``fault_end``) so exported
 runs show exactly when the disturbance held.
+
+Windows also install onto a
+:class:`~repro.distributed.system.DistributedSystem`: a window with
+``site=N`` scales that one site's CPU pool or disk array, a window
+with ``site=None`` scales every site's — modelling cluster-wide vs.
+single-site degradation.  ``site=`` on a single-site system is a
+configuration error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import ExperimentError
 from repro.telemetry.decisions import DecisionAction
@@ -46,12 +53,15 @@ class FaultWindow:
     ``severity`` is the service-time multiplier while the window is
     open: 2.0 means disk accesses (or CPU bursts) take twice as long.
     ``severity == 1.0`` is a no-op window (useful as a sweep baseline).
+    ``site`` targets one site of a distributed system (``None`` means
+    the whole system — every site, when distributed).
     """
 
     kind: str
     start: float
     duration: float
     severity: float = 2.0
+    site: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in SystemFaultKind.ALL:
@@ -67,13 +77,17 @@ class FaultWindow:
         if self.severity <= 0.0:
             raise ExperimentError(
                 f"fault severity must be > 0, got {self.severity}")
+        if self.site is not None and self.site < 0:
+            raise ExperimentError(
+                f"fault window site must be >= 0, got {self.site}")
 
     @property
     def end(self) -> float:
         return self.start + self.duration
 
     def __str__(self) -> str:
-        return (f"{self.kind}×{self.severity:g} "
+        where = f"site{self.site}:" if self.site is not None else ""
+        return (f"{where}{self.kind}×{self.severity:g} "
                 f"@[{self.start:g},{self.end:g})")
 
 
@@ -90,34 +104,64 @@ class FaultSchedule:
     windows: Tuple[FaultWindow, ...] = ()
 
     def install(self, system: "DBMSSystem") -> None:
-        """Schedule begin/end events for every window."""
+        """Schedule begin/end events for every window.
+
+        ``system`` is a single-site :class:`~repro.dbms.system.
+        DBMSSystem` or a :class:`~repro.distributed.system.
+        DistributedSystem` (duck-typed on its ``sites`` attribute).
+        Site-targeted windows are validated here, before anything is
+        scheduled.
+        """
+        distributed = hasattr(system, "sites")
+        for window in self.windows:
+            if window.site is not None:
+                if not distributed:
+                    raise ExperimentError(
+                        f"{window} targets a site, but the system is "
+                        f"single-site")
+                if window.site >= len(system.sites):
+                    raise ExperimentError(
+                        f"{window} targets site {window.site}; the "
+                        f"system has {len(system.sites)} sites")
         for window in self.windows:
             system.sim.schedule_at(window.start, self._begin,
                                    system, window)
             system.sim.schedule_at(window.end, self._end, system, window)
 
-    def _resource(self, system: "DBMSSystem", window: FaultWindow):
-        return (system.disks
-                if window.kind == SystemFaultKind.DISK_SLOWDOWN
-                else system.cpu)
+    def _resources(self, system, window: FaultWindow) -> List:
+        disk = window.kind == SystemFaultKind.DISK_SLOWDOWN
+        if hasattr(system, "sites"):
+            sites = (system.sites if window.site is None
+                     else [system.sites[window.site]])
+            return [s.disks if disk else s.cpu for s in sites]
+        return [system.disks if disk else system.cpu]
 
-    def _begin(self, system: "DBMSSystem", window: FaultWindow) -> None:
-        resource = self._resource(system, window)
-        resource.service_scale *= window.severity
-        system.controller.log_decision(
-            DecisionAction.FAULT_BEGIN,
-            measure=window.severity,
-            detail=f"{window} open; service_scale="
-                   f"{resource.service_scale:g}")
+    def _log(self, system, window: FaultWindow, action: str,
+             detail: str) -> None:
+        if hasattr(system, "sites"):
+            # Attributed to the faulted site (or "network"-style
+            # cluster-wide pseudo-controller when site is None).
+            system._log_site_event(window.site, action,
+                                   measure=window.severity,
+                                   detail=detail)
+        else:
+            system.controller.log_decision(action,
+                                           measure=window.severity,
+                                           detail=detail)
 
-    def _end(self, system: "DBMSSystem", window: FaultWindow) -> None:
-        resource = self._resource(system, window)
-        resource.service_scale /= window.severity
-        system.controller.log_decision(
-            DecisionAction.FAULT_END,
-            measure=window.severity,
-            detail=f"{window} closed; service_scale="
-                   f"{resource.service_scale:g}")
+    def _begin(self, system, window: FaultWindow) -> None:
+        for resource in self._resources(system, window):
+            resource.service_scale *= window.severity
+            scale = resource.service_scale
+        self._log(system, window, DecisionAction.FAULT_BEGIN,
+                  f"{window} open; service_scale={scale:g}")
+
+    def _end(self, system, window: FaultWindow) -> None:
+        for resource in self._resources(system, window):
+            resource.service_scale /= window.severity
+            scale = resource.service_scale
+        self._log(system, window, DecisionAction.FAULT_END,
+                  f"{window} closed; service_scale={scale:g}")
 
     def __bool__(self) -> bool:
         return bool(self.windows)

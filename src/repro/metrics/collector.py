@@ -36,6 +36,10 @@ class AbortReason:
     WAIT_POLICY = "wait_policy"
     WAIT_DIE = "wait_die"
     WOUND_WAIT = "wound_wait"
+    # Distributed failure model (repro.distributed.failures):
+    SITE_CRASH = "site_crash"          # a site the txn depended on crashed
+    REMOTE_TIMEOUT = "remote_timeout"  # a reliable exchange ran out of
+    #                                    retries (unreachable remote site)
 
 
 @dataclass

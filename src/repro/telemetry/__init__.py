@@ -69,11 +69,16 @@ from repro.telemetry.online import (
 )
 from repro.telemetry.probes import ProbeSample, ProbeScheduler
 from repro.telemetry.profiling import EngineProfiler, subsystem_of
+from repro.telemetry.sites import (
+    DistributedProbeScheduler,
+    SiteProbeSample,
+)
 from repro.telemetry.report import (
     detect_thrashing_onset,
     render_latency_report,
     render_report,
     render_run_report,
+    render_sites_report,
     sparkline,
     top_aborters,
 )
@@ -85,6 +90,7 @@ from repro.telemetry.schemas import (
     MANIFEST_SCHEMA,
     PROBE_SCHEMA,
     REGIMES_SCHEMA,
+    SITE_PROBE_SCHEMA,
     SPAN_SCHEMA,
     SWEEP_SUMMARY_SCHEMA,
     TRACE_SCHEMA,
@@ -114,6 +120,8 @@ __all__ = [
     "write_cache_hit_manifest",
     "ProbeSample",
     "ProbeScheduler",
+    "SiteProbeSample",
+    "DistributedProbeScheduler",
     "EngineProfiler",
     "subsystem_of",
     "Span",
@@ -126,6 +134,7 @@ __all__ = [
     "render_latency_report",
     "render_report",
     "render_run_report",
+    "render_sites_report",
     "sparkline",
     "top_aborters",
     "ContentionMonitor",
@@ -149,6 +158,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "PROBE_SCHEMA",
     "REGIMES_SCHEMA",
+    "SITE_PROBE_SCHEMA",
     "SPAN_SCHEMA",
     "SWEEP_SUMMARY_SCHEMA",
     "TRACE_SCHEMA",

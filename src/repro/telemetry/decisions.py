@@ -35,6 +35,17 @@ class DecisionAction:
     #                                    next arrival pre-authorised
     FAULT_BEGIN = "fault_begin"        # injected fault window opened
     FAULT_END = "fault_end"            # injected fault window closed
+    # Distributed failure model (system-level events recorded by
+    # DistributedSystem, attributed to pseudo-controller "siteN"):
+    SITE_CRASH = "site_crash"          # a site went down
+    SITE_RECOVER = "site_recover"      # a crashed site came back
+    PARTITION_BEGIN = "partition_begin"  # a network partition opened
+    PARTITION_END = "partition_end"      # a network partition healed
+    INDOUBT_HOLD = "indoubt_hold"      # participant prepared; locks held
+    #                                    in-doubt awaiting the decision
+    INDOUBT_RESOLVED = "indoubt_resolved"  # in-doubt locks released
+    DEGRADED_ENTER = "degraded_enter"  # safe-mode MPL clamp engaged
+    DEGRADED_EXIT = "degraded_exit"    # remotes reachable again; clamp off
 
 
 @dataclass(frozen=True)

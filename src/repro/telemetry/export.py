@@ -32,16 +32,19 @@ from pathlib import Path
 from typing import (TYPE_CHECKING, Any, Dict, Iterable, Mapping, Optional,
                     Union)
 
+from repro.errors import ConfigurationError
 from repro.metrics.trace import TraceEvent, Tracer
 from repro.telemetry.contention import ContentionMonitor
 from repro.telemetry.decisions import DecisionLog
 from repro.telemetry.online import OnlineRegimeMonitor
 from repro.telemetry.probes import ProbeScheduler
 from repro.telemetry.profiling import EngineProfiler
+from repro.telemetry.sites import DistributedProbeScheduler
 from repro.telemetry.spans import SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dbms.system import DBMSSystem
+    from repro.distributed.system import DistributedSystem
 
 __all__ = [
     "TELEMETRY_FORMAT",
@@ -208,6 +211,39 @@ class TelemetrySession:
         if self.online is not None:
             self.probes.listeners.append(self.online)
 
+    def install_distributed(self, system: "DistributedSystem") -> None:
+        """Attach observers to a freshly built distributed system.
+
+        Must run before ``system.start()``.  One decision log serves
+        every site controller (each tagged ``@siteN``) *and* the
+        system's failure events (site crash/recovery, partitions,
+        in-doubt holds, degraded-mode transitions).  Probing swaps in
+        the :class:`~repro.telemetry.sites.DistributedProbeScheduler`,
+        so the session additionally exports ``site_probes.jsonl``.
+
+        Spans, contention, and online monitors hook single-site
+        internals the distributed model does not expose; asking for
+        them here is a configuration error rather than silent no-data.
+        """
+        enabled = [name for name, obs in (("spans", self.spans),
+                                          ("contention", self.contention),
+                                          ("online", self.online))
+                   if obs is not None]
+        if enabled:
+            raise ConfigurationError(
+                f"telemetry option(s) {', '.join(enabled)} are not "
+                f"supported for distributed runs")
+        system.decision_log = self.decisions
+        for i, controller in enumerate(system.controllers.controllers):
+            controller.name_suffix = f"@site{i}"
+            controller.decision_log = self.decisions
+            controller.on_decision_log_attached()
+        self.probes = DistributedProbeScheduler(system,
+                                                self.probe_interval)
+        self.probes.start()
+        if self.profiler is not None:
+            system.sim.profiler = self.profiler
+
     # ------------------------------------------------------------------
 
     def finalize(self,
@@ -221,8 +257,13 @@ class TelemetrySession:
         self.out_dir.mkdir(parents=True, exist_ok=True)
         samples = self.probes.samples if self.probes is not None else []
 
+        site_samples = getattr(self.probes, "site_samples", None)
+
         jsonl_dump((s.to_dict() for s in samples),
                    self.out_dir / "probes.jsonl")
+        if site_samples is not None:
+            jsonl_dump((s.to_dict() for s in site_samples),
+                       self.out_dir / "site_probes.jsonl")
         jsonl_dump((d.to_dict() for d in self.decisions),
                    self.out_dir / "decisions.jsonl")
         jsonl_dump((trace_event_to_dict(e) for e in self.tracer),
@@ -259,6 +300,8 @@ class TelemetrySession:
                 "trace_dropped": self.tracer.dropped,
             },
         }
+        if site_samples is not None:
+            manifest["records"]["site_probes"] = len(site_samples)
         if self.spans is not None:
             manifest["records"]["spans"] = len(self.spans)
             manifest["records"]["spans_dropped"] = self.spans.dropped

@@ -15,6 +15,11 @@
 * the event-loop profile (events/sec, time per subsystem) when one was
   recorded.
 
+Distributed runs additionally get ``telemetry sites``: a per-site view
+over ``site_probes.jsonl`` — an availability timeline (up / degraded /
+down per probe tick), per-site commit throughput, admitted population,
+and in-doubt 2PC participant counts through any fault windows.
+
 Everything here consumes the JSONL files only, never live objects, so
 the dashboard works on any archived run directory.
 """
@@ -36,6 +41,7 @@ __all__ = [
     "render_run_report",
     "render_report",
     "render_latency_report",
+    "render_sites_report",
 ]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
@@ -428,4 +434,94 @@ def render_latency_report(root: Union[str, Path]) -> str:
         raise ExperimentError(
             f"{root} holds no latency.json — re-run with span "
             f"recording enabled (--spans)")
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Per-site view (distributed runs)
+# ----------------------------------------------------------------------
+
+def _availability_timeline(rows: Sequence[Dict[str, Any]],
+                           width: int = 60) -> str:
+    """One cell per (downsampled) probe tick: ``█`` up, ``▒`` degraded,
+    ``·`` down.  Downsampling keeps the *worst* state in each bucket so
+    a one-tick outage survives."""
+    def severity(row: Dict[str, Any]) -> int:
+        if not row.get("up", True):
+            return 2
+        if row.get("degraded", False):
+            return 1
+        return 0
+    states = [severity(row) for row in rows]
+    n = len(states)
+    if n > width:
+        cells = [max(states[i * n // width:
+                            max(i * n // width + 1, (i + 1) * n // width)])
+                 for i in range(width)]
+    else:
+        cells = states
+    return "".join("█▒·"[state] for state in cells)
+
+
+def _site_lines(site: int, rows: Sequence[Dict[str, Any]],
+                width: int = 60) -> List[str]:
+    """The dashboard section for one site's probe rows."""
+    down = sum(1 for row in rows if not row.get("up", True))
+    degraded = sum(1 for row in rows
+                   if row.get("up", True) and row.get("degraded", False))
+    commits = _series(rows, "cum_commits")
+    indoubt = _series(rows, "in_doubt")
+    lines = [f"  site {site}: {len(rows)} samples, "
+             f"{down} down, {degraded} degraded, "
+             f"{commits[-1] if commits else 0} home commits, "
+             f"peak in-doubt {max(indoubt) if indoubt else 0}"]
+    lines.append(f"    {'up/deg/down':<14} "
+                 + _availability_timeline(rows, width=width))
+    lines.append("  " + _spark_row(
+        "commits/tick", _deltas(commits), width=width))
+    lines.append("  " + _spark_row(
+        "admitted", _series(rows, "n_active"), width=width))
+    # In-doubt counts spike for a few ticks around a coordinator
+    # crash; bucket by max so the spike survives downsampling.
+    lines.append("  " + _spark_row(
+        "in-doubt", indoubt, width=width, mode="max"))
+    lines.append("  " + _spark_row(
+        "ready queue", _series(rows, "ready_queue"), width=width,
+        mode="max"))
+    return lines
+
+
+def render_sites_report(root: Union[str, Path],
+                        width: int = 60) -> str:
+    """The per-site view (``telemetry sites <dir>``).
+
+    ``root`` may be one run directory or a telemetry root; every run
+    that recorded per-site probes (has a ``site_probes.jsonl``)
+    contributes a section.  Raises :class:`ExperimentError` when no
+    run did — per-site probes are only written by distributed runs.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ExperimentError(f"no such telemetry directory: {root}")
+    if (root / "manifest.json").is_file():
+        run_dirs = [root]
+    else:
+        run_dirs = sorted(p for p in root.iterdir()
+                          if (p / "manifest.json").is_file())
+    sections = []
+    for run_dir in run_dirs:
+        sites_path = run_dir / "site_probes.jsonl"
+        if not sites_path.is_file():
+            continue
+        by_site: Dict[int, List[Dict[str, Any]]] = {}
+        for row in load_jsonl(sites_path):
+            by_site.setdefault(row["site"], []).append(row)
+        lines = [f"run {run_dir.name}"]
+        for site in sorted(by_site):
+            lines.extend(_site_lines(site, by_site[site], width=width))
+        sections.append("\n".join(lines))
+    if not sections:
+        raise ExperimentError(
+            f"{root} holds no site_probes.jsonl — per-site probes are "
+            f"recorded by distributed runs with --telemetry-dir")
     return "\n\n".join(sections)

@@ -5,6 +5,8 @@ Each run directory holds four deterministic artifacts:
 * ``manifest.json``   — provenance: seed, parameters, spec hash, package
   fingerprint, record counts (:data:`MANIFEST_SCHEMA`);
 * ``probes.jsonl``    — one :data:`PROBE_SCHEMA` record per sample;
+* ``site_probes.jsonl`` (distributed runs) — one
+  :data:`SITE_PROBE_SCHEMA` record per site per sample;
 * ``decisions.jsonl`` — one :data:`DECISION_SCHEMA` record per verdict;
 * ``trace.jsonl``     — one :data:`TRACE_SCHEMA` record per transition;
 
@@ -46,6 +48,7 @@ from typing import Any, Dict, List, Union
 
 __all__ = [
     "PROBE_SCHEMA",
+    "SITE_PROBE_SCHEMA",
     "DECISION_SCHEMA",
     "TRACE_SCHEMA",
     "SPAN_SCHEMA",
@@ -99,6 +102,31 @@ PROBE_SCHEMA: Dict[str, Any] = {
         "cum_aborts": {"type": "integer"},
         "cum_aborts_by_reason": {"type": "object"},
         "cum_pages": {"type": "integer"},
+    },
+}
+
+SITE_PROBE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "time", "site", "up", "degraded",
+        "n_active", "ready_queue", "blocked_frac",
+        "cpu_util", "disk_util", "in_doubt",
+        "cum_commits", "cum_lock_requests", "cum_lock_blocks",
+    ],
+    "properties": {
+        "time": {"type": "number"},
+        "site": {"type": "integer"},
+        "up": {"type": "boolean"},
+        "degraded": {"type": "boolean"},
+        "n_active": {"type": "integer"},
+        "ready_queue": {"type": "integer"},
+        "blocked_frac": {"type": "number"},
+        "cpu_util": {"type": "number"},
+        "disk_util": {"type": "number"},
+        "in_doubt": {"type": "integer"},
+        "cum_commits": {"type": "integer"},
+        "cum_lock_requests": {"type": "integer"},
+        "cum_lock_blocks": {"type": "integer"},
     },
 }
 
@@ -424,6 +452,7 @@ def validate_run_dir(run_dir: Union[str, Path]) -> List[str]:
         _validate_json_file(manifest_path, MANIFEST_SCHEMA, errors)
 
     for filename, schema in (("probes.jsonl", PROBE_SCHEMA),
+                             ("site_probes.jsonl", SITE_PROBE_SCHEMA),
                              ("decisions.jsonl", DECISION_SCHEMA),
                              ("trace.jsonl", TRACE_SCHEMA),
                              ("spans.jsonl", SPAN_SCHEMA),

@@ -26,6 +26,10 @@ from repro.errors import (
     VerificationError,
 )
 from repro.verify.config import CADENCES, VerifyConfig
+from repro.verify.distributed import (
+    DistributedInvariantChecker,
+    check_quiesce,
+)
 from repro.verify.golden import (
     check_goldens,
     compute_golden_manifest,
@@ -43,6 +47,8 @@ __all__ = [
     "CADENCES",
     "VerifyConfig",
     "InvariantChecker",
+    "DistributedInvariantChecker",
+    "check_quiesce",
     "ReferenceLockTable",
     "reference_classify_region",
     "ShadowLockTable",

@@ -1,0 +1,82 @@
+"""Smoke-scale tests of the distributed-failures extension figure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.figures import get_figure
+from repro.experiments.figures.ext_distributed_failures import (
+    fault_plan_for,
+    run as run_figure,
+)
+from repro.experiments.scales import SMOKE
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_figure(SMOKE)
+
+
+def test_registered_with_expected_tags():
+    spec = get_figure("ext_distributed_failures")
+    assert "fault-injection" in spec.tags
+    assert "distributed" in spec.tags
+
+
+def test_fault_plan_sits_inside_the_measurement_window():
+    plan = fault_plan_for(SMOKE)
+    horizon = SMOKE.warmup_time + SMOKE.num_batches * SMOKE.batch_time
+    crash = plan.crashes[0]
+    assert SMOKE.warmup_time < crash.at
+    assert crash.recover_at < horizon
+    assert plan.partitions[0].start == crash.at
+    assert plan.partitions[0].end == crash.recover_at
+
+
+def test_throughput_collapses_during_the_window(figure):
+    lo, hi = figure.extras["fault_window"]
+    for series in figure.series.values():
+        inside = [y for t, y in zip(figure.x_values, series)
+                  if lo <= t < hi]
+        before = [y for t, y in zip(figure.x_values, series)
+                  if SMOKE.warmup_time <= t <= lo]
+        assert inside and before
+        assert min(inside) < 0.25 * (sum(before) / len(before))
+
+
+def test_adaptive_policy_recovers_better_than_static(figure):
+    assert (figure.extras["hh_recovery_ratio"]
+            > figure.extras["fixed_recovery_ratio"])
+    assert figure.extras["hh_recovery_ratio"] > 0.7
+
+
+def test_evidence_extras_are_recorded(figure):
+    assert "crash@1" in figure.extras["fault_plan"]
+    assert figure.extras["hh_network"]["sent"] > 0
+    assert figure.extras["hh_aborts_by_reason"].get("site_crash", 0) > 0
+
+
+def test_figure_is_deterministic():
+    again = run_figure(SMOKE)
+    ref = run_figure(SMOKE)
+    assert again.x_values == ref.x_values
+    assert again.series == ref.series
+
+
+def test_cli_run_with_telemetry_verify_sites_view(capsys, tmp_path):
+    tel = tmp_path / "tel"
+    assert main(["run", "ext_distributed_failures", "--scale", "smoke",
+                 "--telemetry-dir", str(tel), "--verify"]) == 0
+    assert main(["telemetry", "validate", str(tel)]) == 0
+    assert main(["telemetry", "sites", str(tel)]) == 0
+    out = capsys.readouterr().out
+    assert "site 0:" in out and "down" in out
+
+
+def test_cli_sites_view_rejects_non_distributed_runs(capsys, tmp_path):
+    tel = tmp_path / "tel"
+    assert main(["run", "fig20", "--scale", "smoke",
+                 "--telemetry-dir", str(tel)]) == 0
+    assert main(["telemetry", "sites", str(tel)]) == 1
+    assert "site_probes" in capsys.readouterr().err

@@ -59,6 +59,7 @@ def test_registry_covers_all_paper_figures():
                  16, 17, 18, 19, 20, 21, 22, 23)}
     expected.add("ext_write_prob")
     expected.add("ext_distributed")
+    expected.add("ext_distributed_failures")
     expected.add("ext_fault_recovery")
     assert set(REGISTRY) == expected
 

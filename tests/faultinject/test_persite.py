@@ -1,0 +1,86 @@
+"""Per-site fault windows on the distributed system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.config import DistributedParameters
+from repro.distributed.controllers import make_no_control_sites
+from repro.distributed.runner import run_distributed_simulation
+from repro.distributed.system import DistributedSystem
+from repro.errors import ExperimentError
+from repro.faultinject.system import (
+    FaultSchedule,
+    FaultWindow,
+    SystemFaultKind,
+)
+
+
+def _params(**overrides):
+    defaults = dict(num_sites=3, num_terms=30, db_size=300,
+                    warmup_time=3.0, num_batches=2, batch_time=8.0)
+    defaults.update(overrides)
+    return DistributedParameters(**defaults)
+
+
+def _window(site=None, severity=4.0):
+    return FaultWindow(kind=SystemFaultKind.DISK_SLOWDOWN,
+                       start=5.0, duration=8.0, severity=severity,
+                       site=site)
+
+
+def test_site_window_degrades_only_that_site():
+    clean = run_distributed_simulation(_params(), make_no_control_sites(3))
+    faulted = run_distributed_simulation(
+        _params(), make_no_control_sites(3),
+        fault_schedule=FaultSchedule(windows=(_window(site=0),)))
+    assert (faulted.per_class["site0"].commits
+            < clean.per_class["site0"].commits)
+    assert faulted.commits < clean.commits
+
+
+def test_cluster_window_hits_every_site():
+    clean = run_distributed_simulation(_params(), make_no_control_sites(3))
+    faulted = run_distributed_simulation(
+        _params(), make_no_control_sites(3),
+        fault_schedule=FaultSchedule(windows=(_window(site=None),)))
+    for site in range(3):
+        assert (faulted.per_class[f"site{site}"].commits
+                < clean.per_class[f"site{site}"].commits)
+
+
+def test_service_scale_restored_after_window():
+    system = DistributedSystem(params=_params(),
+                               controllers=make_no_control_sites(3))
+    FaultSchedule(windows=(_window(site=1),)).install(system)
+    system.start()
+    system.sim.run(until=system.params.total_time)
+    for site in system.sites:
+        assert site.disks.service_scale == 1.0
+        assert site.cpu.service_scale == 1.0
+
+
+def test_site_window_rejected_on_single_site_system():
+    from repro.control.no_control import NoControlController
+    from repro.dbms.config import SimulationParameters
+    from repro.experiments.runner import run_simulation
+
+    params = SimulationParameters(num_terms=10, db_size=300,
+                                  warmup_time=1.0, num_batches=1,
+                                  batch_time=2.0)
+    with pytest.raises(ExperimentError, match="single-site"):
+        run_simulation(params, NoControlController(),
+                       fault_schedule=FaultSchedule(
+                           windows=(_window(site=0),)))
+
+
+def test_site_window_rejected_when_out_of_range():
+    system = DistributedSystem(params=_params(),
+                               controllers=make_no_control_sites(3))
+    with pytest.raises(ExperimentError, match="site 7"):
+        FaultSchedule(windows=(_window(site=7),)).install(system)
+
+
+def test_str_marks_the_target_site():
+    assert str(_window(site=2)).startswith("site2:")
+    assert not str(_window(site=None)).startswith("site")
