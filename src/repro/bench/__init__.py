@@ -2,12 +2,16 @@
 
 The ROADMAP's "fast as the hardware allows" goal needs a number:
 ``python -m repro.bench run`` executes a pinned suite of simulator
-configurations (:mod:`repro.bench.suite`) with an
-:class:`~repro.telemetry.profiling.EngineProfiler` on the event loop
-and records wall-clock events/sec and sim-pages/sec per entry in
-``BENCH_<label>.json``; ``python -m repro.bench compare`` diffs two
-such files against a relative tolerance for CI regression gating
-(:mod:`repro.bench.compare`).
+configurations (:mod:`repro.bench.suite`) hook-free — events counted
+by the kernel's own counter, so the fast dispatch being measured stays
+enabled — and records wall-clock events/sec and sim-pages/sec per
+entry in ``BENCH_<label>.json``, stamped with machine and code
+provenance; ``python -m repro.bench compare`` diffs two such files
+against a relative tolerance for CI regression gating
+(:mod:`repro.bench.compare`), and :mod:`repro.bench.history` keeps the
+campaign's append-only trajectory (``bench history`` renders the
+trend, ``bench compare --against-history`` gates on a rolling-window
+median).
 
 The suite's *simulated* trajectories are deterministic; only the wall
 clock varies between machines, which is why comparisons check both
@@ -15,21 +19,31 @@ clock varies between machines, which is why comparisons check both
 """
 
 from repro.bench.compare import (EntryComparison, compare_benches,
-                                 format_comparison)
+                                 format_comparison, provenance_warnings)
 from repro.bench.harness import (BENCH_FORMAT, bench_path, load_bench,
                                  run_bench, run_entry, write_bench)
+from repro.bench.history import (DEFAULT_HISTORY, append_history,
+                                 compare_against_history, format_history,
+                                 history_baseline, load_history)
 from repro.bench.suite import SCALES, BenchEntry, entry_names, suite_for
 
 __all__ = [
     "BENCH_FORMAT",
     "BenchEntry",
+    "DEFAULT_HISTORY",
     "EntryComparison",
     "SCALES",
+    "append_history",
     "bench_path",
+    "compare_against_history",
     "compare_benches",
     "entry_names",
     "format_comparison",
+    "format_history",
+    "history_baseline",
     "load_bench",
+    "load_history",
+    "provenance_warnings",
     "run_bench",
     "run_entry",
     "suite_for",

@@ -4,15 +4,27 @@ Usage::
 
     python -m repro.bench run [--label smoke] [--scale smoke|full]
                               [--out DIR] [--entry NAME ...]
+                              [--history [FILE]]
     python -m repro.bench compare [BASELINE] [CANDIDATE]
                                   [--tolerance 0.9] [--min-speedup 1.2]
+    python -m repro.bench compare CANDIDATE --against-history
+                                  [--history-file FILE] [--window 5]
+    python -m repro.bench history [--file FILE] [--append BENCH_FILE]
     python -m repro.bench list
 
 ``run`` executes the pinned suite and writes ``BENCH_<label>.json``
-into ``--out`` (default: the current directory).  ``compare`` gates a
-candidate against a baseline (defaults: the committed
+into ``--out`` (default: the current directory); with ``--history``
+the result is also appended to the bench trajectory (default:
+``benchmarks/BENCH_history.jsonl``).  ``compare`` gates a candidate
+against a baseline (defaults: the committed
 ``benchmarks/BENCH_baseline.json`` vs a fresh ``BENCH_smoke.json``)
-and exits non-zero when any entry regresses past the tolerance.
+and exits non-zero when any entry regresses past the tolerance; with
+``--against-history`` the bar is the rolling-window median of recent
+history entries instead of one pinned file.  ``history`` renders the
+per-entry events/sec trend (and can append an existing bench file).
+Provenance mismatches (different machine, python, or code
+fingerprint) are printed as warnings on stderr — the gate still runs,
+but the numbers are read as a catastrophe check, not an A/B.
 """
 
 from __future__ import annotations
@@ -27,6 +39,9 @@ __all__ = ["main", "build_parser"]
 
 DEFAULT_BASELINE = "benchmarks/BENCH_baseline.json"
 DEFAULT_CANDIDATE = "BENCH_smoke.json"
+# Kept in sync with repro.bench.history.DEFAULT_HISTORY (not imported:
+# parser construction must not pay for the harness import chain).
+DEFAULT_HISTORY = "benchmarks/BENCH_history.jsonl"
 
 
 def _tolerance(text: str) -> float:
@@ -42,6 +57,13 @@ def _min_speedup(text: str) -> float:
     if value < 0.0:
         raise argparse.ArgumentTypeError(
             f"min-speedup is a non-negative rate ratio, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -66,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only this suite entry (repeatable)")
     run_p.add_argument("--quiet", action="store_true",
                        help="suppress per-entry progress on stderr")
+    run_p.add_argument("--history", nargs="?", metavar="FILE",
+                       default=None, const=DEFAULT_HISTORY,
+                       help=("also append the result to the bench "
+                             "trajectory FILE (default with no value: "
+                             f"{DEFAULT_HISTORY})"))
 
     cmp_p = sub.add_parser("compare",
                            help="diff two BENCH files, exit 1 on regression")
@@ -84,6 +111,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "RATIO times the baseline's (e.g. 1.2 "
                              "demands a 20%% speedup; default: 0 — "
                              "no improvement required)"))
+    cmp_p.add_argument("--against-history", action="store_true",
+                       help=("gate against the rolling-window median of "
+                             "the bench history instead of a baseline "
+                             "file; the single positional is the "
+                             "candidate"))
+    cmp_p.add_argument("--history-file", metavar="FILE",
+                       default=DEFAULT_HISTORY,
+                       help=("history file for --against-history "
+                             f"(default: {DEFAULT_HISTORY})"))
+    cmp_p.add_argument("--window", type=_positive_int, default=5,
+                       metavar="N",
+                       help=("rolling window for --against-history: the "
+                             "bar is the median rate of the last N "
+                             "history entries (default: 5)"))
+
+    hist_p = sub.add_parser(
+        "history",
+        help="render the bench trajectory, or append a bench file to it")
+    hist_p.add_argument("--file", metavar="FILE", default=DEFAULT_HISTORY,
+                        help=f"history file (default: {DEFAULT_HISTORY})")
+    hist_p.add_argument("--append", metavar="BENCH_FILE", default=None,
+                        help=("append this BENCH_*.json to the history "
+                              "before rendering"))
 
     sub.add_parser("list", help="list the pinned suite entries")
     return parser
@@ -99,15 +149,48 @@ def main(argv: Optional[List[str]] = None) -> int:
                              entries=args.entry, out_dir=args.out,
                              progress=not args.quiet)
             print(f"wrote {path}")
+            if args.history is not None:
+                from repro.bench.history import append_history
+                history_path = append_history(path, args.history)
+                print(f"appended to {history_path}")
         elif args.command == "compare":
             from repro.bench.compare import (compare_benches,
-                                             format_comparison)
-            comparisons = compare_benches(args.baseline, args.candidate,
-                                          tolerance=args.tolerance,
-                                          min_speedup=args.min_speedup)
+                                             format_comparison,
+                                             provenance_warnings)
+            if args.against_history:
+                from repro.bench.history import compare_against_history
+                # One positional means "the candidate": argparse parks
+                # it in the baseline slot, so reclaim it.
+                candidate = args.candidate
+                if (candidate == DEFAULT_CANDIDATE
+                        and args.baseline != DEFAULT_BASELINE):
+                    candidate = args.baseline
+                comparisons, warnings = compare_against_history(
+                    candidate, args.history_file,
+                    window=args.window,
+                    tolerance=args.tolerance,
+                    min_speedup=args.min_speedup)
+                for warning in warnings:
+                    print(warning, file=sys.stderr)
+            else:
+                for warning in provenance_warnings(args.baseline,
+                                                   args.candidate):
+                    print(warning, file=sys.stderr)
+                comparisons = compare_benches(
+                    args.baseline, args.candidate,
+                    tolerance=args.tolerance,
+                    min_speedup=args.min_speedup)
             print(format_comparison(comparisons, args.tolerance))
             if any(not c.ok for c in comparisons):
                 return 1
+        elif args.command == "history":
+            from repro.bench.history import (append_history,
+                                             format_history,
+                                             load_history)
+            if args.append is not None:
+                path = append_history(args.append, args.file)
+                print(f"appended to {path}", file=sys.stderr)
+            print(format_history(load_history(args.file)))
         elif args.command == "list":
             from repro.bench.suite import SCALES, entry_names
             print("entries:", ", ".join(entry_names()))

@@ -23,7 +23,8 @@ from typing import Any, Dict, List, Union
 
 from repro.bench.harness import load_bench
 
-__all__ = ["EntryComparison", "compare_benches", "format_comparison"]
+__all__ = ["EntryComparison", "compare_benches", "format_comparison",
+           "provenance_warnings"]
 
 # Wall-clock rate metrics gated by the tolerance.
 _RATE_METRICS = ("events_per_sec", "pages_per_sec")
@@ -125,6 +126,46 @@ def compare_benches(baseline: Union[str, Path, Dict[str, Any]],
                 if base_rate > 0.0 else "ok",
                 baseline_rate=base_rate, candidate_rate=cand_rate))
     return comparisons
+
+
+# Provenance fields whose mismatch makes a wall-clock comparison
+# suspect, with the human word used in the warning.
+_PROVENANCE_FIELDS = (
+    ("code_fingerprint", "code"),
+    ("python", "python version"),
+    ("platform", "platform"),
+    ("machine", "machine architecture"),
+    ("cpu_count", "CPU count"),
+)
+
+
+def provenance_warnings(baseline: Union[str, Path, Dict[str, Any]],
+                        candidate: Union[str, Path, Dict[str, Any]]
+                        ) -> List[str]:
+    """Non-fatal mismatch warnings for a wall-clock comparison.
+
+    Wall rates from different machines (or different code) are only a
+    catastrophe gate, never an A/B measurement; this surfaces the
+    mismatches so a comparison is read with the right skepticism.
+    Fields absent from either file (older bench files predate the
+    provenance stamp) are skipped rather than warned about.
+    """
+    if not isinstance(baseline, dict):
+        baseline = load_bench(baseline)
+    if not isinstance(candidate, dict):
+        candidate = load_bench(candidate)
+    warnings: List[str] = []
+    for field, label in _PROVENANCE_FIELDS:
+        base_value = baseline.get(field)
+        cand_value = candidate.get(field)
+        if base_value is None or cand_value is None:
+            continue
+        if base_value != cand_value:
+            warnings.append(
+                f"warning: {label} differs "
+                f"({base_value!r} vs {cand_value!r}); wall-clock rates "
+                f"are not an A/B measurement across this boundary")
+    return warnings
 
 
 def format_comparison(comparisons: List[EntryComparison],

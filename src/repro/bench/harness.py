@@ -23,6 +23,7 @@ separately from slowdowns.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -112,6 +113,19 @@ def run_bench(label: str, scale: str = "smoke",
         "scale": scale,
         "code_fingerprint": code_fingerprint(),
         "python": platform.python_version(),
+        # Machine provenance: wall-clock rates are only comparable on
+        # like hardware, so comparisons warn when these differ.
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        # Run identity (which process, when).  Quarantined in its own
+        # sub-object: everything outside it is stable for a given
+        # machine + checkout, so diffs of two files from one box show
+        # real changes plus exactly this one expected block.
+        "provenance": {
+            "pid": os.getpid(),
+            "unix_time": time.time(),
+        },
         "entries": measured,
     }
     return write_bench(payload, bench_path(label, out_dir))

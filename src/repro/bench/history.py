@@ -1,0 +1,240 @@
+"""Bench trajectory: an append-only history of bench runs.
+
+The kernel-speed campaign needs more than a single pinned baseline —
+it needs the *trend*.  ``benchmarks/BENCH_history.jsonl`` holds one
+full bench payload per line, appended by ``bench run --history`` (or
+``bench history --append FILE``), each carrying the code fingerprint
+and machine provenance it was measured under.  On top of that file:
+
+* :func:`format_history` renders an ASCII events/sec trend per suite
+  entry — the campaign's scoreboard;
+* :func:`compare_against_history` gates a candidate against the
+  *median* rate of a rolling window of recent history entries instead
+  of one pinned file, so a single hot or cold run does not move the
+  bar.  Simulated-work drift against the latest entry is reported as
+  a warning rather than a failure: unlike a pinned same-code baseline,
+  a history spans code changes that legitimately move event counts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from statistics import median
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.bench.compare import EntryComparison, provenance_warnings
+from repro.bench.harness import BENCH_FORMAT, load_bench
+from repro.errors import ExperimentError
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "append_history",
+    "load_history",
+    "history_baseline",
+    "compare_against_history",
+    "format_history",
+]
+
+DEFAULT_HISTORY = "benchmarks/BENCH_history.jsonl"
+
+# Wall-clock rate metrics gated against the rolling window (same pair
+# compare_benches gates against a pinned baseline).
+_RATE_METRICS = ("events_per_sec", "pages_per_sec")
+
+
+def append_history(payload: Union[str, Path, Dict[str, Any]],
+                   history_path: Union[str, Path] = DEFAULT_HISTORY
+                   ) -> Path:
+    """Append one bench payload (or ``BENCH_*.json`` path) as a line."""
+    if not isinstance(payload, dict):
+        payload = load_bench(payload)
+    if payload.get("format") != BENCH_FORMAT:
+        raise ExperimentError(
+            f"refusing to append format {payload.get('format')!r} "
+            f"to bench history, expected {BENCH_FORMAT!r}")
+    history_path = Path(history_path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(payload, sort_keys=True,
+                            separators=(",", ":")))
+        fh.write("\n")
+    return history_path
+
+
+def load_history(history_path: Union[str, Path] = DEFAULT_HISTORY,
+                 scale: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Load the history, oldest first, optionally filtered to a scale.
+
+    A missing file is an empty history (the first run of a campaign),
+    not an error; a malformed line is an error with its line number —
+    an append-only log that went bad should be noticed, not skipped.
+    """
+    history_path = Path(history_path)
+    if not history_path.is_file():
+        return []
+    entries: List[Dict[str, Any]] = []
+    text = history_path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(
+                f"bench history {history_path}:{lineno} is not JSON: "
+                f"{exc}")
+        if (not isinstance(payload, dict)
+                or payload.get("format") != BENCH_FORMAT):
+            raise ExperimentError(
+                f"bench history {history_path}:{lineno} has format "
+                f"{payload.get('format')!r}, expected {BENCH_FORMAT!r}")
+        if scale is not None and payload.get("scale") != scale:
+            continue
+        entries.append(payload)
+    return entries
+
+
+def history_baseline(history: List[Dict[str, Any]], entry_name: str,
+                     window: int = 5) -> Optional[Dict[str, float]]:
+    """The rolling-window baseline rates for one suite entry.
+
+    The median ``events_per_sec`` / ``pages_per_sec`` over the last
+    ``window`` history payloads that measured ``entry_name`` (median,
+    not mean: one cold CI runner in the window must not drag the bar
+    down, and one hot one must not raise it).  ``None`` when no
+    history payload has the entry.
+    """
+    rates: Dict[str, List[float]] = {m: [] for m in _RATE_METRICS}
+    seen = 0
+    for payload in reversed(history):
+        record = payload.get("entries", {}).get(entry_name)
+        if record is None:
+            continue
+        for metric in _RATE_METRICS:
+            rates[metric].append(float(record.get(metric, 0.0)))
+        seen += 1
+        if seen >= window:
+            break
+    if not seen:
+        return None
+    return {metric: median(values) for metric, values in rates.items()}
+
+
+def compare_against_history(candidate: Union[str, Path, Dict[str, Any]],
+                            history_path: Union[str, Path]
+                            = DEFAULT_HISTORY,
+                            window: int = 5,
+                            tolerance: float = 0.9,
+                            min_speedup: float = 0.0
+                            ) -> Tuple[List[EntryComparison], List[str]]:
+    """Gate a candidate bench run against the rolling history window.
+
+    Returns ``(comparisons, warnings)``.  Each candidate entry fails
+    when a wall rate drops below ``(1 - tolerance)`` of the window
+    median, or (when ``min_speedup`` is positive) misses the required
+    improvement over it.  Warnings carry the non-fatal context:
+    provenance mismatches against the latest history payload, and
+    simulated-work drift against it (history spans code changes, so
+    drift here is information, not an error).
+    """
+    if not isinstance(candidate, dict):
+        candidate = load_bench(candidate)
+    history = load_history(history_path, scale=candidate.get("scale"))
+    if not history:
+        return ([EntryComparison(
+            "<history>", False,
+            f"no history entries at scale {candidate.get('scale')!r} "
+            f"in {history_path}")], [])
+
+    latest = history[-1]
+    warnings = provenance_warnings(latest, candidate)
+
+    comparisons: List[EntryComparison] = []
+    for name, cand in candidate.get("entries", {}).items():
+        baseline = history_baseline(history, name, window=window)
+        if baseline is None:
+            warnings.append(
+                f"warning: entry {name!r} has no history yet; skipped")
+            continue
+        latest_record = latest.get("entries", {}).get(name)
+        if latest_record is not None:
+            drift = [
+                f"{field} {latest_record.get(field)} -> "
+                f"{cand.get(field)}"
+                for field in ("events", "sim_pages", "commits")
+                if latest_record.get(field) != cand.get(field)]
+            if drift:
+                warnings.append(
+                    f"warning: {name} simulated work drifted since the "
+                    f"latest history entry ({', '.join(drift)}) — "
+                    f"expected after kernel/model changes, but rates "
+                    f"compare different work")
+        base_rate = baseline["events_per_sec"]
+        cand_rate = float(cand.get("events_per_sec", 0.0))
+        failed: List[str] = []
+        for metric in _RATE_METRICS:
+            base_value = baseline[metric]
+            cand_value = float(cand.get(metric, 0.0))
+            if base_value <= 0.0:
+                continue
+            floor = base_value * (1.0 - tolerance)
+            if cand_value < floor:
+                failed.append(
+                    f"{metric} {cand_value:,.0f} < floor {floor:,.0f} "
+                    f"({cand_value / base_value:.2f}x of window median "
+                    f"{base_value:,.0f})")
+        if (min_speedup > 0.0 and base_rate > 0.0
+                and cand_rate < base_rate * min_speedup):
+            failed.append(
+                f"events_per_sec {cand_rate:,.0f} is only "
+                f"{cand_rate / base_rate:.2f}x of window median "
+                f"{base_rate:,.0f}; required >= {min_speedup:g}x")
+        if failed:
+            comparisons.append(EntryComparison(
+                name, False, "; ".join(failed),
+                baseline_rate=base_rate, candidate_rate=cand_rate))
+        else:
+            comparisons.append(EntryComparison(
+                name, True,
+                f"{cand_rate / base_rate:.2f}x of window median"
+                if base_rate > 0.0 else "ok",
+                baseline_rate=base_rate, candidate_rate=cand_rate))
+    return comparisons, warnings
+
+
+def format_history(history: List[Dict[str, Any]],
+                   width: int = 40) -> str:
+    """The campaign scoreboard: one events/sec trend per suite entry.
+
+    Each row is an ASCII sparkline over the history (oldest left),
+    with the first and latest rates and the latest/first ratio so the
+    trend has numbers attached.  Entries appear in first-seen order.
+    """
+    # Imported here, not at module top: telemetry.report pulls in the
+    # whole report stack, which bench-only tools should not pay for
+    # unless they render.
+    from repro.telemetry.report import sparkline
+
+    if not history:
+        return "bench history is empty"
+    names: List[str] = []
+    for payload in history:
+        for name in payload.get("entries", {}):
+            if name not in names:
+                names.append(name)
+    lines = [f"bench history: {len(history)} runs, scales "
+             + ", ".join(sorted({str(p.get('scale')) for p in history}))]
+    for name in names:
+        rates = [float(p["entries"][name].get("events_per_sec", 0.0))
+                 for p in history if name in p.get("entries", {})]
+        first, last = rates[0], rates[-1]
+        ratio = f"{last / first:.2f}x" if first > 0.0 else "-"
+        spark = sparkline(rates, width=width, lo=0.0)
+        lines.append(f"  {name:<18} {spark:<{width}}  "
+                     f"{first:>10,.0f} -> {last:>10,.0f} ev/s ({ratio})")
+    fingerprints = {str(p.get("code_fingerprint")) for p in history}
+    machines = {str(p.get("platform")) for p in history}
+    lines.append(f"  ({len(fingerprints)} code fingerprint(s), "
+                 f"{len(machines)} machine(s) across the history)")
+    return "\n".join(lines)

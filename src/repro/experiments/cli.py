@@ -85,6 +85,17 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                               "(regimes.json per run plus regime_change "
                               "decision rows; needs --telemetry-dir; "
                               "trajectory-invariant)"))
+    parser.add_argument("--perf", action="store_true",
+                        help=("also attach the hot-path attribution "
+                              "profiler (perf.json, flame.collapsed, "
+                              "flame.speedscope.json, trace.json per "
+                              "run; needs --telemetry-dir; "
+                              "trajectory-invariant — wall-clock "
+                              "artifacts only)"))
+    parser.add_argument("--alloc", action="store_true",
+                        help=("also capture tracemalloc allocation "
+                              "sites and per-tick GC deltas inside "
+                              "perf.json (needs --perf)"))
     parser.add_argument("--retries", type=int, default=0, metavar="N",
                         help=("retry each failed run up to N times with "
                               "exponential backoff (default: 0, fail "
@@ -266,19 +277,25 @@ def _run_command(args) -> None:
 def _telemetry_config(args):
     """Build a TelemetryConfig from CLI flags, or None when disabled."""
     if args.telemetry_dir is None:
-        for flag in ("spans", "contention", "online"):
+        for flag in ("spans", "contention", "online", "perf", "alloc"):
             if getattr(args, flag, False):
                 raise ReproError(
                     f"--{flag} needs --telemetry-dir: its artifacts "
                     f"are exported through the telemetry session")
         return None
+    if getattr(args, "alloc", False) and not getattr(args, "perf", False):
+        raise ReproError(
+            "--alloc needs --perf: allocation probes ride the "
+            "attribution profiler's ticks")
     from repro.telemetry import TelemetryConfig
     return TelemetryConfig(root=str(args.telemetry_dir),
                            probe_interval=args.probe_interval,
                            spans=bool(getattr(args, "spans", False)),
                            contention=bool(
                                getattr(args, "contention", False)),
-                           online=bool(getattr(args, "online", False)))
+                           online=bool(getattr(args, "online", False)),
+                           perf=bool(getattr(args, "perf", False)),
+                           alloc=bool(getattr(args, "alloc", False)))
 
 
 def _resilience_policy(args):

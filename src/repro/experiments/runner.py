@@ -131,10 +131,18 @@ def run_simulation(params: SimulationParameters,
         InvariantChecker(verify).attach(system)
     system.start()
 
+    # Phase marks for the attribution profiler (duck-typed: the plain
+    # EngineProfiler has no set_phase and most runs have no profiler at
+    # all — one getattr per run, nothing per event).
+    set_phase = getattr(sim.profiler, "set_phase", None)
+    if set_phase is not None:
+        set_phase("warmup")
     sim.run(until=params.warmup_time)
     snapshots = [collector.snapshot(sim.now)]
     aborts_at_start = collector.aborts
     reasons_at_start = dict(collector.aborts_by_reason)
+    if set_phase is not None:
+        set_phase("measure")
     for batch in range(1, params.num_batches + 1):
         sim.run(until=params.warmup_time + batch * params.batch_time)
         snapshots.append(collector.snapshot(sim.now))

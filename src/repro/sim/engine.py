@@ -135,7 +135,7 @@ class Simulator:
         # Optional wall-clock profiler (duck-typed; see
         # repro.telemetry.profiling.EngineProfiler): when set, every
         # executed event's callback and perf_counter duration are
-        # reported to profiler.record(callback, elapsed).  Costs one
+        # reported to profiler.record(callback, elapsed, args).  Costs one
         # None check per event when disabled.
         self.profiler = None
         # Optional event monitor (duck-typed; see
@@ -391,7 +391,8 @@ class Simulator:
                             start = perf_counter()
                             callback(*args)
                             profiler.record(callback,
-                                            perf_counter() - start)
+                                            perf_counter() - start,
+                                            args)
                     except (SimulationError, VerificationError):
                         # Verification failures (invariant violations,
                         # shadow divergences) are first-class: wrapping

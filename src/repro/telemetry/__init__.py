@@ -67,8 +67,21 @@ from repro.telemetry.online import (
     Welford,
     detect_onset_cusum,
 )
+from repro.telemetry.perf import (
+    PERF_FORMAT,
+    AllocationProbe,
+    PerfProfiler,
+    chrome_trace_document,
+    collapsed_stacks,
+    page_class_of,
+    speedscope_document,
+)
 from repro.telemetry.probes import ProbeSample, ProbeScheduler
-from repro.telemetry.profiling import EngineProfiler, subsystem_of
+from repro.telemetry.profiling import (
+    EngineProfiler,
+    canonical_qualname,
+    subsystem_of,
+)
 from repro.telemetry.sites import (
     DistributedProbeScheduler,
     SiteProbeSample,
@@ -83,15 +96,18 @@ from repro.telemetry.report import (
     top_aborters,
 )
 from repro.telemetry.schemas import (
+    CHROME_TRACE_SCHEMA,
     CONTENTION_SCHEMA,
     CONTENTION_SUMMARY_SCHEMA,
     DECISION_SCHEMA,
     LATENCY_SCHEMA,
     MANIFEST_SCHEMA,
+    PERF_SCHEMA,
     PROBE_SCHEMA,
     REGIMES_SCHEMA,
     SITE_PROBE_SCHEMA,
     SPAN_SCHEMA,
+    SPEEDSCOPE_SCHEMA,
     SWEEP_SUMMARY_SCHEMA,
     TRACE_SCHEMA,
     validate_jsonl,
@@ -124,6 +140,14 @@ __all__ = [
     "DistributedProbeScheduler",
     "EngineProfiler",
     "subsystem_of",
+    "canonical_qualname",
+    "PERF_FORMAT",
+    "PerfProfiler",
+    "AllocationProbe",
+    "page_class_of",
+    "collapsed_stacks",
+    "speedscope_document",
+    "chrome_trace_document",
     "Span",
     "SpanKind",
     "SpanRecorder",
@@ -151,15 +175,18 @@ __all__ = [
     "render_sweep_report",
     "summarize_sweep",
     "write_sweep_summary",
+    "CHROME_TRACE_SCHEMA",
     "CONTENTION_SCHEMA",
     "CONTENTION_SUMMARY_SCHEMA",
     "DECISION_SCHEMA",
     "LATENCY_SCHEMA",
     "MANIFEST_SCHEMA",
+    "PERF_SCHEMA",
     "PROBE_SCHEMA",
     "REGIMES_SCHEMA",
     "SITE_PROBE_SCHEMA",
     "SPAN_SCHEMA",
+    "SPEEDSCOPE_SCHEMA",
     "SWEEP_SUMMARY_SCHEMA",
     "TRACE_SCHEMA",
     "validate_jsonl",

@@ -37,6 +37,9 @@ from repro.metrics.trace import TraceEvent, Tracer
 from repro.telemetry.contention import ContentionMonitor
 from repro.telemetry.decisions import DecisionLog
 from repro.telemetry.online import OnlineRegimeMonitor
+from repro.telemetry.perf import (AllocationProbe, PerfProfiler,
+                                  chrome_trace_document, collapsed_stacks,
+                                  speedscope_document)
 from repro.telemetry.probes import ProbeScheduler
 from repro.telemetry.profiling import EngineProfiler
 from repro.telemetry.sites import DistributedProbeScheduler
@@ -121,6 +124,17 @@ class TelemetryConfig:
             (streaming regime detection over the probe stream); the
             run directory gains ``regimes.json`` and the decision log
             gains ``regime_change`` rows.
+        perf: attach a :class:`~repro.telemetry.perf.PerfProfiler`
+            (hot-path attribution over the logical stack phase →
+            subsystem → event type → page class); the run directory
+            gains ``perf.json``, ``flame.collapsed``,
+            ``flame.speedscope.json``, and ``trace.json`` — all
+            wall-clock artifacts, quarantined like ``profile.json``.
+        alloc: additionally attach an
+            :class:`~repro.telemetry.perf.AllocationProbe`
+            (``tracemalloc`` top sites + per-tick GC deltas inside
+            ``perf.json``); implies wall-clock overhead, requires
+            ``perf``.
     """
 
     root: str
@@ -132,6 +146,8 @@ class TelemetryConfig:
     span_capacity: Optional[int] = None
     contention: bool = False
     online: bool = False
+    perf: bool = False
+    alloc: bool = False
 
     def session_for(self, run_id: str) -> "TelemetrySession":
         """Open a session writing into ``<root>/<run_id>/``."""
@@ -145,6 +161,8 @@ class TelemetryConfig:
             span_capacity=self.span_capacity,
             contention=self.contention,
             online=self.online,
+            perf=self.perf,
+            alloc=self.alloc,
         )
 
 
@@ -171,13 +189,26 @@ class TelemetrySession:
                  spans: bool = False,
                  span_capacity: Optional[int] = None,
                  contention: bool = False,
-                 online: bool = False):
+                 online: bool = False,
+                 perf: bool = False,
+                 alloc: bool = False):
+        if alloc and not perf:
+            raise ConfigurationError(
+                "telemetry option alloc requires perf: allocation "
+                "probes ride the attribution profiler's ticks")
         self.out_dir = Path(out_dir)
         self.probe_interval = probe_interval
         self.tracer = Tracer(capacity=trace_capacity)
         self.decisions = DecisionLog(capacity=decision_capacity)
         self.probes: Optional[ProbeScheduler] = None
-        self.profiler = EngineProfiler() if profile else None
+        # A PerfProfiler *is* an EngineProfiler, so when perf is on it
+        # serves as the event-loop profiler too — one hook, both
+        # granularities, and profile.json keeps its usual summary.
+        if perf:
+            self.profiler = PerfProfiler(
+                alloc=AllocationProbe() if alloc else None)
+        else:
+            self.profiler = EngineProfiler() if profile else None
         self.spans: Optional[SpanRecorder] = (
             SpanRecorder(capacity=span_capacity) if spans else None)
         self.contention: Optional[ContentionMonitor] = (
@@ -203,6 +234,11 @@ class TelemetrySession:
         self.probes.start()
         if self.profiler is not None:
             system.sim.profiler = self.profiler
+            # The attribution profiler rides the probe event for its
+            # wall-clock throughput ticks (read-only piggyback, no
+            # calendar change).
+            if isinstance(self.profiler, PerfProfiler):
+                self.probes.listeners.append(self.profiler)
         if self.spans is not None:
             self.spans.attach(system)
         if self.contention is not None:
@@ -243,6 +279,8 @@ class TelemetrySession:
         self.probes.start()
         if self.profiler is not None:
             system.sim.profiler = self.profiler
+            if isinstance(self.profiler, PerfProfiler):
+                self.probes.listeners.append(self.profiler)
 
     # ------------------------------------------------------------------
 
@@ -322,6 +360,29 @@ class TelemetrySession:
         if self.profiler is not None:
             profile["event_loop"] = self.profiler.summary()
         json_dump(profile, self.out_dir / "profile.json")
+
+        if isinstance(self.profiler, PerfProfiler):
+            # The attribution artifacts are wall-clock files like
+            # profile.json; the manifest deliberately does not mention
+            # them, so every pre-existing export stays byte-identical
+            # with profiling on or off.
+            if self.profiler.alloc is not None:
+                self.profiler.alloc.stop()
+            json_dump(self.profiler.perf_summary(),
+                      self.out_dir / "perf.json")
+            (self.out_dir / "flame.collapsed").write_text(
+                collapsed_stacks(self.profiler), encoding="utf-8")
+            json_dump(
+                speedscope_document(self.profiler,
+                                    name=self.out_dir.name),
+                self.out_dir / "flame.speedscope.json")
+            json_dump(
+                chrome_trace_document(
+                    self.spans if self.spans is not None else (),
+                    samples,
+                    profiler=self.profiler,
+                    name=self.out_dir.name),
+                self.out_dir / "trace.json")
 
         self._finalized = True
         return self.out_dir

@@ -3,24 +3,50 @@
 An :class:`EngineProfiler` attached to a
 :class:`~repro.sim.engine.Simulator` (``sim.profiler = EngineProfiler()``)
 receives every executed event's callback and its ``time.perf_counter``
-duration.  Events are bucketed by the callback's defining module — the
-subsystem — so a profile answers "where does the wall time go: the DBMS
-state machine, the lock manager, the resources, the controller?" and
-"how many events per second does this run sustain?".
+duration.  Events are bucketed two ways:
+
+* by the callback's defining module — the *subsystem* — so a profile
+  answers "where does the wall time go: the DBMS state machine, the
+  lock manager, the resources, the controller?";
+* by the callback's *canonical qualname* — the logical event type —
+  so it also answers "which transition is hot: ``_page_read_done``,
+  ``_next_operation``, a disk completion?".
+
+Canonicalization matters because of the kernel fast path: when no
+observability hook is attached, :meth:`DBMSSystem._bind_fast_dispatch`
+shadows the state-machine methods with hook-free ``*_fast`` twins, so
+the same logical transition reaches the profiler under two different
+bound methods depending on dispatch path.  :func:`canonical_qualname`
+collapses the twins (``DBMSSystem._page_read_done_fast`` and
+``DBMSSystem._page_read_done`` both key as
+``DBMSSystem._page_read_done``), which keeps profiles comparable across
+configurations and aggregates both paths under one key.
 
 The profiler measures *wall* time and is therefore intentionally kept
 out of the deterministic telemetry files; its summary lands in the
-non-deterministic ``profile.json``.
+non-deterministic ``profile.json``.  The richer attribution profiler
+(per-phase logical stacks, flamegraph export, allocation probes) lives
+in :mod:`repro.telemetry.perf` and builds on this module.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Tuple
 
-__all__ = ["EngineProfiler", "subsystem_of"]
+__all__ = ["EngineProfiler", "subsystem_of", "canonical_qualname"]
 
 _PACKAGE_PREFIX = "repro."
+
+# The fast-dispatch suffixes, longest first so ``_fast_cc`` is not
+# half-stripped to a stale ``_cc`` key.
+_FAST_SUFFIXES = ("_fast_cc", "_fast")
+
+# Fast twins whose stripped name still differs from the hooked
+# original's public name.
+_QUALNAME_ALIASES = {
+    "DBMSSystem._abort_transaction": "DBMSSystem.abort_transaction",
+}
 
 
 def subsystem_of(callback: Callable[..., Any]) -> str:
@@ -36,8 +62,30 @@ def subsystem_of(callback: Callable[..., Any]) -> str:
     return module
 
 
+def canonical_qualname(callback: Callable[..., Any]) -> str:
+    """The logical event-type key for one event callback.
+
+    The callback's ``__qualname__`` with any fast-dispatch suffix
+    stripped, so the hook-free ``*_fast`` twins and their hooked
+    originals collapse into one key regardless of which dispatch path
+    executed the event.  Callables without a qualname (rare: partials,
+    C callables) key as their ``__name__`` or type name.
+    """
+    qual = getattr(callback, "__qualname__", None)
+    if qual is None:
+        qual = getattr(callback, "__name__", None)
+        if qual is None:
+            qual = type(callback).__name__
+        return qual
+    for suffix in _FAST_SUFFIXES:
+        if qual.endswith(suffix):
+            qual = qual[:-len(suffix)]
+            break
+    return _QUALNAME_ALIASES.get(qual, qual)
+
+
 class EngineProfiler:
-    """Per-subsystem event counts and wall-clock timings.
+    """Per-subsystem and per-event-type counts and wall-clock timings.
 
     The simulator calls :meth:`record` once per executed event; the
     profiler also keeps its own ``perf_counter`` epoch so
@@ -50,17 +98,45 @@ class EngineProfiler:
         self.callback_seconds = 0.0
         # subsystem -> [event count, callback seconds]
         self.by_subsystem: Dict[str, list] = {}
+        # canonical "subsystem.Class.method" -> [count, seconds]
+        self.by_event_type: Dict[str, list] = {}
+        # (module, raw qualname) -> (subsystem, canonical event key);
+        # bound methods are fresh objects per attribute access, so the
+        # memo keys on the underlying names, not the callback object.
+        self._names: Dict[Tuple[str, str], Tuple[str, str]] = {}
         self._epoch = time.perf_counter()
 
-    def record(self, callback: Callable[..., Any],
-               elapsed: float) -> None:
-        """Credit one executed event to its subsystem."""
+    def _names_of(self, callback: Callable[..., Any]) -> Tuple[str, str]:
+        """Memoized ``(subsystem, canonical event key)`` of a callback."""
+        raw = (getattr(callback, "__module__", None) or "<unknown>",
+               getattr(callback, "__qualname__", None) or "<callable>")
+        names = self._names.get(raw)
+        if names is None:
+            subsystem = subsystem_of(callback)
+            names = (subsystem,
+                     f"{subsystem}.{canonical_qualname(callback)}")
+            self._names[raw] = names
+        return names
+
+    def record(self, callback: Callable[..., Any], elapsed: float,
+               args: tuple = ()) -> None:
+        """Credit one executed event to its subsystem and event type.
+
+        ``args`` is the event's argument tuple; this profiler ignores
+        it, but subclasses (the attribution profiler) use it for
+        page-class attribution, and the simulator always passes it.
+        """
         self.events += 1
         self.callback_seconds += elapsed
-        key = subsystem_of(callback)
-        bucket = self.by_subsystem.get(key)
+        subsystem, event_key = self._names_of(callback)
+        bucket = self.by_subsystem.get(subsystem)
         if bucket is None:
-            bucket = self.by_subsystem[key] = [0, 0.0]
+            bucket = self.by_subsystem[subsystem] = [0, 0.0]
+        bucket[0] += 1
+        bucket[1] += elapsed
+        bucket = self.by_event_type.get(event_key)
+        if bucket is None:
+            bucket = self.by_event_type[event_key] = [0, 0.0]
         bucket[0] += 1
         bucket[1] += elapsed
 
@@ -80,12 +156,17 @@ class EngineProfiler:
             name: {"events": count, "seconds": seconds}
             for name, (count, seconds) in sorted(self.by_subsystem.items())
         }
+        event_types = {
+            name: {"events": count, "seconds": seconds}
+            for name, (count, seconds) in sorted(self.by_event_type.items())
+        }
         return {
             "events": self.events,
             "wall_seconds": self.wall_seconds,
             "callback_seconds": self.callback_seconds,
             "events_per_second": self.events_per_second,
             "subsystems": subsystems,
+            "event_types": event_types,
         }
 
     def format(self) -> str:

@@ -13,7 +13,10 @@
   breakdown, wait-chain blame) when the run recorded spans — also
   available alone via ``telemetry latency``;
 * the event-loop profile (events/sec, time per subsystem) when one was
-  recorded.
+  recorded;
+* the hot-path attribution picture (wall events/sec trend across the
+  run, top event types by exclusive time with ns/event, allocation top
+  sites) when the run was profiled with ``--perf``.
 
 Distributed runs additionally get ``telemetry sites``: a per-site view
 over ``site_probes.jsonl`` — an availability timeline (up / degraded /
@@ -269,6 +272,43 @@ def _regime_lines(regimes: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _perf_lines(perf: Dict[str, Any], width: int = 60) -> List[str]:
+    """The perf dashboard section (perf.json, wall-clock attribution)."""
+    lines = [f"  perf: {perf['events']} events, "
+             f"{perf['events_per_second']:,.0f} events/s wall "
+             f"({perf['callback_seconds']:.2f}s in callbacks of "
+             f"{perf['wall_seconds']:.2f}s wall)"]
+    ticks = perf.get("ticks", [])
+    rates = [t["events_per_sec"] for t in ticks
+             if t.get("events_per_sec") is not None]
+    if rates:
+        lines.append("  " + _spark_row("events/s", rates,
+                                       lo=0.0, width=width - 2))
+    # Exclusive wall time per event type, summed over phases and page
+    # classes (the stacks are already hottest-first).
+    by_type: Dict[str, List[float]] = {}
+    for row in perf.get("stacks", []):
+        bucket = by_type.setdefault(row["event_type"], [0, 0.0])
+        bucket[0] += row["events"]
+        bucket[1] += row["seconds"]
+    total = sum(b[1] for b in by_type.values()) or 1.0
+    ranked = sorted(by_type.items(), key=lambda kv: -kv[1][1])
+    for name, (count, seconds) in ranked[:5]:
+        ns = seconds * 1e9 / count if count else 0.0
+        lines.append(f"    {name:<34} {count:>9} events  "
+                     f"{100.0 * seconds / total:5.1f}%  "
+                     f"{ns:>8,.0f} ns/event")
+    alloc = perf.get("alloc")
+    if alloc:
+        lines.append(f"    alloc: peak {alloc['peak_traced_kb']:,.0f} KiB "
+                     f"traced")
+        for site in alloc.get("top_sites", [])[:5]:
+            lines.append(f"      {site['site']:<40} "
+                         f"{site['kb']:>8,.0f} KiB in "
+                         f"{site['count']} blocks")
+    return lines
+
+
 def render_run_report(run_dir: Union[str, Path],
                       width: int = 60) -> str:
     """The dashboard for one telemetry run directory."""
@@ -384,6 +424,11 @@ def render_run_report(run_dir: Union[str, Path],
                     f"    {name:<22} {stats['events']:>9} events  "
                     f"{100.0 * stats['seconds'] / total:5.1f}% of "
                     f"callback time")
+
+    perf_path = run_dir / "perf.json"
+    if perf_path.is_file():
+        perf = json.loads(perf_path.read_text(encoding="utf-8"))
+        lines.extend(_perf_lines(perf, width=width))
     return "\n".join(lines)
 
 

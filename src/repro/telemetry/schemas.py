@@ -30,14 +30,26 @@ and, at the *root* of a sweep directory after ``telemetry sweep``:
 
 * ``sweep_summary.json`` — the :data:`SWEEP_SUMMARY_SCHEMA` rollup;
 
+when perf profiling is enabled, the wall-clock attribution artifacts
+(non-deterministic like ``profile.json``, but schema-pinned so the
+exporters cannot silently drift):
+
+* ``perf.json``             — the :data:`PERF_SCHEMA` attribution
+  summary (logical stacks, throughput ticks, allocation sites);
+* ``flame.speedscope.json`` — a :data:`SPEEDSCOPE_SCHEMA` speedscope
+  flamegraph document;
+* ``trace.json``            — a :data:`CHROME_TRACE_SCHEMA` Chrome
+  trace-event document (Perfetto-loadable);
+
 plus the wall-clock ``profile.json``, which is deliberately *not*
 byte-deterministic and therefore not schema-pinned beyond being an
 object.
 
 The validator implements the subset of JSON Schema the schemas use
-(``type`` with unions, ``required``, ``properties``, and ``items``
-for arrays) so CI can check emitted files without a third-party
-``jsonschema`` dependency.
+(``type`` with unions, ``required``, ``properties``, ``items`` for
+arrays, and recursion into object-valued properties that carry their
+own ``properties``/``required``) so CI can check emitted files without
+a third-party ``jsonschema`` dependency.
 """
 
 from __future__ import annotations
@@ -58,6 +70,9 @@ __all__ = [
     "CONTENTION_SUMMARY_SCHEMA",
     "REGIMES_SCHEMA",
     "SWEEP_SUMMARY_SCHEMA",
+    "PERF_SCHEMA",
+    "SPEEDSCOPE_SCHEMA",
+    "CHROME_TRACE_SCHEMA",
     "validate_record",
     "validate_jsonl",
     "validate_run_dir",
@@ -352,6 +367,143 @@ SWEEP_SUMMARY_SCHEMA: Dict[str, Any] = {
 }
 
 
+_PERF_STACK_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["phase", "subsystem", "event_type", "page_class",
+                 "events", "seconds", "ns_per_event"],
+    "properties": {
+        "phase": {"type": "string"},
+        "subsystem": {"type": "string"},
+        "event_type": {"type": "string"},
+        "page_class": {"type": "string"},
+        "events": {"type": "integer"},
+        "seconds": {"type": "number"},
+        "ns_per_event": {"type": "number"},
+    },
+}
+
+_PERF_TICK_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["time", "events", "wall_seconds", "events_per_sec"],
+    "properties": {
+        "time": {"type": "number"},
+        "events": {"type": "integer"},
+        "wall_seconds": {"type": "number"},
+        "events_per_sec": {"type": "number"},
+        # Present only when the allocation probe is attached.
+        "gc_collections": {"type": "integer"},
+        "gc_collected": {"type": "integer"},
+        "traced_kb": {"type": "number"},
+    },
+}
+
+PERF_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["format", "events", "wall_seconds", "callback_seconds",
+                 "events_per_second", "phases", "stacks", "ticks",
+                 "alloc"],
+    "properties": {
+        "format": {"type": "string"},
+        "events": {"type": "integer"},
+        "wall_seconds": {"type": "number"},
+        "callback_seconds": {"type": "number"},
+        "events_per_second": {"type": "number"},
+        "phases": {"type": "object"},
+        "stacks": {"type": "array", "items": _PERF_STACK_SCHEMA},
+        "ticks": {"type": "array", "items": _PERF_TICK_SCHEMA},
+        "alloc": {
+            "type": ["object", "null"],
+            "required": ["peak_traced_kb", "top_sites"],
+            "properties": {
+                "peak_traced_kb": {"type": "number"},
+                "top_sites": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["site", "kb", "count"],
+                        "properties": {
+                            "site": {"type": "string"},
+                            "kb": {"type": "number"},
+                            "count": {"type": "integer"},
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+SPEEDSCOPE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["$schema", "shared", "profiles", "activeProfileIndex"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "name": {"type": "string"},
+        "exporter": {"type": "string"},
+        "activeProfileIndex": {"type": "integer"},
+        "shared": {
+            "type": "object",
+            "required": ["frames"],
+            "properties": {
+                "frames": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["name"],
+                        "properties": {"name": {"type": "string"}},
+                    },
+                },
+            },
+        },
+        "profiles": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["type", "name", "unit", "startValue",
+                             "endValue", "samples", "weights"],
+                "properties": {
+                    "type": {"type": "string"},
+                    "name": {"type": "string"},
+                    "unit": {"type": "string"},
+                    "startValue": {"type": "number"},
+                    "endValue": {"type": "number"},
+                    "samples": {"type": "array",
+                                "items": {"type": "array"}},
+                    "weights": {"type": "array",
+                                "items": {"type": "number"}},
+                },
+            },
+        },
+    },
+}
+
+CHROME_TRACE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit", "otherData"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ph": {"type": "string"},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "ts": {"type": "number"},
+                    "dur": {"type": "number"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "displayTimeUnit": {"type": "string"},
+        "otherData": {"type": "object"},
+    },
+}
+
+
 _TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
     "string": lambda v: isinstance(v, str),
@@ -373,10 +525,31 @@ def _type_ok(value: Any, expected: Union[str, List[str]]) -> bool:
 
 def validate_record(record: Any, schema: Dict[str, Any],
                     where: str = "record") -> List[str]:
-    """Check one decoded record against a schema; returns error strings."""
+    """Check one decoded value against a schema; returns error strings.
+
+    Object schemas check ``required``/``properties`` (recursing into
+    object-valued properties and array items); scalar and array
+    schemas check the value's type and, for arrays, recurse into
+    ``items`` — so a schema can describe e.g. the speedscope samples'
+    arrays of frame indices, not just rows of objects.
+    """
     errors: List[str] = []
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(record, expected):
+        return [f"{where}: has type {type(record).__name__}, "
+                f"expected {expected}"]
+    if isinstance(record, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, item in enumerate(record):
+                errors.extend(validate_record(
+                    item, items, where=f"{where}[{index}]"))
+        return errors
     if not isinstance(record, dict):
-        return [f"{where}: expected an object, got {type(record).__name__}"]
+        if expected is None:
+            return [f"{where}: expected an object, "
+                    f"got {type(record).__name__}"]
+        return errors
     for name in schema.get("required", ()):
         if name not in record:
             errors.append(f"{where}: missing required field {name!r}")
@@ -395,6 +568,13 @@ def validate_record(record: Any, schema: Dict[str, Any],
             for index, item in enumerate(value):
                 errors.extend(validate_record(
                     item, items, where=f"{where}.{name}[{index}]"))
+        # Recurse into object-valued properties that pin their own
+        # structure (e.g. the speedscope "shared" block or the perf
+        # "alloc" section).
+        if (isinstance(value, dict)
+                and ("properties" in spec or "required" in spec)):
+            errors.extend(validate_record(
+                value, spec, where=f"{where}.{name}"))
     return errors
 
 
@@ -465,6 +645,11 @@ def validate_run_dir(run_dir: Union[str, Path]) -> List[str]:
     _validate_json_file(run_dir / "contention.json",
                         CONTENTION_SUMMARY_SCHEMA, errors)
     _validate_json_file(run_dir / "regimes.json", REGIMES_SCHEMA, errors)
+    _validate_json_file(run_dir / "perf.json", PERF_SCHEMA, errors)
+    _validate_json_file(run_dir / "flame.speedscope.json",
+                        SPEEDSCOPE_SCHEMA, errors)
+    _validate_json_file(run_dir / "trace.json", CHROME_TRACE_SCHEMA,
+                        errors)
     return errors
 
 

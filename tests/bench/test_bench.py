@@ -69,6 +69,13 @@ def test_run_bench_writes_valid_file(tmp_path):
     assert payload["scale"] == "smoke"
     assert len(payload["code_fingerprint"]) == 16
     assert set(payload["entries"]) == {"no_control"}
+    # Machine provenance: the fields compare/--against-history warn on
+    # when they differ between two files.
+    assert payload["platform"]
+    assert payload["machine"]
+    assert payload["cpu_count"] >= 1
+    assert payload["provenance"]["pid"] > 0
+    assert payload["provenance"]["unix_time"] > 0
 
 
 def test_load_bench_rejects_garbage(tmp_path):

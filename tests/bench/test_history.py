@@ -1,0 +1,219 @@
+"""Bench trajectory: history log, trend rendering, rolling-window gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (BENCH_FORMAT, append_history,
+                         compare_against_history, format_history,
+                         history_baseline, load_history,
+                         provenance_warnings, write_bench)
+from repro.errors import ExperimentError
+
+
+def _payload(rate=1000.0, label="t", fingerprint="f" * 16,
+             events=1000, **top):
+    entry = {
+        "wall_seconds": 1.0, "events": events, "events_per_sec": rate,
+        "sim_pages": 500, "pages_per_sec": rate / 2.0, "commits": 50,
+        "sim_time": 45.0,
+    }
+    payload = {
+        "format": BENCH_FORMAT, "label": label, "scale": "smoke",
+        "code_fingerprint": fingerprint, "python": "3.11.0",
+        "platform": "Linux-test", "machine": "x86_64", "cpu_count": 8,
+        "provenance": {"pid": 1234, "unix_time": 1.0e9},
+        "entries": {"base_hh": dict(entry)},
+    }
+    payload.update(top)
+    return payload
+
+
+def test_append_and_load_round_trip(tmp_path):
+    history_path = tmp_path / "hist.jsonl"
+    append_history(_payload(1000.0, label="a"), history_path)
+    append_history(_payload(1100.0, label="b"), history_path)
+    history = load_history(history_path)
+    assert [p["label"] for p in history] == ["a", "b"]
+    # Appending a file path works too.
+    bench_file = write_bench(_payload(1200.0, label="c"),
+                             tmp_path / "BENCH_c.json")
+    append_history(bench_file, history_path)
+    assert [p["label"] for p in load_history(history_path)] \
+        == ["a", "b", "c"]
+
+
+def test_load_history_missing_file_is_empty(tmp_path):
+    assert load_history(tmp_path / "nope.jsonl") == []
+
+
+def test_load_history_rejects_garbage_lines(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(ExperimentError):
+        load_history(path)
+    path.write_text(json.dumps({"format": "v0"}) + "\n")
+    with pytest.raises(ExperimentError):
+        load_history(path)
+
+
+def test_append_rejects_wrong_format(tmp_path):
+    with pytest.raises(ExperimentError):
+        append_history({"format": "v0", "entries": {}},
+                       tmp_path / "hist.jsonl")
+
+
+def test_load_history_scale_filter(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    append_history(_payload(1000.0), path)
+    append_history(_payload(900.0, scale="full"), path)
+    assert len(load_history(path)) == 2
+    assert len(load_history(path, scale="smoke")) == 1
+
+
+def test_history_baseline_is_windowed_median():
+    history = [_payload(rate) for rate in
+               (100.0, 5000.0, 1000.0, 1100.0, 1200.0, 1300.0, 1400.0)]
+    baseline = history_baseline(history, "base_hh", window=5)
+    # Last five rates: 1000..1400 → median 1200; the early outliers
+    # fall outside the window.
+    assert baseline["events_per_sec"] == pytest.approx(1200.0)
+    assert baseline["pages_per_sec"] == pytest.approx(600.0)
+    assert history_baseline(history, "nonesuch", window=5) is None
+
+
+def test_compare_against_history_gates_on_window(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    for rate in (1000.0, 1100.0, 1200.0):
+        append_history(_payload(rate), path)
+    # Within tolerance of the median (1100): passes.
+    comparisons, warnings = compare_against_history(
+        _payload(800.0), path, tolerance=0.5)
+    (c,) = comparisons
+    assert c.ok
+    assert c.baseline_rate == pytest.approx(1100.0)
+    assert warnings == []
+    # An order-of-magnitude collapse fails.
+    comparisons, _ = compare_against_history(
+        _payload(100.0), path, tolerance=0.5)
+    (c,) = comparisons
+    assert not c.ok and "floor" in c.detail
+    # min_speedup demands improvement over the median.
+    comparisons, _ = compare_against_history(
+        _payload(1150.0), path, tolerance=0.5, min_speedup=1.2)
+    (c,) = comparisons
+    assert not c.ok and "required >= 1.2x" in c.detail
+
+
+def test_compare_against_history_empty_history_fails(tmp_path):
+    comparisons, warnings = compare_against_history(
+        _payload(), tmp_path / "missing.jsonl")
+    (c,) = comparisons
+    assert not c.ok and "no history" in c.detail
+    assert warnings == []
+
+
+def test_compare_against_history_drift_is_warning_not_failure(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    append_history(_payload(1000.0, events=1000), path)
+    comparisons, warnings = compare_against_history(
+        _payload(1000.0, events=1234), path, tolerance=0.5)
+    (c,) = comparisons
+    assert c.ok  # unlike compare_benches, drift does not fail the gate
+    assert any("drifted" in w for w in warnings)
+
+
+def test_compare_against_history_provenance_warnings(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    append_history(_payload(1000.0), path)
+    _, warnings = compare_against_history(
+        _payload(1000.0, fingerprint="z" * 16, machine="arm64"),
+        path, tolerance=0.5)
+    assert any("code differs" in w for w in warnings)
+    assert any("machine architecture differs" in w for w in warnings)
+
+
+def test_provenance_warnings_skip_absent_fields():
+    old = _payload()
+    for field in ("platform", "machine", "cpu_count"):
+        del old[field]
+    assert provenance_warnings(old, _payload()) == []
+    changed = _payload(python="3.12.0")
+    (warning,) = provenance_warnings(_payload(), changed)
+    assert "python version differs" in warning
+
+
+def test_format_history_renders_trend():
+    history = [_payload(rate, fingerprint=f"fp{i}")
+               for i, rate in enumerate((1000.0, 1100.0, 1210.0))]
+    text = format_history(history)
+    assert "3 runs" in text
+    assert "base_hh" in text
+    assert "1.21x" in text
+    assert "3 code fingerprint(s)" in text
+    assert format_history([]) == "bench history is empty"
+
+
+def test_cli_history_and_against_history(tmp_path, capsys):
+    from repro.bench.cli import main
+    history = tmp_path / "hist.jsonl"
+    a = write_bench(_payload(1000.0, label="a"), tmp_path / "a.json")
+    b = write_bench(_payload(1050.0, label="b"), tmp_path / "b.json")
+
+    # history --append builds the trajectory and renders it.
+    assert main(["history", "--file", str(history),
+                 "--append", str(a)]) == 0
+    assert main(["history", "--file", str(history),
+                 "--append", str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "2 runs" in out and "base_hh" in out
+
+    # compare --against-history with a single positional candidate.
+    good = write_bench(_payload(1040.0, label="good"),
+                       tmp_path / "good.json")
+    assert main(["compare", str(good), "--against-history",
+                 "--history-file", str(history),
+                 "--tolerance", "0.5"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    bad = write_bench(_payload(10.0, label="bad"), tmp_path / "bad.json")
+    assert main(["compare", str(bad), "--against-history",
+                 "--history-file", str(history),
+                 "--tolerance", "0.5"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_cli_run_appends_history(tmp_path, capsys):
+    from repro.bench.cli import main
+    history = tmp_path / "hist.jsonl"
+    assert main(["run", "--label", "h1", "--out", str(tmp_path),
+                 "--entry", "no_control", "--quiet",
+                 "--history", str(history)]) == 0
+    assert main(["run", "--label", "h2", "--out", str(tmp_path),
+                 "--entry", "no_control", "--quiet",
+                 "--history", str(history)]) == 0
+    capsys.readouterr()
+    history_entries = load_history(history)
+    assert [p["label"] for p in history_entries] == ["h1", "h2"]
+    # The acceptance walk: a trend renders over the two appended runs.
+    assert main(["history", "--file", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "2 runs" in out and "no_control" in out
+    # ... and the second run gates cleanly against the history.
+    assert main(["compare", str(tmp_path / "BENCH_h2.json"),
+                 "--against-history", "--history-file", str(history),
+                 "--tolerance", "0.9"]) == 0
+
+
+def test_cli_compare_warns_on_provenance_mismatch(tmp_path, capsys):
+    from repro.bench.cli import main
+    base = write_bench(_payload(1000.0), tmp_path / "base.json")
+    cand = write_bench(_payload(1000.0, fingerprint="q" * 16),
+                       tmp_path / "cand.json")
+    assert main(["compare", str(base), str(cand),
+                 "--tolerance", "0.5"]) == 0
+    captured = capsys.readouterr()
+    assert "code differs" in captured.err
+    assert "PASS" in captured.out
