@@ -25,6 +25,7 @@ Quickstart::
 """
 
 from repro.control import (
+    AnalyticMPCController,
     BlockedFractionController,
     BufferAwareAdmission,
     ClassPriorityPolicy,
@@ -33,8 +34,10 @@ from repro.control import (
     FixedMPLController,
     HalfAndHalfController,
     LoadController,
+    MalthusianController,
     NoControlController,
     TayRuleController,
+    predict_throughput,
 )
 from repro.core import MaturityRule, Region, classify_region
 from repro.dbms import DBMSSystem, SimulationParameters, Transaction
@@ -93,6 +96,7 @@ from repro.workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalyticMPCController",
     "BufferAwareAdmission",
     "BlockedFractionController",
     "ClassPriorityPolicy",
@@ -101,8 +105,10 @@ __all__ = [
     "FixedMPLController",
     "HalfAndHalfController",
     "LoadController",
+    "MalthusianController",
     "NoControlController",
     "TayRuleController",
+    "predict_throughput",
     "MaturityRule",
     "Region",
     "classify_region",

@@ -5,27 +5,36 @@ paper's contribution); it is re-exported here for convenience so callers
 can import every controller from one place.
 """
 
+from repro.control.analytic import (AnalyticMPCController,
+                                    conflict_coefficient, optimal_mpl,
+                                    predict_throughput)
 from repro.control.base import LoadController
 from repro.control.blocked_fraction import BlockedFractionController
 from repro.control.class_priority import ClassPriorityPolicy
 from repro.control.composite import BufferAwareAdmission, CompositeController
 from repro.control.conflict_ratio import ConflictRatioController
 from repro.control.fixed_mpl import FixedMPLController
+from repro.control.malthusian import MalthusianController
 from repro.control.no_control import NoControlController
 from repro.control.tay import TayRuleController, effective_db_size, tay_mpl
 from repro.core.half_and_half import HalfAndHalfController
 
 __all__ = [
     "LoadController",
+    "AnalyticMPCController",
     "BlockedFractionController",
     "ClassPriorityPolicy",
     "BufferAwareAdmission",
     "CompositeController",
     "ConflictRatioController",
     "FixedMPLController",
+    "MalthusianController",
     "NoControlController",
     "TayRuleController",
+    "conflict_coefficient",
     "effective_db_size",
+    "optimal_mpl",
+    "predict_throughput",
     "tay_mpl",
     "HalfAndHalfController",
 ]

@@ -1,0 +1,335 @@
+"""Analytic model-predictive admission control.
+
+Thomasian's mean-value analysis of 2PL (see PAPERS.md) predicts system
+throughput as a function of the multiprogramming level from a handful
+of workload parameters, which lets a controller *solve* for the optimal
+MPL instead of probing for it the way Half-and-Half does.
+
+:func:`predict_throughput` is the model as a pure function:
+
+* Per-transaction service demands: ``k`` page reads and ``k·w``
+  deferred writes cost one disk access plus one CPU burst each, so the
+  no-contention transaction throughput at MPL ``M`` is bounded by the
+  slowest of the think-free closed-system bound ``M / s`` (``s`` =
+  total service demand) and the resource capacity bounds
+  ``num_cpus / s_cpu`` and ``num_disks / s_disk``.
+* Lock contention: with ``r = k·(1+w)`` lock requests against Tay's
+  effective database ``Dₑ = D / (1 − (1−w)²)``, the per-request
+  conflict probability grows linearly in ``M − 1`` and a conflicting
+  request waits about half a residence time; the first-order contention
+  intensity is ``x(M) = conflict_coeff · (M − 1)`` with the geometry
+  prior ``conflict_coeff = r·k / (4·Dₑ)``.  The blocked-time fraction
+  is the *saturating* ``β = x / (1 + x)`` (waiting stretches residence,
+  which feeds back into the wait itself), so only ``M / (1 + x)``
+  transactions make progress at once.
+* Deadlock waste: blocking alone saturates throughput but never bends
+  it down — the post-knee *decline* comes from restarted work.  The
+  deadlock rate grows with the square of contention, modelled as a
+  wasted-work fraction ``min(0.95, (conflict_coeff² / 4) · (M − 1)²)``.
+
+The resulting throughput curve is unimodal in ``M`` — it rises while
+the population bound dominates, flattens at the resource ceiling, and
+declines once quadratic deadlock waste dominates — so its argmax is
+the model's optimal MPL.
+
+:class:`AnalyticMPCController` runs a fixed-MPL admission door at that
+argmax and *refits* the model online: each decision epoch it re-derives
+``conflict_coeff`` from the lock table's observed block/request ratio
+(and an abort-rate efficiency factor from the commit/abort counters),
+blends the estimate into the running coefficient with an EWMA, and
+moves the admission limit to the refit model's argmax.  Every refit is
+recorded through the decision log, so the model's trail is auditable.
+
+The same :func:`predict_throughput` doubles as a differential reference
+for the simulator: :mod:`repro.verify.envelope` checks that simulated
+throughput lands inside the model's predicted envelope for the pinned
+bench configurations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dbms.transaction import Transaction
+
+from repro.control.fixed_mpl import FixedMPLController
+from repro.dbms.config import SimulationParameters
+from repro.errors import ConfigurationError
+
+__all__ = ["predict_throughput", "optimal_mpl", "conflict_coefficient",
+           "AnalyticMPCController"]
+
+# The quadratic deadlock-waste fraction is capped just short of 1:
+# past total collapse the model only needs to stay monotone, not exact.
+_MAX_WASTE_FRACTION = 0.95
+
+
+def conflict_coefficient(tran_size: float, db_size: int,
+                         write_prob: float) -> float:
+    """The geometry prior for the contention intensity ``x = coeff·(M−1)``.
+
+    ``r·k / (4·Dₑ)`` with ``r = k·(1+w)`` lock requests per transaction
+    and Tay's effective database size.  A pure-read workload never
+    conflicts under S locks, so the coefficient is 0.
+    """
+    if tran_size <= 0:
+        raise ConfigurationError(
+            f"tran_size must be positive, got {tran_size}")
+    if db_size < 1:
+        raise ConfigurationError(
+            f"db_size must be >= 1, got {db_size}")
+    if not 0.0 <= write_prob <= 1.0:
+        raise ConfigurationError(
+            f"write_prob must be in [0, 1], got {write_prob}")
+    denom = 1.0 - (1.0 - write_prob) ** 2
+    if denom <= 0.0:
+        return 0.0
+    d_eff = db_size / denom
+    requests = tran_size * (1.0 + write_prob)
+    return requests * tran_size / (4.0 * d_eff)
+
+
+def predict_throughput(mpl: int, k: float, db_size: int,
+                       write_prob: float, *,
+                       num_cpus: int = 1, num_disks: int = 5,
+                       page_cpu: float = 0.005, page_io: float = 0.035,
+                       conflict_coeff: Optional[float] = None,
+                       efficiency: float = 1.0) -> float:
+    """Predicted committed page throughput (pages/second) at MPL ``mpl``.
+
+    Args:
+        mpl: multiprogramming level (>= 1).
+        k: mean transaction size (pages read; ``k·write_prob`` of them
+            are also written).
+        db_size: database size in pages.
+        write_prob: per-page write probability in [0, 1].
+        num_cpus / num_disks: physical resource counts.
+        page_cpu / page_io: per-page CPU and disk service times.
+        conflict_coeff: the contention-intensity coefficient
+            (``x = coeff·(M−1)``); defaults to the
+            :func:`conflict_coefficient` geometry prior.  The MPC
+            controller passes its refit estimate here.  The deadlock
+            waste term is derived from it (``coeff²/4``), so one knob
+            controls both contention effects.
+        efficiency: fraction of processed work that commits (1 − the
+            observed abort waste); scales the prediction down when the
+            controller has observed abort churn.
+    """
+    if mpl < 1:
+        raise ConfigurationError(f"mpl must be >= 1, got {mpl}")
+    if page_cpu < 0.0 or page_io < 0.0:
+        raise ConfigurationError("service times must be non-negative")
+    if num_cpus < 1 or num_disks < 1:
+        raise ConfigurationError("resource counts must be >= 1")
+    if not 0.0 < efficiency <= 1.0:
+        raise ConfigurationError(
+            f"efficiency must be in (0, 1], got {efficiency}")
+    if conflict_coeff is None:
+        conflict_coeff = conflict_coefficient(k, db_size, write_prob)
+    elif conflict_coeff < 0.0:
+        raise ConfigurationError(
+            f"conflict_coeff must be >= 0, got {conflict_coeff}")
+
+    pages_per_txn = k * (1.0 + write_prob)
+    cpu_demand = pages_per_txn * page_cpu
+    disk_demand = pages_per_txn * page_io
+    total_demand = cpu_demand + disk_demand
+    if total_demand <= 0.0:
+        raise ConfigurationError(
+            "a transaction must demand some service time")
+
+    intensity = conflict_coeff * (mpl - 1)
+    effective_mpl = mpl / (1.0 + intensity)    # β = x/(1+x) blocked
+    waste = min(_MAX_WASTE_FRACTION,
+                (conflict_coeff ** 2 / 4.0) * (mpl - 1) ** 2)
+    txn_rate = min(effective_mpl / total_demand,
+                   num_cpus / cpu_demand,
+                   num_disks / disk_demand)
+    return txn_rate * pages_per_txn * (1.0 - waste) * efficiency
+
+
+def optimal_mpl(max_mpl: int, k: float, db_size: int,
+                write_prob: float, **model_kwargs) -> int:
+    """The model's argmax MPL over ``1..max_mpl`` (ties go low)."""
+    if max_mpl < 1:
+        raise ConfigurationError(
+            f"max_mpl must be >= 1, got {max_mpl}")
+    best_mpl, best_value = 1, -1.0
+    for mpl in range(1, max_mpl + 1):
+        value = predict_throughput(mpl, k, db_size, write_prob,
+                                   **model_kwargs)
+        if value > best_value:
+            best_mpl, best_value = mpl, value
+    return best_mpl
+
+
+class AnalyticMPCController(FixedMPLController):
+    """Model-predictive admission: fixed-MPL door at the model argmax.
+
+    Args:
+        epoch_commits: commits per decision epoch; the model is refit
+            and the admission limit re-solved at each epoch boundary.
+        smoothing: EWMA weight of each epoch's fresh
+            conflict-coefficient / efficiency estimates in (0, 1].
+        initial_mpl: starting admission limit; ``None`` solves the
+            prior model at :meth:`attach` time (the usual case).
+    """
+
+    def __init__(self, epoch_commits: int = 25, smoothing: float = 0.5,
+                 initial_mpl: Optional[int] = None):
+        if epoch_commits < 1:
+            raise ConfigurationError(
+                f"epoch_commits must be >= 1, got {epoch_commits}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing}")
+        super().__init__(initial_mpl if initial_mpl is not None else 1)
+        self.epoch_commits = epoch_commits
+        self.smoothing = smoothing
+        self._solve_at_attach = initial_mpl is None
+        self.conflict_coeff = 0.0    # set from params at attach()
+        self.efficiency = 1.0
+        self.refits = 0
+        # Epoch accumulators: lock-table and collector counters at the
+        # last epoch boundary, plus MPL samples at lock events (the
+        # mean observed MPL converts the block ratio into a
+        # per-(M−1) coefficient).
+        self._epoch_commit_count = 0
+        self._last_requests = 0
+        self._last_blocks = 0
+        self._last_commits = 0
+        self._last_aborts = 0
+        self._mpl_sum = 0
+        self._mpl_samples = 0
+
+    @property
+    def base_name(self) -> str:
+        return "AnalyticMPC"
+
+    def attach(self, system) -> None:
+        super().attach(system)
+        params = system.params
+        self.conflict_coeff = conflict_coefficient(
+            params.tran_size, params.db_size, params.write_prob)
+        if self._solve_at_attach:
+            self.mpl = self._solve()
+
+    def on_decision_log_attached(self) -> None:
+        self.log_decision(
+            "set_mpl", measure=float(self.mpl),
+            threshold=self.conflict_coeff,
+            detail=f"prior model argmax (coeff={self.conflict_coeff:.6f})")
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def on_lock_granted(self, txn: "Transaction") -> None:
+        # One MPL sample per lock event: cheap, and weights the epoch
+        # mean by lock activity, which is what the block ratio sees.
+        self._mpl_sum += self.system.tracker.n_active
+        self._mpl_samples += 1
+
+    def on_commit(self, txn: "Transaction") -> None:
+        self._epoch_commit_count += 1
+        if self._epoch_commit_count >= self.epoch_commits:
+            self._epoch_commit_count = 0
+            self._refit()
+
+    # ------------------------------------------------------------------
+    # Model refitting
+    # ------------------------------------------------------------------
+
+    def _solve(self) -> int:
+        params = self.system.params
+        return optimal_mpl(
+            params.num_terms, params.tran_size, params.db_size,
+            params.write_prob,
+            num_cpus=params.num_cpus, num_disks=params.num_disks,
+            page_cpu=params.page_cpu, page_io=params.page_io,
+            conflict_coeff=self.conflict_coeff,
+            efficiency=self.efficiency)
+
+    def _refit(self) -> None:
+        """Blend this epoch's observations into the model, re-solve."""
+        system = self.system
+        requests = system.lock_table.requests
+        blocks = system.lock_table.blocks
+        commits = system.collector.commits
+        aborts = system.collector.aborts
+        d_requests = requests - self._last_requests
+        d_blocks = blocks - self._last_blocks
+        d_commits = commits - self._last_commits
+        d_aborts = aborts - self._last_aborts
+        self._last_requests, self._last_blocks = requests, blocks
+        self._last_commits, self._last_aborts = commits, aborts
+
+        alpha = self.smoothing
+        params = system.params
+        requests_per_txn = params.tran_size * (1.0 + params.write_prob)
+        if d_requests > 0 and self._mpl_samples > 0:
+            mean_mpl = self._mpl_sum / self._mpl_samples
+            if mean_mpl > 1.0:
+                # β ≈ r · Pc / 2 with Pc the observed block ratio;
+                # invert β = x/(1+x) and divide by (M̄ − 1) to recover
+                # the intensity coefficient.
+                block_ratio = d_blocks / d_requests
+                beta_hat = min(0.95,
+                               requests_per_txn * block_ratio / 2.0)
+                intensity_hat = beta_hat / (1.0 - beta_hat)
+                coeff_hat = intensity_hat / (mean_mpl - 1.0)
+                self.conflict_coeff = ((1.0 - alpha) * self.conflict_coeff
+                                       + alpha * coeff_hat)
+        self._mpl_sum = 0
+        self._mpl_samples = 0
+        outcomes = d_commits + d_aborts
+        if outcomes > 0:
+            efficiency_hat = max(0.05, d_commits / outcomes)
+            self.efficiency = ((1.0 - alpha) * self.efficiency
+                               + alpha * efficiency_hat)
+
+        old_mpl = self.mpl
+        self.mpl = self._solve()
+        self.refits += 1
+        if self.decision_log is not None:
+            self.log_decision(
+                "refit",
+                measure=self.conflict_coeff,
+                threshold=float(self.mpl),
+                detail=(f"mpl {old_mpl} -> {self.mpl}, "
+                        f"coeff={self.conflict_coeff:.6f}, "
+                        f"efficiency={self.efficiency:.3f}, "
+                        f"epoch blocks/requests={d_blocks}/{d_requests}"))
+        if self.mpl > old_mpl:
+            # The door widened: top the system up immediately instead
+            # of waiting for the next removal.
+            while (self.system.tracker.n_active < self.mpl
+                   and self.system.try_admit_one()):
+                if self.decision_log is not None:
+                    self.log_decision(
+                        "admit_queued",
+                        measure=float(self.system.tracker.n_active),
+                        threshold=float(self.mpl),
+                        detail="top-up after refit")
+
+    @classmethod
+    def from_params(cls, params: SimulationParameters,
+                    **kwargs) -> "AnalyticMPCController":
+        """Build with the prior model solved for these parameters.
+
+        The usual construction path solves the prior at ``attach()``;
+        this helper exists for callers that want the controller's
+        initial limit before a system exists.
+        """
+        controller = cls(**kwargs)
+        controller.conflict_coeff = conflict_coefficient(
+            params.tran_size, params.db_size, params.write_prob)
+        controller.mpl = optimal_mpl(
+            params.num_terms, params.tran_size, params.db_size,
+            params.write_prob,
+            num_cpus=params.num_cpus, num_disks=params.num_disks,
+            page_cpu=params.page_cpu, page_io=params.page_io,
+            conflict_coeff=controller.conflict_coeff)
+        controller._solve_at_attach = False
+        return controller

@@ -15,8 +15,6 @@ paper's main criticism of the approach.
 
 from __future__ import annotations
 
-import math
-
 from repro.control.fixed_mpl import FixedMPLController
 from repro.dbms.config import SimulationParameters
 from repro.errors import ConfigurationError
@@ -29,23 +27,39 @@ _THRASHING_CONSTANT = 1.5
 def effective_db_size(db_size: int, write_prob: float) -> float:
     """Tay's effective database size ``D / (1 − (1−w)²)``.
 
-    A pure-read workload (w = 0) never conflicts under S locks, so the
-    effective size is infinite.
+    A pure-read workload (w = 0) never conflicts under S locks — the
+    thrashing boundary does not exist and the rule has nothing to say,
+    so asking for it is a configuration error rather than an infinite
+    answer that silently disables the controller downstream.
     """
+    if db_size < 1:
+        raise ConfigurationError(
+            f"db_size must be >= 1, got {db_size}")
+    if not 0.0 <= write_prob <= 1.0:
+        raise ConfigurationError(
+            f"write_prob must be in [0, 1], got {write_prob}")
     denom = 1.0 - (1.0 - write_prob) ** 2
     if denom <= 0.0:
-        return math.inf
+        raise ConfigurationError(
+            f"Tay's rule is undefined for a read-only workload "
+            f"(write_prob={write_prob}): shared locks never conflict, "
+            f"so the effective database size diverges")
     return db_size / denom
 
 
 def tay_mpl(db_size: int, tran_size: float, write_prob: float,
             max_mpl: int = 10 ** 9) -> int:
-    """The fixed MPL dictated by Tay's rule of thumb (at least 1)."""
+    """The fixed MPL dictated by Tay's rule of thumb (at least 1).
+
+    Raises :class:`ConfigurationError` for ``write_prob = 0`` (see
+    :func:`effective_db_size`) and for non-positive ``tran_size``.
+    """
     if tran_size <= 0:
         raise ConfigurationError("tran_size must be positive")
+    if max_mpl < 1:
+        raise ConfigurationError(
+            f"max_mpl must be >= 1, got {max_mpl}")
     d_eff = effective_db_size(db_size, write_prob)
-    if math.isinf(d_eff):
-        return max_mpl
     limit = _THRASHING_CONSTANT * d_eff / (tran_size ** 2)
     return max(1, min(max_mpl, int(limit)))
 

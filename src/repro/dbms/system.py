@@ -108,6 +108,12 @@ class DBMSSystem:
         else:
             self.buffer = NullBuffer()
         self.ready_queue = ReadyQueue()
+        # Passivated (cold-set) transactions, LIFO: the Malthusian
+        # controller parks overload victims here instead of aborting
+        # them and readmits from the top of the stack.  Always present
+        # (and usually empty) so probes and invariants can read it
+        # unconditionally.
+        self.parked: List[Transaction] = []
         self.workload = (workload if workload is not None
                          else HomogeneousWorkload(self.streams, params))
         self.controller = controller
@@ -585,6 +591,71 @@ class DBMSSystem:
         self.controller.on_removed(txn)
 
     # ------------------------------------------------------------------
+    # Passivation (the Malthusian cold set)
+    # ------------------------------------------------------------------
+    # Passivation is a rare controller decision, never on the per-page
+    # hot path, so one implementation with ``None``-guarded hooks serves
+    # both dispatch modes — no ``_fast`` twins needed.
+
+    def passivate_transaction(self, txn: Transaction) -> None:
+        """Move a blocked, lock-free transaction into the cold set.
+
+        The waste-free analogue of :meth:`abort_transaction`: instead of
+        discarding the victim's work and re-queueing it, the victim is
+        *parked* — removed from the active set with its execution state
+        intact — and resumes exactly where it stopped when the
+        controller readmits it via :meth:`reactivate_one`.
+
+        Safe only for transactions that are currently blocked *and* hold
+        no locks (they are waiting on their first unsatisfied request,
+        hold no resource, and have no pending continuation event), so
+        parking releases nothing and blocks nobody.
+        """
+        if not self.tracker.is_active(txn):
+            raise SimulationError(
+                f"cannot passivate {txn!r}: not an active transaction")
+        if not txn.is_blocked or self.lock_table.num_held(txn) > 0:
+            raise SimulationError(
+                f"cannot passivate {txn!r}: only blocked transactions "
+                f"holding no locks may be parked")
+        grants = self.lock_table.cancel_wait(txn)
+        self.tracker.remove(txn, self.sim.now)
+        txn.is_blocked = False
+        txn.phase = TxnPhase.PARKED
+        self.parked.append(txn)
+        self.collector.set_parked_count(self.sim.now, len(self.parked))
+        if self.spans is not None:
+            self.spans.on_passivate(txn)
+        if self.contention is not None:
+            # Close the open wait record: the victim stopped waiting on
+            # the page even though no lock was granted.
+            self.contention.on_unblock(txn)
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, TraceEventType.PARK,
+                               txn.txn_id,
+                               detail=f"cold set {len(self.parked)}")
+        # Cancelling the wait may promote waiters behind the victim.
+        self._process_grants(grants)
+
+    def reactivate_one(self) -> Optional[Transaction]:
+        """Readmit the most recently parked transaction (LIFO).
+
+        Returns the readmitted transaction, or ``None`` when the cold
+        set is empty.  The transaction re-enters through the normal
+        admission path and re-issues the lock request it was parked on.
+        """
+        if not self.parked:
+            return None
+        txn = self.parked.pop()
+        self.collector.set_parked_count(self.sim.now, len(self.parked))
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, TraceEventType.UNPARK,
+                               txn.txn_id,
+                               detail=f"cold set {len(self.parked)}")
+        self._admit(txn)
+        return txn
+
+    # ------------------------------------------------------------------
     # Hook-free fast dispatch
     # ------------------------------------------------------------------
     # Line-for-line twins of the hooked methods above with every
@@ -787,4 +858,20 @@ class DBMSSystem:
                     f"{txn!r}: blocked flag {txn.is_blocked} but "
                     f"lock-table waiting {waiting}",
                     invariant="blocked_flag_sync",
+                    sim_time=self.sim.now)
+        for txn in self.parked:
+            if self.tracker.is_active(txn):
+                raise InvariantViolation(
+                    f"{txn!r} is parked but still in the active set",
+                    invariant="parked_not_active",
+                    sim_time=self.sim.now)
+            if (txn.phase is not TxnPhase.PARKED
+                    or self.lock_table.num_held(txn) > 0
+                    or self.lock_table.is_waiting(txn)):
+                raise InvariantViolation(
+                    f"{txn!r} is in the cold set but phase="
+                    f"{txn.phase.value}, holds "
+                    f"{self.lock_table.num_held(txn)} locks, "
+                    f"waiting={self.lock_table.is_waiting(txn)}",
+                    invariant="parked_holds_nothing",
                     sim_time=self.sim.now)

@@ -32,6 +32,7 @@ class TxnPhase(enum.Enum):
     UPDATING = "updating"        # active: writing deferred updates
     COMMITTED = "committed"
     ABORTED = "aborted"          # transient, between abort and re-queue
+    PARKED = "parked"            # passivated into the cold set
 
 
 class Transaction:

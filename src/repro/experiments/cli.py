@@ -6,7 +6,9 @@ Usage::
     repro-experiment run fig07 [--scale smoke|bench|paper] [--jobs N]
     repro-experiment run all   [--scale bench] [--cache-dir .repro-cache]
     repro-experiment run fig07 --verify[=every|sampled|commit]
+    repro-experiment simulate --controller malthusian --terminals 200
     repro-experiment verify golden [--update]
+    repro-experiment verify envelope [--scale smoke]
 
 ``--jobs N`` fans independent simulation runs out over N worker
 processes; results are bit-identical to ``--jobs 1``.  ``--cache-dir``
@@ -48,6 +50,12 @@ def _positive_float(text: str) -> float:
     if value <= 0.0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
+
+
+# `simulate --controller` choices.  Builders are resolved lazily in
+# _simulate_command so parser construction stays import-light.
+_CONTROLLER_CHOICES = ("hh", "fixed", "none", "tay", "malthusian",
+                       "analytic")
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
@@ -202,9 +210,42 @@ def build_parser() -> argparse.ArgumentParser:
                            help=("where to write the summary JSON "
                                  "(default: <dir>/sweep_summary.json)"))
 
+    sim_p = sub.add_parser(
+        "simulate",
+        help=("run one simulation under a named controller and print "
+              "its summary line"))
+    sim_p.add_argument("--controller", default="hh",
+                       choices=sorted(_CONTROLLER_CHOICES),
+                       help="load-control policy (default: hh)")
+    sim_p.add_argument("--terminals", type=_positive_int, default=100,
+                       metavar="N", help="number of terminals "
+                       "(default: 100)")
+    sim_p.add_argument("--db-size", type=_positive_int, default=1000,
+                       metavar="PAGES",
+                       help="database size in pages (default: 1000)")
+    sim_p.add_argument("--write-prob", type=float, default=0.25,
+                       metavar="W",
+                       help="per-page write probability (default: 0.25)")
+    sim_p.add_argument("--mpl", type=_positive_int, default=None,
+                       metavar="N",
+                       help=("admission limit for --controller fixed "
+                             "(default: 50)"))
+    sim_p.add_argument("--seed", type=int, default=42,
+                       help="master random seed (default: 42)")
+    sim_p.add_argument("--scale", default="smoke",
+                       choices=["smoke", "bench", "paper"],
+                       help="measurement scale (default: smoke)")
+    sim_p.add_argument("--verify", nargs="?", const="sampled",
+                       default=None, metavar="CADENCE",
+                       choices=["every", "sampled", "commit"],
+                       help=("run under the invariant checker and "
+                             "shadow lock table (cadence as for "
+                             "'run')"))
+
     ver_p = sub.add_parser(
         "verify",
-        help="correctness tooling: golden-run manifest management")
+        help=("correctness tooling: golden-run manifests and the "
+              "analytic throughput envelope"))
     ver_sub = ver_p.add_subparsers(dest="verify_command", required=True)
     ver_golden = ver_sub.add_parser(
         "golden",
@@ -218,6 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     ver_golden.add_argument(
         "--path", metavar="PATH", default=None,
         help="manifest location (default: tests/goldens/golden_runs.json)")
+    ver_env = ver_sub.add_parser(
+        "envelope",
+        help=("run the pinned bench configurations and check simulated "
+              "throughput against the analytic mean-value model's "
+              "predicted envelope"))
+    ver_env.add_argument("--scale", default="smoke",
+                         choices=["smoke", "full"],
+                         help="bench scale to run at (default: smoke)")
     return parser
 
 
@@ -329,7 +378,69 @@ def _verify_config(args):
                               evidence_dir=args.verify_evidence_dir)
 
 
+def _make_cli_controller(name: str, params, mpl):
+    """Build the controller the ``simulate`` subcommand asked for."""
+    if name == "hh":
+        from repro.core.half_and_half import HalfAndHalfController
+        return HalfAndHalfController()
+    if name == "fixed":
+        from repro.control.fixed_mpl import FixedMPLController
+        return FixedMPLController(mpl if mpl is not None else 50)
+    if name == "none":
+        from repro.control.no_control import NoControlController
+        return NoControlController()
+    if name == "tay":
+        from repro.control.tay import TayRuleController
+        return TayRuleController.from_params(params)
+    if name == "malthusian":
+        from repro.control.malthusian import MalthusianController
+        return MalthusianController()
+    if name == "analytic":
+        from repro.control.analytic import AnalyticMPCController
+        return AnalyticMPCController()
+    raise ReproError(f"unknown controller {name!r}")
+
+
+def _simulate_command(args) -> int:
+    from repro.dbms.config import SimulationParameters
+    from repro.experiments.runner import run_simulation
+    from repro.experiments.scales import get_scale
+
+    if args.mpl is not None and args.controller != "fixed":
+        raise ReproError("--mpl only applies to --controller fixed")
+    scale = get_scale(args.scale)
+    params = scale.apply(SimulationParameters(
+        num_terms=args.terminals, db_size=args.db_size,
+        write_prob=args.write_prob, seed=args.seed))
+    controller = _make_cli_controller(args.controller, params, args.mpl)
+    verify = None
+    if args.verify is not None:
+        from repro.verify import VerifyConfig
+        verify = VerifyConfig.parse(args.verify)
+    results = run_simulation(params, controller, verify=verify)
+    print(results.summary_line())
+    if args.verify is not None:
+        print("verification: no invariant violations", file=sys.stderr)
+    return 0
+
+
+def _envelope_command(args) -> int:
+    from repro.verify.envelope import check_envelope
+    results = check_envelope(scale=args.scale, raise_on_failure=False)
+    for result in results:
+        print(result.summary_line())
+    failures = [r for r in results if not r.passed]
+    if failures:
+        print(f"{len(failures)}/{len(results)} bench entries escaped "
+              f"the analytic envelope", file=sys.stderr)
+        return 1
+    print(f"{len(results)} bench entries inside the analytic envelope")
+    return 0
+
+
 def _verify_command(args) -> int:
+    if args.verify_command == "envelope":
+        return _envelope_command(args)
     from repro.verify import check_goldens, update_goldens
     if args.update:
         path = update_goldens(args.path)
@@ -450,6 +561,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    verify=_verify_config(args)):
                 path = generate_report(get_scale(args.scale), args.out)
             print(f"wrote {path}", file=sys.stderr)
+        elif args.command == "simulate":
+            return _simulate_command(args)
         elif args.command == "telemetry":
             return _telemetry_command(args)
         elif args.command == "verify":

@@ -12,6 +12,7 @@ from typing import Dict, List
 
 from repro.errors import ExperimentError
 from repro.experiments.figures import (
+    ext_controller_bakeoff,
     ext_distributed,
     ext_distributed_failures,
     ext_fault_recovery,
@@ -69,6 +70,7 @@ _MODULES = [
     ext_distributed,
     ext_distributed_failures,
     ext_fault_recovery,
+    ext_controller_bakeoff,
 ]
 
 REGISTRY: Dict[str, FigureSpec] = {

@@ -53,6 +53,52 @@ Livny, *Load Control for Locking: The 'Half-and-Half' Approach* (1990).
   Roll a whole sweep up with ``repro-experiment telemetry sweep tel/``:
   one ``sweep_summary.json`` with per-run onset estimates, the knee of
   each MPL→throughput curve, and the sweep-wide hottest pages.
+* Finding out where the *simulator's own wall time* goes (as opposed
+  to the simulated system's): rerun with ``--telemetry-dir tel/
+  --spans --perf --alloc`` and open ``tel/<run>/flame.speedscope.json``
+  in speedscope (or feed ``flame.collapsed`` to any flamegraph tool).
+  Reading the flamegraph: frames nest **phase → subsystem → event type
+  → page class**, so the first split tells you whether warmup is
+  eating the run, the second whether time sits in ``dbms.system``
+  state transitions or ``sim.resources.cpu`` / ``sim.resources.disk``
+  service completions, and the
+  leaf whether the read set or the commit path dominates.  Wide
+  ``read_page`` leaves under ``request_lock`` with a thrashing
+  workload are expected (every page touch is a lock request); a wide
+  ``commit_path`` under a *light* workload usually means per-commit
+  bookkeeping grew.  Per-event-type ns/event lives in ``perf.json``
+  and the dashboard's perf section; ``trace.json`` opens in Perfetto
+  to scrub individual transactions against the State 1–4 counter
+  tracks.  The profiled loop pays the hook cost, so compare profiled
+  rates only with profiled rates — the hook-free numbers come from
+  ``python -m repro.bench run``, whose trajectory over time is kept by
+  ``bench run --history`` / ``bench history``.
+* Reading ``ext_controller_bakeoff``: the four series differ in their
+  *shedding currency*, not just throughput.  Half-and-Half pays in
+  discarded work (its abort column grows fast past the knee);
+  Malthusian pays in parked time (aborts stay near the deadlock-only
+  floor because excess waiters are passivated with their state intact);
+  Analytic MPC pays in idle terminals (it never sheds, it just refuses
+  to admit past its model's argmax).  Passivation wins wherever
+  overload is *population* pressure — uniform workloads past the knee,
+  where the cheapest fix is simply fewer concurrent transactions and
+  aborting a blocked transaction wastes its finished reads.
+  Abort-shedding keeps an edge where overload is a *formed clot* — a
+  hot-spot convoy whose members already hold locks on the hot pages:
+  aborting a convoy member releases its locks and dissolves the clot,
+  while passivation (restricted to zero-lock waiters, anything
+  stronger would strand locks in the cold set) can only prevent the
+  next convoy, never unwind the current one.  Compare the hotspot
+  series with the abort extras to see both regimes in one figure.
+* Reading a model-refit trail: rerun any Analytic MPC point with
+  ``--telemetry-dir tel/`` and filter ``decisions.jsonl`` for
+  ``"action": "refit"``.  Each refit row logs the newly fitted
+  conflict coefficient in ``measure`` and the admission-target move in
+  ``detail`` (``mpl old -> new``); a healthy trail converges — target
+  changes shrink toward zero — while a drifting workload shows the
+  target tracking the drift.  The ``shrink_cap`` /``passivate`` /
+  ``readmit`` actions give the same offline replay for Malthusian's
+  AIMD cap.
 * ``ext_distributed_failures`` is a *time series*, not a sweep: a
   four-site cluster under the failure-realistic model (lossy messages
   with retries, real 2PC with in-doubt participants) rides through a

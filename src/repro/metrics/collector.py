@@ -100,6 +100,7 @@ class Collector:
         self.state3 = TimeWeightedValue(0.0, start_time)
         self.state4 = TimeWeightedValue(0.0, start_time)
         self.ready_queue = TimeWeightedValue(0.0, start_time)
+        self.parked = TimeWeightedValue(0.0, start_time)
 
     # ------------------------------------------------------------------
     # Event hooks (called by the DBMS system)
@@ -188,6 +189,15 @@ class Collector:
     def set_ready_queue_length(self, now: float, length: int) -> None:
         self.ready_queue.update(length, now)
 
+    def set_parked_count(self, now: float, count: int) -> None:
+        """Record the passivated (cold-set) population.
+
+        Kept out of :meth:`set_populations` deliberately: parking is a
+        rare controller decision, so the hot path stays five gauges
+        wide and only passivation/readmission pays this update.
+        """
+        self.parked.update(count, now)
+
     # ------------------------------------------------------------------
     # Conservation laws (consumed by repro.verify.InvariantChecker)
     # ------------------------------------------------------------------
@@ -259,6 +269,7 @@ class Collector:
             "restarts_of_committed": self.restarts_of_committed,
             "active": self.active.current,
             "ready_queue": self.ready_queue.current,
+            "parked": self.parked.current,
         }
 
     # ------------------------------------------------------------------

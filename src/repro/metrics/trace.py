@@ -31,6 +31,8 @@ class TraceEventType(enum.Enum):
     BLOCK = "block"
     UNBLOCK = "unblock"
     MATURE = "mature"
+    PARK = "park"                # passivated into the cold set
+    UNPARK = "unpark"            # readmitted from the cold set
     DEADLOCK_ABORT = "deadlock_abort"
     LOAD_CONTROL_ABORT = "load_control_abort"
     WAIT_POLICY_ABORT = "wait_policy_abort"

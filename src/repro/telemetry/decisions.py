@@ -33,6 +33,12 @@ class DecisionAction:
     ADMIT_ON_COMMIT = "admit_on_commit"  # replacement admitted at commit
     CARRY_ADMIT = "carry_admit"        # commit found the queue empty;
     #                                    next arrival pre-authorised
+    PASSIVATE = "passivate"            # overload victim parked (cold set)
+    READMIT = "readmit"                # parked txn readmitted (LIFO)
+    SHRINK_CAP = "shrink_cap"          # congestion: population cap
+    #                                    halved (AIMD decrease)
+    REFIT = "refit"                    # analytic model refit to new
+    #                                    conflict/abort observations
     FAULT_BEGIN = "fault_begin"        # injected fault window opened
     FAULT_END = "fault_end"            # injected fault window closed
     # Distributed failure model (system-level events recorded by

@@ -65,6 +65,9 @@ class ProbeSample:
     # Raw pages processed by all transactions (the sweep rollup derives
     # per-interval page throughput — the paper's y-axis — from this).
     cum_pages: int = 0
+    # Passivated (cold-set) population; non-zero only under controllers
+    # that park instead of abort (repro.control.malthusian).
+    parked: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """A flat JSON-serializable record."""
@@ -93,6 +96,7 @@ class ProbeSample:
             "cum_aborts_by_reason": dict(
                 sorted(self.cum_aborts_by_reason.items())),
             "cum_pages": self.cum_pages,
+            "parked": self.parked,
         }
 
 
@@ -214,4 +218,5 @@ class ProbeScheduler:
             cum_aborts=collector.aborts,
             cum_aborts_by_reason=dict(collector.aborts_by_reason),
             cum_pages=int(collector.raw_pages),
+            parked=len(system.parked),
         )

@@ -91,7 +91,7 @@ PROBE_SCHEMA: Dict[str, Any] = {
         "locks_held", "locked_pages",
         "cum_lock_requests", "cum_lock_blocks",
         "cum_commits", "cum_aborts", "cum_aborts_by_reason",
-        "cum_pages",
+        "cum_pages", "parked",
     ],
     "properties": {
         "time": {"type": "number"},
@@ -117,6 +117,7 @@ PROBE_SCHEMA: Dict[str, Any] = {
         "cum_aborts": {"type": "integer"},
         "cum_aborts_by_reason": {"type": "object"},
         "cum_pages": {"type": "integer"},
+        "parked": {"type": "integer"},
     },
 }
 

@@ -238,6 +238,16 @@ class SpanRecorder:
         """The blocked transaction's lock was granted."""
         self._close_span(txn)
 
+    def on_passivate(self, txn: "Transaction") -> None:
+        """The transaction was parked into the cold set.
+
+        Closes the open ``lock_wait`` span; the parked stretch itself
+        is deliberately unattributed (it resembles the ready queue but
+        has no admission-order semantics), and readmission re-enters
+        through the normal admission path.
+        """
+        self._close_span(txn)
+
     def on_abort(self, txn: "Transaction", reason: str) -> None:
         """Abort: close whatever was open, start the restart gap.
 

@@ -15,6 +15,10 @@ Three layers, all optional and zero-cost when off:
 3. **Golden-run manifests** — :mod:`repro.verify.golden` pins sha256
    hashes of the bench suite's results and traces, turning "the
    simulated trajectory changed" into a test failure.
+4. **Analytic envelope** — :func:`check_envelope` bounds simulated
+   throughput with the mean-value model of
+   :mod:`repro.control.analytic`: goldens pin *change*, the envelope
+   pins *plausibility*.
 
 Enable on a run with ``run_simulation(..., verify=VerifyConfig())`` or
 the CLI's ``--verify`` flag.
@@ -30,6 +34,7 @@ from repro.verify.distributed import (
     DistributedInvariantChecker,
     check_quiesce,
 )
+from repro.verify.envelope import EnvelopeResult, check_envelope
 from repro.verify.golden import (
     check_goldens,
     compute_golden_manifest,
@@ -53,6 +58,8 @@ __all__ = [
     "reference_classify_region",
     "ShadowLockTable",
     "canonical_grants",
+    "EnvelopeResult",
+    "check_envelope",
     "check_goldens",
     "compute_golden_manifest",
     "default_golden_path",

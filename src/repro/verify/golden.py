@@ -21,7 +21,10 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.bench.suite import suite_for
+from repro.bench.suite import BenchEntry, suite_for
+from repro.control.analytic import AnalyticMPCController
+from repro.control.malthusian import MalthusianController
+from repro.dbms.config import SimulationParameters
 from repro.experiments.export import results_to_dict
 from repro.experiments.runner import run_simulation
 from repro.metrics.trace import Tracer
@@ -29,7 +32,8 @@ from repro.telemetry.export import trace_event_to_dict
 
 __all__ = ["GOLDEN_SCALE", "MANIFEST_FORMAT", "default_golden_path",
            "compute_golden_manifest", "load_golden_manifest",
-           "compare_manifests", "check_goldens", "update_goldens"]
+           "compare_manifests", "check_goldens", "update_goldens",
+           "extra_golden_entries"]
 
 PathLike = Union[str, Path]
 
@@ -53,10 +57,29 @@ def _canonical_sha256(payload) -> str:
     return hashlib.sha256(encoded).hexdigest()
 
 
+def extra_golden_entries(scale: str = GOLDEN_SCALE) -> List[BenchEntry]:
+    """Golden-only pinned configurations, beyond the bench suite.
+
+    The bench suite is a schema (BENCH_*.json comparisons key on its
+    entries), so configurations that exist to pin *trajectories* rather
+    than wall clock live here: one Malthusian run hot enough to drive
+    passivation/readmission churn, and one analytic-MPC run with
+    several refit epochs.
+    """
+    from repro.bench.suite import SCALES
+    overrides = SCALES[scale]
+    contended = SimulationParameters(num_terms=100, db_size=300,
+                                     write_prob=0.5, **overrides)
+    return [
+        BenchEntry("malthusian_hot", contended, MalthusianController),
+        BenchEntry("analytic_mpc_hot", contended, AnalyticMPCController),
+    ]
+
+
 def compute_golden_manifest(scale: str = GOLDEN_SCALE) -> Dict:
     """Run every pinned bench entry and hash its results and trace."""
     entries = {}
-    for entry in suite_for(scale):
+    for entry in (*suite_for(scale), *extra_golden_entries(scale)):
         tracer = Tracer(capacity=None)
         results = run_simulation(entry.params, entry.make_controller(),
                                  tracer=tracer)

@@ -29,8 +29,14 @@ catalog below over the *quiescent* simulation state between events:
     set, and holds/waits for nothing; the collector's ready-queue and
     MPL gauges equal the recomputed values.
 ``population_conservation``
-    Closed system: active + ready-queued + in-flight terminal events
-    (pending ``_terminal_submits`` / ``_arrival``) equals ``num_terms``.
+    Closed system: active + ready-queued + parked (the Malthusian cold
+    set) + in-flight terminal events (pending ``_terminal_submits`` /
+    ``_arrival``) equals ``num_terms``.
+``parked_accounting``
+    Every cold-set transaction is in phase PARKED, outside the active
+    set, holds/waits for nothing (enforced by
+    :meth:`DBMSSystem.check_invariants`), and the collector's parked
+    gauge equals the cold set's size.
 ``metrics_conservation``
     :meth:`Collector.conservation_errors` — the pure counter laws
     (aborts by reason sum up, committed pages ≤ raw pages, per-class
@@ -118,6 +124,7 @@ class InvariantChecker:
             if self.config.shadow_regions:
                 self._check_region_shadow()
             self._check_ready_queue_accounting()
+            self._check_parked_accounting()
             self._check_population_conservation()
             self._check_metrics_conservation()
             self._check_buffer_bounds()
@@ -215,12 +222,26 @@ class InvariantChecker:
                 f"{tracker.n_active} transactions are active",
                 gauge=gauges["active"], actual=tracker.n_active)
 
+    def _check_parked_accounting(self) -> None:
+        system = self.system
+        # Phase/membership/lock checks on the cold set live in
+        # DBMSSystem.check_invariants (run by _check_system_consistency);
+        # here we pin the collector's gauge against the actual set.
+        gauges = system.collector.counters_dict()
+        if gauges["parked"] != len(system.parked):
+            self._violate(
+                "parked_accounting",
+                f"collector parked gauge {gauges['parked']} but the "
+                f"cold set holds {len(system.parked)}",
+                gauge=gauges["parked"], actual=len(system.parked))
+
     def _check_population_conservation(self) -> None:
         system = self.system
         if not system._started:
             return
         breakdown = self._population_breakdown()
         total = (breakdown["active"] + breakdown["ready_queue"]
+                 + breakdown["parked"]
                  + breakdown["pending_submits"]
                  + breakdown["pending_arrivals"])
         if total != system.params.num_terms:
@@ -244,6 +265,7 @@ class InvariantChecker:
         return {
             "active": system.tracker.n_active,
             "ready_queue": len(system.ready_queue),
+            "parked": len(system.parked),
             "pending_submits": pending_submits,
             "pending_arrivals": pending_arrivals,
         }

@@ -1,0 +1,161 @@
+"""Unit tests for the analytic throughput model and MPC controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.analytic import (
+    AnalyticMPCController,
+    conflict_coefficient,
+    optimal_mpl,
+    predict_throughput,
+)
+from repro.dbms.config import SimulationParameters
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_simulation
+from repro.telemetry import DecisionLog
+from repro.verify import VerifyConfig
+
+
+# ----------------------------------------------------------------------
+# The pure model
+# ----------------------------------------------------------------------
+
+def test_conflict_coefficient_base_case():
+    # D_e = 1000/0.4375, r = 10: coeff = 10*8 / (4 * 2285.7)
+    assert conflict_coefficient(8, 1000, 0.25) == pytest.approx(
+        80.0 / (4.0 * 1000.0 / 0.4375))
+
+
+def test_conflict_coefficient_read_only_is_zero():
+    # No writes -> S locks never conflict; unlike Tay's rule this is a
+    # well-defined point of the model (no contention), not an error.
+    assert conflict_coefficient(8, 1000, 0.0) == 0.0
+
+
+def test_conflict_coefficient_validation():
+    with pytest.raises(ConfigurationError):
+        conflict_coefficient(0, 1000, 0.25)
+    with pytest.raises(ConfigurationError):
+        conflict_coefficient(8, 0, 0.25)
+    with pytest.raises(ConfigurationError):
+        conflict_coefficient(8, 1000, 1.5)
+
+
+def test_predict_validation():
+    with pytest.raises(ConfigurationError):
+        predict_throughput(0, 8, 1000, 0.25)
+    with pytest.raises(ConfigurationError):
+        predict_throughput(10, 8, 1000, 0.25, efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        predict_throughput(10, 8, 1000, 0.25, efficiency=1.5)
+    with pytest.raises(ConfigurationError):
+        predict_throughput(10, 8, 1000, 0.25, conflict_coeff=-0.1)
+    with pytest.raises(ConfigurationError):
+        predict_throughput(10, 8, 1000, 0.25, page_io=-1.0)
+    with pytest.raises(ConfigurationError):
+        predict_throughput(10, 8, 1000, 0.25, page_cpu=0.0, page_io=0.0)
+
+
+def test_read_only_workload_hits_resource_bound():
+    # w = 0: no contention at any MPL; throughput saturates at the
+    # disk bound and never declines.
+    rates = [predict_throughput(m, 8, 1000, 0.0) for m in (1, 10, 100)]
+    assert rates == sorted(rates)
+    # disk bound: num_disks / (k * page_io) transactions/s * k pages
+    assert rates[-1] == pytest.approx(5.0 / 0.035)
+
+
+def test_curve_is_unimodal_under_contention():
+    rates = [predict_throughput(m, 8, 300, 0.5) for m in range(1, 201)]
+    peak = rates.index(max(rates))
+    assert all(a <= b + 1e-12
+               for a, b in zip(rates[:peak], rates[1:peak + 1]))
+    assert all(a >= b - 1e-12
+               for a, b in zip(rates[peak:], rates[peak + 1:]))
+
+
+def test_high_contention_optimum_is_interior():
+    # Small hot database: the model must pick a modest MPL, not
+    # max_mpl (the earlier linear-cap artifact admitted 115 here).
+    best = optimal_mpl(200, 8, 300, 0.5)
+    assert 2 <= best <= 20
+
+
+def test_low_contention_optimum_at_resource_knee():
+    # Base case: the disk saturates around MPL 6; admitting more buys
+    # nothing, so the argmax (ties go low) sits at the knee.
+    best = optimal_mpl(200, 8, 1000, 0.25)
+    assert 3 <= best <= 15
+
+
+def test_efficiency_scales_prediction():
+    full = predict_throughput(10, 8, 1000, 0.25)
+    half = predict_throughput(10, 8, 1000, 0.25, efficiency=0.5)
+    assert half == pytest.approx(full * 0.5)
+
+
+def test_optimal_mpl_validation():
+    with pytest.raises(ConfigurationError):
+        optimal_mpl(0, 8, 1000, 0.25)
+
+
+# ----------------------------------------------------------------------
+# The MPC controller
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def hot_params():
+    return SimulationParameters(num_terms=40, db_size=150, write_prob=0.5,
+                                warmup_time=2.0, num_batches=2,
+                                batch_time=5.0)
+
+
+def test_controller_validation():
+    with pytest.raises(ConfigurationError):
+        AnalyticMPCController(epoch_commits=0)
+    with pytest.raises(ConfigurationError):
+        AnalyticMPCController(smoothing=0.0)
+    with pytest.raises(ConfigurationError):
+        AnalyticMPCController(smoothing=1.5)
+
+
+def test_from_params_solves_prior():
+    params = SimulationParameters(num_terms=200)
+    controller = AnalyticMPCController.from_params(params)
+    assert controller.mpl == optimal_mpl(
+        200, params.tran_size, params.db_size, params.write_prob,
+        num_cpus=params.num_cpus, num_disks=params.num_disks,
+        page_cpu=params.page_cpu, page_io=params.page_io)
+
+
+def test_controller_refits_online(hot_params):
+    controller = AnalyticMPCController(epoch_commits=20)
+    results = run_simulation(hot_params, controller)
+    assert controller.refits > 0
+    assert results.commits > 0
+    # The refit coefficient stays a usable model input.
+    assert controller.conflict_coeff >= 0.0
+    assert 0.0 < controller.efficiency <= 1.0
+
+
+def test_refits_logged(hot_params):
+    controller = AnalyticMPCController(epoch_commits=20)
+    controller.decision_log = DecisionLog()
+    run_simulation(hot_params, controller)
+    refit_rows = [d for d in controller.decision_log
+                  if d.action == "refit"]
+    assert len(refit_rows) == controller.refits
+    assert all("coeff=" in row.detail for row in refit_rows)
+
+
+def test_controller_is_deterministic(hot_params):
+    first = run_simulation(hot_params, AnalyticMPCController())
+    second = run_simulation(hot_params, AnalyticMPCController())
+    assert first == second
+
+
+def test_controller_survives_full_verification(hot_params):
+    results = run_simulation(hot_params, AnalyticMPCController(),
+                             verify=VerifyConfig(cadence="every"))
+    assert results.commits > 0

@@ -1,0 +1,140 @@
+"""Unit tests for the Malthusian (passivating) controller."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.control.malthusian import MalthusianController
+from repro.dbms.config import SimulationParameters
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.runner import run_simulation
+from repro.metrics.trace import TraceEventType, Tracer
+from repro.telemetry import DecisionLog
+from repro.verify import VerifyConfig
+
+
+@pytest.fixture
+def hot_params():
+    """Contended enough that passivation actually fires."""
+    return SimulationParameters(num_terms=40, db_size=150, write_prob=0.5,
+                                warmup_time=2.0, num_batches=2,
+                                batch_time=5.0)
+
+
+def test_rejects_bad_delta():
+    with pytest.raises(ConfigurationError):
+        MalthusianController(delta=-0.1)
+    with pytest.raises(ConfigurationError):
+        MalthusianController(delta=0.5)
+
+
+def test_rejects_bad_threshold():
+    with pytest.raises(ConfigurationError):
+        MalthusianController(threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        MalthusianController(threshold=-1.0)
+
+
+def test_default_threshold_is_overload_boundary():
+    controller = MalthusianController(delta=0.025)
+    assert controller.threshold == pytest.approx(0.525)
+
+
+def test_name_reflects_mode():
+    assert "Malthusian" in MalthusianController().name
+    assert "off" in MalthusianController(threshold=math.inf).name
+
+
+def test_passivation_fires_under_contention(hot_params):
+    controller = MalthusianController()
+    run_simulation(hot_params, controller)
+    assert controller.passivations > 0
+    assert controller.readmissions > 0
+    # LIFO cold set readmits at commits and grants; it can never
+    # readmit more than it parked.
+    assert controller.readmissions <= controller.passivations
+
+
+def test_passivation_survives_full_verification(hot_params):
+    # The acceptance bar: passivation churn under cadence=every with
+    # the shadow lock table, and zero violations.
+    controller = MalthusianController()
+    results = run_simulation(hot_params, controller,
+                             verify=VerifyConfig(cadence="every"))
+    assert controller.passivations > 0
+    assert results.commits > 0
+
+
+def test_park_unpark_events_traced(hot_params):
+    tracer = Tracer(capacity=None)
+    run_simulation(hot_params, MalthusianController(), tracer=tracer)
+    kinds = {event.event_type for event in tracer}
+    assert TraceEventType.PARK in kinds
+    assert TraceEventType.UNPARK in kinds
+
+
+def test_decisions_logged(hot_params):
+    controller = MalthusianController()
+    controller.decision_log = DecisionLog()
+    run_simulation(hot_params, controller)
+    actions = {d.action for d in controller.decision_log}
+    assert "passivate" in actions
+    assert "readmit" in actions
+
+
+def test_infinite_threshold_never_passivates(hot_params):
+    controller = MalthusianController(threshold=math.inf)
+    run_simulation(hot_params, controller)
+    assert controller.passivations == 0
+    assert controller.readmissions == 0
+
+
+class _PassivateGrantedTxn(MalthusianController):
+    """Broken on purpose: passivates the transaction that was just
+    granted a lock (running, lock-holding — ineligible twice over)."""
+
+    def on_lock_granted(self, txn):
+        self.system.passivate_transaction(txn)
+
+
+def test_passivating_unblocked_txn_raises(hot_params):
+    with pytest.raises(SimulationError, match="passivate"):
+        run_simulation(hot_params, _PassivateGrantedTxn())
+
+
+def test_parked_gauge_exported_in_probes(hot_params, tmp_path):
+    import json
+
+    from repro.telemetry import TelemetrySession
+    run_dir = tmp_path / "malthusian_probe_test"
+    session = TelemetrySession(run_dir, probe_interval=0.5)
+    run_simulation(hot_params, MalthusianController(), telemetry=session)
+    rows = [json.loads(line) for line in
+            (run_dir / "probes.jsonl").read_text().splitlines()]
+    assert all("parked" in row for row in rows)
+    assert any(row["parked"] > 0 for row in rows)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [1, 7, 20260808])
+def test_soak_passivation_churn_fully_verified(seed):
+    """Multi-seed soak: a heavily overloaded run whose congestion
+    episodes fill and drain the cold set repeatedly, under
+    cadence=every invariant checking and the shadow lock table.  Any
+    bucket mis-accounting in the park/readmit cycle has every event in
+    a long run as a chance to surface here.  (Culling is episodic by
+    design — it fires only while the smoothed congestion signal is
+    latched and a zero-lock victim exists — so the bar is a handful of
+    full park/readmit cycles per seed, not hundreds.)"""
+    params = SimulationParameters(num_terms=150, db_size=150,
+                                  write_prob=0.5, seed=seed,
+                                  warmup_time=5.0, num_batches=4,
+                                  batch_time=10.0)
+    controller = MalthusianController()
+    results = run_simulation(params, controller,
+                             verify=VerifyConfig(cadence="every"))
+    assert results.commits > 0
+    assert controller.passivations >= 5
+    assert controller.readmissions >= 5

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.control.tay import (
@@ -25,8 +23,27 @@ def test_effective_db_size_pure_writes():
     assert effective_db_size(1000, 1.0) == pytest.approx(1000.0)
 
 
-def test_effective_db_size_read_only_is_infinite():
-    assert math.isinf(effective_db_size(1000, 0.0))
+def test_effective_db_size_read_only_raises():
+    # w = 0: S locks never conflict; the rule is undefined, and the
+    # boundary must surface as a typed error, not an infinite MPL.
+    with pytest.raises(ConfigurationError, match="read-only"):
+        effective_db_size(1000, 0.0)
+
+
+def test_effective_db_size_rejects_bad_inputs():
+    with pytest.raises(ConfigurationError):
+        effective_db_size(0, 0.25)
+    with pytest.raises(ConfigurationError):
+        effective_db_size(1000, 1.5)
+    with pytest.raises(ConfigurationError):
+        effective_db_size(1000, -0.1)
+
+
+def test_effective_db_size_near_zero_write_prob_is_finite():
+    # Arbitrarily small but non-zero w stays defined (and enormous).
+    d_eff = effective_db_size(1000, 1e-9)
+    assert d_eff > 1000
+    assert d_eff != float("inf")
 
 
 def test_paper_size72_gives_mpl_1():
@@ -46,13 +63,31 @@ def test_mpl_monotone_decreasing_in_txn_size():
     assert mpls == sorted(mpls, reverse=True)
 
 
-def test_read_only_workload_capped():
-    assert tay_mpl(1000, 8, 0.0, max_mpl=200) == 200
+def test_read_only_workload_raises():
+    # Formerly returned max_mpl (an MPL of a billion by default);
+    # now the undefined boundary is a ConfigurationError.
+    with pytest.raises(ConfigurationError, match="read-only"):
+        tay_mpl(1000, 8, 0.0, max_mpl=200)
+
+
+def test_pure_write_workload_uses_plain_db_size():
+    # w = 1: D_e = D, so N = 1.5 * 1000 / 64 = 23.4 -> 23.
+    assert tay_mpl(1000, 8, 1.0) == 23
+
+
+def test_tiny_db_floors_at_one():
+    # The formula yields < 1 for a tiny database; the floor holds.
+    assert tay_mpl(10, 8, 0.5) == 1
 
 
 def test_invalid_tran_size():
     with pytest.raises(ConfigurationError):
         tay_mpl(1000, 0, 0.25)
+
+
+def test_invalid_max_mpl():
+    with pytest.raises(ConfigurationError):
+        tay_mpl(1000, 8, 0.25, max_mpl=0)
 
 
 def test_controller_from_params_caps_at_terminals():

@@ -61,6 +61,7 @@ def test_registry_covers_all_paper_figures():
     expected.add("ext_distributed")
     expected.add("ext_distributed_failures")
     expected.add("ext_fault_recovery")
+    expected.add("ext_controller_bakeoff")
     assert set(REGISTRY) == expected
 
 
@@ -75,7 +76,7 @@ def test_get_figure_lookup():
 def test_all_figures_in_order():
     ids = [s.figure_id for s in all_figures()]
     assert ids[0] == "fig01"
-    assert ids[-1] == "ext_fault_recovery"
+    assert ids[-1] == "ext_controller_bakeoff"
     assert len(ids) == len(set(ids))
 
 

@@ -2,8 +2,9 @@
 
 The committed manifest at ``tests/goldens/golden_runs.json`` pins a
 sha256 of the results and of the full lifecycle trace for every bench
-suite entry at smoke scale.  ``test_goldens_reproduce`` re-runs all five
-and diffs — a failure means the simulated trajectory changed.  If the
+suite entry at smoke scale, plus the controller-coverage extras
+(``extra_golden_entries``).  ``test_goldens_reproduce`` re-runs them
+all and diffs — a failure means the simulated trajectory changed.  If the
 change is intentional, regenerate with::
 
     PYTHONPATH=src python -m repro.experiments.cli verify golden --update
@@ -20,6 +21,7 @@ from repro.bench.suite import suite_for
 from repro.verify.golden import (GOLDEN_SCALE, MANIFEST_FORMAT,
                                  check_goldens, compare_manifests,
                                  default_golden_path,
+                                 extra_golden_entries,
                                  load_golden_manifest, update_goldens)
 
 
@@ -29,9 +31,13 @@ def test_manifest_is_committed_and_well_formed():
     manifest = load_golden_manifest()
     assert manifest["format"] == MANIFEST_FORMAT
     assert manifest["scale"] == GOLDEN_SCALE
-    expected_names = {entry.name for entry in suite_for(GOLDEN_SCALE)}
+    expected_names = {entry.name
+                      for entry in (*suite_for(GOLDEN_SCALE),
+                                    *extra_golden_entries(GOLDEN_SCALE))}
     assert set(manifest["entries"]) == expected_names
-    assert len(expected_names) == 5
+    # The five bench-suite configs plus the controller-coverage extras
+    # (the passivating and model-predictive controllers, pinned hot).
+    assert len(expected_names) == 7
     for entry in manifest["entries"].values():
         assert len(entry["results_sha256"]) == 64
         assert len(entry["trace_sha256"]) == 64

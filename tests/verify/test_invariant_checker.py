@@ -196,3 +196,68 @@ def test_corrupted_grant_path_caught_by_shadow_reference(
         run_simulation(tiny_params, FixedMPLController(8), verify=config)
     assert "real" in exc_info.value.evidence
     assert "reference" in exc_info.value.evidence
+
+
+# ----------------------------------------------------------------------
+# Parked (cold-set) accounting: a controller that loses a passivated
+# transaction cannot survive a check
+# ----------------------------------------------------------------------
+
+def _parked_system(cadence="sampled"):
+    """A verified Malthusian system run hot until the cold set fills."""
+    from repro.control.malthusian import MalthusianController
+    from repro.dbms.config import SimulationParameters
+
+    params = SimulationParameters(num_terms=40, db_size=150,
+                                  write_prob=0.5, warmup_time=2.0,
+                                  num_batches=2, batch_time=5.0)
+    config = VerifyConfig(cadence=cadence, sample_events=64)
+    system = DBMSSystem(params=params, controller=MalthusianController())
+    checker = InvariantChecker(config)
+    checker.attach(system)
+    system.start()
+    deadline = params.total_time
+    now = 0.0
+    while not system.parked and now < deadline:
+        now += 0.5
+        system.sim.run(until=now)
+    assert system.parked, "expected passivation under this contention"
+    return system, checker
+
+
+def test_losing_parked_txn_breaks_gauge_accounting():
+    system, checker = _parked_system()
+    system.parked.pop()        # a broken controller "loses" a parked txn
+    with pytest.raises(InvariantViolation) as exc_info:
+        checker.check_all(context="lost parked txn")
+    violation = exc_info.value
+    assert violation.invariant == "parked_accounting"
+    assert violation.context == "lost parked txn"
+    assert violation.evidence["gauge"] == violation.evidence["actual"] + 1
+
+
+def test_losing_parked_txn_breaks_population_conservation():
+    system, checker = _parked_system()
+    # Cover the tracks at the gauge level too: the population ledger
+    # still notices that a terminal's transaction no longer exists
+    # anywhere, and its evidence must break out the parked bucket.
+    system.parked.pop()
+    system.collector.set_parked_count(system.sim.now,
+                                      len(system.parked))
+    with pytest.raises(InvariantViolation) as exc_info:
+        checker.check_all()
+    violation = exc_info.value
+    assert violation.invariant == "population_conservation"
+    assert "parked" in violation.evidence
+    assert violation.evidence["parked"] == len(system.parked)
+
+
+def test_parked_txn_left_in_tracker_is_caught():
+    system, checker = _parked_system()
+    # The inverse corruption: a transaction recorded as both parked and
+    # active.  The system's own structural sweep rejects it.
+    victim = system.parked[-1]
+    system.tracker.add(victim, system.sim.now)
+    with pytest.raises(InvariantViolation) as exc_info:
+        checker.check_all()
+    assert exc_info.value.invariant == "parked_not_active"

@@ -8,10 +8,16 @@ the results to match bit for bit.
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
+from repro.control.analytic import AnalyticMPCController
 from repro.control.fixed_mpl import FixedMPLController
+from repro.control.malthusian import MalthusianController
+from repro.control.no_control import NoControlController
 from repro.core.half_and_half import HalfAndHalfController
+from repro.experiments.export import results_to_dict
 from repro.experiments.parallel import (RunSpec, execution_context,
                                         run_specs, spec_key)
 from repro.experiments.runner import run_simulation
@@ -74,6 +80,79 @@ def test_time_unit_scaling_preserves_counts(tiny_params, k):
     # Rates scale by exactly 1/k (power-of-two scaling is exact).
     assert scaled.page_throughput.mean * k == base.page_throughput.mean
     assert scaled.raw_page_rate.mean * k == base.raw_page_rate.mean
+
+
+# ----------------------------------------------------------------------
+# Controller equivalences: a policy with its distinguishing mechanism
+# disabled must be bit-identical to the policy it degenerates into
+# ----------------------------------------------------------------------
+
+def _ignoring_controller_name(results):
+    data = results_to_dict(results)
+    data.pop("controller")
+    return data
+
+
+def _trace_of(params, controller):
+    tracer = Tracer(capacity=None)
+    run_simulation(params, controller, tracer=tracer)
+    return [trace_event_to_dict(e) for e in tracer]
+
+
+def test_no_control_equals_unreachable_fixed_mpl(tiny_params):
+    """A FixedMPL door no arrival can ever find closed (limit >= the
+    terminal count in a closed system) admits exactly like NoControl."""
+    fixed = run_simulation(tiny_params,
+                           FixedMPLController(tiny_params.num_terms))
+    none = run_simulation(tiny_params, NoControlController())
+    assert (_ignoring_controller_name(fixed)
+            == _ignoring_controller_name(none))
+    assert (_trace_of(tiny_params,
+                      FixedMPLController(tiny_params.num_terms))
+            == _trace_of(tiny_params, NoControlController()))
+
+
+def test_malthusian_with_infinite_threshold_equals_no_control(tiny_params):
+    """With passivation disabled, every Malthusian hook degenerates to
+    no-control behaviour; the trajectories must match bit for bit."""
+    malthusian = run_simulation(tiny_params,
+                                MalthusianController(threshold=math.inf))
+    none = run_simulation(tiny_params, NoControlController())
+    assert (_ignoring_controller_name(malthusian)
+            == _ignoring_controller_name(none))
+    assert (_trace_of(tiny_params,
+                      MalthusianController(threshold=math.inf))
+            == _trace_of(tiny_params, NoControlController()))
+
+
+def test_malthusian_inf_threshold_equivalence_under_contention():
+    """The identity must also hold where passivation *would* fire —
+    a hot configuration, not just an easy one."""
+    from repro.dbms.config import SimulationParameters
+    params = SimulationParameters(num_terms=30, db_size=120,
+                                  write_prob=0.5, warmup_time=2.0,
+                                  num_batches=2, batch_time=4.0)
+    malthusian = run_simulation(params,
+                                MalthusianController(threshold=math.inf))
+    none = run_simulation(params, NoControlController())
+    assert (_ignoring_controller_name(malthusian)
+            == _ignoring_controller_name(none))
+
+
+def test_new_controllers_serial_equals_parallel(tiny_params):
+    """Pinned trajectories for the passivating and model-predictive
+    controllers are identical under --jobs N fan-out."""
+    specs = [
+        RunSpec(params=tiny_params,
+                controller_factory=MalthusianController),
+        RunSpec(params=tiny_params,
+                controller_factory=AnalyticMPCController),
+        RunSpec(params=tiny_params,
+                controller_factory=HalfAndHalfController),
+    ]
+    serial = run_specs(specs, jobs=1)
+    fanned = run_specs(specs, jobs=2)
+    assert serial == fanned
 
 
 # ----------------------------------------------------------------------
